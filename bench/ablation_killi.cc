@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Ablation study of Killi's design choices (the §4.3/§4.4 mechanisms
+ * DESIGN.md calls out), on the two workloads the paper identifies as
+ * most sensitive (XSBench, FFT) at 0.625xVDD, ECC cache 1:256:
+ *
+ *  - eviction-triggered DFH training on/off;
+ *  - the b'01 > b'00 > b'10 allocation priority on/off;
+ *  - training parity segment count (8 / 16 / 32);
+ *  - ECC-cache associativity (2 / 4 / 8);
+ *  - the §5.6.2 inverted-write masked-fault mitigation;
+ *  - the §5.2 DECTED-strength trained-line upgrade.
+ */
+
+#include <iostream>
+
+#include "bench/sweep.hh"
+#include "common/table.hh"
+#include "fault/fault_map.hh"
+#include "fault/voltage_model.hh"
+#include "killi/killi.hh"
+
+using namespace killi;
+
+namespace
+{
+
+struct Variant
+{
+    std::string name;
+    KilliParams params;
+};
+
+std::vector<Variant>
+variants()
+{
+    std::vector<Variant> list;
+    KilliParams base;
+    base.ratio = 256;
+
+    list.push_back({"default (1:256)", base});
+    {
+        KilliParams p = base;
+        p.evictionTraining = false;
+        list.push_back({"no eviction training", p});
+    }
+    {
+        KilliParams p = base;
+        p.allocPriorityEnabled = false;
+        list.push_back({"no alloc priority", p});
+    }
+    {
+        KilliParams p = base;
+        p.coordinatedReplacement = false;
+        list.push_back({"no repl coordination", p});
+    }
+    for (const unsigned segments : {8u, 32u}) {
+        KilliParams p = base;
+        p.segments = segments;
+        list.push_back(
+            {"segments=" + std::to_string(segments), p});
+    }
+    for (const unsigned assoc : {2u, 8u}) {
+        KilliParams p = base;
+        p.eccCacheAssoc = assoc;
+        list.push_back({"ecc assoc=" + std::to_string(assoc), p});
+    }
+    {
+        KilliParams p = base;
+        p.interleavedParity = false;
+        list.push_back({"non-interleaved parity", p});
+    }
+    {
+        KilliParams p = base;
+        p.invertedWriteCheck = true;
+        list.push_back({"inverted-write (5.6.2)", p});
+    }
+    {
+        KilliParams p = base;
+        p.dectedStable = true;
+        list.push_back({"DECTED stable (5.2)", p});
+    }
+    return list;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config cfg;
+    cfg.parseArgs(argc, argv);
+    const double scale = cfg.getDouble("scale", 0.5);
+    const unsigned warmup =
+        static_cast<unsigned>(cfg.getInt("warmup", 1));
+    const double voltage = cfg.getDouble("voltage", 0.625);
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(cfg.getInt("seed", 42));
+
+    const VoltageModel model;
+    GpuParams gp;
+    FaultMap faults(gp.l2Geom.numLines(), 720, model, seed);
+    faults.setVoltage(voltage);
+
+    std::cout << "=== Killi design-choice ablations @ " << voltage
+              << "xVDD (scale=" << scale << ", warmup=" << warmup
+              << ") ===\n\n";
+
+    for (const char *wlName : {"xsbench", "fft"}) {
+        const auto wl = makeWorkload(wlName, scale);
+
+        FaultFreeProtection baseProt;
+        GpuSystem baseSys(gp, baseProt, *wl);
+        const RunResult base = baseSys.run(warmup);
+
+        std::cout << "--- " << wlName << " (baseline "
+                  << base.cycles << " cycles) ---\n";
+        TextTable table;
+        table.header({"variant", "norm. time", "MPKI", "err misses",
+                      "ECC drops", "SDC", "disabled"});
+        for (const Variant &variant : variants()) {
+            KilliProtection prot(faults, variant.params);
+            GpuSystem sys(gp, prot, *wl);
+            const RunResult r = sys.run(warmup);
+            const auto hist = prot.dfhHistogram();
+            table.row(
+                {variant.name,
+                 TextTable::num(double(r.cycles) / double(base.cycles),
+                                4),
+                 TextTable::num(r.mpki(), 2),
+                 std::to_string(r.l2ErrorMisses),
+                 std::to_string(
+                     prot.stats().counterValue("ecc_drops")),
+                 std::to_string(r.sdc), std::to_string(hist[3])});
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+
+    std::cout << "Reading guide: eviction training accelerates DFH "
+                 "convergence (fewer error misses\nand drops); the "
+                 "allocation priority trades warmup misses for "
+                 "faster training;\ninverted-write eliminates SDCs "
+                 "at a small fill cost; DECTED-stable re-enables\n"
+                 "two-fault lines at zero storage cost.\n";
+    return 0;
+}

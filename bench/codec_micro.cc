@@ -1,0 +1,191 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of every codec in kecc: encode,
+ * clean-decode, worst-case correction, and the probe() fast path the
+ * timing simulator uses. These quantify why the simulator's
+ * error-pattern probes matter: probe cost scales with the error
+ * count, not the codeword width.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "ecc/bch.hh"
+#include "ecc/codec_factory.hh"
+#include "ecc/olsc.hh"
+#include "ecc/parity.hh"
+#include "ecc/secded.hh"
+
+using namespace killi;
+
+namespace
+{
+BitVec
+randomData(std::size_t bits, std::uint64_t seed)
+{
+    Rng rng(seed);
+    BitVec v(bits);
+    v.randomize(rng);
+    return v;
+}
+} // namespace
+
+static void
+BM_ParityEncode16(benchmark::State &state)
+{
+    const SegmentedParity sp(512, 16);
+    const BitVec data = randomData(512, 1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sp.encode(data));
+}
+BENCHMARK(BM_ParityEncode16);
+
+static void
+BM_ParityCheck16(benchmark::State &state)
+{
+    const SegmentedParity sp(512, 16);
+    const BitVec data = randomData(512, 2);
+    const BitVec parity = sp.encode(data);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sp.check(data, parity));
+}
+BENCHMARK(BM_ParityCheck16);
+
+static void
+BM_ParityProbeSingleError(benchmark::State &state)
+{
+    const SegmentedParity sp(512, 16);
+    const std::vector<std::size_t> errs{137};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sp.probe(errs));
+}
+BENCHMARK(BM_ParityProbeSingleError);
+
+static void
+BM_SecdedEncode(benchmark::State &state)
+{
+    const Secded code(512);
+    const BitVec data = randomData(512, 3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(code.encode(data));
+}
+BENCHMARK(BM_SecdedEncode);
+
+static void
+BM_SecdedDecodeClean(benchmark::State &state)
+{
+    const Secded code(512);
+    BitVec data = randomData(512, 4);
+    BitVec check = code.encode(data);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(code.decode(data, check));
+}
+BENCHMARK(BM_SecdedDecodeClean);
+
+static void
+BM_SecdedDecodeSingleError(benchmark::State &state)
+{
+    const Secded code(512);
+    const BitVec golden = randomData(512, 5);
+    const BitVec check = code.encode(golden);
+    for (auto _ : state) {
+        state.PauseTiming();
+        BitVec data = golden;
+        BitVec c = check;
+        data.flip(100);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(code.decode(data, c));
+    }
+}
+BENCHMARK(BM_SecdedDecodeSingleError);
+
+static void
+BM_SecdedProbeSingleError(benchmark::State &state)
+{
+    const Secded code(512);
+    const std::vector<std::size_t> errs{100};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(code.probe(errs));
+}
+BENCHMARK(BM_SecdedProbeSingleError);
+
+static void
+BM_BchEncode(benchmark::State &state)
+{
+    const Bch code(512, static_cast<unsigned>(state.range(0)), true);
+    const BitVec data = randomData(512, 6);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(code.encode(data));
+}
+BENCHMARK(BM_BchEncode)->Arg(2)->Arg(3)->Arg(6);
+
+static void
+BM_BchDecodeClean(benchmark::State &state)
+{
+    const Bch code(512, static_cast<unsigned>(state.range(0)), true);
+    BitVec data = randomData(512, 7);
+    BitVec check = code.encode(data);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(code.decode(data, check));
+}
+BENCHMARK(BM_BchDecodeClean)->Arg(2)->Arg(6);
+
+static void
+BM_BchDecodeAtCapability(benchmark::State &state)
+{
+    const unsigned t = static_cast<unsigned>(state.range(0));
+    const Bch code(512, t, true);
+    const BitVec golden = randomData(512, 8);
+    const BitVec check = code.encode(golden);
+    for (auto _ : state) {
+        state.PauseTiming();
+        BitVec data = golden;
+        BitVec c = check;
+        for (unsigned e = 0; e < t; ++e)
+            data.flip(37 + 81 * e);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(code.decode(data, c));
+    }
+}
+BENCHMARK(BM_BchDecodeAtCapability)->Arg(2)->Arg(6);
+
+static void
+BM_BchProbeTwoErrors(benchmark::State &state)
+{
+    const Bch code(512, 2, true);
+    const std::vector<std::size_t> errs{37, 118};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(code.probe(errs));
+}
+BENCHMARK(BM_BchProbeTwoErrors);
+
+static void
+BM_OlscEncode(benchmark::State &state)
+{
+    const Olsc code(512, 23, static_cast<unsigned>(state.range(0)));
+    const BitVec data = randomData(512, 9);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(code.encode(data));
+}
+BENCHMARK(BM_OlscEncode)->Arg(2)->Arg(11);
+
+static void
+BM_OlscDecodeAtCapability(benchmark::State &state)
+{
+    const unsigned t = static_cast<unsigned>(state.range(0));
+    const Olsc code(512, 23, t);
+    const BitVec golden = randomData(512, 10);
+    const BitVec check = code.encode(golden);
+    for (auto _ : state) {
+        state.PauseTiming();
+        BitVec data = golden;
+        BitVec c = check;
+        for (unsigned e = 0; e < t; ++e)
+            data.flip(11 + 43 * e);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(code.decode(data, c));
+    }
+}
+BENCHMARK(BM_OlscDecodeAtCapability)->Arg(2)->Arg(11);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 6: percentage of cache lines whose single-/multi-bit LV
+ * fault population is classified correctly, without MBIST, across
+ * normalized supply voltages — Killi (parity + SECDED), FLAIR
+ * (DMR + SECDED during training), SECDED, DECTED, and MS-ECC
+ * (paper §5.3 closed forms), plus a Monte-Carlo cross-check of the
+ * Killi expression and the §5.6.2 masked-fault SDC window.
+ */
+
+#include <iostream>
+
+#include "analysis/coverage.hh"
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "fault/voltage_model.hh"
+
+using namespace killi;
+
+int
+main(int argc, char **argv)
+{
+    Config cfg;
+    cfg.parseArgs(argc, argv);
+    const std::size_t mcSamples =
+        static_cast<std::size_t>(cfg.getInt("mc.samples", 20000));
+
+    const VoltageModel vm;
+    const CoverageModel cm;
+    Rng rng(static_cast<std::uint64_t>(cfg.getInt("seed", 11)));
+
+    std::cout << "=== Figure 6: % lines correctly classified "
+                 "(single- and multi-bit LV faults) ===\n\n";
+    TextTable table;
+    table.header({"V/VDD", "pCell", "SECDED", "DECTED", "MS-ECC",
+                  "FLAIR", "Killi", "Killi(MC)"});
+    for (double v = 0.70; v >= 0.5399; v -= 0.02) {
+        const double p = vm.pCell(v);
+        char pcell[32];
+        std::snprintf(pcell, sizeof(pcell), "%.2e", p);
+        table.row({TextTable::num(v, 2), pcell,
+                   TextTable::num(cm.secdedCoverage(p), 3),
+                   TextTable::num(cm.dectedCoverage(p), 3),
+                   TextTable::num(cm.msEccCoverage(p), 3),
+                   TextTable::num(cm.flairCoverage(p), 3),
+                   TextTable::num(cm.killiCoverage(p), 3),
+                   TextTable::num(
+                       cm.empiricalKilliCoverage(p, mcSamples, rng),
+                       3)});
+    }
+    table.print(std::cout);
+
+    const double p625 = vm.pCell(0.625);
+    std::cout << "\nShape check (paper): all techniques classify "
+                 "correctly down to ~0.6xVDD; below that\nonly Killi "
+                 "and FLAIR stay near 100% — Killi's coverage is "
+                 "independent of the ECC\ncache size.\n\n"
+              << "Section 5.6.2 masked-fault SDC window at "
+                 "0.625xVDD: "
+              << TextTable::num(cm.maskedSdcWindow(p625), 4)
+              << "% of lines (paper: 0.003%; the paper does not "
+                 "publish its masking assumptions,\nso order of "
+                 "magnitude is the comparison point). Killi protects "
+                 "the remaining "
+              << TextTable::num(100.0 - cm.maskedSdcWindow(p625), 3)
+              << "%.\n";
+    return 0;
+}

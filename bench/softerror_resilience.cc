@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Extension experiment: transient (soft-error) resilience at the LV
+ * operating point. The paper argues (§2.3) that FLAIR's exclusive
+ * reliance on SECDED leaves it exposed to multi-bit soft errors
+ * landing on lines that already carry an LV fault, while Killi's
+ * always-on interleaved parity keeps detecting. This bench injects
+ * Poisson-distributed upsets (with an adjacent-pair multi-bit
+ * fraction) into resident L2 lines and compares detection outcomes,
+ * with and without the footnote-7 scrubber.
+ */
+
+#include <iostream>
+
+#include "baselines/precharacterized.hh"
+#include "common/config.hh"
+#include "common/table.hh"
+#include "fault/fault_map.hh"
+#include "fault/voltage_model.hh"
+#include "gpu/gpu_system.hh"
+#include "killi/killi.hh"
+
+using namespace killi;
+
+int
+main(int argc, char **argv)
+{
+    Config cfg;
+    cfg.parseArgs(argc, argv);
+    const double scale = cfg.getDouble("scale", 0.5);
+    const double voltage = cfg.getDouble("voltage", 0.625);
+    const double burst = cfg.getDouble("burst", 0.3);
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(cfg.getInt("seed", 42));
+
+    const VoltageModel model;
+
+    std::cout << "=== Soft-error resilience at " << voltage
+              << "xVDD (adjacent-pair fraction " << burst
+              << ") ===\n\n";
+    TextTable table;
+    table.header({"rate/bit/cycle", "scheme", "soft errors",
+                  "error misses", "SDC", "disabled@end",
+                  "scrub reclaims"});
+
+    const auto wl = makeWorkload("spmv", scale);
+    for (const double rate : {1e-10, 1e-9, 4e-9}) {
+        const auto runOne = [&](const std::string &name,
+                                bool scrubber) {
+            GpuParams gp;
+            gp.l2.softErrorRatePerBitCycle = rate;
+            gp.l2.softErrorBurstFraction = burst;
+            gp.l2.maintenanceInterval = scrubber ? 50000 : 0;
+            FaultMap faults(gp.l2Geom.numLines(), 720, model, seed);
+            faults.setVoltage(voltage);
+
+            std::unique_ptr<ProtectionScheme> prot;
+            std::size_t disabledEnd = 0;
+            std::uint64_t scrubs = 0;
+            RunResult r;
+            if (name == "FLAIR") {
+                auto flair = makeFlair(faults);
+                GpuSystem sys(gp, *flair, *wl, &faults);
+                r = sys.run();
+                disabledEnd = flair->disabledLines();
+                table.row({TextTable::num(rate, 12), name,
+                           std::to_string(sys.l2().stats()
+                                              .counterValue(
+                                                  "soft_errors")),
+                           std::to_string(r.l2ErrorMisses),
+                           std::to_string(r.sdc),
+                           std::to_string(disabledEnd),
+                           "n/a"});
+                return;
+            }
+            KilliParams kp;
+            kp.interleavedParity = name != "Killi no-ilv";
+            KilliProtection killi(faults, kp);
+            GpuSystem sys(gp, killi, *wl, &faults);
+            r = sys.run();
+            disabledEnd = killi.dfhHistogram()[3];
+            scrubs = killi.stats().counterValue("scrub_reclaims");
+            table.row({TextTable::num(rate, 12), name,
+                       std::to_string(
+                           sys.l2().stats().counterValue(
+                               "soft_errors")),
+                       std::to_string(r.l2ErrorMisses),
+                       std::to_string(r.sdc),
+                       std::to_string(disabledEnd),
+                       std::to_string(scrubs)});
+        };
+        runOne("FLAIR", false);
+        runOne("Killi", false);
+        runOne("Killi no-ilv", false);
+        runOne("Killi+scrub", true);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nReading guide: single upsets become error-induced "
+                 "misses (write-through refetch)\nfor both schemes. "
+                 "Transient-disabled Killi lines accumulate without "
+                 "the scrubber\nand are reclaimed with it (footnote "
+                 "7). SDC counts include the persistent\n5.6.2 "
+                 "masked-fault window.\n";
+    return 0;
+}

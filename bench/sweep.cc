@@ -1,0 +1,125 @@
+#include "bench/sweep.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "analysis/area.hh"
+#include "baselines/precharacterized.hh"
+#include "fault/fault_map.hh"
+#include "fault/voltage_model.hh"
+#include "killi/killi.hh"
+
+namespace killi
+{
+
+SweepOptions
+sweepOptions(const Config &cfg)
+{
+    SweepOptions opt;
+    opt.scale = cfg.getDouble("scale", opt.scale);
+    opt.warmupPasses = static_cast<unsigned>(
+        cfg.getInt("warmup", opt.warmupPasses));
+    opt.voltage = cfg.getDouble("voltage", opt.voltage);
+    opt.seed = static_cast<std::uint64_t>(cfg.getInt("seed", 42));
+    const std::string list = cfg.getString("workloads", "");
+    if (list.empty()) {
+        opt.workloads = workloadNames();
+    } else {
+        std::stringstream ss(list);
+        std::string token;
+        while (std::getline(ss, token, ','))
+            opt.workloads.push_back(token);
+    }
+    return opt;
+}
+
+namespace
+{
+constexpr std::size_t kKilliRatios[] = {256, 128, 64, 32, 16};
+} // namespace
+
+std::vector<std::string>
+sweepSchemeNames()
+{
+    std::vector<std::string> names{"DECTED", "FLAIR", "MS-ECC"};
+    for (const std::size_t ratio : kKilliRatios)
+        names.push_back("Killi 1:" + std::to_string(ratio));
+    return names;
+}
+
+std::vector<WorkloadSweep>
+runEvaluationSweep(const SweepOptions &opt)
+{
+    const VoltageModel model;
+    GpuParams gp;
+    FaultMap faults(gp.l2Geom.numLines(), 720, model, opt.seed);
+    faults.setVoltage(opt.voltage);
+
+    std::vector<WorkloadSweep> all;
+    for (const std::string &wlName : opt.workloads) {
+        const auto wl = makeWorkload(wlName, opt.scale);
+        WorkloadSweep sweep;
+        sweep.workload = wlName;
+        sweep.memoryBound = wl->memoryBound();
+
+        {
+            FaultFreeProtection prot;
+            GpuSystem sys(gp, prot, *wl);
+            sweep.baseline = sys.run(opt.warmupPasses);
+            std::fprintf(stderr, "  %-8s baseline   %12llu cycles\n",
+                         wlName.c_str(),
+                         static_cast<unsigned long long>(
+                             sweep.baseline.cycles));
+        }
+
+        const auto record = [&](const std::string &name,
+                                ProtectionScheme &prot,
+                                double areaFrac,
+                                const std::string &powerKey) {
+            GpuSystem sys(gp, prot, *wl);
+            SchemeRun run;
+            run.scheme = name;
+            run.result = sys.run(opt.warmupPasses);
+            run.areaOverheadFrac = areaFrac;
+            run.powerKey = powerKey;
+            std::fprintf(stderr,
+                         "  %-8s %-10s %12llu cycles (%.4fx)\n",
+                         wlName.c_str(), name.c_str(),
+                         static_cast<unsigned long long>(
+                             run.result.cycles),
+                         double(run.result.cycles) /
+                             double(sweep.baseline.cycles));
+            sweep.schemes.push_back(std::move(run));
+        };
+
+        {
+            auto prot = makeDectedLine(faults);
+            record("DECTED", *prot,
+                   area::baseline(CodeKind::Dected).pctOverL2 / 100.0,
+                   "dected");
+        }
+        {
+            auto prot = makeFlair(faults);
+            record("FLAIR", *prot,
+                   area::baseline(CodeKind::Secded).pctOverL2 / 100.0,
+                   "flair");
+        }
+        {
+            auto prot = makeMsEcc(faults);
+            record("MS-ECC", *prot,
+                   area::baseline(CodeKind::Olsc11).pctOverL2 / 100.0,
+                   "msecc");
+        }
+        for (const std::size_t ratio : kKilliRatios) {
+            KilliParams kp;
+            kp.ratio = ratio;
+            KilliProtection prot(faults, kp);
+            record("Killi 1:" + std::to_string(ratio), prot,
+                   area::killi(ratio).pctOverL2 / 100.0, "killi");
+        }
+        all.push_back(std::move(sweep));
+    }
+    return all;
+}
+
+} // namespace killi

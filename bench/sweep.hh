@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared evaluation sweep for the Fig. 4 / Fig. 5 / Table 6
+ * benchmarks: run every workload of the suite under the fault-free
+ * baseline and each LV protection scheme (DECTED, FLAIR, MS-ECC,
+ * Killi at the paper's five ECC-cache ratios) on the Table 3 GPU.
+ *
+ * Knobs (key=value arguments or KILLI_* environment variables):
+ *   scale    workload length multiplier        (default 1.0)
+ *   warmup   warmup passes excluded from stats (default 1)
+ *   voltage  normalized L2 supply              (default 0.625)
+ *   seed     fault-map die seed                (default 42)
+ *   workloads comma-separated subset           (default all ten)
+ */
+
+#ifndef KILLI_BENCH_SWEEP_HH
+#define KILLI_BENCH_SWEEP_HH
+
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "gpu/gpu_system.hh"
+
+namespace killi
+{
+
+struct SweepOptions
+{
+    double scale = 1.0;
+    unsigned warmupPasses = 2;
+    double voltage = 0.625;
+    std::uint64_t seed = 42;
+    std::vector<std::string> workloads;
+};
+
+/** Parse sweep knobs from a Config. */
+SweepOptions sweepOptions(const Config &cfg);
+
+/** One scheme's result on one workload. */
+struct SchemeRun
+{
+    std::string scheme;
+    RunResult result;
+    /** Extra LV storage bits / 512 (power-model input). */
+    double areaOverheadFrac = 0.0;
+    /** codecShare() key for the power model. */
+    std::string powerKey;
+};
+
+struct WorkloadSweep
+{
+    std::string workload;
+    bool memoryBound = false;
+    RunResult baseline;
+    std::vector<SchemeRun> schemes;
+};
+
+/** The scheme column order used by Fig. 4 / Fig. 5 / Table 6. */
+std::vector<std::string> sweepSchemeNames();
+
+/** Execute the full sweep; prints one progress line per run. */
+std::vector<WorkloadSweep> runEvaluationSweep(const SweepOptions &opt);
+
+} // namespace killi
+
+#endif // KILLI_BENCH_SWEEP_HH

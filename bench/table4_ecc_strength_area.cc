@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Table 4: storage area of Killi when its ECC cache stores DECTED,
+ * TECQED, or 6EC7ED checkbits, across ECC-cache ratios, normalized
+ * to per-line SECDED (+disable bit) protection. DECTED reuses the
+ * 12 freed training-parity bits (§5.2) and so costs exactly as much
+ * as the SECDED configuration; stronger codes grow the entry.
+ */
+
+#include <iostream>
+
+#include "analysis/area.hh"
+#include "common/table.hh"
+
+using namespace killi;
+
+int
+main()
+{
+    std::cout << "=== Table 4: Killi storage area with stronger ECC "
+                 "codes (normalized to SECDED-per-line) ===\n\n";
+
+    const std::size_t ratios[] = {256, 128, 64, 32, 16};
+    TextTable table;
+    table.header({"code", "1:256", "1:128", "1:64", "1:32", "1:16",
+                  "entry bits"});
+    for (const CodeKind kind :
+         {CodeKind::Dected, CodeKind::Tecqed, CodeKind::Hexa}) {
+        std::vector<std::string> row{codeKindName(kind)};
+        for (const std::size_t ratio : ratios) {
+            row.push_back(TextTable::num(
+                area::killi(ratio, kind).ratioVsSecded, 2));
+        }
+        row.push_back(std::to_string(area::eccEntryBits(kind)));
+        table.row(std::move(row));
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper Table 4 reference:\n"
+                 "  DECTED 0.51 0.53 0.55 0.61 0.71\n"
+                 "  TECQED 0.52 0.54 0.58 0.66 0.82\n"
+                 "  6EC7ED 0.53 0.56 0.62 0.74 0.97\n"
+                 "Even Killi+6EC7ED at 1:16 stays below per-line "
+                 "SECDED's cost while enabling\nmulti-bit-fault "
+                 "lines.\n";
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Table 5: error-protection storage area across schemes for the 2MB
+ * L2 — absolute bytes, ratio normalized to SECDED-per-line, and
+ * percentage over the L2 payload. Killi's 41-bit ECC-cache entries
+ * reproduce the paper's quoted 656B (1:256) to 10.25KB (1:16) ECC
+ * caches and 24.6KB..34.25KB totals exactly.
+ */
+
+#include <iostream>
+
+#include "analysis/area.hh"
+#include "common/table.hh"
+
+using namespace killi;
+
+int
+main()
+{
+    std::cout << "=== Table 5: area comparison across error "
+                 "protection techniques (2MB L2) ===\n\n";
+
+    TextTable table;
+    table.header({"scheme", "overhead bytes", "ratio vs SECDED",
+                  "% over L2"});
+    const auto addBaseline = [&](CodeKind kind) {
+        const auto o = area::baseline(kind);
+        table.row({o.name, TextTable::num(o.bytes(), 0),
+                   TextTable::num(o.ratioVsSecded, 2),
+                   TextTable::num(o.pctOverL2, 2) + "%"});
+    };
+    addBaseline(CodeKind::Dected);
+    addBaseline(CodeKind::Olsc11); // MS-ECC
+    addBaseline(CodeKind::Secded);
+    for (const std::size_t ratio : {256, 128, 64, 32, 16}) {
+        const auto o = area::killi(ratio);
+        table.row({o.name, TextTable::num(o.bytes(), 0),
+                   TextTable::num(o.ratioVsSecded, 2),
+                   TextTable::num(o.pctOverL2, 2) + "%"});
+    }
+    table.print(std::cout);
+
+    const std::size_t entries256 = area::kL2Lines / 256;
+    const std::size_t entries16 = area::kL2Lines / 16;
+    std::cout << "\nECC cache alone: 1:256 -> "
+              << entries256 * area::eccEntryBits(CodeKind::Secded) / 8
+              << " B (paper: 656B), 1:16 -> "
+              << entries16 * area::eccEntryBits(CodeKind::Secded) / 8
+              << " B (paper: 10.25KB).\n"
+              << "Paper Table 5 reference ratios: DECTED 1.9, MS-ECC "
+                 "18, SECDED 1, Killi 0.51/0.52/0.55/0.60/0.71.\n"
+              << "Killi halves the error-protection area vs SECDED "
+                 "(the paper's headline 50% claim).\n";
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Table 7 / §5.5: optimizing for lower Vmin. To operate at 0.6x and
+ * 0.575xVDD both MS-ECC and Killi's ECC cache switch to OLSC
+ * (t = 11 per 64B line). The table reports the usable L2 capacity
+ * target at each voltage and the storage Killi needs (ECC cache
+ * sized to protect 1-of-8 and 1-of-2 lines respectively) relative
+ * to MS-ECC's provision-every-line approach.
+ */
+
+#include <iostream>
+
+#include "analysis/area.hh"
+#include "common/table.hh"
+#include "fault/voltage_model.hh"
+
+using namespace killi;
+
+int
+main()
+{
+    const VoltageModel vm;
+
+    std::cout << "=== Table 7: Killi w/OLSC storage vs MS-ECC for "
+                 "equal capacity at lower Vmin ===\n\n";
+
+    TextTable table;
+    table.header({"V/VDD", "capacity target (<=11 faults)",
+                  "ECC cache ratio", "Killi area / MS-ECC area"});
+    const struct
+    {
+        double v;
+        std::size_t ratio;
+    } rows[] = {{0.600, 8}, {0.575, 2}};
+    for (const auto &row : rows) {
+        // Capacity achievable with 11-error correction per line:
+        // P(line has <= 11 faults) over the 710-bit physical line.
+        double capacity = 0.0;
+        for (unsigned k = 0; k <= 11; ++k)
+            capacity += vm.pLineFaults(710, k, row.v);
+        table.row({TextTable::num(row.v, 3),
+                   TextTable::num(100 * capacity, 1) + "%",
+                   "1:" + std::to_string(row.ratio),
+                   TextTable::num(
+                       100 * area::killiOlscVsMsEcc(row.ratio), 0) +
+                       "%"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper Table 7 reference: 0.6xVDD -> 99.8% "
+                 "capacity, Killi = 17% of MS-ECC area;\n0.575xVDD "
+                 "-> 69.6% capacity, Killi = 65%. Killi integrates "
+                 "the stronger code by\nresizing one structure (the "
+                 "ECC cache) instead of re-architecting the whole "
+                 "L2.\n";
+    return 0;
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Bringing your own workload: subclass killi::Workload with a pure
+ * op() function and run it through the full system under any
+ * protection scheme. The example models a producer/consumer pipeline
+ * with a hot shared ring buffer (read-write) and a cold history
+ * region (write-mostly) — a pattern none of the built-in ten covers
+ * — and compares Killi against FLAIR on it.
+ */
+
+#include <iostream>
+
+#include "baselines/precharacterized.hh"
+#include "common/config.hh"
+#include "common/table.hh"
+#include "fault/fault_map.hh"
+#include "fault/voltage_model.hh"
+#include "gpu/gpu_system.hh"
+#include "killi/killi.hh"
+
+using namespace killi;
+
+namespace
+{
+
+/**
+ * Producer/consumer proxy: even wavefronts produce (write ring,
+ * append history), odd wavefronts consume (read ring, light
+ * compute). The ring is 1MB and extremely hot; history streams
+ * through 12MB.
+ */
+class PipelineWorkload : public Workload
+{
+  public:
+    explicit PipelineWorkload(std::uint64_t ops)
+        : Workload("pipeline", true, 8, ops, /*seed=*/7)
+    {
+    }
+
+    MemOp
+    op(unsigned cu, unsigned wf, std::uint64_t idx) const override
+    {
+        constexpr Addr ringLines = 1024 * 1024 / 64;
+        constexpr Addr historyLines = 12ull * 1024 * 1024 / 64;
+        const bool producer = wf % 2 == 0;
+
+        MemOp m;
+        if (producer) {
+            if (idx % 3 == 2) {
+                // Append to the cold history log.
+                const std::uint64_t element =
+                    (flatWf(cu, wf) * opsPerWf + idx) % historyLines;
+                m.addr = 0x2000000 + element * 64;
+                m.isWrite = true;
+                m.computeCycles = 6;
+            } else {
+                // Produce into the hot ring.
+                m.addr = (hashOf(cu, wf, idx) % ringLines) * 64;
+                m.isWrite = true;
+                m.computeCycles = 4;
+            }
+        } else {
+            // Consume from the ring.
+            m.addr = (hashOf(cu, wf ^ 1, idx) % ringLines) * 64;
+            m.computeCycles = 8;
+        }
+        return m;
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config cfg;
+    cfg.parseArgs(argc, argv);
+    const double voltage = cfg.getDouble("voltage", 0.625);
+    const std::uint64_t ops =
+        static_cast<std::uint64_t>(cfg.getInt("ops", 3000));
+
+    const VoltageModel model;
+    GpuParams gp;
+    FaultMap faults(gp.l2Geom.numLines(), 720, model, /*seed=*/4);
+    faults.setVoltage(voltage);
+
+    const PipelineWorkload wl(ops);
+
+    FaultFreeProtection baseProt;
+    GpuSystem baseSys(gp, baseProt, wl);
+    const RunResult base = baseSys.run(/*warmupPasses=*/1);
+
+    auto flairProt = makeFlair(faults);
+    GpuSystem flairSys(gp, *flairProt, wl);
+    const RunResult flair = flairSys.run(/*warmupPasses=*/1);
+
+    KilliProtection killiProt(faults, KilliParams{});
+    GpuSystem killiSys(gp, killiProt, wl);
+    const RunResult killiRun = killiSys.run(/*warmupPasses=*/1);
+
+    std::cout << "Custom workload '" << wl.name() << "' at "
+              << voltage << "xVDD:\n\n";
+    TextTable table;
+    table.header({"scheme", "cycles", "norm. time", "MPKI",
+                  "DRAM writes", "SDC"});
+    const auto row = [&](const std::string &name, const RunResult &r) {
+        table.row({name, std::to_string(r.cycles),
+                   TextTable::num(double(r.cycles) /
+                                      double(base.cycles), 4),
+                   TextTable::num(r.mpki(), 2),
+                   std::to_string(r.dramWrites),
+                   std::to_string(r.sdc)});
+    };
+    row("fault-free @1.0xVDD", base);
+    row("FLAIR", flair);
+    row(killiProt.name(), killiRun);
+    table.print(std::cout);
+
+    std::cout << "\nNote the DRAM write column: the write-through L2 "
+                 "sends every store to memory,\nwhich is what lets "
+                 "both schemes treat detected-uncorrectable errors "
+                 "as misses\ninstead of data loss.\n";
+    return 0;
+}

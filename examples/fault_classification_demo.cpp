@@ -1,0 +1,127 @@
+/**
+ * @file
+ * A guided tour of Killi's Table 2 state machine: plant specific
+ * stuck-at faults into individual cache lines and watch the DFH bits
+ * classify, correct, oscillate on masked faults, and disable —
+ * narrated step by step. No GPU timing model involved: the
+ * KilliProtection controller is driven directly, the way the unit
+ * tests drive it.
+ */
+
+#include <iostream>
+
+#include "cache/protection.hh"
+#include "fault/fault_map.hh"
+#include "fault/voltage_model.hh"
+#include "killi/killi.hh"
+
+using namespace killi;
+
+namespace
+{
+
+class DemoHost : public L2Backdoor
+{
+  public:
+    void
+    invalidateLine(std::size_t lineId) override
+    {
+        std::cout << "      [host] line " << lineId
+                  << " dropped (its ECC-cache entry was evicted)\n";
+    }
+
+    Tick now() const override { return 0; }
+};
+
+const char *
+actionName(const AccessResult &res)
+{
+    return res.errorInducedMiss ? "error-induced miss (refetch)"
+                                : "data delivered";
+}
+
+void
+show(KilliProtection &killi, std::size_t line, const char *when)
+{
+    std::cout << "      DFH(" << line << ") " << when << " = "
+              << dfhName(killi.dfhOf(line)) << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    const VoltageModel model;
+    const CacheGeometry geom{16 * 1024, 16, 64, 2};
+    FaultMap faults(geom.numLines(), 720, model, /*seed=*/3);
+    faults.setVoltage(1.0); // plant everything explicitly
+
+    DemoHost host;
+    KilliProtection killi(faults, KilliParams{});
+    killi.attach(host, geom);
+
+    const BitVec zeros(512);
+    BitVec ones(512);
+    for (std::size_t i = 0; i < 512; ++i)
+        ones.set(i);
+
+    std::cout << "== 1. A fault-free line: the most frequent Table 2 "
+                 "row ==\n";
+    killi.onFill(0, zeros);
+    show(killi, 0, "after fill");
+    const AccessResult r0 = killi.onReadHit(0, zeros);
+    std::cout << "      first load hit: parity+ECC clean -> "
+              << actionName(r0) << ", ECC-cache entry freed\n";
+    show(killi, 0, "after first hit");
+
+    std::cout << "\n== 2. A visible single LV fault: classified b'10 "
+                 "and corrected ==\n";
+    faults.plantFault(1, 100, /*stuck=*/true);
+    killi.onFill(1, zeros); // stores 0, cell reads back 1
+    const AccessResult r1 = killi.onReadHit(1, zeros);
+    std::cout << "      parity flags one segment, SECDED syndrome "
+                 "non-zero + global parity\n      mismatch -> "
+              << actionName(r1)
+              << (r1.sdc ? " (CORRUPT!)" : " (corrected)") << "\n";
+    show(killi, 1, "after first hit");
+
+    std::cout << "\n== 3. A masked fault: Killi believes the line is "
+                 "clean, then adapts (4.3) ==\n";
+    faults.plantFault(2, 40, /*stuck=*/false);
+    killi.onFill(2, zeros); // stores 0 over a stuck-at-0 cell
+    killi.onReadHit(2, zeros);
+    show(killi, 2, "while the fault is masked");
+    std::cout << "      ... a store writes 1s, unmasking the cell "
+                 "...\n";
+    killi.onWriteHit(2, ones);
+    const AccessResult r2 = killi.onReadHit(2, ones);
+    std::cout << "      trained 4-bit parity now mismatches -> "
+              << actionName(r2) << "\n";
+    show(killi, 2, "after the surprise");
+    std::cout << "      the refetch re-classifies it correctly:\n";
+    killi.onFill(2, ones);
+    killi.onReadHit(2, ones);
+    show(killi, 2, "after re-training");
+
+    std::cout << "\n== 4. A multi-bit line: disabled until the next "
+                 "DFH reset ==\n";
+    faults.plantFault(3, 10, true);
+    faults.plantFault(3, 11, true);
+    killi.onFill(3, zeros);
+    const AccessResult r3 = killi.onReadHit(3, zeros);
+    std::cout << "      two parity segments mismatch -> "
+              << actionName(r3) << "\n";
+    show(killi, 3, "after classification");
+    std::cout << "      canAllocate(3) = "
+              << (killi.canAllocate(3) ? "true" : "false")
+              << " (the replacement policy skips it)\n";
+
+    std::cout << "\n== 5. Voltage change: relearn everything, no "
+                 "MBIST required ==\n";
+    killi.reset();
+    show(killi, 3, "after reset");
+    std::cout << "      every line is back to b'01; classification "
+                 "resumes on first use.\n";
+    return 0;
+}

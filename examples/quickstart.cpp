@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Quickstart: undervolt a 2MB GPU L2 to 0.625xVDD, protect it with
+ * Killi, run an HPC workload, and compare against the fault-free
+ * nominal-voltage baseline.
+ *
+ *   $ ./quickstart [workload=xsbench] [voltage=0.625] [ratio=256]
+ */
+
+#include <iostream>
+
+#include "common/config.hh"
+#include "fault/fault_map.hh"
+#include "fault/voltage_model.hh"
+#include "gpu/gpu_system.hh"
+#include "killi/killi.hh"
+
+using namespace killi;
+
+int
+main(int argc, char **argv)
+{
+    Config cfg;
+    cfg.parseArgs(argc, argv);
+    const std::string wlName = cfg.getString("workload", "xsbench");
+    const double voltage = cfg.getDouble("voltage", 0.625);
+    const std::size_t ratio =
+        static_cast<std::size_t>(cfg.getInt("ratio", 256));
+
+    // 1. The GPU of paper Table 3: 8 CUs, 16KB L1s, 2MB 16-way
+    //    write-through L2 in 16 banks.
+    GpuParams gp;
+
+    // 2. A die's persistent LV fault population, activated for the
+    //    chosen operating point.
+    const VoltageModel model;
+    FaultMap faults(gp.l2Geom.numLines(), 720, model, /*seed=*/1);
+    faults.setVoltage(voltage);
+    const auto hist = faults.histogram(516);
+    std::cout << "Fault population of the L2 at " << voltage
+              << "xVDD:\n  " << hist.zero << " fault-free lines, "
+              << hist.one << " single-fault lines, " << hist.twoPlus
+              << " multi-fault lines\n\n";
+
+    // 3. Baseline: fault-free cache at nominal VDD.
+    const auto wl = makeWorkload(wlName);
+    FaultFreeProtection baseline;
+    GpuSystem baseSys(gp, baseline, *wl);
+    const RunResult base = baseSys.run(/*warmupPasses=*/1);
+
+    // 4. Killi: runtime classification, no MBIST.
+    KilliParams kp;
+    kp.ratio = ratio;
+    KilliProtection killi(faults, kp);
+    GpuSystem killiSys(gp, killi, *wl);
+    const RunResult run = killiSys.run(/*warmupPasses=*/1);
+
+    const auto dfh = killi.dfhHistogram();
+    std::cout << "Workload '" << wlName << "' under " << killi.name()
+              << ":\n"
+              << "  baseline cycles : " << base.cycles << "\n"
+              << "  Killi cycles    : " << run.cycles << "  ("
+              << double(run.cycles) / double(base.cycles)
+              << "x normalized execution time)\n"
+              << "  L2 MPKI         : " << run.mpki()
+              << " (baseline " << base.mpki() << ")\n"
+              << "  error misses    : " << run.l2ErrorMisses << "\n"
+              << "  silent data corruptions (oracle): " << run.sdc
+              << "\n\n"
+              << "DFH classification learned at runtime (no MBIST):\n"
+              << "  b'00 fault-free : " << dfh[0] << "\n"
+              << "  b'01 untrained  : " << dfh[1] << "\n"
+              << "  b'10 one fault  : " << dfh[2] << "\n"
+              << "  b'11 disabled   : " << dfh[3] << "\n";
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Voltage explorer: "what Vmin can this die reach?" Sweep the L2
+ * supply from nominal down to 0.55xVDD and report, for each point,
+ * the fault population, Killi's usable capacity and DFH populations
+ * after running a training workload, classification coverage, and
+ * the modeled L2 power — the energy-vs-capacity trade-off of paper
+ * §5.4/§5.5 in one view.
+ *
+ *   $ ./voltage_explorer [ratio=256] [seed=1] [scale=0.25]
+ */
+
+#include <iostream>
+
+#include "analysis/area.hh"
+#include "analysis/coverage.hh"
+#include "analysis/power.hh"
+#include "common/config.hh"
+#include "common/table.hh"
+#include "fault/fault_map.hh"
+#include "fault/voltage_model.hh"
+#include "gpu/gpu_system.hh"
+#include "killi/killi.hh"
+
+using namespace killi;
+
+int
+main(int argc, char **argv)
+{
+    Config cfg;
+    cfg.parseArgs(argc, argv);
+    const std::size_t ratio =
+        static_cast<std::size_t>(cfg.getInt("ratio", 256));
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(cfg.getInt("seed", 1));
+    const double scale = cfg.getDouble("scale", 0.25);
+
+    const VoltageModel model;
+    const CoverageModel coverage;
+    GpuParams gp;
+    FaultMap faults(gp.l2Geom.numLines(), 720, model, seed);
+    const auto wl = makeWorkload("xsbench", scale);
+
+    std::cout << "=== Voltage explorer: Killi(1:" << ratio
+              << ") on die seed " << seed << " ===\n\n";
+    TextTable table;
+    table.header({"V/VDD", "1-fault lines", "2+ lines", "usable %",
+                  "b'11 after run", "coverage %", "power %",
+                  "norm. time"});
+
+    for (const double v :
+         {1.0, 0.70, 0.675, 0.65, 0.625, 0.60, 0.575, 0.55}) {
+        faults.setVoltage(v);
+        const auto hist = faults.histogram(516);
+
+        // The (fresh) Killi instance learns this voltage's faults.
+        KilliParams kp;
+        kp.ratio = ratio;
+        KilliProtection killi(faults, kp);
+        GpuSystem sys(gp, killi, *wl);
+        const RunResult run = sys.run(/*warmupPasses=*/1);
+
+        FaultFreeProtection baseProt;
+        GpuSystem baseSys(gp, baseProt, *wl);
+        const RunResult base = baseSys.run(/*warmupPasses=*/1);
+
+        const auto dfh = killi.dfhHistogram();
+        const double usable = 100.0 * double(killi.usableLines()) /
+            double(gp.l2Geom.numLines());
+        const double pw = 100.0 *
+            power::normalized(v,
+                              area::killi(ratio).pctOverL2 / 100.0,
+                              double(run.l2Accesses()) /
+                                  double(base.l2Accesses()),
+                              double(run.dramReads + run.dramWrites) /
+                                  double(base.dramReads +
+                                         base.dramWrites),
+                              power::codecShare("killi"))
+                .total();
+
+        table.row({TextTable::num(v, 3), std::to_string(hist.one),
+                   std::to_string(hist.twoPlus),
+                   TextTable::num(usable, 1),
+                   std::to_string(dfh[3]),
+                   TextTable::num(
+                       coverage.killiCoverage(model.pCell(v)), 3),
+                   TextTable::num(pw, 1),
+                   TextTable::num(
+                       double(run.cycles) / double(base.cycles), 3)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nReading guide: down to 0.625xVDD nearly all "
+                 "lines stay usable and power drops to\n~40% of "
+                 "nominal (the paper's 59.3% saving); below that the "
+                 "2+-fault population\ngrows quickly and disabled "
+                 "lines erode capacity — the SECDED ECC cache is "
+                 "then\nbest swapped for OLSC (see "
+                 "bench/table7_olsc).\n";
+    return 0;
+}

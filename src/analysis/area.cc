@@ -1,0 +1,83 @@
+#include "analysis/area.hh"
+
+#include "common/log.hh"
+
+namespace killi
+{
+
+namespace area
+{
+
+namespace
+{
+/** The data share of one ECC-cache entry. SECDED (11b) shares the
+ *  23-bit budget with the 12 overflow parity bits; DECTED (21b)
+ *  still fits that budget by reusing the freed parity bits (§5.2).
+ *  Stronger codes exceed it and must keep the 12 training-parity
+ *  bits alongside their checkbits — this rule reproduces every cell
+ *  of paper Table 4 (TECQED entries are 43+18=61 bits, 6EC7ED
+ *  73+18=91 bits). */
+std::size_t
+entryDataBits(CodeKind kind)
+{
+    const std::size_t check = paperCheckBits(kind);
+    return check <= 23 ? 23 : 12 + check;
+}
+
+/** SECDED-per-line overhead bits: the normalization denominator. */
+std::size_t
+secdedLineBits(std::size_t l2_lines)
+{
+    return l2_lines * (paperCheckBits(CodeKind::Secded) + 1);
+}
+} // namespace
+
+std::size_t
+eccEntryBits(CodeKind kind)
+{
+    return entryDataBits(kind) + kEntryTagBits;
+}
+
+Overhead
+baseline(CodeKind kind, std::size_t l2_lines)
+{
+    Overhead o;
+    o.name = codeKindName(kind);
+    // checkbits per line + 1 bit to mark disabled lines.
+    o.totalBits = l2_lines * (paperCheckBits(kind) + 1);
+    o.ratioVsSecded =
+        double(o.totalBits) / double(secdedLineBits(l2_lines));
+    o.pctOverL2 =
+        100.0 * double(o.totalBits) / double(l2_lines * kLineBits);
+    return o;
+}
+
+Overhead
+killi(std::size_t ratio, CodeKind kind, std::size_t l2_lines)
+{
+    if (ratio == 0)
+        fatal("area::killi: zero ratio");
+    Overhead o;
+    o.name = "Killi(1:" + std::to_string(ratio) + "," +
+        codeKindName(kind) + ")";
+    const std::size_t perLine = 4 + 2; // folded parity + DFH
+    const std::size_t entries = l2_lines / ratio;
+    o.totalBits = l2_lines * perLine + entries * eccEntryBits(kind);
+    o.ratioVsSecded =
+        double(o.totalBits) / double(secdedLineBits(l2_lines));
+    o.pctOverL2 =
+        100.0 * double(o.totalBits) / double(l2_lines * kLineBits);
+    return o;
+}
+
+double
+killiOlscVsMsEcc(std::size_t ratio, std::size_t l2_lines)
+{
+    const Overhead k = killi(ratio, CodeKind::Olsc11, l2_lines);
+    const Overhead ms = baseline(CodeKind::Olsc11, l2_lines);
+    return double(k.totalBits) / double(ms.totalBits);
+}
+
+} // namespace area
+
+} // namespace killi

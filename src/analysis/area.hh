@@ -1,0 +1,73 @@
+/**
+ * @file
+ * First-principles storage-area model reproducing paper Tables 4, 5
+ * and 7 by bit counting.
+ *
+ * Per-line overheads:
+ *  - SECDED per line: 11 checkbits + 1 disable bit = 12 (2.3% of a
+ *    512-bit line — the paper's normalization yardstick);
+ *  - DECTED per line: 21 + 1 = 22 (4.3%);
+ *  - MS-ECC: 198 OLSC checkbits + 1 = 199 (38.9%, paper: 38.6%);
+ *  - Killi: 4 folded parity + 2 DFH bits = 6 per L2 line, plus the
+ *    ECC cache: entries = lines/ratio, each entry = max(23,
+ *    checkbits) data bits (11 SECDED + 12 overflow parity share the
+ *    23b budget; stronger codes grow it) + 18 tag bits (11 index +
+ *    4 way + 1 valid + 2 replacement) = 41 bits for SECDED, matching
+ *    Table 3's "ECC cache line size 41 bits" and the paper's quoted
+ *    656B (1:256) .. 10.25KB (1:16) ECC-cache sizes exactly.
+ */
+
+#ifndef KILLI_ANALYSIS_AREA_HH
+#define KILLI_ANALYSIS_AREA_HH
+
+#include <cstddef>
+#include <string>
+
+#include "ecc/codec_factory.hh"
+
+namespace killi
+{
+
+namespace area
+{
+
+/** Paper geometry: 2MB L2 of 64B lines. */
+constexpr std::size_t kL2Lines = 32768;
+constexpr std::size_t kLineBits = 512;
+
+/** Bits of one ECC-cache entry for a given stored code. */
+std::size_t eccEntryBits(CodeKind kind);
+
+/** The entry's tag share (index + way + valid + replacement). */
+constexpr std::size_t kEntryTagBits = 18;
+
+struct Overhead
+{
+    std::string name;
+    std::size_t totalBits = 0;
+    double bytes() const { return double(totalBits) / 8.0; }
+    /** Normalized to per-line SECDED (+disable bit). */
+    double ratioVsSecded = 0.0;
+    /** Additional area over the 2MB L2 data payload. */
+    double pctOverL2 = 0.0;
+};
+
+/** Per-line baseline schemes (+1 disable bit each). */
+Overhead baseline(CodeKind kind,
+                  std::size_t l2_lines = kL2Lines);
+
+/** Killi with an ECC cache of l2_lines/ratio entries storing
+ *  @p kind checkbits. */
+Overhead killi(std::size_t ratio, CodeKind kind = CodeKind::Secded,
+               std::size_t l2_lines = kL2Lines);
+
+/** Table 7: Killi-with-OLSC area normalized to MS-ECC's area, for
+ *  an ECC cache covering one out of @p ratio lines. */
+double killiOlscVsMsEcc(std::size_t ratio,
+                        std::size_t l2_lines = kL2Lines);
+
+} // namespace area
+
+} // namespace killi
+
+#endif // KILLI_ANALYSIS_AREA_HH

@@ -1,0 +1,201 @@
+#include "analysis/coverage.hh"
+
+#include <cmath>
+#include <vector>
+
+namespace killi
+{
+
+CoverageModel::CoverageModel() = default;
+
+CoverageModel::CoverageModel(const Params &params)
+    : prm(params)
+{
+}
+
+double
+CoverageModel::binomPmf(unsigned n, unsigned k, double p)
+{
+    if (p <= 0.0)
+        return k == 0 ? 1.0 : 0.0;
+    if (p >= 1.0)
+        return k == n ? 1.0 : 0.0;
+    const double logTerm = std::lgamma(double(n) + 1) -
+        std::lgamma(double(k) + 1) - std::lgamma(double(n - k) + 1) +
+        k * std::log(p) + double(n - k) * std::log1p(-p);
+    return std::exp(logTerm);
+}
+
+double
+CoverageModel::binomCdf(unsigned n, unsigned k, double p)
+{
+    double sum = 0.0;
+    for (unsigned i = 0; i <= k && i <= n; ++i)
+        sum += binomPmf(n, i, p);
+    return std::min(1.0, sum);
+}
+
+double
+CoverageModel::pFailSecded(double pCell) const
+{
+    // Paper: assume SECDED fails for every pattern of 3 or more
+    // errors in the 523-bit codeword (checkbits fail too).
+    return std::max(0.0, 1.0 - binomCdf(prm.secdedBits, 2, pCell));
+}
+
+double
+CoverageModel::pSeg0(double p) const
+{
+    return std::pow(1.0 - p, double(prm.segmentBits));
+}
+
+double
+CoverageModel::pSegEven(double p) const
+{
+    // Sum over even counts >= 2 within a 33-bit segment.
+    double sum = 0.0;
+    for (unsigned i = 2; i <= prm.segmentBits; i += 2)
+        sum += binomPmf(prm.segmentBits, i, p);
+    return sum;
+}
+
+double
+CoverageModel::pSegOdd3(double p) const
+{
+    double sum = 0.0;
+    for (unsigned i = 3; i <= prm.segmentBits; i += 2)
+        sum += binomPmf(prm.segmentBits, i, p);
+    return sum;
+}
+
+double
+CoverageModel::pFailSegParity(double pCell) const
+{
+    // The paper's expression: segmented parity fails when (a) one
+    // segment holds an odd cluster of >= 3 errors while the others
+    // are clean, or (b) every segment holds an even (possibly zero)
+    // error count with at least one non-zero.
+    const double p0 = pSeg0(pCell);
+    const double pe = pSegEven(pCell);
+    const double po = pSegOdd3(pCell);
+    const unsigned s = prm.segments;
+
+    // (a): choose the odd segment among s.
+    double fail = double(s) * std::pow(p0, double(s - 1)) * po;
+
+    // (b): i clean segments, s-i even segments (i < s so that at
+    // least one segment actually has errors).
+    for (unsigned i = 0; i < s; ++i) {
+        const double logChoose = std::lgamma(double(s) + 1) -
+            std::lgamma(double(i) + 1) -
+            std::lgamma(double(s - i) + 1);
+        fail += std::exp(logChoose) * std::pow(p0, double(i)) *
+            std::pow(pe, double(s - i));
+    }
+    return std::min(1.0, fail);
+}
+
+double
+CoverageModel::pFailKilli(double pCell) const
+{
+    // Parity and SECDED observe the line independently; Killi fails
+    // only when both fail.
+    return pFailSecded(pCell) * pFailSegParity(pCell);
+}
+
+double
+CoverageModel::killiCoverage(double pCell) const
+{
+    return (1.0 - pFailKilli(pCell)) * 100.0;
+}
+
+double
+CoverageModel::secdedCoverage(double pCell) const
+{
+    return binomCdf(prm.secdedBits, 2, pCell) * 100.0;
+}
+
+double
+CoverageModel::dectedCoverage(double pCell) const
+{
+    return binomCdf(prm.dectedBits, 3, pCell) * 100.0;
+}
+
+double
+CoverageModel::msEccCoverage(double pCell) const
+{
+    return binomCdf(prm.msEccBits, 11, pCell) * 100.0;
+}
+
+double
+CoverageModel::flairCoverage(double pCell) const
+{
+    // During training FLAIR holds each word twice (DMR) and compares;
+    // classification fails only if both copies corrupt identically —
+    // the same bit faulty in both copies with the same stuck value
+    // (probability pCell^2 / 2 per bit) — and SECDED misses as well.
+    const double pDmrAlias = 1.0 -
+        std::pow(1.0 - 0.5 * pCell * pCell, double(prm.secdedBits));
+    return (1.0 - pFailSecded(pCell) * pDmrAlias) * 100.0;
+}
+
+double
+CoverageModel::maskedSdcWindow(double pCell) const
+{
+    // P(some training segment holds >= 2 faults) * P(those faults
+    // are masked at classification time). Stuck-at faults match the
+    // stored bit with probability 1/2 each: ~1/4 for a pair.
+    const double pSegMulti = 1.0 - binomCdf(prm.segmentBits, 1, pCell);
+    const double pLine =
+        1.0 - std::pow(1.0 - pSegMulti, double(prm.segments));
+    return pLine * 0.25 * 100.0;
+}
+
+double
+CoverageModel::empiricalKilliCoverage(double pCell,
+                                      std::size_t samples,
+                                      Rng &rng) const
+{
+    std::size_t correct = 0;
+    std::vector<unsigned> segErrors(prm.segments);
+    for (std::size_t iter = 0; iter < samples; ++iter) {
+        // Sample the per-segment error pattern of one line.
+        unsigned total = 0;
+        for (unsigned s = 0; s < prm.segments; ++s) {
+            unsigned count = 0;
+            for (unsigned b = 0; b < prm.segmentBits; ++b)
+                count += rng.bernoulli(pCell);
+            segErrors[s] = count;
+            total += count;
+        }
+
+        // The runtime signals Killi's Initial-state row consumes.
+        unsigned mismatches = 0;
+        for (unsigned s = 0; s < prm.segments; ++s)
+            mismatches += segErrors[s] & 1;
+        // SECDED over the same line: correct for <= 1, detect 2,
+        // assumed to fail (alias to a correctable signature) for 3+.
+        const bool secdedSees = total >= 1 && total <= 2;
+
+        // Classification: 0 errors -> b'00; 1 -> b'10; 2+ -> b'11.
+        unsigned classified;
+        if (mismatches == 0 && !secdedSees && total >= 1) {
+            classified = 0; // everything silent: looks clean
+        } else if (total == 0) {
+            classified = 0;
+        } else if (total == 1) {
+            classified = 1;
+        } else if (mismatches >= 2 || secdedSees) {
+            classified = 2; // detected multi-bit: disable
+        } else {
+            // One mismatching segment, SECDED blind (3+ aliased):
+            // looks like a single-bit error.
+            classified = 1;
+        }
+        const unsigned truth = total == 0 ? 0 : total == 1 ? 1 : 2;
+        correct += classified == truth;
+    }
+    return 100.0 * double(correct) / double(samples);
+}
+
+} // namespace killi

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Closed-form fault-classification coverage (paper §5.3, Fig. 6).
+ *
+ * Implements the paper's equations for the probability that each
+ * protection scheme correctly classifies a line's LV fault
+ * population without MBIST:
+ *
+ *   P_fail(Killi) = P_fail(SECDED) * P_fail(Seg.Parity)
+ *
+ * with SECDED assumed to fail for every pattern of 3+ errors in its
+ * 523-bit codeword, and segmented parity failing when at most one
+ * 33-bit segment sees an odd error count while the rest are even —
+ * the two detectors are independent, so Killi fails only when both
+ * do. All binomials are evaluated in log space with long doubles.
+ *
+ * An empirical cross-check (Monte-Carlo sampling of fault patterns
+ * pushed through the *actual* DFH classification logic) is provided
+ * for validation; tests assert it brackets the closed form.
+ */
+
+#ifndef KILLI_ANALYSIS_COVERAGE_HH
+#define KILLI_ANALYSIS_COVERAGE_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+
+namespace killi
+{
+
+class CoverageModel
+{
+  public:
+    /** Geometry defaults follow the paper's 64B line. */
+    struct Params
+    {
+        unsigned segments = 16;
+        unsigned segmentBits = 33;  //!< 32 data + 1 parity
+        unsigned secdedBits = 523;  //!< 512 data + 11 checkbits
+        unsigned dectedBits = 533;  //!< 512 + 21
+        unsigned msEccBits = 710;   //!< 512 + 198
+    };
+
+    CoverageModel();
+    explicit CoverageModel(const Params &params);
+
+    /** P(X >= 3) over the SECDED codeword: the paper's
+     *  P_fail(SECDED) assumption. */
+    double pFailSecded(double pCell) const;
+
+    /** The paper's P_fail(Seg.Parity) expression. */
+    double pFailSegParity(double pCell) const;
+
+    /** P_fail(Killi) = product of the two. */
+    double pFailKilli(double pCell) const;
+
+    /** Killi_coverage in percent (paper's final expression). */
+    double killiCoverage(double pCell) const;
+
+    /** SECDED-only classification coverage: P(X <= 2). */
+    double secdedCoverage(double pCell) const;
+
+    /** DECTED classification coverage: P(X <= 3) over 533 bits. */
+    double dectedCoverage(double pCell) const;
+
+    /** MS-ECC classification coverage: P(X <= 11) over 710 bits. */
+    double msEccCoverage(double pCell) const;
+
+    /** FLAIR's DMR + SECDED training coverage: fails only when both
+     *  DMR copies alias identically and SECDED also fails. */
+    double flairCoverage(double pCell) const;
+
+    /**
+     * §5.6.2 SDC window: probability that a line carries a 2+-bit
+     * masked fault cluster inside a single training segment (and so
+     * can later unmask into an undetectable pattern). The paper
+     * reports 0.003% at 0.625xVDD.
+     */
+    double maskedSdcWindow(double pCell) const;
+
+    /**
+     * Monte-Carlo validation: sample per-bit fault patterns at
+     * @p pCell, push them through the real DFH-classification
+     * signals (segmented parity + SECDED semantics), and measure the
+     * fraction of lines classified correctly.
+     */
+    double empiricalKilliCoverage(double pCell, std::size_t samples,
+                                  Rng &rng) const;
+
+  private:
+    /** P(exactly k of n) with Bin(n, p), in log space. */
+    static double binomPmf(unsigned n, unsigned k, double p);
+
+    /** P(X <= k) with Bin(n, p). */
+    static double binomCdf(unsigned n, unsigned k, double p);
+
+    /** P(segment has zero / even>=2 / odd>=3 errors). */
+    double pSeg0(double p) const;
+    double pSegEven(double p) const;
+    double pSegOdd3(double p) const;
+
+    Params prm;
+};
+
+} // namespace killi
+
+#endif // KILLI_ANALYSIS_COVERAGE_HH

@@ -1,0 +1,32 @@
+#include "analysis/mbist.hh"
+
+namespace killi
+{
+
+namespace mbist
+{
+
+std::uint64_t
+passCycles(const Params &p)
+{
+    const std::uint64_t words =
+        std::uint64_t{8} * p.cacheBytes / p.wordBits;
+    return words * p.marchElements / (p.ports ? p.ports : 1);
+}
+
+double
+passMicroseconds(const Params &p)
+{
+    return double(passCycles(p)) / (p.testFreqGHz * 1e3);
+}
+
+double
+amortizedOverhead(const Params &p, double transitionIntervalUs)
+{
+    const double test = passMicroseconds(p);
+    return test / (test + transitionIntervalUs);
+}
+
+} // namespace mbist
+
+} // namespace killi

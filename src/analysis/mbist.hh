@@ -1,0 +1,57 @@
+/**
+ * @file
+ * MBIST transition-cost model — the paper's *motivation* quantified.
+ *
+ * Prior LV schemes (FLAIR's offline variant, DECTED, MS-ECC, PCS,
+ * remapping schemes) need a Memory Built-In Self-Test pass at every
+ * voltage transition to rebuild their fault maps; the paper's intro
+ * argues this extends boot time and delays power-state transitions.
+ * Killi needs none: it relearns online, paying only transient
+ * training misses.
+ *
+ * The model: a March-style test of length marchElements operations
+ * per word (March C- is 10N), executed at the array's test port
+ * rate. Both polarities are covered by the March algorithm itself.
+ * For online MBIST (FLAIR's actual mode), the cache additionally
+ * loses capacity/bandwidth for the duration (paper §2.3/§5.3).
+ */
+
+#ifndef KILLI_ANALYSIS_MBIST_HH
+#define KILLI_ANALYSIS_MBIST_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace killi
+{
+
+namespace mbist
+{
+
+struct Params
+{
+    std::size_t cacheBytes = 2 * 1024 * 1024;
+    unsigned wordBits = 64;       //!< test-port word width
+    unsigned marchElements = 10;  //!< March C-: 10 ops per word
+    double testFreqGHz = 1.0;     //!< array test rate
+    unsigned ports = 1;           //!< concurrently testable banks
+};
+
+/** Cycles of one full MBIST characterization pass. */
+std::uint64_t passCycles(const Params &p);
+
+/** Same, in microseconds at the test frequency. */
+double passMicroseconds(const Params &p);
+
+/**
+ * Amortized fraction of execution time lost to MBIST when the part
+ * changes voltage every @p transitionIntervalUs microseconds (DVFS
+ * governors act on millisecond scales).
+ */
+double amortizedOverhead(const Params &p, double transitionIntervalUs);
+
+} // namespace mbist
+
+} // namespace killi
+
+#endif // KILLI_ANALYSIS_MBIST_HH

@@ -1,0 +1,49 @@
+#include "analysis/power.hh"
+
+#include <cmath>
+#include <cstring>
+
+namespace killi
+{
+
+namespace power
+{
+
+double
+codecShare(const char *scheme)
+{
+    // Encoder/decoder energy rises with code complexity: parity <
+    // SECDED < DECTED < OLSC majority logic over 2t*m equations.
+    if (std::strcmp(scheme, "parity") == 0)
+        return 0.002;
+    if (std::strcmp(scheme, "killi") == 0)
+        return 0.004; // parity always + SECDED on demand
+    if (std::strcmp(scheme, "secded") == 0 ||
+        std::strcmp(scheme, "flair") == 0)
+        return 0.008;
+    if (std::strcmp(scheme, "dected") == 0)
+        return 0.020;
+    if (std::strcmp(scheme, "msecc") == 0)
+        return 0.030;
+    return 0.0;
+}
+
+Breakdown
+normalized(double voltage, double areaOverheadFrac,
+           double accessRatio, double dramRatio, double codecFrac)
+{
+    Breakdown b;
+    b.tag = kTagShare; // nominal rail
+    const double grow = 1.0 + areaOverheadFrac;
+    b.dataLeak =
+        kDataLeakShare * std::pow(voltage, kLeakExponent) * grow;
+    b.dataDyn =
+        kDataDynShare * voltage * voltage * grow * accessRatio;
+    b.codec = codecFrac * voltage * voltage;
+    b.dramExtra = kDramWeight * std::max(0.0, dramRatio - 1.0);
+    return b;
+}
+
+} // namespace power
+
+} // namespace killi

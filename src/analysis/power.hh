@@ -1,0 +1,70 @@
+/**
+ * @file
+ * L2 power model reproducing paper Table 6: power of the L2 data and
+ * tag arrays (plus error-protection overheads and extra memory
+ * traffic), normalized to a fault-free cache at nominal VDD.
+ *
+ * Decomposition at nominal voltage: the tag array (which stays on
+ * the nominal rail in Killi's dual-rail design) and the data array,
+ * the latter split into leakage and dynamic shares typical of a
+ * large 14nm SRAM. Under-volting scales dynamic power with V^2 and
+ * leakage with V^kLeakExponent (DIBL-driven super-linear reduction);
+ * protection storage grows the array proportionally; extra misses
+ * add memory-access energy; the ECC machinery adds a per-scheme
+ * codec term.
+ */
+
+#ifndef KILLI_ANALYSIS_POWER_HH
+#define KILLI_ANALYSIS_POWER_HH
+
+namespace killi
+{
+
+namespace power
+{
+
+/** Calibrated share constants (fractions of baseline L2 power). */
+constexpr double kTagShare = 0.08;
+constexpr double kDataLeakShare = 0.552; //!< 0.92 * 0.60
+constexpr double kDataDynShare = 0.368;  //!< 0.92 * 0.40
+constexpr double kLeakExponent = 2.4;
+/** Weight of relative DRAM-traffic growth (extra misses). */
+constexpr double kDramWeight = 0.05;
+
+/** Per-access codec energy as a fraction of baseline power. */
+double codecShare(const char *scheme);
+
+struct Breakdown
+{
+    double tag = 0;
+    double dataLeak = 0;
+    double dataDyn = 0;
+    double codec = 0;
+    double dramExtra = 0;
+
+    double
+    total() const
+    {
+        return tag + dataLeak + dataDyn + codec + dramExtra;
+    }
+};
+
+/**
+ * Normalized L2 power.
+ *
+ * @param voltage data-array supply, normalized to nominal
+ * @param areaOverheadFrac extra LV storage bits / 512 (checkbits,
+ *        parity, ECC cache) — grows both leakage and dynamic power
+ * @param accessRatio scheme L2 accesses / baseline L2 accesses
+ * @param dramRatio scheme DRAM accesses / baseline DRAM accesses
+ * @param codecFrac codec machinery share (see codecShare)
+ */
+Breakdown normalized(double voltage, double areaOverheadFrac,
+                     double accessRatio, double dramRatio,
+                     double codecFrac);
+
+} // namespace power
+
+} // namespace killi
+
+#endif // KILLI_ANALYSIS_POWER_HH

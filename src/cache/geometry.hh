@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Set-associative cache geometry helpers shared by the L1, the L2,
+ * and the ECC cache.
+ */
+
+#ifndef KILLI_CACHE_GEOMETRY_HH
+#define KILLI_CACHE_GEOMETRY_HH
+
+#include <cstddef>
+
+#include "common/types.hh"
+
+namespace killi
+{
+
+struct CacheGeometry
+{
+    std::size_t sizeBytes = 2 * 1024 * 1024;
+    unsigned assoc = 16;
+    unsigned lineBytes = 64;
+    unsigned banks = 16;
+
+    std::size_t
+    numLines() const
+    {
+        return sizeBytes / lineBytes;
+    }
+
+    std::size_t
+    numSets() const
+    {
+        return numLines() / assoc;
+    }
+
+    Addr
+    lineAddr(Addr addr) const
+    {
+        return addr & ~static_cast<Addr>(lineBytes - 1);
+    }
+
+    std::size_t
+    setOf(Addr addr) const
+    {
+        return (addr / lineBytes) % numSets();
+    }
+
+    Addr
+    tagOf(Addr addr) const
+    {
+        return addr / lineBytes / numSets();
+    }
+
+    unsigned
+    bankOf(Addr addr) const
+    {
+        return static_cast<unsigned>(setOf(addr) % banks);
+    }
+
+    /** Flat physical line index of (set, way): the fault-map key. */
+    std::size_t
+    lineId(std::size_t set, unsigned way) const
+    {
+        return set * assoc + way;
+    }
+};
+
+} // namespace killi
+
+#endif // KILLI_CACHE_GEOMETRY_HH

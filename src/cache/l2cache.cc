@@ -1,0 +1,390 @@
+#include "cache/l2cache.hh"
+
+#include "common/log.hh"
+
+namespace killi
+{
+
+L2Cache::L2Cache(EventQueue &eq_, DramModel &dram_,
+                 GoldenMemory &golden_, ProtectionScheme &protection_,
+                 const CacheGeometry &geom_, const L2Params &params,
+                 FaultMap *fault_map)
+    : eq(eq_), dram(dram_), golden(golden_), protection(protection_),
+      geometry(geom_), p(params), faultMap(fault_map),
+      upsetRng(params.softErrorSeed), lines(geom_.numLines()),
+      bankFree(geom_.banks, 0), mshrs(geom_.banks)
+{
+    if (p.softErrorRatePerBitCycle > 0.0 && !faultMap)
+        fatal("L2Cache: soft-error injection needs a FaultMap");
+    protection.attach(*this, geometry);
+
+    statGroup.counter("read_hits", "load hits");
+    statGroup.counter("read_misses", "demand load misses");
+    statGroup.counter("error_misses",
+                      "error-induced misses (detected errors)");
+    statGroup.counter("write_hits", "store hits (updated in place)");
+    statGroup.counter("write_misses", "store misses (no allocate)");
+    statGroup.counter("evictions", "capacity/conflict evictions");
+    statGroup.counter("bypass_fills",
+                      "fills dropped: no allocatable way in set");
+    statGroup.counter("mshr_retries", "accesses replayed on full MSHR");
+    statGroup.counter("prot_invalidations",
+                      "lines dropped by the protection scheme");
+    statGroup.counter("sdc", "silent data corruptions (oracle)");
+    statGroup.counter("soft_errors", "transient upsets injected");
+    statGroup.counter("maintenance", "scrubber passes run");
+    statGroup.counter("writebacks", "dirty lines flushed to memory");
+    statGroup.counter("wb_data_loss",
+                      "dirty write-backs with uncorrectable data");
+    statGroup.counter("dirty_error_loss",
+                      "dirty lines lost to uncorrectable read errors");
+}
+
+void
+L2Cache::writebackIfDirty(std::size_t lineId, Line &line)
+{
+    if (!line.dirty)
+        return;
+    line.dirty = false;
+    const std::size_t set = lineId / geometry.assoc;
+    const Addr lineAddr =
+        (line.tag * geometry.numSets() + set) * geometry.lineBytes;
+    const WritebackOutcome wb =
+        protection.onWriteback(lineId, line.data);
+    if (!wb.clean)
+        ++statGroup.counter("wb_data_loss");
+    if (wb.extraCost)
+        chargeBank(lineAddr, wb.extraCost);
+    ++statGroup.counter("writebacks");
+    dram.access(lineAddr, true, eq.curTick());
+}
+
+void
+L2Cache::sampleUpsets(std::size_t lineId, Line &line)
+{
+    if (p.softErrorRatePerBitCycle <= 0.0)
+        return;
+    const Tick now = eq.curTick();
+    if (now <= line.upsetCheckedAt)
+        return;
+    const double window =
+        double(now - line.upsetCheckedAt) * double(line.data.size());
+    line.upsetCheckedAt = now;
+    const unsigned events =
+        upsetRng.poisson(window * p.softErrorRatePerBitCycle);
+    for (unsigned e = 0; e < events; ++e) {
+        const std::uint16_t bit = static_cast<std::uint16_t>(
+            upsetRng.below(line.data.size()));
+        faultMap->injectTransient(lineId, bit);
+        ++statGroup.counter("soft_errors");
+        if (upsetRng.uniform() < p.softErrorBurstFraction) {
+            // Multi-bit event in adjacent cells (Maiz et al.): the
+            // case interleaved parity is built for.
+            const std::uint16_t neighbour = static_cast<std::uint16_t>(
+                bit + 1 < line.data.size() ? bit + 1 : bit - 1);
+            faultMap->injectTransient(lineId, neighbour);
+            ++statGroup.counter("soft_errors");
+        }
+    }
+}
+
+void
+L2Cache::maybeMaintain()
+{
+    if (p.maintenanceInterval == 0)
+        return;
+    const Tick now = eq.curTick();
+    if (now - lastMaintenance < p.maintenanceInterval)
+        return;
+    lastMaintenance = now;
+    ++statGroup.counter("maintenance");
+    protection.onMaintenance();
+}
+
+Tick
+L2Cache::reserveBank(Addr lineAddr, Tick earliest)
+{
+    Tick &free = bankFree[geometry.bankOf(lineAddr)];
+    const Tick start = std::max(earliest, free);
+    free = start + p.bankOccupancy;
+    return start;
+}
+
+void
+L2Cache::chargeBank(Addr lineAddr, Cycle cost)
+{
+    Tick &free = bankFree[geometry.bankOf(lineAddr)];
+    free = std::max(free, eq.curTick()) + cost;
+}
+
+L2Cache::Line *
+L2Cache::findLine(Addr lineAddr, std::size_t &lineIdOut)
+{
+    const std::size_t set = geometry.setOf(lineAddr);
+    const Addr tag = geometry.tagOf(lineAddr);
+    for (unsigned way = 0; way < geometry.assoc; ++way) {
+        const std::size_t id = geometry.lineId(set, way);
+        Line &line = lines[id];
+        if (line.valid && line.tag == tag) {
+            lineIdOut = id;
+            return &line;
+        }
+    }
+    return nullptr;
+}
+
+void
+L2Cache::read(Addr addr, RespCb cb)
+{
+    const Addr lineAddr = geometry.lineAddr(addr);
+    const Tick start = reserveBank(lineAddr, eq.curTick() + p.xbarLatency);
+    eq.schedule(start + p.tagLatency,
+                [this, lineAddr, cb = std::move(cb)]() mutable {
+                    handleReadTag(lineAddr, std::move(cb));
+                });
+}
+
+void
+L2Cache::handleReadTag(Addr lineAddr, RespCb cb)
+{
+    maybeMaintain();
+    std::size_t lineId = npos;
+    Line *line = findLine(lineAddr, lineId);
+    if (line)
+        sampleUpsets(lineId, *line);
+    if (!line) {
+        ++statGroup.counter("read_misses");
+        startMiss(lineAddr, std::move(cb), 0);
+        return;
+    }
+
+    const AccessResult res = protection.onReadHit(lineId, line->data);
+    if (res.errorInducedMiss) {
+        ++statGroup.counter("error_misses");
+        if (line->dirty) {
+            // Write-back mode: the only copy was uncorrectable. The
+            // loss is recorded by the oracle; the refetch proceeds
+            // so the simulation remains deterministic.
+            ++statGroup.counter("dirty_error_loss");
+            line->dirty = false;
+        }
+        line->valid = false;
+        protection.onInvalidate(lineId);
+        startMiss(lineAddr, std::move(cb), res.extraLatency);
+        return;
+    }
+
+    ++statGroup.counter("read_hits");
+    if (res.sdc)
+        ++statGroup.counter("sdc");
+    line->lastUse = ++useCounter;
+    protection.onTouch(lineId);
+    const Tick respTime =
+        eq.curTick() + p.dataLatency + res.extraLatency;
+    eq.schedule(respTime,
+                [cb = std::move(cb), respTime] { cb(respTime); });
+}
+
+void
+L2Cache::startMiss(Addr lineAddr, RespCb cb, Cycle extraDelay)
+{
+    auto &table = mshrs[geometry.bankOf(lineAddr)];
+    const auto it = table.find(lineAddr);
+    if (it != table.end()) {
+        it->second.push_back(std::move(cb));
+        return;
+    }
+    if (table.size() >= p.mshrsPerBank) {
+        ++statGroup.counter("mshr_retries");
+        eq.scheduleIn(p.mshrRetryDelay,
+                      [this, lineAddr, cb = std::move(cb),
+                       extraDelay]() mutable {
+                          startMiss(lineAddr, std::move(cb), extraDelay);
+                      });
+        return;
+    }
+    table[lineAddr].push_back(std::move(cb));
+    const Tick done =
+        dram.access(lineAddr, false, eq.curTick() + extraDelay);
+    eq.schedule(done, [this, lineAddr] { finishFill(lineAddr); });
+}
+
+void
+L2Cache::finishFill(Addr lineAddr)
+{
+    auto &table = mshrs[geometry.bankOf(lineAddr)];
+    const auto it = table.find(lineAddr);
+    if (it == table.end())
+        panic("L2Cache: fill without MSHR entry");
+    std::vector<RespCb> waiters = std::move(it->second);
+    table.erase(it);
+
+    allocate(lineAddr);
+
+    const Tick respTime = eq.curTick() + p.dataLatency;
+    for (auto &cb : waiters) {
+        eq.schedule(respTime,
+                    [cb = std::move(cb), respTime] { cb(respTime); });
+    }
+}
+
+std::size_t
+L2Cache::allocate(Addr lineAddr)
+{
+    const std::size_t set = geometry.setOf(lineAddr);
+
+    // Evicting a victim can change its allocatability: training a
+    // dying b'01 line may disable it (Killi Table 2). Retry victim
+    // selection until a cleared way accepts the fill; each round
+    // invalidates at most one line, so assoc+1 rounds bound the loop.
+    for (unsigned attempt = 0; attempt <= geometry.assoc; ++attempt) {
+        // Preferred victim: an invalid, allocatable way with the
+        // highest scheme priority (Killi's b'01 > b'00 > b'10).
+        std::size_t victimId = npos;
+        int bestPriority = -1;
+        for (unsigned way = 0; way < geometry.assoc; ++way) {
+            const std::size_t id = geometry.lineId(set, way);
+            if (!protection.canAllocate(id) || lines[id].valid)
+                continue;
+            const int prio = protection.allocPriority(id);
+            if (prio > bestPriority) {
+                victimId = id;
+                bestPriority = prio;
+            }
+        }
+        if (victimId == npos) {
+            // No invalid way: LRU among valid allocatable ways.
+            for (unsigned way = 0; way < geometry.assoc; ++way) {
+                const std::size_t id = geometry.lineId(set, way);
+                if (!protection.canAllocate(id))
+                    continue;
+                if (victimId == npos ||
+                    lines[id].lastUse < lines[victimId].lastUse) {
+                    victimId = id;
+                }
+            }
+        }
+        if (victimId == npos)
+            break; // whole set disabled/unprotectable
+
+        Line &victim = lines[victimId];
+        if (victim.valid) {
+            ++statGroup.counter("evictions");
+            const Cycle cost =
+                protection.onEvict(victimId, victim.data);
+            if (cost)
+                chargeBank(lineAddr, cost);
+            writebackIfDirty(victimId, victim);
+            protection.onInvalidate(victimId);
+            victim.valid = false;
+            if (!protection.canAllocate(victimId))
+                continue; // training disabled this way; pick anew
+        }
+
+        victim.valid = true;
+        victim.dirty = false;
+        victim.tag = geometry.tagOf(lineAddr);
+        victim.version = golden.version(lineAddr);
+        victim.data = golden.data(lineAddr, victim.version);
+        victim.lastUse = ++useCounter;
+        victim.upsetCheckedAt = eq.curTick();
+        if (faultMap)
+            faultMap->clearTransients(victimId); // cells rewritten
+        const Cycle fillCost = protection.onFill(victimId, victim.data);
+        if (fillCost)
+            chargeBank(lineAddr, fillCost);
+        return victimId;
+    }
+
+    // Serve without caching.
+    ++statGroup.counter("bypass_fills");
+    return npos;
+}
+
+void
+L2Cache::write(Addr addr)
+{
+    const Addr lineAddr = geometry.lineAddr(addr);
+    golden.write(lineAddr); // program-order memory update
+    const Tick start = reserveBank(lineAddr, eq.curTick() + p.xbarLatency);
+    eq.schedule(start + p.tagLatency, [this, lineAddr] {
+        maybeMaintain();
+        std::size_t lineId = npos;
+        Line *line = findLine(lineAddr, lineId);
+        if (!line && p.writePolicy == WritePolicy::WriteBack) {
+            // Write-allocate: a full-line store installs directly.
+            ++statGroup.counter("write_misses");
+            const std::size_t allocated = allocate(lineAddr);
+            if (allocated == npos) {
+                dram.access(lineAddr, true, eq.curTick());
+                return;
+            }
+            Line &fresh = lines[allocated];
+            fresh.dirty = true;
+            protection.onWriteHit(allocated, fresh.data);
+            return;
+        }
+        if (line) {
+            ++statGroup.counter("write_hits");
+            line->version = golden.version(lineAddr);
+            line->data = golden.data(lineAddr, line->version);
+            line->lastUse = ++useCounter;
+            line->upsetCheckedAt = eq.curTick();
+            if (faultMap)
+                faultMap->clearTransients(lineId); // cells rewritten
+            if (p.writePolicy == WritePolicy::WriteBack)
+                line->dirty = true;
+            protection.onWriteHit(lineId, line->data);
+        } else {
+            ++statGroup.counter("write_misses");
+        }
+        if (p.writePolicy == WritePolicy::WriteThrough)
+            dram.access(lineAddr, true, eq.curTick());
+    });
+}
+
+void
+L2Cache::invalidateLine(std::size_t lineId)
+{
+    Line &line = lines[lineId];
+    if (!line.valid)
+        return;
+    // Losing the line is an eviction from the scheme's perspective:
+    // give it the chance to classify the dying data (Killi trains
+    // its DFH bits on the read-out, §4.4).
+    const std::size_t set = lineId / geometry.assoc;
+    const Addr lineAddr =
+        (line.tag * geometry.numSets() + set) * geometry.lineBytes;
+    const Cycle cost = protection.onEvict(lineId, line.data);
+    if (cost)
+        chargeBank(lineAddr, cost);
+    writebackIfDirty(lineId, line);
+    line.valid = false;
+    ++statGroup.counter("prot_invalidations");
+    protection.onInvalidate(lineId);
+}
+
+bool
+L2Cache::isCached(Addr addr) const
+{
+    const Addr lineAddr = geometry.lineAddr(addr);
+    const std::size_t set = geometry.setOf(lineAddr);
+    const Addr tag = geometry.tagOf(lineAddr);
+    for (unsigned way = 0; way < geometry.assoc; ++way) {
+        const Line &line = lines[geometry.lineId(set, way)];
+        if (line.valid && line.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+std::size_t
+L2Cache::validLines() const
+{
+    std::size_t count = 0;
+    for (const Line &line : lines)
+        count += line.valid;
+    return count;
+}
+
+} // namespace killi

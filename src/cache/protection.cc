@@ -1,0 +1,9 @@
+#include "cache/protection.hh"
+
+namespace killi
+{
+
+// The interface is header-only today; this translation unit anchors
+// the vtable of ProtectionScheme/FaultFreeProtection.
+
+} // namespace killi

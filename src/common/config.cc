@@ -1,0 +1,93 @@
+#include "common/config.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace killi
+{
+
+void
+Config::parseArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string token(argv[i]);
+        const auto eq = token.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            fatal("config: expected key=value argument, got '%s'",
+                  token.c_str());
+        }
+        values[token.substr(0, eq)] = token.substr(eq + 1);
+    }
+}
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values[key] = value;
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    std::string unused;
+    return lookup(key, unused);
+}
+
+bool
+Config::lookup(const std::string &key, std::string &out) const
+{
+    const auto it = values.find(key);
+    if (it != values.end()) {
+        out = it->second;
+        return true;
+    }
+    // Environment fallback: key "l2.size" -> KILLI_L2_SIZE
+    std::string env = "KILLI_";
+    for (char c : key) {
+        env.push_back(c == '.' || c == '-'
+                      ? '_' : static_cast<char>(std::toupper(c)));
+    }
+    if (const char *v = std::getenv(env.c_str())) {
+        out = v;
+        return true;
+    }
+    return false;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &dflt) const
+{
+    std::string out;
+    return lookup(key, out) ? out : dflt;
+}
+
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t dflt) const
+{
+    std::string out;
+    if (!lookup(key, out))
+        return dflt;
+    return std::strtoll(out.c_str(), nullptr, 0);
+}
+
+double
+Config::getDouble(const std::string &key, double dflt) const
+{
+    std::string out;
+    if (!lookup(key, out))
+        return dflt;
+    return std::strtod(out.c_str(), nullptr);
+}
+
+bool
+Config::getBool(const std::string &key, bool dflt) const
+{
+    std::string out;
+    if (!lookup(key, out))
+        return dflt;
+    return out == "1" || out == "true" || out == "yes" || out == "on";
+}
+
+} // namespace killi

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Minimal key=value configuration store used by the example and
+ * benchmark binaries to expose tunables without a heavy CLI library.
+ *
+ * Values are taken from (in priority order) command-line "key=value"
+ * arguments, then KILLI_-prefixed environment variables, then the
+ * built-in default supplied at the query site.
+ */
+
+#ifndef KILLI_COMMON_CONFIG_HH
+#define KILLI_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace killi
+{
+
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Parse argv-style "key=value" tokens; unknown tokens are fatal. */
+    void parseArgs(int argc, char **argv);
+
+    /** Explicitly set a key (used by tests). */
+    void set(const std::string &key, const std::string &value);
+
+    /** True iff @p key was supplied on the command line or env. */
+    bool has(const std::string &key) const;
+
+    std::string getString(const std::string &key,
+                          const std::string &dflt) const;
+    std::int64_t getInt(const std::string &key, std::int64_t dflt) const;
+    double getDouble(const std::string &key, double dflt) const;
+    bool getBool(const std::string &key, bool dflt) const;
+
+  private:
+    /** Raw lookup across CLI args and environment. */
+    bool lookup(const std::string &key, std::string &out) const;
+
+    std::map<std::string, std::string> values;
+};
+
+} // namespace killi
+
+#endif // KILLI_COMMON_CONFIG_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * panic()  - internal invariant violated (a bug in this library); aborts.
+ * fatal()  - unrecoverable user error (bad configuration); exits cleanly.
+ * warn()   - something suspicious that the simulation survives.
+ * inform() - plain status messages.
+ */
+
+#ifndef KILLI_COMMON_LOG_HH
+#define KILLI_COMMON_LOG_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace killi
+{
+
+/** Verbosity levels for the global logger. */
+enum class LogLevel
+{
+    Quiet,  //!< only fatal/panic
+    Normal, //!< + warn and inform
+    Debug   //!< + debug trace messages
+};
+
+/** Set the process-wide verbosity. Thread-unsafe; set once at startup. */
+void setLogLevel(LogLevel level);
+
+/** Current process-wide verbosity. */
+LogLevel logLevel();
+
+/** Print an unconditional error and abort; use for internal bugs. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print an unconditional error and exit(1); use for user errors. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning about questionable but survivable conditions. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a debug trace message (only at LogLevel::Debug). */
+void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace killi
+
+#endif // KILLI_COMMON_LOG_HH

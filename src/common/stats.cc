@@ -1,0 +1,82 @@
+#include "common/stats.hh"
+
+#include <iomanip>
+
+namespace killi
+{
+
+Counter &
+StatGroup::counter(const std::string &name, const std::string &desc)
+{
+    if (!desc.empty())
+        descriptions[name] = {desc};
+    return counters[name];
+}
+
+Distribution &
+StatGroup::distribution(const std::string &name, const std::string &desc)
+{
+    if (!desc.empty())
+        descriptions[name] = {desc};
+    return distributions[name];
+}
+
+void
+StatGroup::formula(const std::string &name, std::function<double()> fn,
+                   const std::string &desc)
+{
+    if (!desc.empty())
+        descriptions[name] = {desc};
+    formulas[name] = std::move(fn);
+}
+
+std::uint64_t
+StatGroup::counterValue(const std::string &name) const
+{
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second.value();
+}
+
+double
+StatGroup::formulaValue(const std::string &name) const
+{
+    const auto it = formulas.find(name);
+    return it == formulas.end() ? 0.0 : it->second();
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    const auto describe = [&](const std::string &name) -> std::string {
+        const auto it = descriptions.find(name);
+        return it == descriptions.end() ? "" : ("  # " + it->second.desc);
+    };
+
+    for (const auto &[name, ctr] : counters) {
+        os << std::left << std::setw(44) << (prefix + name)
+           << std::right << std::setw(16) << ctr.value()
+           << describe(name) << "\n";
+    }
+    for (const auto &[name, dist] : distributions) {
+        os << std::left << std::setw(44) << (prefix + name)
+           << std::right << std::setw(16) << dist.mean()
+           << " (n=" << dist.count() << ", min=" << dist.min()
+           << ", max=" << dist.max() << ")" << describe(name) << "\n";
+    }
+    for (const auto &[name, fn] : formulas) {
+        os << std::left << std::setw(44) << (prefix + name)
+           << std::right << std::setw(16) << fn()
+           << describe(name) << "\n";
+    }
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[name, ctr] : counters)
+        ctr.reset();
+    for (auto &[name, dist] : distributions)
+        dist.reset();
+}
+
+} // namespace killi

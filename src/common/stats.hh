@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Lightweight named-statistics registry in the spirit of gem5's
+ * stats package: scalar counters, distributions, and derived
+ * formulas, grouped by component and dumpable as text.
+ */
+
+#ifndef KILLI_COMMON_STATS_HH
+#define KILLI_COMMON_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace killi
+{
+
+/** A monotonically increasing 64-bit event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void operator++() { ++count; }
+    void operator++(int) { ++count; }
+    void operator+=(std::uint64_t n) { count += n; }
+
+    std::uint64_t value() const { return count; }
+    void reset() { count = 0; }
+
+  private:
+    std::uint64_t count = 0;
+};
+
+/** Running scalar sample statistics (mean/min/max). */
+class Distribution
+{
+  public:
+    void
+    sample(double value)
+    {
+        sum += value;
+        ++samples;
+        if (samples == 1 || value < minVal)
+            minVal = value;
+        if (samples == 1 || value > maxVal)
+            maxVal = value;
+    }
+
+    std::uint64_t count() const { return samples; }
+    double mean() const { return samples ? sum / samples : 0.0; }
+    double min() const { return minVal; }
+    double max() const { return maxVal; }
+
+    void
+    reset()
+    {
+        sum = 0;
+        samples = 0;
+        minVal = 0;
+        maxVal = 0;
+    }
+
+  private:
+    double sum = 0;
+    std::uint64_t samples = 0;
+    double minVal = 0;
+    double maxVal = 0;
+};
+
+/**
+ * Registry mapping hierarchical names ("l2.hits") to counters,
+ * distributions, and formula callbacks evaluated at dump time.
+ */
+class StatGroup
+{
+  public:
+    /** Create (or fetch) a counter registered under @p name. */
+    Counter &counter(const std::string &name, const std::string &desc = "");
+
+    /** Create (or fetch) a distribution registered under @p name. */
+    Distribution &distribution(const std::string &name,
+                               const std::string &desc = "");
+
+    /** Register a derived value computed lazily at dump time. */
+    void formula(const std::string &name, std::function<double()> fn,
+                 const std::string &desc = "");
+
+    /** Look up a counter's current value; 0 if absent. */
+    std::uint64_t counterValue(const std::string &name) const;
+
+    /** Evaluate a formula by name; 0 if absent. */
+    double formulaValue(const std::string &name) const;
+
+    /** Write all statistics, sorted by name, to @p os. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Reset all counters and distributions (formulas re-derive). */
+    void resetAll();
+
+  private:
+    struct Entry
+    {
+        std::string desc;
+    };
+
+    std::map<std::string, Counter> counters;
+    std::map<std::string, Distribution> distributions;
+    std::map<std::string, std::function<double()>> formulas;
+    std::map<std::string, Entry> descriptions;
+};
+
+} // namespace killi
+
+#endif // KILLI_COMMON_STATS_HH

@@ -1,0 +1,66 @@
+#include "common/table.hh"
+
+#include <cstdio>
+#include <iomanip>
+
+#include "common/log.hh"
+
+namespace killi
+{
+
+void
+TextTable::header(std::vector<std::string> columns)
+{
+    head = std::move(columns);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    if (cells.size() != head.size())
+        fatal("TextTable: row width %zu != header width %zu",
+              cells.size(), head.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(head.size());
+    for (std::size_t c = 0; c < head.size(); ++c)
+        widths[c] = head[c].size();
+    for (const auto &r : rows) {
+        for (std::size_t c = 0; c < r.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+    }
+
+    const auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << (c == 0 ? "| " : " | ")
+               << std::left << std::setw(static_cast<int>(widths[c]))
+               << cells[c];
+        }
+        os << " |\n";
+    };
+
+    emit(head);
+    os << "|";
+    for (std::size_t c = 0; c < head.size(); ++c) {
+        for (std::size_t i = 0; i < widths[c] + 2; ++i)
+            os << '-';
+        os << "|";
+    }
+    os << "\n";
+    for (const auto &r : rows)
+        emit(r);
+}
+
+} // namespace killi

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Aligned ASCII table rendering for benchmark output, so that every
+ * bench binary prints the same rows/series the paper's tables and
+ * figures report, in a shape that is easy to diff and to paste into
+ * EXPERIMENTS.md.
+ */
+
+#ifndef KILLI_COMMON_TABLE_HH
+#define KILLI_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace killi
+{
+
+/** A simple column-aligned text table with a header row. */
+class TextTable
+{
+  public:
+    /** Set the column headers; defines the column count. */
+    void header(std::vector<std::string> columns);
+
+    /** Append a row; must match the header width. */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string num(double value, int precision = 3);
+
+    /** Render with separators to @p os. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace killi
+
+#endif // KILLI_COMMON_TABLE_HH

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Fundamental scalar type aliases shared across the Killi libraries.
+ */
+
+#ifndef KILLI_COMMON_TYPES_HH
+#define KILLI_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace killi
+{
+
+/** Physical or logical byte address. */
+using Addr = std::uint64_t;
+
+/** Simulation time expressed in clock cycles of the GPU domain. */
+using Cycle = std::uint64_t;
+
+/** Event-queue timestamp (same resolution as Cycle in this model). */
+using Tick = std::uint64_t;
+
+/** Invalid/unset address sentinel. */
+constexpr Addr kInvalidAddr = ~Addr{0};
+
+/** Invalid/unset tick sentinel. */
+constexpr Tick kMaxTick = ~Tick{0};
+
+} // namespace killi
+
+#endif // KILLI_COMMON_TYPES_HH

@@ -1,0 +1,22 @@
+#include "ecc/code.hh"
+
+namespace killi
+{
+
+std::string
+decodeStatusName(DecodeStatus status)
+{
+    switch (status) {
+      case DecodeStatus::NoError:
+        return "NoError";
+      case DecodeStatus::Corrected:
+        return "Corrected";
+      case DecodeStatus::DetectedUncorrectable:
+        return "DetectedUncorrectable";
+      case DecodeStatus::Miscorrected:
+        return "Miscorrected";
+    }
+    return "Unknown";
+}
+
+} // namespace killi

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Abstract interface for linear block error codes.
+ *
+ * All codes in this project are binary linear codes, so the syndrome
+ * of a received word depends only on the error pattern, not on the
+ * payload. Each codec therefore offers two equivalent views:
+ *
+ *  - encode()/decode() on full codewords (BitVec payload + checkbits),
+ *    used by tests, examples, and anything that handles real data;
+ *  - probe(errorPositions), an exact fast path that reports what
+ *    decode() would do given that set of flipped codeword bits. The
+ *    timing simulator uses this to evaluate millions of accesses
+ *    without materializing codewords. Property tests in
+ *    tests/ecc_*_test.cc assert the two paths agree bit-for-bit.
+ *
+ * Codeword bit indexing convention: positions [0, dataBits) are the
+ * payload, positions [dataBits, dataBits + checkBits) are the stored
+ * checkbits. Fault maps index into this combined space.
+ */
+
+#ifndef KILLI_ECC_CODE_HH
+#define KILLI_ECC_CODE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/bitvec.hh"
+
+namespace killi
+{
+
+/** Outcome of a decode attempt. */
+enum class DecodeStatus
+{
+    NoError,               //!< zero syndrome, no action
+    Corrected,             //!< errors located and corrected
+    DetectedUncorrectable, //!< error detected, correction impossible
+    Miscorrected           //!< decoder acted but the result is wrong
+};
+
+/** What a decode did (or would do). */
+struct DecodeResult
+{
+    DecodeStatus status = DecodeStatus::NoError;
+    /** Number of bit corrections applied (0 unless Corrected). */
+    unsigned correctedBits = 0;
+    /** Whether the syndrome was non-zero (ECC "x" in paper Table 2). */
+    bool syndromeNonZero = false;
+    /** Whether the extended/global parity mismatched. */
+    bool globalParityMismatch = false;
+};
+
+/** Human-readable name for a DecodeStatus. */
+std::string decodeStatusName(DecodeStatus status);
+
+/**
+ * A systematic binary linear block code with combined-index fault
+ * probing. Implementations: SECDED (Hsiao/extended Hamming), BCH
+ * (DECTED/TECQED/6EC7ED), OLSC.
+ */
+class BlockCode
+{
+  public:
+    virtual ~BlockCode() = default;
+
+    /** Payload width in bits. */
+    virtual std::size_t dataBits() const = 0;
+
+    /** Stored checkbit width in bits. */
+    virtual std::size_t checkBits() const = 0;
+
+    /** Total codeword width (dataBits + checkBits). */
+    std::size_t codewordBits() const { return dataBits() + checkBits(); }
+
+    /** Guaranteed correction capability (t). */
+    virtual unsigned correctsUpTo() const = 0;
+
+    /** Guaranteed detection capability (d - 1). */
+    virtual unsigned detectsUpTo() const = 0;
+
+    /** Short identifier, e.g.\ "SECDED(523,512)". */
+    virtual std::string name() const = 0;
+
+    /** Compute checkbits for @p data (size dataBits()). */
+    virtual BitVec encode(const BitVec &data) const = 0;
+
+    /**
+     * Attempt to decode @p data / @p check in place, correcting
+     * both payload and checkbit errors when possible.
+     */
+    virtual DecodeResult decode(BitVec &data, BitVec &check) const = 0;
+
+    /**
+     * Exact prediction of decode() behaviour for a codeword whose
+     * only deviations from a valid codeword are flips at
+     * @p errorPositions (combined indexing). Because the code is
+     * linear this is a function of the error pattern alone.
+     */
+    virtual DecodeResult
+    probe(const std::vector<std::size_t> &errorPositions) const = 0;
+};
+
+} // namespace killi
+
+#endif // KILLI_ECC_CODE_HH

@@ -1,0 +1,81 @@
+#include "ecc/codec_factory.hh"
+
+#include "common/log.hh"
+#include "ecc/bch.hh"
+#include "ecc/olsc.hh"
+#include "ecc/secded.hh"
+
+namespace killi
+{
+
+CodeKind
+codeKindFromName(const std::string &name)
+{
+    if (name == "secded")
+        return CodeKind::Secded;
+    if (name == "dected")
+        return CodeKind::Dected;
+    if (name == "tecqed")
+        return CodeKind::Tecqed;
+    if (name == "6ec7ed" || name == "hexa")
+        return CodeKind::Hexa;
+    if (name == "olsc" || name == "olsc11")
+        return CodeKind::Olsc11;
+    fatal("unknown code kind '%s'", name.c_str());
+}
+
+std::string
+codeKindName(CodeKind kind)
+{
+    switch (kind) {
+      case CodeKind::Secded:
+        return "SECDED";
+      case CodeKind::Dected:
+        return "DECTED";
+      case CodeKind::Tecqed:
+        return "TECQED";
+      case CodeKind::Hexa:
+        return "6EC7ED";
+      case CodeKind::Olsc11:
+        return "OLSC-11";
+    }
+    return "?";
+}
+
+std::unique_ptr<BlockCode>
+makeCode(CodeKind kind, std::size_t data_bits)
+{
+    switch (kind) {
+      case CodeKind::Secded:
+        return std::make_unique<Secded>(data_bits);
+      case CodeKind::Dected:
+        return std::make_unique<Bch>(data_bits, 2, true);
+      case CodeKind::Tecqed:
+        return std::make_unique<Bch>(data_bits, 3, true);
+      case CodeKind::Hexa:
+        return std::make_unique<Bch>(data_bits, 6, true);
+      case CodeKind::Olsc11:
+        return std::make_unique<Olsc>(data_bits, 23, 11);
+    }
+    fatal("makeCode: bad kind");
+}
+
+std::size_t
+paperCheckBits(CodeKind kind)
+{
+    switch (kind) {
+      case CodeKind::Secded:
+        return 11;
+      case CodeKind::Dected:
+        return 21;
+      case CodeKind::Tecqed:
+        return 31;
+      case CodeKind::Hexa:
+        return 61;
+      case CodeKind::Olsc11:
+        return 198; // MS-ECC's 18x SECDED figure (Table 5)
+    }
+    fatal("paperCheckBits: bad kind");
+}
+
+} // namespace killi

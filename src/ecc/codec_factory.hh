@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Construction of the named code configurations the paper evaluates,
+ * all over a 512-bit (64-byte) cache line unless stated otherwise.
+ */
+
+#ifndef KILLI_ECC_CODEC_FACTORY_HH
+#define KILLI_ECC_CODEC_FACTORY_HH
+
+#include <memory>
+#include <string>
+
+#include "ecc/code.hh"
+
+namespace killi
+{
+
+/** The ECC strengths referenced throughout the paper. */
+enum class CodeKind
+{
+    Secded, //!< 11 checkbits on 512 data bits
+    Dected, //!< 21 checkbits (BCH t=2 + extended parity)
+    Tecqed, //!< 31 checkbits (BCH t=3 + extended parity)
+    Hexa,   //!< "6EC7ED": 61 checkbits (BCH t=6 + extended parity)
+    Olsc11  //!< OLSC m=23 t=11 (MS-ECC-strength correction)
+};
+
+/** Parse a CodeKind from its lowercase name ("secded", "dected", ...). */
+CodeKind codeKindFromName(const std::string &name);
+
+/** Display name ("SECDED", "DECTED", "TECQED", "6EC7ED", "OLSC-11"). */
+std::string codeKindName(CodeKind kind);
+
+/** Instantiate the codec for @p kind over @p data_bits payload bits. */
+std::unique_ptr<BlockCode> makeCode(CodeKind kind,
+                                    std::size_t data_bits = 512);
+
+/**
+ * Checkbit budget the paper's area model assumes for @p kind. For the
+ * BCH-based codes this equals the real codec width; for OLSC-11 the
+ * paper inherits MS-ECC's published 18x-SECDED figure (198 bits per
+ * 64B line), which is smaller than a textbook m=23 OLSC — see
+ * DESIGN.md "Known deviations".
+ */
+std::size_t paperCheckBits(CodeKind kind);
+
+} // namespace killi
+
+#endif // KILLI_ECC_CODEC_FACTORY_HH

@@ -1,0 +1,64 @@
+#include "ecc/gf2m.hh"
+
+#include <cassert>
+
+#include "common/log.hh"
+
+namespace killi
+{
+
+namespace
+{
+/** Primitive polynomials (including the x^m term) for m = 3..12. */
+constexpr std::uint32_t kPrimitivePoly[] = {
+    0,      0,      0,
+    0xB,    // m=3:  x^3 + x + 1
+    0x13,   // m=4:  x^4 + x + 1
+    0x25,   // m=5:  x^5 + x^2 + 1
+    0x43,   // m=6:  x^6 + x + 1
+    0x89,   // m=7:  x^7 + x^3 + 1
+    0x11D,  // m=8:  x^8 + x^4 + x^3 + x^2 + 1
+    0x211,  // m=9:  x^9 + x^4 + 1
+    0x409,  // m=10: x^10 + x^3 + 1
+    0x805,  // m=11: x^11 + x^2 + 1
+    0x1053, // m=12: x^12 + x^6 + x^4 + x + 1
+};
+} // namespace
+
+GF2m::GF2m(unsigned m)
+    : mDeg(m)
+{
+    if (m < 3 || m > 12)
+        fatal("GF2m: unsupported degree %u", m);
+    n = (std::uint32_t{1} << m) - 1;
+    expTable.resize(n);
+    logTable.assign(n + 1, 0);
+
+    const std::uint32_t poly = kPrimitivePoly[m];
+    std::uint32_t x = 1;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        expTable[i] = x;
+        logTable[x] = i;
+        x <<= 1;
+        if (x & (std::uint32_t{1} << m))
+            x ^= poly;
+    }
+    if (x != 1)
+        panic("GF2m: polynomial for m=%u is not primitive", m);
+}
+
+std::uint32_t
+GF2m::logOf(std::uint32_t x) const
+{
+    assert(x != 0 && x <= n);
+    return logTable[x];
+}
+
+std::uint32_t
+GF2m::inv(std::uint32_t x) const
+{
+    assert(x != 0);
+    return expTable[(n - logTable[x]) % n];
+}
+
+} // namespace killi

@@ -1,0 +1,86 @@
+#include "ecc/parity.hh"
+
+#include "common/log.hh"
+
+namespace killi
+{
+
+SegmentedParity::SegmentedParity(std::size_t data_bits,
+                                 std::size_t segments, bool interleave)
+    : numDataBits(data_bits), numSegments(segments),
+      interleaving(interleave)
+{
+    if (segments == 0 || segments > data_bits ||
+        data_bits % segments != 0) {
+        fatal("SegmentedParity: invalid segment count %zu", segments);
+    }
+    masks.assign(segments, BitVec(data_bits));
+    for (std::size_t i = 0; i < data_bits; ++i)
+        masks[segmentOf(i)].set(i);
+}
+
+BitVec
+SegmentedParity::encode(const BitVec &data) const
+{
+    BitVec parity(numSegments);
+    for (std::size_t s = 0; s < numSegments; ++s)
+        parity.set(s, data.dotParity(masks[s]));
+    return parity;
+}
+
+ParityCheck
+SegmentedParity::check(const BitVec &data, const BitVec &stored) const
+{
+    ParityCheck result;
+    result.mismatch = BitVec(numSegments);
+    const BitVec computed = encode(data);
+    for (std::size_t s = 0; s < numSegments; ++s) {
+        if (computed.get(s) != stored.get(s)) {
+            result.mismatch.set(s);
+            ++result.mismatchedSegments;
+        }
+    }
+    return result;
+}
+
+ParityCheck
+SegmentedParity::probe(const std::vector<std::size_t> &errorPositions) const
+{
+    ParityCheck result;
+    result.mismatch = BitVec(numSegments);
+    for (const std::size_t pos : errorPositions) {
+        std::size_t seg;
+        if (pos < numDataBits) {
+            seg = segmentOf(pos);
+        } else {
+            seg = pos - numDataBits;
+            if (seg >= numSegments)
+                fatal("SegmentedParity::probe: position %zu out of "
+                      "codeword", pos);
+        }
+        result.mismatch.flip(seg);
+    }
+    result.mismatchedSegments =
+        static_cast<unsigned>(result.mismatch.popcount());
+    return result;
+}
+
+BitVec
+SegmentedParity::fold(const BitVec &full, std::size_t groups) const
+{
+    if (groups == 0 || numSegments % groups != 0)
+        fatal("SegmentedParity::fold: %zu does not divide %zu",
+              groups, numSegments);
+    BitVec folded(groups);
+    for (std::size_t s = 0; s < numSegments; ++s) {
+        // Consistent with segmentOf() in either layout: interleaved
+        // segments fold modulo groups, contiguous ones by range.
+        const std::size_t g = interleaving
+            ? s % groups : s / (numSegments / groups);
+        if (full.get(s))
+            folded.flip(g);
+    }
+    return folded;
+}
+
+} // namespace killi

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Segmented, interleaved parity as described in Killi §4.1.
+ *
+ * The cache line is logically divided into numSegments segments and a
+ * 1-bit parity is generated per segment. Segments are *interleaved*:
+ * data bit i belongs to segment (i mod numSegments), so physically
+ * adjacent bits land in different segments, which improves coverage
+ * of multi-bit soft errors in adjacent cells (Maiz et al.). For a
+ * 512-bit line with 16 segments each segment covers 32 data bits and,
+ * together with its own stored parity bit, forms the 33-bit unit used
+ * in the paper's §5.3 coverage math.
+ *
+ * After DFH training Killi keeps only 4 parity bits per line, each
+ * covering a 128-bit-wide segment; fold() derives those 4 bits from
+ * the 16 by XOR-ing segments congruent mod 4, so the two layouts are
+ * consistent.
+ */
+
+#ifndef KILLI_ECC_PARITY_HH
+#define KILLI_ECC_PARITY_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bitvec.hh"
+
+namespace killi
+{
+
+/** Result of checking stored segmented parity against data. */
+struct ParityCheck
+{
+    /** Per-segment mismatch flags. */
+    BitVec mismatch{0};
+    /** Number of segments whose parity disagrees. */
+    unsigned mismatchedSegments = 0;
+
+    /** Paper Table 2 "S.Parity ✓": no segment mismatches. */
+    bool ok() const { return mismatchedSegments == 0; }
+    /** Paper Table 2 "S.Parity ×": exactly one segment mismatch. */
+    bool single() const { return mismatchedSegments == 1; }
+    /** Paper Table 2 "S.Parity ××": two or more segment mismatches. */
+    bool multi() const { return mismatchedSegments >= 2; }
+};
+
+/**
+ * Interleaved segmented parity over a fixed-width payload.
+ *
+ * Combined-index convention: positions [0, dataBits) are payload,
+ * positions [dataBits, dataBits + segments) are the stored parity
+ * bits (parity bit s at dataBits + s).
+ */
+class SegmentedParity
+{
+  public:
+    /**
+     * @param interleave true for the paper's interleaved layout
+     *        (adjacent bits in different segments); false for
+     *        contiguous segments — provided to quantify what
+     *        interleaving buys against adjacent-cell multi-bit
+     *        upsets (see the ablation bench).
+     */
+    SegmentedParity(std::size_t data_bits, std::size_t segments,
+                    bool interleave = true);
+
+    std::size_t dataBits() const { return numDataBits; }
+    std::size_t segments() const { return numSegments; }
+    bool interleaved() const { return interleaving; }
+
+    /** Segment that data bit @p pos belongs to. */
+    std::size_t segmentOf(std::size_t pos) const
+    {
+        return interleaving ? pos % numSegments
+                            : pos / (numDataBits / numSegments);
+    }
+
+    /** Compute the per-segment parity bits for @p data. */
+    BitVec encode(const BitVec &data) const;
+
+    /** Check stored parity against data. */
+    ParityCheck check(const BitVec &data, const BitVec &stored) const;
+
+    /**
+     * Exact check() prediction given only the set of flipped
+     * combined-index positions (payload and/or stored parity bits).
+     */
+    ParityCheck
+    probe(const std::vector<std::size_t> &errorPositions) const;
+
+    /**
+     * Fold the full parity vector down to @p groups bits by XOR-ing
+     * segments congruent modulo groups; used for the trained 4-bit
+     * layout. @p groups must divide segments().
+     */
+    BitVec fold(const BitVec &full, std::size_t groups) const;
+
+  private:
+    std::size_t numDataBits;
+    std::size_t numSegments;
+    bool interleaving;
+    /** masks[s]: payload mask of segment s, for dotParity encode. */
+    std::vector<BitVec> masks;
+};
+
+} // namespace killi
+
+#endif // KILLI_ECC_PARITY_HH

@@ -1,0 +1,211 @@
+#include "fault/fault_map.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace killi
+{
+
+FaultMap::FaultMap(std::size_t num_lines, std::size_t line_bits,
+                   const VoltageModel &model, std::uint64_t seed,
+                   double freq_ghz)
+    : bitsPerLine(line_bits), freqGHz(freq_ghz), vModel(&model)
+{
+    if (line_bits > 0xFFFF)
+        fatal("FaultMap: line width %zu exceeds 16-bit positions",
+              line_bits);
+
+    // Sample the potential-fault population at the lowest supported
+    // voltage: every cell that could ever fail in the model's range.
+    const double pMax =
+        model.pCell(VoltageModel::minVoltage(), freq_ghz);
+    const double pReadShare = 0.45;
+
+    Rng rng(seed);
+    lines.resize(num_lines);
+    for (auto &line : lines) {
+        // Number of potential faults ~ Binomial(line_bits, pMax);
+        // sample per cell only when the line has any (pMax is a few
+        // percent, so most draws are cheap).
+        for (std::size_t bit = 0; bit < line_bits; ++bit) {
+            const double u = rng.uniform();
+            if (u >= pMax)
+                continue;
+            FaultCell cell;
+            cell.bit = static_cast<std::uint16_t>(bit);
+            // Conditional threshold: uniform in [0, pMax). The cell
+            // is active at voltage v iff threshold < pCell(v).
+            cell.threshold = static_cast<float>(u);
+            cell.stuckValue = rng.bernoulli(0.5);
+            cell.kind = rng.bernoulli(pReadShare)
+                ? FaultKind::ReadDisturb : FaultKind::Writeability;
+            line.push_back(cell);
+        }
+    }
+    active.resize(num_lines);
+    transientFlips.resize(num_lines);
+    setVoltage(1.0);
+}
+
+void
+FaultMap::setVoltage(double vNorm)
+{
+    currentV = vNorm;
+    const double p = vModel->pCell(vNorm, freqGHz);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        active[i].clear();
+        for (const FaultCell &cell : lines[i]) {
+            if (cell.threshold < p)
+                active[i].push_back(cell);
+        }
+    }
+}
+
+unsigned
+FaultMap::countFaults(std::size_t line, std::size_t prefix_bits) const
+{
+    unsigned count = 0;
+    for (const FaultCell &cell : active[line]) {
+        if (cell.bit < prefix_bits)
+            ++count;
+    }
+    return count;
+}
+
+bool
+FaultMap::isStuck(std::size_t line, std::uint16_t bit) const
+{
+    for (const FaultCell &cell : active[line]) {
+        if (cell.bit == bit)
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::size_t>
+FaultMap::visibleErrors(std::size_t line, const BitVec &value) const
+{
+    std::vector<std::size_t> flipped;
+    for (const FaultCell &cell : active[line]) {
+        if (cell.bit < value.size() &&
+            value.get(cell.bit) != cell.stuckValue) {
+            flipped.push_back(cell.bit);
+        }
+    }
+    // Soft-error upsets flip healthy cells (stuck cells hold their
+    // defect-driven value regardless).
+    for (const std::uint16_t bit : transientFlips[line]) {
+        if (bit < value.size() && !isStuck(line, bit))
+            flipped.push_back(bit);
+    }
+    return flipped;
+}
+
+std::vector<std::size_t>
+FaultMap::visibleErrors(std::size_t line, const BitVec &data,
+                        const BitVec &meta) const
+{
+    std::vector<std::size_t> flipped;
+    const std::size_t split = data.size();
+    for (const FaultCell &cell : active[line]) {
+        bool stored;
+        if (cell.bit < split)
+            stored = data.get(cell.bit);
+        else if (cell.bit < split + meta.size())
+            stored = meta.get(cell.bit - split);
+        else
+            continue;
+        if (stored != cell.stuckValue)
+            flipped.push_back(cell.bit);
+    }
+    for (const std::uint16_t bit : transientFlips[line]) {
+        if (bit < split + meta.size() && !isStuck(line, bit))
+            flipped.push_back(bit);
+    }
+    return flipped;
+}
+
+unsigned
+FaultMap::applyFaults(std::size_t line, BitVec &value) const
+{
+    unsigned flipped = 0;
+    for (const FaultCell &cell : active[line]) {
+        if (cell.bit < value.size() &&
+            value.get(cell.bit) != cell.stuckValue) {
+            value.flip(cell.bit);
+            ++flipped;
+        }
+    }
+    for (const std::uint16_t bit : transientFlips[line]) {
+        if (bit < value.size() && !isStuck(line, bit)) {
+            value.flip(bit);
+            ++flipped;
+        }
+    }
+    return flipped;
+}
+
+void
+FaultMap::injectTransient(std::size_t line, std::uint16_t bit)
+{
+    if (line >= transientFlips.size() || bit >= bitsPerLine)
+        fatal("FaultMap::injectTransient: out of range (%zu, %u)",
+              line, bit);
+    // A second upset on the same cell flips it back.
+    auto &flips = transientFlips[line];
+    const auto it = std::find(flips.begin(), flips.end(), bit);
+    if (it != flips.end())
+        flips.erase(it);
+    else
+        flips.push_back(bit);
+}
+
+void
+FaultMap::clearTransients(std::size_t line)
+{
+    transientFlips[line].clear();
+}
+
+void
+FaultMap::plantFault(std::size_t line, std::uint16_t bit,
+                     bool stuck_value, FaultKind kind)
+{
+    if (line >= lines.size() || bit >= bitsPerLine)
+        fatal("FaultMap::plantFault: out of range (%zu, %u)", line,
+              bit);
+    // Replace any sampled potential fault at this position so the
+    // planted cell fully defines the bit's behaviour.
+    const auto drop = [bit](std::vector<FaultCell> &cells) {
+        std::erase_if(cells, [bit](const FaultCell &c) {
+            return c.bit == bit;
+        });
+    };
+    drop(lines[line]);
+    drop(active[line]);
+    FaultCell cell;
+    cell.bit = bit;
+    cell.threshold = -1.0f; // below every pCell: always active
+    cell.stuckValue = stuck_value;
+    cell.kind = kind;
+    lines[line].push_back(cell);
+    active[line].push_back(cell);
+}
+
+FaultMap::LineHistogram
+FaultMap::histogram(std::size_t prefix_bits) const
+{
+    LineHistogram hist;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const unsigned n = countFaults(i, prefix_bits);
+        if (n == 0)
+            ++hist.zero;
+        else if (n == 1)
+            ++hist.one;
+        else
+            ++hist.twoPlus;
+    }
+    return hist;
+}
+
+} // namespace killi

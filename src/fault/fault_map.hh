@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Per-bit persistent low-voltage fault maps.
+ *
+ * The DAC'17 measurements the paper builds on established that LV
+ * failures are persistent and *monotone*: a cell failing at voltage
+ * V fails at every lower voltage (and every higher frequency). The
+ * map reproduces this by construction: each potentially faulty cell
+ * draws a uniform threshold u and is faulty at voltage v iff
+ * u < pCell(v). Because pCell is monotone decreasing in v, the
+ * faulty set at a higher voltage is always a subset of the faulty
+ * set at a lower voltage.
+ *
+ * Faults are stuck-at: the cell reads back a fixed value regardless
+ * of what was written. A stuck-at fault whose stuck value equals the
+ * stored bit is *masked* — invisible until data of the opposite
+ * polarity is written — which is exactly the masked-fault behaviour
+ * Killi's DFH oscillation (paper §4.3) and the §5.6.2 inverted-write
+ * mitigation are designed around.
+ */
+
+#ifndef KILLI_FAULT_FAULT_MAP_HH
+#define KILLI_FAULT_FAULT_MAP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.hh"
+#include "common/rng.hh"
+#include "fault/voltage_model.hh"
+
+namespace killi
+{
+
+/** A single persistently faulty cell within a line. */
+struct FaultCell
+{
+    std::uint16_t bit;    //!< position within the line
+    float threshold;      //!< active at voltage v iff pCell(v) > threshold
+    bool stuckValue;      //!< value the cell reads back as
+    FaultKind kind;       //!< failing mechanism (for statistics)
+};
+
+/**
+ * Fault map for an array of lines (e.g.\ the 32768 64-byte lines of
+ * the 2MB L2). Construction samples the potential-fault population
+ * once, at the lowest supported voltage; setVoltage() then activates
+ * the subset for the current operating point.
+ */
+class FaultMap
+{
+  public:
+    /**
+     * @param num_lines number of physical lines in the array
+     * @param line_bits LV-vulnerable bits per line (data + any
+     *                  co-located metadata such as stored parity or
+     *                  per-line checkbits)
+     * @param model voltage model to draw probabilities from
+     * @param seed RNG seed (fault maps are die-specific)
+     * @param freq_ghz operating frequency for the whole run
+     */
+    FaultMap(std::size_t num_lines, std::size_t line_bits,
+             const VoltageModel &model, std::uint64_t seed,
+             double freq_ghz = 1.0);
+
+    std::size_t numLines() const { return lines.size(); }
+    std::size_t lineBits() const { return bitsPerLine; }
+    double voltage() const { return currentV; }
+    double frequency() const { return freqGHz; }
+
+    /**
+     * Activate the fault population for operating voltage @p vNorm.
+     * Mirrors a DVFS transition; callers (e.g.\ Killi) must reset
+     * their learned state, as the paper requires.
+     */
+    void setVoltage(double vNorm);
+
+    /** Active faulty cells of @p line at the current voltage. */
+    const std::vector<FaultCell> &lineFaults(std::size_t line) const
+    {
+        return active[line];
+    }
+
+    /** Number of active faults of @p line within the first
+     *  @p prefix_bits bit positions (schemes with narrower physical
+     *  lines share one map; see DESIGN.md). */
+    unsigned countFaults(std::size_t line, std::size_t prefix_bits) const;
+
+    /**
+     * Read a stored value through the fault overlay: stuck cells
+     * (within @p value's width) are forced to their stuck value.
+     * Returns the positions that actually flipped relative to
+     * @p value — i.e.\ the *visible* (unmasked) error pattern.
+     */
+    std::vector<std::size_t>
+    visibleErrors(std::size_t line, const BitVec &value) const;
+
+    /**
+     * Two-part variant: the physical line is the concatenation of
+     * @p data (positions [0, data.size())) and @p meta (positions
+     * [data.size(), data.size() + meta.size())) — e.g.\ a payload
+     * plus its co-located parity or checkbits. Avoids materializing
+     * the combined vector on the hot path.
+     */
+    std::vector<std::size_t>
+    visibleErrors(std::size_t line, const BitVec &data,
+                  const BitVec &meta) const;
+
+    /** Apply the overlay in place; returns number of flipped bits. */
+    unsigned applyFaults(std::size_t line, BitVec &value) const;
+
+    /**
+     * Plant a persistent fault active at every voltage (tests and
+     * demos that need a deterministic fault layout). Duplicate
+     * positions are rejected.
+     */
+    void plantFault(std::size_t line, std::uint16_t bit,
+                    bool stuck_value,
+                    FaultKind kind = FaultKind::Writeability);
+
+    /**
+     * Inject a *transient* (soft-error) flip: the cell's stored
+     * value reads back inverted until the line is rewritten.
+     * Unlike the persistent population, transients are
+     * polarity-independent and cleared by clearTransients().
+     */
+    void injectTransient(std::size_t line, std::uint16_t bit);
+
+    /** The line was rewritten: all transient upsets are overwritten. */
+    void clearTransients(std::size_t line);
+
+    /** Currently live transient flips of @p line. */
+    const std::vector<std::uint16_t> &
+    transients(std::size_t line) const
+    {
+        return transientFlips[line];
+    }
+
+    /** Histogram of active fault counts per line (0, 1, 2+) over the
+     *  first @p prefix_bits positions: the Fig. 2 quantities. */
+    struct LineHistogram
+    {
+        std::size_t zero = 0;
+        std::size_t one = 0;
+        std::size_t twoPlus = 0;
+    };
+    LineHistogram histogram(std::size_t prefix_bits) const;
+
+  private:
+    /** Is @p bit held by an active persistent fault? */
+    bool isStuck(std::size_t line, std::uint16_t bit) const;
+
+    std::size_t bitsPerLine;
+    double freqGHz;
+    double currentV = 1.0;
+    const VoltageModel *vModel;
+
+    /** Potential faults per line (threshold-annotated, sorted). */
+    std::vector<std::vector<FaultCell>> lines;
+    /** Active subset per line at currentV. */
+    std::vector<std::vector<FaultCell>> active;
+    /** Live soft-error flips per line (cleared on rewrite). */
+    std::vector<std::vector<std::uint16_t>> transientFlips;
+};
+
+} // namespace killi
+
+#endif // KILLI_FAULT_FAULT_MAP_HH

@@ -1,0 +1,86 @@
+#include "gpu/gpu_system.hh"
+
+#include "common/log.hh"
+
+namespace killi
+{
+
+GpuSystem::GpuSystem(const GpuParams &params,
+                     ProtectionScheme &protection,
+                     const Workload &wl, FaultMap *fault_map)
+    : p(params), workload(wl), golden(params.l2Geom.lineBytes)
+{
+    dram = std::make_unique<DramModel>(p.dram);
+    l2Cache = std::make_unique<L2Cache>(eq, *dram, golden, protection,
+                                        p.l2Geom, p.l2, fault_map);
+    for (unsigned cu = 0; cu < p.numCus; ++cu) {
+        l1s.push_back(std::make_unique<L1Cache>(p.l1Geom));
+        cus.push_back(std::make_unique<ComputeUnit>(
+            cu, eq, *l1s.back(), *l2Cache, workload, p.l1Latency,
+            [this] { --wavefrontsRemaining; }));
+    }
+}
+
+void
+GpuSystem::runPass()
+{
+    wavefrontsRemaining = p.numCus * workload.wavefrontsPerCu();
+    for (auto &cu : cus)
+        cu->start();
+
+    const bool drained = eq.run(p.maxCycles);
+    if (!drained)
+        warn("GpuSystem: hit the %llu-cycle safety limit",
+             static_cast<unsigned long long>(p.maxCycles));
+    if (wavefrontsRemaining != 0)
+        panic("GpuSystem: %u wavefronts never completed",
+              wavefrontsRemaining);
+}
+
+RunResult
+GpuSystem::run(unsigned warmupPasses)
+{
+    Tick cycleBase = 0;
+    std::uint64_t instrBase = 0;
+    for (unsigned pass = 0; pass < warmupPasses; ++pass) {
+        runPass();
+        cycleBase = eq.curTick();
+        instrBase = 0;
+        for (const auto &cu : cus)
+            instrBase += cu->instructions();
+        l2Cache->stats().resetAll();
+        dram->stats().resetAll();
+    }
+
+    runPass();
+
+    RunResult r;
+    r.cycles = eq.curTick() - cycleBase;
+    for (const auto &cu : cus)
+        r.instructions += cu->instructions();
+    r.instructions -= instrBase;
+    const StatGroup &l2s = l2Cache->stats();
+    r.l2ReadHits = l2s.counterValue("read_hits");
+    r.l2ReadMisses = l2s.counterValue("read_misses");
+    r.l2ErrorMisses = l2s.counterValue("error_misses");
+    r.l2WriteHits = l2s.counterValue("write_hits");
+    r.l2WriteMisses = l2s.counterValue("write_misses");
+    r.l2Evictions = l2s.counterValue("evictions");
+    r.l2ProtInvalidations = l2s.counterValue("prot_invalidations");
+    r.l2BypassFills = l2s.counterValue("bypass_fills");
+    r.sdc = l2s.counterValue("sdc");
+    r.dramReads = dram->reads();
+    r.dramWrites = dram->writes();
+    return r;
+}
+
+void
+GpuSystem::dumpStats(std::ostream &os) const
+{
+    l2Cache->stats().dump(os, "l2.");
+    dram->stats().dump(os, "dram.");
+    for (std::size_t i = 0; i < l1s.size(); ++i)
+        l1s[i]->stats().dump(os, "l1." + std::to_string(i) + ".");
+}
+
+} // namespace killi

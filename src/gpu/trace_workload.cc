@@ -1,0 +1,126 @@
+#include "gpu/trace_workload.hh"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace killi
+{
+
+TraceWorkload::TraceWorkload(const std::string &wl_name,
+                             bool memory_bound, unsigned cus,
+                             unsigned wfs,
+                             std::vector<std::vector<MemOp>> trace_streams)
+    : Workload(wl_name, memory_bound, wfs, 0, 0), numCus(cus),
+      streams(std::move(trace_streams))
+{
+    for (const auto &stream : streams)
+        opsPerWf = std::max<std::uint64_t>(opsPerWf, stream.size());
+}
+
+std::unique_ptr<TraceWorkload>
+TraceWorkload::fromStream(std::istream &input, const std::string &name,
+                          bool memory_bound)
+{
+    std::map<std::pair<unsigned, unsigned>, std::vector<MemOp>> raw;
+    unsigned maxCu = 0, maxWf = 0;
+
+    std::string lineText;
+    std::size_t lineNo = 0;
+    while (std::getline(input, lineText)) {
+        ++lineNo;
+        const auto hash = lineText.find('#');
+        if (hash != std::string::npos)
+            lineText.erase(hash);
+        std::istringstream fields(lineText);
+        unsigned cu, wf;
+        std::string rw, addrText;
+        if (!(fields >> cu >> wf >> rw >> addrText))
+            continue; // blank / comment-only line
+        if (rw != "R" && rw != "W")
+            fatal("trace '%s' line %zu: op must be R or W, got '%s'",
+                  name.c_str(), lineNo, rw.c_str());
+        MemOp op;
+        op.isWrite = rw == "W";
+        op.addr = std::strtoull(addrText.c_str(), nullptr, 0);
+        unsigned compute = 0;
+        if (fields >> compute)
+            op.computeCycles = compute;
+        raw[{cu, wf}].push_back(op);
+        maxCu = std::max(maxCu, cu);
+        maxWf = std::max(maxWf, wf);
+    }
+    if (raw.empty())
+        fatal("trace '%s': no records", name.c_str());
+
+    const unsigned cus = maxCu + 1;
+    const unsigned wfs = maxWf + 1;
+    std::vector<std::vector<MemOp>> streams(std::size_t{cus} * wfs);
+    for (auto &[key, ops] : raw)
+        streams[std::size_t{key.first} * wfs + key.second] =
+            std::move(ops);
+
+    return std::unique_ptr<TraceWorkload>(new TraceWorkload(
+        name, memory_bound, cus, wfs, std::move(streams)));
+}
+
+std::unique_ptr<TraceWorkload>
+TraceWorkload::fromFile(const std::string &path, bool memory_bound)
+{
+    std::ifstream file(path);
+    if (!file)
+        fatal("trace file '%s' unreadable", path.c_str());
+    return fromStream(file, path, memory_bound);
+}
+
+std::uint64_t
+TraceWorkload::opsFor(unsigned cu, unsigned wf) const
+{
+    const std::size_t idx = streamIndex(cu, wf);
+    return idx < streams.size() ? streams[idx].size() : 0;
+}
+
+MemOp
+TraceWorkload::op(unsigned cu, unsigned wf, std::uint64_t idx) const
+{
+    const std::size_t stream = streamIndex(cu, wf);
+    if (stream >= streams.size() || idx >= streams[stream].size())
+        fatal("trace '%s': op (%u, %u, %llu) out of range",
+              wlName.c_str(), cu, wf,
+              static_cast<unsigned long long>(idx));
+    return streams[stream][idx];
+}
+
+std::uint64_t
+TraceWorkload::totalOps() const
+{
+    std::uint64_t total = 0;
+    for (const auto &stream : streams)
+        total += stream.size();
+    return total;
+}
+
+void
+writeTrace(std::ostream &output, const Workload &workload,
+           unsigned cus)
+{
+    output << "# trace of workload '" << workload.name() << "' ("
+           << cus << " CUs x " << workload.wavefrontsPerCu()
+           << " wavefronts)\n# cu wf R|W addr compute-cycles\n";
+    for (unsigned cu = 0; cu < cus; ++cu) {
+        for (unsigned wf = 0; wf < workload.wavefrontsPerCu(); ++wf) {
+            const std::uint64_t ops = workload.opsFor(cu, wf);
+            for (std::uint64_t i = 0; i < ops; ++i) {
+                const MemOp op = workload.op(cu, wf, i);
+                output << cu << ' ' << wf << ' '
+                       << (op.isWrite ? 'W' : 'R') << " 0x"
+                       << std::hex << op.addr << std::dec << ' '
+                       << op.computeCycles << '\n';
+            }
+        }
+    }
+}
+
+} // namespace killi

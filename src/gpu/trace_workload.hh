@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Trace-driven workloads: replay recorded GPU memory streams through
+ * the simulated hierarchy instead of a synthetic generator — the
+ * bridge for users who have real application traces (e.g.\ from a
+ * gem5/rocprof capture).
+ *
+ * Trace format (text, one record per line, '#' starts a comment):
+ *
+ *     <cu> <wf> <R|W> <hex-or-dec address> [compute-cycles]
+ *
+ * Records are program order per (cu, wf) pair; wavefront streams may
+ * have different lengths (ragged traces are fine). A writer is
+ * provided so any synthetic Workload can be exported and replayed
+ * bit-identically — the round-trip property the tests pin.
+ */
+
+#ifndef KILLI_GPU_TRACE_WORKLOAD_HH
+#define KILLI_GPU_TRACE_WORKLOAD_HH
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/workload.hh"
+
+namespace killi
+{
+
+class TraceWorkload : public Workload
+{
+  public:
+    /** Parse a trace from @p input; fatal on malformed records. */
+    static std::unique_ptr<TraceWorkload>
+    fromStream(std::istream &input, const std::string &name,
+               bool memory_bound = true);
+
+    /** Parse a trace file; fatal if unreadable. */
+    static std::unique_ptr<TraceWorkload>
+    fromFile(const std::string &path, bool memory_bound = true);
+
+    std::uint64_t opsFor(unsigned cu, unsigned wf) const override;
+    MemOp op(unsigned cu, unsigned wf,
+             std::uint64_t idx) const override;
+
+    /** Total records across all streams. */
+    std::uint64_t totalOps() const;
+
+  private:
+    TraceWorkload(const std::string &name, bool memory_bound,
+                  unsigned cus, unsigned wfs,
+                  std::vector<std::vector<MemOp>> trace_streams);
+
+    std::size_t
+    streamIndex(unsigned cu, unsigned wf) const
+    {
+        return std::size_t{cu} * wfPerCu + wf;
+    }
+
+    unsigned numCus;
+    std::vector<std::vector<MemOp>> streams;
+};
+
+/**
+ * Export @p workload as a trace (the inverse of fromStream) for
+ * @p cus compute units.
+ */
+void writeTrace(std::ostream &output, const Workload &workload,
+                unsigned cus);
+
+} // namespace killi
+
+#endif // KILLI_GPU_TRACE_WORKLOAD_HH

@@ -1,0 +1,46 @@
+#include "gpu/workload.hh"
+
+namespace killi
+{
+
+namespace
+{
+std::uint64_t
+mix(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+} // namespace
+
+Workload::Workload(std::string wl_name, bool memory_bound,
+                   unsigned wavefronts_per_cu,
+                   std::uint64_t ops_per_wavefront, std::uint64_t wl_seed)
+    : wlName(std::move(wl_name)), memBound(memory_bound),
+      wfPerCu(wavefronts_per_cu), opsPerWf(ops_per_wavefront),
+      seed(wl_seed)
+{
+}
+
+std::uint64_t
+Workload::hashOf(unsigned cu, unsigned wf, std::uint64_t idx,
+                 std::uint64_t salt) const
+{
+    std::uint64_t h = seed;
+    h = mix(h ^ (std::uint64_t{cu} << 48));
+    h = mix(h ^ (std::uint64_t{wf} << 32));
+    h = mix(h ^ idx);
+    h = mix(h ^ salt);
+    return h;
+}
+
+double
+Workload::uniformOf(unsigned cu, unsigned wf, std::uint64_t idx,
+                    std::uint64_t salt) const
+{
+    return (hashOf(cu, wf, idx, salt) >> 11) * 0x1.0p-53;
+}
+
+} // namespace killi

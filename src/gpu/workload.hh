@@ -1,0 +1,102 @@
+/**
+ * @file
+ * GPU workload model: each workload is a deterministic function from
+ * (compute unit, wavefront, op index) to a memory operation plus the
+ * compute work preceding it. This replaces the paper's ten
+ * proprietary GCN3 HPC binaries with synthetic proxies whose L2
+ * locality classes match the two Fig. 5 bands (compute-bound
+ * MPKI < 50, memory-bound MPKI > 100); see DESIGN.md.
+ *
+ * Determinism matters: an op is a pure function of its coordinates
+ * (hash-based), so runs are bit-reproducible and schemes see the
+ * identical access stream.
+ */
+
+#ifndef KILLI_GPU_WORKLOAD_HH
+#define KILLI_GPU_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace killi
+{
+
+/** One wavefront step: compute then a coalesced 64B memory op. */
+struct MemOp
+{
+    Addr addr = 0;
+    bool isWrite = false;
+    /** Cycles of compute preceding the op (1 IPC: also the number
+     *  of non-memory instructions retired). */
+    unsigned computeCycles = 0;
+};
+
+class Workload
+{
+  public:
+    Workload(std::string wl_name, bool memory_bound,
+             unsigned wavefronts_per_cu, std::uint64_t ops_per_wavefront,
+             std::uint64_t seed);
+    virtual ~Workload() = default;
+
+    const std::string &name() const { return wlName; }
+
+    /** Fig. 5 grouping: true for the MPKI > 100 band. */
+    bool memoryBound() const { return memBound; }
+
+    unsigned wavefrontsPerCu() const { return wfPerCu; }
+    std::uint64_t opsPerWavefront() const { return opsPerWf; }
+
+    /** Per-wavefront op count; uniform by default, ragged for
+     *  trace-driven workloads. */
+    virtual std::uint64_t
+    opsFor(unsigned cu, unsigned wf) const
+    {
+        (void)cu;
+        (void)wf;
+        return opsPerWf;
+    }
+
+    /** The op a wavefront performs at step @p idx (pure function). */
+    virtual MemOp op(unsigned cu, unsigned wf,
+                     std::uint64_t idx) const = 0;
+
+  protected:
+    /** Deterministic 64-bit hash of the op coordinates. */
+    std::uint64_t hashOf(unsigned cu, unsigned wf, std::uint64_t idx,
+                         std::uint64_t salt = 0) const;
+
+    /** Uniform double in [0,1) derived from hashOf. */
+    double uniformOf(unsigned cu, unsigned wf, std::uint64_t idx,
+                     std::uint64_t salt = 0) const;
+
+    /** Global wavefront id (cu-major). */
+    std::uint64_t
+    flatWf(unsigned cu, unsigned wf) const
+    {
+        return std::uint64_t{cu} * wfPerCu + wf;
+    }
+
+    std::string wlName;
+    bool memBound;
+    unsigned wfPerCu;
+    std::uint64_t opsPerWf;
+    std::uint64_t seed;
+};
+
+/** The ten HPC proxy workloads evaluated in Fig. 4 / Fig. 5. */
+std::vector<std::string> workloadNames();
+
+/** Instantiate a workload by name; @p scale multiplies op counts
+ *  (1.0 = the default benchmark length). */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       double scale = 1.0,
+                                       std::uint64_t seed = 1);
+
+} // namespace killi
+
+#endif // KILLI_GPU_WORKLOAD_HH

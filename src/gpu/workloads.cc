@@ -1,0 +1,417 @@
+/**
+ * @file
+ * The ten HPC GPGPU workload proxies of the Fig. 4 / Fig. 5
+ * evaluation. Each proxy reproduces the L2-relevant behaviour of its
+ * namesake: footprint, reuse pattern, read/write mix, and
+ * compute-to-memory ratio. Calibration targets the paper's two MPKI
+ * bands (compute-bound < 50, memory-bound > 100) on the Table 3 GPU.
+ */
+
+#include "gpu/workload.hh"
+
+#include "common/log.hh"
+
+namespace killi
+{
+
+namespace
+{
+
+constexpr Addr kLine = 64;
+
+/** Bytes rounded down to a whole number of lines. */
+constexpr Addr
+lines(Addr bytes)
+{
+    return bytes / kLine;
+}
+
+/**
+ * XSBench proxy: Monte Carlo neutron transport macroscopic
+ * cross-section lookups — random gathers over a large nuclide grid
+ * (16MB) with a smaller, hotter unionized energy index (256KB).
+ * Memory-bound; the paper calls XSBench out as one of the two
+ * ECC-cache-size-sensitive applications.
+ */
+class XsbenchWorkload : public Workload
+{
+  public:
+    XsbenchWorkload(std::uint64_t ops, std::uint64_t seed)
+        : Workload("xsbench", true, 8, ops, seed)
+    {
+    }
+
+    MemOp
+    op(unsigned cu, unsigned wf, std::uint64_t idx) const override
+    {
+        MemOp m;
+        m.computeCycles = 5;
+        const std::uint64_t h = hashOf(cu, wf, idx);
+        if (uniformOf(cu, wf, idx, 1) < 0.45) {
+            // Unionized energy grid: hot, nearly L2-sized (1.5MB) —
+            // usable-capacity loss shows up directly here.
+            m.addr = kIndexBase + (h % lines(1536 * 1024)) * kLine;
+        } else {
+            // Nuclide grid gather: cold 16MB table.
+            m.addr = kGridBase + (h % lines(16 * 1024 * 1024)) * kLine;
+        }
+        m.isWrite = uniformOf(cu, wf, idx, 2) < 0.02;
+        return m;
+    }
+
+  private:
+    static constexpr Addr kIndexBase = 0x0000000;
+    static constexpr Addr kGridBase = 0x1000000;
+};
+
+/**
+ * FFT proxy: out-of-place radix-2 passes — streaming reads of an
+ * 8MB input signal interleaved with butterfly gathers into a hot
+ * 2.4MB work buffer that straddles the L2's *usable*
+ * capacity. Memory-bound, and the most capacity-sensitive workload:
+ * every line Killi cannot protect (disabled or unhosted b'10)
+ * directly converts hot-buffer hits into misses — the paper's worst
+ * case for the smallest ECC cache.
+ */
+class FftWorkload : public Workload
+{
+  public:
+    FftWorkload(std::uint64_t ops, std::uint64_t seed)
+        : Workload("fft", true, 8, ops, seed)
+    {
+    }
+
+    MemOp
+    op(unsigned cu, unsigned wf, std::uint64_t idx) const override
+    {
+        const std::uint64_t stages = 8;
+        const std::uint64_t opsPerStage = opsPerWf / stages;
+        const std::uint64_t stage =
+            std::min<std::uint64_t>(idx / opsPerStage, stages - 1);
+        const std::uint64_t within = idx % opsPerStage;
+
+        MemOp m;
+        m.computeCycles = 4;
+        if (within % 2 == 0) {
+            // Stream the signal: disjoint per wavefront, no reuse.
+            constexpr Addr signalLines = lines(8 * 1024 * 1024);
+            const std::uint64_t element =
+                (flatWf(cu, wf) * opsPerWf + idx) % signalLines;
+            m.addr = 0x1000000 + element * kLine;
+        } else {
+            // Butterfly pair (i, i + 2^stage) in the hot buffer.
+            constexpr Addr hotLines = lines(2400 * 1024);
+            const std::uint64_t i =
+                hashOf(cu, wf, idx / 2, 12 + stage) % hotLines;
+            const std::uint64_t partner =
+                (i + (std::uint64_t{1} << stage)) % hotLines;
+            m.addr = ((idx / 2) % 2 ? partner : i) * kLine;
+            // Results written back each pass.
+            m.isWrite = within % 4 == 3;
+        }
+        return m;
+    }
+};
+
+/**
+ * STREAM-triad proxy: a[i] = b[i] + s*c[i] across three 10MB
+ * vectors; pure streaming with no reuse. Memory-bound.
+ */
+class StreamWorkload : public Workload
+{
+  public:
+    StreamWorkload(std::uint64_t ops, std::uint64_t seed)
+        : Workload("stream", true, 8, ops, seed)
+    {
+    }
+
+    MemOp
+    op(unsigned cu, unsigned wf, std::uint64_t idx) const override
+    {
+        constexpr Addr vectorLines = lines(10 * 1024 * 1024);
+        const std::uint64_t element =
+            (flatWf(cu, wf) * opsPerWf + idx) / 3 % vectorLines;
+        const unsigned phase = idx % 3;
+        MemOp m;
+        m.computeCycles = 2;
+        switch (phase) {
+          case 0: // load b
+            m.addr = 0x0000000 + element * kLine;
+            break;
+          case 1: // load c
+            m.addr = 0xA00000 + element * kLine;
+            break;
+          default: // store a
+            m.addr = 0x1400000 + element * kLine;
+            m.isWrite = true;
+            break;
+        }
+        return m;
+    }
+};
+
+/**
+ * SpMV proxy: CSR traversal — streaming matrix values (8MB) plus
+ * random gathers into the dense x vector (1.75MB, nearly L2-sized,
+ * so usable-capacity loss shows immediately). Memory-bound.
+ */
+class SpmvWorkload : public Workload
+{
+  public:
+    SpmvWorkload(std::uint64_t ops, std::uint64_t seed)
+        : Workload("spmv", true, 8, ops, seed)
+    {
+    }
+
+    MemOp
+    op(unsigned cu, unsigned wf, std::uint64_t idx) const override
+    {
+        MemOp m;
+        m.computeCycles = 4;
+        if (uniformOf(cu, wf, idx, 3) < 0.55) {
+            // Matrix value/column stream, disjoint per wavefront.
+            constexpr Addr matrixLines = lines(8 * 1024 * 1024);
+            const std::uint64_t element =
+                (flatWf(cu, wf) * opsPerWf + idx) % matrixLines;
+            m.addr = 0x1000000 + element * kLine;
+        } else {
+            // x-vector gather: 1.75MB hot region.
+            constexpr Addr vecLines = lines(1792 * 1024);
+            m.addr = (hashOf(cu, wf, idx, 4) % vecLines) * kLine;
+        }
+        return m;
+    }
+};
+
+/**
+ * LULESH proxy: explicit shock hydrodynamics — 27-point stencil
+ * walks over a 1.25MB mesh with heavy neighbour reuse and node updates.
+ * Compute-bound.
+ */
+class LuleshWorkload : public Workload
+{
+  public:
+    LuleshWorkload(std::uint64_t ops, std::uint64_t seed)
+        : Workload("lulesh", false, 8, ops, seed)
+    {
+    }
+
+    MemOp
+    op(unsigned cu, unsigned wf, std::uint64_t idx) const override
+    {
+        constexpr Addr meshLines = lines(1280 * 1024);
+        constexpr std::uint64_t nx = 64; // lines per mesh row
+        static constexpr std::int64_t offsets[7] = {
+            0, 1, -1, nx, -static_cast<std::int64_t>(nx),
+            nx * nx, -static_cast<std::int64_t>(nx * nx)};
+        const std::uint64_t zone =
+            (flatWf(cu, wf) * (opsPerWf / 7) + idx / 7) % meshLines;
+        const std::int64_t off = offsets[idx % 7];
+        const std::int64_t mesh = static_cast<std::int64_t>(meshLines);
+        const std::int64_t wrapped =
+            ((static_cast<std::int64_t>(zone) + off) % mesh + mesh) %
+            mesh;
+        const std::uint64_t node = static_cast<std::uint64_t>(wrapped);
+        MemOp m;
+        m.addr = node * kLine;
+        m.computeCycles = 18;
+        m.isWrite = idx % 7 == 0 && uniformOf(cu, wf, idx, 5) < 0.5;
+        return m;
+    }
+};
+
+/**
+ * CoMD proxy: molecular dynamics cell lists — each wavefront
+ * iterates over a cell's particles (2KB blocks in a 1.25MB box) with
+ * strong intra-cell reuse; the 1.25MB box fits the L2 comfortably.
+ * Compute-bound.
+ */
+class ComdWorkload : public Workload
+{
+  public:
+    ComdWorkload(std::uint64_t ops, std::uint64_t seed)
+        : Workload("comd", false, 8, ops, seed)
+    {
+    }
+
+    MemOp
+    op(unsigned cu, unsigned wf, std::uint64_t idx) const override
+    {
+        constexpr Addr boxLines = lines(1280 * 1024);
+        constexpr std::uint64_t cellLines = 32; // 2KB cells
+        const std::uint64_t opsPerCell = 48;
+        const std::uint64_t cell =
+            hashOf(cu, wf, idx / opsPerCell, 6) %
+            (boxLines / cellLines);
+        const std::uint64_t particle =
+            hashOf(cu, wf, idx, 7) % cellLines;
+        MemOp m;
+        m.addr = (cell * cellLines + particle) * kLine;
+        m.computeCycles = 22;
+        m.isWrite = idx % opsPerCell == opsPerCell - 1;
+        return m;
+    }
+};
+
+/**
+ * miniFE proxy: finite-element matrix assembly — streaming row
+ * blocks (4MB) interleaved with gathers into a 1MB coefficient
+ * vector. Compute-bound (moderate MPKI).
+ */
+class MinifeWorkload : public Workload
+{
+  public:
+    MinifeWorkload(std::uint64_t ops, std::uint64_t seed)
+        : Workload("minife", false, 8, ops, seed)
+    {
+    }
+
+    MemOp
+    op(unsigned cu, unsigned wf, std::uint64_t idx) const override
+    {
+        MemOp m;
+        m.computeCycles = 12;
+        if (idx % 2 == 0) {
+            constexpr Addr rowLines = lines(4 * 1024 * 1024);
+            const std::uint64_t element =
+                (flatWf(cu, wf) * opsPerWf / 2 + idx / 2) % rowLines;
+            m.addr = 0x1000000 + element * kLine;
+        } else {
+            constexpr Addr vecLines = lines(1024 * 1024);
+            m.addr = (hashOf(cu, wf, idx, 8) % vecLines) * kLine;
+            m.isWrite = uniformOf(cu, wf, idx, 9) < 0.1;
+        }
+        return m;
+    }
+};
+
+/**
+ * SNAP proxy: discrete-ordinates transport sweep — structured
+ * sequential walk over a 4MB angular-flux array with long compute
+ * sections per cell. Compute-bound.
+ */
+class SnapWorkload : public Workload
+{
+  public:
+    SnapWorkload(std::uint64_t ops, std::uint64_t seed)
+        : Workload("snap", false, 8, ops, seed)
+    {
+    }
+
+    MemOp
+    op(unsigned cu, unsigned wf, std::uint64_t idx) const override
+    {
+        constexpr Addr fluxLines = lines(4 * 1024 * 1024);
+        const std::uint64_t element =
+            (flatWf(cu, wf) * opsPerWf + idx) % fluxLines;
+        MemOp m;
+        m.addr = element * kLine;
+        m.computeCycles = 25;
+        m.isWrite = idx % 8 == 7;
+        return m;
+    }
+};
+
+/**
+ * HPGMG proxy: geometric multigrid V-cycles — alternating sweeps
+ * over level footprints 4MB / 1MB / 256KB / 64KB; coarse levels hit,
+ * the fine level streams. Compute-bound.
+ */
+class HpgmgWorkload : public Workload
+{
+  public:
+    HpgmgWorkload(std::uint64_t ops, std::uint64_t seed)
+        : Workload("hpgmg", false, 8, ops, seed)
+    {
+    }
+
+    MemOp
+    op(unsigned cu, unsigned wf, std::uint64_t idx) const override
+    {
+        static constexpr Addr levelBytes[4] = {
+            4 * 1024 * 1024, 768 * 1024, 192 * 1024, 48 * 1024};
+        static constexpr Addr levelBase[4] = {0x0000000, 0x800000,
+                                              0xA00000, 0xB00000};
+        // V-cycle: 4 phases down, 4 phases up, repeating.
+        const std::uint64_t phase = (idx / 64) % 8;
+        const unsigned level =
+            static_cast<unsigned>(phase < 4 ? phase : 7 - phase);
+        const Addr levelLines = lines(levelBytes[level]);
+        const std::uint64_t element =
+            (flatWf(cu, wf) * opsPerWf + idx) % levelLines;
+        MemOp m;
+        m.addr = levelBase[level] + element * kLine;
+        m.computeCycles = 12;
+        m.isWrite = idx % 16 == 15;
+        return m;
+    }
+};
+
+/**
+ * DGEMM proxy: blocked dense matrix multiply — each phase works a
+ * 512KB tile set with very high reuse. Compute-bound, near-baseline
+ * MPKI.
+ */
+class DgemmWorkload : public Workload
+{
+  public:
+    DgemmWorkload(std::uint64_t ops, std::uint64_t seed)
+        : Workload("dgemm", false, 8, ops, seed)
+    {
+    }
+
+    MemOp
+    op(unsigned cu, unsigned wf, std::uint64_t idx) const override
+    {
+        constexpr Addr tileLines = lines(512 * 1024);
+        const std::uint64_t phase = idx / 2048; // tile working phase
+        const std::uint64_t element =
+            hashOf(cu, wf, idx, 10 + phase) % tileLines;
+        MemOp m;
+        m.addr = (phase % 16) * (tileLines * kLine) + element * kLine;
+        m.computeCycles = 20;
+        m.isWrite = uniformOf(cu, wf, idx, 11) < 0.05;
+        return m;
+    }
+};
+
+} // namespace
+
+std::vector<std::string>
+workloadNames()
+{
+    return {"comd", "dgemm", "fft",   "hpgmg",  "lulesh",
+            "minife", "snap", "spmv", "stream", "xsbench"};
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, double scale, std::uint64_t seed)
+{
+    const auto ops = [scale](std::uint64_t base) {
+        return std::max<std::uint64_t>(64,
+            static_cast<std::uint64_t>(double(base) * scale));
+    };
+    if (name == "xsbench")
+        return std::make_unique<XsbenchWorkload>(ops(4000), seed);
+    if (name == "fft")
+        return std::make_unique<FftWorkload>(ops(4000), seed);
+    if (name == "stream")
+        return std::make_unique<StreamWorkload>(ops(4000), seed);
+    if (name == "spmv")
+        return std::make_unique<SpmvWorkload>(ops(4000), seed);
+    if (name == "lulesh")
+        return std::make_unique<LuleshWorkload>(ops(3500), seed);
+    if (name == "comd")
+        return std::make_unique<ComdWorkload>(ops(3500), seed);
+    if (name == "minife")
+        return std::make_unique<MinifeWorkload>(ops(3500), seed);
+    if (name == "snap")
+        return std::make_unique<SnapWorkload>(ops(3500), seed);
+    if (name == "hpgmg")
+        return std::make_unique<HpgmgWorkload>(ops(3500), seed);
+    if (name == "dgemm")
+        return std::make_unique<DgemmWorkload>(ops(3500), seed);
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace killi

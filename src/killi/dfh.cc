@@ -1,0 +1,124 @@
+#include "killi/dfh.hh"
+
+namespace killi
+{
+
+std::string
+dfhName(Dfh state)
+{
+    switch (state) {
+      case Dfh::Stable0:
+        return "b'00";
+      case Dfh::Initial:
+        return "b'01";
+      case Dfh::Stable1:
+        return "b'10";
+      case Dfh::Disabled:
+        return "b'11";
+    }
+    return "?";
+}
+
+DfhDecision
+dfhOnStable0(SParity sp)
+{
+    switch (sp) {
+      case SParity::Ok:
+        // Table 2 row 1: no error.
+        return {Dfh::Stable0, DfhAction::SendClean};
+      case SParity::Single:
+        // Table 2 row 2: a 1-bit error discovered after training —
+        // the initial classification was incorrect. Re-learn.
+        return {Dfh::Initial, DfhAction::ErrorMiss};
+      case SParity::Multi:
+        // Table 2 row 3: multi-bit error discovered after training.
+        return {Dfh::Disabled, DfhAction::ErrorMiss};
+    }
+    return {Dfh::Disabled, DfhAction::ErrorMiss};
+}
+
+DfhDecision
+dfhOnInitial(SParity sp, bool synNonZero, bool gpMismatch)
+{
+    if (sp == SParity::Ok && !synNonZero && !gpMismatch) {
+        // Table 2: "No Error. Most frequent scenario."
+        return {Dfh::Stable0, DfhAction::SendClean, true};
+    }
+    if (sp == SParity::Single && synNonZero && gpMismatch) {
+        // Table 2: "1-bit LV error" — correct with the checkbits.
+        return {Dfh::Stable1, DfhAction::CorrectAndSend};
+    }
+    if (synNonZero && !gpMismatch) {
+        // Table 2: even number of errors (sp x-x rows) or a
+        // multi-bit error parity cannot pin down (sp ok / xx rows):
+        // the SECDED double-error signature always disables.
+        return {Dfh::Disabled, DfhAction::ErrorMiss};
+    }
+    if (sp == SParity::Multi) {
+        // Table 2: odd/even multi-bit rows with >= 2 mismatching
+        // segments disable regardless of the ECC view.
+        return {Dfh::Disabled, DfhAction::ErrorMiss};
+    }
+
+    // Combinations Table 2 leaves unspecified; conservative fills:
+    if (sp == SParity::Ok && !synNonZero && gpMismatch) {
+        // Only the ECC overall-parity checkbit disagrees: a fault in
+        // stored metadata, payload intact. Treat as one LV fault.
+        return {Dfh::Stable1, DfhAction::CorrectAndSend};
+    }
+    if (sp == SParity::Ok && synNonZero && gpMismatch) {
+        // Syndrome claims a single error yet no parity segment saw
+        // it: a checkbit-cell fault. Payload intact; one LV fault.
+        return {Dfh::Stable1, DfhAction::CorrectAndSend};
+    }
+    if (sp == SParity::Single && !synNonZero && !gpMismatch) {
+        // One parity segment disagrees but the ECC view is clean: a
+        // fault in a stored parity cell. Payload intact; keep ECC
+        // protection and remember the single metadata fault.
+        return {Dfh::Stable1, DfhAction::SendClean};
+    }
+    if (sp == SParity::Single && !synNonZero && gpMismatch) {
+        // Parity-cell fault plus overall-checkbit fault: two faults.
+        return {Dfh::Disabled, DfhAction::ErrorMiss};
+    }
+    // sp == Single && synNonZero && !gpMismatch handled above
+    // (synNonZero && !gpMismatch). Anything else: disable.
+    return {Dfh::Disabled, DfhAction::ErrorMiss};
+}
+
+DfhDecision
+dfhOnStable1(SParity sp, bool synNonZero, bool gpMismatch)
+{
+    if (synNonZero && gpMismatch) {
+        // Table 2: "Don't care / x / x -> 10": a single-bit (LV)
+        // error, corrected with the stored checkbits.
+        return {Dfh::Stable1, DfhAction::CorrectAndSend};
+    }
+    if (sp == SParity::Ok && !synNonZero && !gpMismatch) {
+        // Table 2: non-LV transient error that was subsequently
+        // overwritten — the line proves fault-free; demote and free
+        // the ECC-cache entry.
+        return {Dfh::Stable0, DfhAction::SendClean, true};
+    }
+    if (!synNonZero && !gpMismatch) {
+        // Table 2: sp x/xx with a clean ECC view — an error the ECC
+        // cannot see (likely non-LV + LV combination). Disable.
+        return {Dfh::Disabled, DfhAction::ErrorMiss};
+    }
+    if (synNonZero && !gpMismatch) {
+        // Table 2 (xx row) and the unspecified ok/x fills: an even
+        // number of errors on a line with a known fault. Disable.
+        return {Dfh::Disabled, DfhAction::ErrorMiss};
+    }
+    // !synNonZero && gpMismatch:
+    if (sp == SParity::Ok) {
+        // Unspecified: only the overall checkbit cell disagrees;
+        // payload intact. Correct it and carry on.
+        return {Dfh::Stable1, DfhAction::CorrectAndSend};
+    }
+    // Table 2: "xx / ok / x -> 11" and the single-segment fill:
+    // error on a line with an existing 1-bit LV error. Disable.
+    return {Dfh::Disabled, DfhAction::ErrorMiss};
+}
+
+} // namespace killi

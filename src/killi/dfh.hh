@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Detected Fault History (DFH) state machine — paper Tables 1 and 2.
+ *
+ * Each L2 line carries 2 DFH bits in the (nominal-voltage) tag array:
+ *
+ *   b'00 Stable0  — 0 known LV faults, 4-bit folded parity only
+ *   b'01 Initial  — unknown fault count, 16-bit parity + SECDED
+ *   b'10 Stable1  — 1 known LV fault, 4-bit parity + SECDED
+ *   b'11 Disabled — 2+ faults, never allocated until DFH reset
+ *
+ * The transition function consumes the three runtime signals of
+ * Table 2 — segmented parity (match / one segment / 2+ segments),
+ * the ECC syndrome (zero / non-zero), and the ECC global parity
+ * (match / mismatch) — and yields the next state plus the action the
+ * cache controller must take. Combinations Table 2 leaves
+ * unspecified are filled conservatively and documented inline; the
+ * unit tests in tests/killi_dfh_test.cc pin every row.
+ */
+
+#ifndef KILLI_KILLI_DFH_HH
+#define KILLI_KILLI_DFH_HH
+
+#include <cstdint>
+#include <string>
+
+namespace killi
+{
+
+/** The 2 DFH bits (values match the paper's encodings). */
+enum class Dfh : std::uint8_t
+{
+    Stable0 = 0b00,
+    Initial = 0b01,
+    Stable1 = 0b10,
+    Disabled = 0b11
+};
+
+std::string dfhName(Dfh state);
+
+/** Segmented-parity observation (Table 2 "S.Parity" column). */
+enum class SParity : std::uint8_t
+{
+    Ok,     //!< all segments match (checkmark)
+    Single, //!< exactly one segment mismatches (x)
+    Multi   //!< two or more segments mismatch (xx)
+};
+
+/** What the controller must do with the access. */
+enum class DfhAction : std::uint8_t
+{
+    SendClean,      //!< deliver the line as stored
+    CorrectAndSend, //!< apply ECC correction, deliver
+    ErrorMiss       //!< invalidate, signal error-induced miss, refetch
+};
+
+/** A Table 2 row outcome. */
+struct DfhDecision
+{
+    Dfh next;
+    DfhAction action;
+    /** The line's ECC-cache entry is no longer needed. */
+    bool freeEccEntry = false;
+};
+
+/**
+ * Transition for a load hit on a Stable0 (b'00) line: only the 4-bit
+ * folded parity is available.
+ */
+DfhDecision dfhOnStable0(SParity sp);
+
+/**
+ * Transition for a load hit (or eviction training check) on an
+ * Initial (b'01) line: full 16-bit parity plus SECDED signals.
+ *
+ * @param sp        segmented parity observation
+ * @param synNonZero SECDED syndrome non-zero ("x" in Table 2)
+ * @param gpMismatch SECDED global/extended parity mismatch
+ */
+DfhDecision dfhOnInitial(SParity sp, bool synNonZero, bool gpMismatch);
+
+/** Transition for a load hit on a Stable1 (b'10) line. */
+DfhDecision dfhOnStable1(SParity sp, bool synNonZero, bool gpMismatch);
+
+} // namespace killi
+
+#endif // KILLI_KILLI_DFH_HH

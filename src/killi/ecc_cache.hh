@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The decoupled ECC cache (paper §4.1): a small set-associative
+ * structure holding error-protection metadata for the subset of L2
+ * lines that currently need it (lines in DFH b'01 or b'10). It is
+ * indexed by the protected line's L2 set (the "same physical
+ * address"), while its tags hold the L2 (index, way) pair — cheaper
+ * than a full physical tag.
+ *
+ * Each entry stores the SECDED checkbits (11b) plus the 12 fine
+ * parity bits that overflow the L2 line during training, 41 bits per
+ * entry with the tag (paper Table 3). Because the structure is much
+ * smaller than the L2, disjoint L2 sets contend for the same ECC
+ * set; evicting a live entry forces the host to drop the L2 line it
+ * protects — the contention effect behind the Fig. 4/5 sensitivity.
+ */
+
+#ifndef KILLI_KILLI_ECC_CACHE_HH
+#define KILLI_KILLI_ECC_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace killi
+{
+
+/** Metadata for one protected L2 line. */
+struct EccEntry
+{
+    bool valid = false;
+    std::size_t l2Line = 0;  //!< protected L2 line id (index, way)
+    std::uint64_t lastUse = 0;
+    BitVec check{0};         //!< ECC checkbits for the stored data
+    BitVec fineParity{0};    //!< fine parity bits 4..15 (training)
+};
+
+class EccCache
+{
+  public:
+    static constexpr std::size_t npos = ~std::size_t{0};
+
+    /**
+     * @param entries total entry count (L2 lines / ratio)
+     * @param assoc associativity (paper: 4)
+     * @param l2_assoc ways of the host L2 (to derive the L2 set of a
+     *        line id for indexing)
+     */
+    EccCache(std::size_t entries, unsigned assoc, unsigned l2_assoc);
+
+    std::size_t numEntries() const { return table.size(); }
+    std::size_t numSets() const { return sets; }
+
+    /** Locate the entry protecting @p l2Line; nullptr if absent. */
+    EccEntry *find(std::size_t l2Line);
+    const EccEntry *find(std::size_t l2Line) const;
+
+    /** True iff @p l2Line already has an entry or its set has an
+     *  invalid slot — i.e.\ it can be hosted without evicting a live
+     *  entry (and thus without dropping another L2 line). */
+    bool canHostWithoutEviction(std::size_t l2Line) const;
+
+    /**
+     * Allocate an entry for @p l2Line (which must not already have
+     * one). If a live entry had to be evicted, its protected line id
+     * is returned through @p evictedLine (npos otherwise); the
+     * caller must drop that L2 line.
+     */
+    EccEntry *allocate(std::size_t l2Line, std::size_t &evictedLine);
+
+    /** Release the entry protecting @p l2Line (no-op if absent). */
+    void invalidate(std::size_t l2Line);
+
+    /** MRU-promote in coordination with the L2 (paper §4.4). */
+    void touch(std::size_t l2Line);
+
+    /** Drop everything (DFH reset / voltage change). */
+    void clear();
+
+    /** Live entries (reporting/tests). */
+    std::size_t validEntries() const;
+
+    StatGroup &stats() { return statGroup; }
+    const StatGroup &stats() const { return statGroup; }
+
+  private:
+    std::size_t setOf(std::size_t l2Line) const;
+
+    unsigned assoc;
+    unsigned l2Assoc;
+    std::size_t sets;
+    std::vector<EccEntry> table;
+    std::uint64_t useCounter = 0;
+    StatGroup statGroup;
+};
+
+} // namespace killi
+
+#endif // KILLI_KILLI_ECC_CACHE_HH

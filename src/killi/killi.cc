@@ -1,0 +1,521 @@
+#include "killi/killi.hh"
+
+#include "common/log.hh"
+
+namespace killi
+{
+
+namespace
+{
+constexpr std::size_t kDataBits = 512;
+/** LV-vulnerable cells per Killi line: payload + folded parity. */
+constexpr std::size_t kPhysBits = kDataBits + 4;
+} // namespace
+
+KilliProtection::KilliProtection(FaultMap &fault_map,
+                                 const KilliParams &params)
+    : faults(fault_map), p(params),
+      fineParity(kDataBits, params.segments, params.interleavedParity),
+      foldedParity(kDataBits, params.groups, params.interleavedParity),
+      secded(makeCode(CodeKind::Secded, kDataBits))
+{
+    if (params.segments % params.groups != 0)
+        fatal("Killi: groups %u must divide segments %u",
+              params.groups, params.segments);
+    if (params.dectedStable || params.writebackMode)
+        strongCode = makeCode(CodeKind::Dected, kDataBits);
+
+    statGroup.counter("reads", "protected read hits");
+    statGroup.counter("corrections", "SECDED corrections applied");
+    statGroup.counter("error_misses", "error-induced misses raised");
+    statGroup.counter("evict_trainings",
+                      "b'01 lines classified at eviction");
+    statGroup.counter("ecc_drops",
+                      "L2 lines dropped by ECC-cache eviction");
+    statGroup.counter("inverted_checks",
+                      "inverted-write fill disclosures (5.6.2)");
+    statGroup.counter("scrub_reclaims",
+                      "disabled lines released by the scrubber");
+    statGroup.counter("t_00_01", "transitions b'00 -> b'01");
+    statGroup.counter("t_00_11", "transitions b'00 -> b'11");
+    statGroup.counter("t_01_00", "transitions b'01 -> b'00");
+    statGroup.counter("t_01_10", "transitions b'01 -> b'10");
+    statGroup.counter("t_01_11", "transitions b'01 -> b'11");
+    statGroup.counter("t_10_00", "transitions b'10 -> b'00");
+    statGroup.counter("t_10_11", "transitions b'10 -> b'11");
+}
+
+std::string
+KilliProtection::name() const
+{
+    std::string n = "Killi(1:" + std::to_string(p.ratio) + ")";
+    if (p.dectedStable)
+        n += "+DECTED";
+    if (p.invertedWriteCheck)
+        n += "+invW";
+    if (p.writebackMode)
+        n += "+WB";
+    return n;
+}
+
+void
+KilliProtection::attach(L2Backdoor &backdoor, const CacheGeometry &geom)
+{
+    ProtectionScheme::attach(backdoor, geom);
+    const std::size_t entries =
+        std::max<std::size_t>(p.eccCacheAssoc,
+                              geom.numLines() / p.ratio);
+    ecc = std::make_unique<EccCache>(entries, p.eccCacheAssoc,
+                                     geom.assoc);
+    state.assign(geom.numLines(), Dfh::Initial);
+    folded.assign(geom.numLines(), BitVec(p.groups));
+    dirtyLine.assign(geom.numLines(), false);
+}
+
+void
+KilliProtection::reset()
+{
+    // Voltage change / reboot: relearn everything (paper §2.4).
+    std::fill(state.begin(), state.end(), Dfh::Initial);
+    std::fill(folded.begin(), folded.end(), BitVec(p.groups));
+    std::fill(dirtyLine.begin(), dirtyLine.end(), false);
+    ecc->clear();
+}
+
+bool
+KilliProtection::canAllocate(std::size_t lineId) const
+{
+    switch (state[lineId]) {
+      case Dfh::Disabled:
+        return false;
+      case Dfh::Stable1:
+        // A known-faulty line is only usable when its SECDED
+        // checkbits can be hosted without killing another protected
+        // line — the "(b)" capacity effect of §5.2: small ECC caches
+        // leave part of the single-fault population unusable.
+        return ecc->canHostWithoutEviction(lineId);
+      case Dfh::Stable0:
+      case Dfh::Initial:
+        return true;
+    }
+    return false;
+}
+
+int
+KilliProtection::allocPriority(std::size_t lineId) const
+{
+    if (!p.allocPriorityEnabled)
+        return 0;
+    switch (state[lineId]) {
+      case Dfh::Initial:
+        return 2;
+      case Dfh::Stable0:
+        return 1;
+      case Dfh::Stable1:
+        return 0;
+      case Dfh::Disabled:
+        break;
+    }
+    return -1;
+}
+
+void
+KilliProtection::noteTransition(Dfh from, Dfh to)
+{
+    if (from == to)
+        return;
+    const std::string key = "t_" +
+        std::string(from == Dfh::Stable0 ? "00"
+                    : from == Dfh::Initial ? "01"
+                    : from == Dfh::Stable1 ? "10" : "11") +
+        "_" +
+        std::string(to == Dfh::Stable0 ? "00"
+                    : to == Dfh::Initial ? "01"
+                    : to == Dfh::Stable1 ? "10" : "11");
+    ++statGroup.counter(key);
+}
+
+const BlockCode &
+KilliProtection::codeFor(Dfh lineState, bool isDirty) const
+{
+    // §5.2: trained faulty lines may carry DECTED in the freed
+    // parity bits. §5.6.1: dirty b'10 lines always do, so that dirty
+    // data matches the failure probability of a safe-voltage SECDED
+    // cache; dirty b'00 lines carry plain SECDED.
+    if (lineState == Dfh::Stable1 &&
+        (p.dectedStable || (p.writebackMode && isDirty))) {
+        return *strongCode;
+    }
+    return *secded;
+}
+
+void
+KilliProtection::installMetadata(std::size_t lineId, const BitVec &data,
+                                 Dfh forState)
+{
+    EccEntry *entry = ecc->find(lineId);
+    if (!entry) {
+        std::size_t evictedLine = EccCache::npos;
+        entry = ecc->allocate(lineId, evictedLine);
+        if (evictedLine != EccCache::npos) {
+            // A disjoint line loses its checkbits and cannot stay
+            // resident (§4.3): the host must drop it.
+            ++statGroup.counter("ecc_drops");
+            host->invalidateLine(evictedLine);
+        }
+    }
+    const BlockCode &code = codeFor(forState, dirtyLine[lineId]);
+    entry->check = code.encode(data);
+    if (forState == Dfh::Initial) {
+        // Fine parities 4..15 overflow into the ECC cache; the 4
+        // folded group parities live in the line itself.
+        const BitVec fine = fineParity.encode(data);
+        BitVec overflow(p.segments - p.groups);
+        for (std::size_t s = p.groups; s < p.segments; ++s)
+            overflow.set(s - p.groups, fine.get(s));
+        entry->fineParity = overflow;
+    } else {
+        entry->fineParity = BitVec(0);
+    }
+}
+
+Cycle
+KilliProtection::onFill(std::size_t lineId, const BitVec &data)
+{
+    const Dfh d = state[lineId];
+    if (d == Dfh::Disabled)
+        panic("Killi: fill into a disabled line");
+
+    dirtyLine[lineId] = false; // fills install clean data
+    folded[lineId] = foldedParity.encode(data);
+    if (d == Dfh::Initial || d == Dfh::Stable1)
+        installMetadata(lineId, data, d);
+
+    Cycle cost = 0;
+    if (d == Dfh::Initial && p.invertedWriteCheck) {
+        // §5.6.2: write -> read -> write-inverted -> read exposes
+        // every stuck cell regardless of the stored polarity. Two
+        // extra array operations; classification is then exact.
+        ++statGroup.counter("inverted_checks");
+        cost += 2;
+        const unsigned faultsSeen =
+            faults.countFaults(lineId, kPhysBits);
+        const unsigned capability = p.dectedStable
+            ? strongCode->correctsUpTo() : secded->correctsUpTo();
+        Dfh next;
+        if (faultsSeen == 0)
+            next = Dfh::Stable0;
+        else if (faultsSeen <= capability)
+            next = Dfh::Stable1;
+        else
+            next = Dfh::Disabled;
+        noteTransition(d, next);
+        state[lineId] = next;
+        if (next == Dfh::Stable0 || next == Dfh::Disabled)
+            ecc->invalidate(lineId);
+        else if (p.dectedStable)
+            installMetadata(lineId, data, Dfh::Stable1);
+        if (next == Dfh::Disabled)
+            host->invalidateLine(lineId);
+    }
+    return cost;
+}
+
+void
+KilliProtection::onWriteHit(std::size_t lineId, const BitVec &data)
+{
+    folded[lineId] = foldedParity.encode(data);
+    const Dfh d = state[lineId];
+    if (p.writebackMode) {
+        // §5.6.1: from this store until eviction the line holds the
+        // only copy; every DFH state gets checkbits on demand.
+        dirtyLine[lineId] = true;
+        installMetadata(lineId, data, d);
+        return;
+    }
+    if (d == Dfh::Initial || d == Dfh::Stable1)
+        installMetadata(lineId, data, d);
+}
+
+KilliProtection::Probes
+KilliProtection::probeLine(std::size_t lineId, const BitVec &data,
+                           Dfh current, bool isDirty) const
+{
+    Probes probes;
+    const std::vector<std::size_t> errs =
+        faults.visibleErrors(lineId, data, folded[lineId]);
+    if (errs.empty())
+        return probes; // the common fault-free fast path
+
+    // Split into payload errors and folded-parity-cell errors; the
+    // latter map onto a fine parity bit of the group they encode
+    // during training (any representative of group g works — the
+    // group's XOR flips either way) and directly onto group g after.
+    const SegmentedParity &layout =
+        current == Dfh::Initial ? fineParity : foldedParity;
+    const std::size_t perGroup = p.segments / p.groups;
+    std::vector<std::size_t> parityProbe;
+    std::vector<std::size_t> eccProbe;
+    parityProbe.reserve(errs.size());
+    for (const std::size_t pos : errs) {
+        if (pos < kDataBits) {
+            parityProbe.push_back(pos);
+            eccProbe.push_back(pos);
+            probes.dataCorrupt = true;
+        } else if (current == Dfh::Initial) {
+            const std::size_t g = pos - kDataBits;
+            const std::size_t fine =
+                p.interleavedParity ? g : g * perGroup;
+            parityProbe.push_back(kDataBits + fine);
+        } else {
+            parityProbe.push_back(pos); // group g directly
+        }
+    }
+    const ParityCheck pc = layout.probe(parityProbe);
+    probes.sp = pc.ok() ? SParity::Ok
+        : pc.single() ? SParity::Single : SParity::Multi;
+
+    if (current == Dfh::Initial || current == Dfh::Stable1 ||
+        isDirty) {
+        const BlockCode &code = codeFor(current, isDirty);
+        const DecodeResult dr = code.probe(eccProbe);
+        probes.synNonZero = dr.syndromeNonZero;
+        probes.gpMismatch = dr.globalParityMismatch;
+        probes.eccStatus = dr.status;
+    }
+    return probes;
+}
+
+DfhDecision
+KilliProtection::decideDirty(Dfh current, const Probes &probes) const
+{
+    // §5.6.1: the dirty copy is the only copy — the checkbits in the
+    // ECC cache are the sole recovery path; there is no refetch.
+    switch (probes.eccStatus) {
+      case DecodeStatus::NoError:
+        if (probes.sp == SParity::Ok)
+            return {current, DfhAction::SendClean};
+        // Parity sees what the ECC cannot: the data is gone.
+        return {Dfh::Disabled, DfhAction::ErrorMiss};
+      case DecodeStatus::Corrected:
+      case DecodeStatus::Miscorrected:
+        // A b'00 line revealing a correctable error is reclassified
+        // as faulty; its next store installs DECTED checkbits.
+        return {Dfh::Stable1, DfhAction::CorrectAndSend};
+      case DecodeStatus::DetectedUncorrectable:
+        return {Dfh::Disabled, DfhAction::ErrorMiss};
+    }
+    return {Dfh::Disabled, DfhAction::ErrorMiss};
+}
+
+DfhDecision
+KilliProtection::decideStable1Strong(const Probes &probes) const
+{
+    // §5.2 DECTED-protected trained lines: decisions follow the
+    // strong decoder's outcome rather than the SECDED Table 2 rows.
+    switch (probes.eccStatus) {
+      case DecodeStatus::NoError:
+        if (probes.sp == SParity::Ok)
+            return {Dfh::Stable0, DfhAction::SendClean, true};
+        // Parity sees an error the strong code does not: metadata
+        // cell fault or beyond-capability pattern. Disable.
+        return {Dfh::Disabled, DfhAction::ErrorMiss};
+      case DecodeStatus::Corrected:
+      case DecodeStatus::Miscorrected:
+        // The decoder believes it corrected; Miscorrected is the
+        // omniscient label and surfaces as an SDC in the oracle.
+        return {Dfh::Stable1, DfhAction::CorrectAndSend};
+      case DecodeStatus::DetectedUncorrectable:
+        return {Dfh::Disabled, DfhAction::ErrorMiss};
+    }
+    return {Dfh::Disabled, DfhAction::ErrorMiss};
+}
+
+AccessResult
+KilliProtection::onReadHit(std::size_t lineId, const BitVec &data)
+{
+    ++statGroup.counter("reads");
+    const Dfh d = state[lineId];
+    if (d == Dfh::Disabled)
+        panic("Killi: read hit on a disabled line");
+
+    const bool isDirty = p.writebackMode && dirtyLine[lineId];
+    const Probes probes = probeLine(lineId, data, d, isDirty);
+
+    DfhDecision dec;
+    if (isDirty) {
+        dec = decideDirty(d, probes);
+    } else {
+        switch (d) {
+      case Dfh::Stable0:
+        dec = dfhOnStable0(probes.sp);
+        break;
+      case Dfh::Initial:
+        if (p.dectedStable && probes.synNonZero &&
+            !probes.gpMismatch) {
+            // §5.2: the SECDED double-error signature classifies
+            // the line as 2-fault; DECTED keeps it enabled. The
+            // current content is uncorrectable -> refetch.
+            dec = {Dfh::Stable1, DfhAction::ErrorMiss};
+        } else {
+            dec = dfhOnInitial(probes.sp, probes.synNonZero,
+                               probes.gpMismatch);
+        }
+        break;
+      case Dfh::Stable1:
+        dec = p.dectedStable
+            ? decideStable1Strong(probes)
+            : dfhOnStable1(probes.sp, probes.synNonZero,
+                           probes.gpMismatch);
+        break;
+      case Dfh::Disabled:
+        dec = {Dfh::Disabled, DfhAction::ErrorMiss};
+        break;
+        }
+    }
+
+    // A believed single-error correction whose syndrome points
+    // outside the codeword is uncorrectable in hardware too.
+    if (dec.action == DfhAction::CorrectAndSend &&
+        probes.eccStatus == DecodeStatus::DetectedUncorrectable) {
+        dec.action = DfhAction::ErrorMiss;
+        dec.next = Dfh::Disabled;
+    }
+
+    noteTransition(d, dec.next);
+    state[lineId] = dec.next;
+    if (dec.freeEccEntry && !isDirty)
+        ecc->invalidate(lineId);
+
+    AccessResult res;
+    // Parity (and the hidden ECC-cache lookup) overlap the data
+    // access; latency is exposed only when error handling runs.
+    if (probes.dataCorrupt || probes.sp != SParity::Ok ||
+        probes.synNonZero || probes.gpMismatch) {
+        res.extraLatency = p.codecLatency;
+    }
+    switch (dec.action) {
+      case DfhAction::SendClean:
+        // Delivering the stored word untouched: any visible payload
+        // error that slipped past parity+ECC is a silent corruption.
+        res.sdc = probes.dataCorrupt;
+        break;
+      case DfhAction::CorrectAndSend:
+        ++statGroup.counter("corrections");
+        res.extraLatency += p.correctionLatency;
+        // probe() is omniscient: Miscorrected means the decoder
+        // "fixed" the wrong bit(s).
+        res.sdc = probes.eccStatus == DecodeStatus::Miscorrected;
+        break;
+      case DfhAction::ErrorMiss:
+        ++statGroup.counter("error_misses");
+        res.errorInducedMiss = true;
+        break;
+    }
+    return res;
+}
+
+WritebackOutcome
+KilliProtection::onWriteback(std::size_t lineId, const BitVec &data)
+{
+    WritebackOutcome out;
+    if (!p.writebackMode)
+        return out;
+    const Probes probes =
+        probeLine(lineId, data, state[lineId], /*isDirty=*/true);
+    dirtyLine[lineId] = false;
+    switch (probes.eccStatus) {
+      case DecodeStatus::NoError:
+        out.clean = probes.sp == SParity::Ok && !probes.dataCorrupt;
+        break;
+      case DecodeStatus::Corrected:
+        out.clean = true;
+        out.extraCost = p.correctionLatency;
+        ++statGroup.counter("corrections");
+        break;
+      case DecodeStatus::Miscorrected:
+      case DecodeStatus::DetectedUncorrectable:
+        out.clean = false;
+        break;
+    }
+    return out;
+}
+
+Cycle
+KilliProtection::onEvict(std::size_t lineId, const BitVec &data)
+{
+    if (state[lineId] != Dfh::Initial || !p.evictionTraining)
+        return 0;
+
+    // §4.4: read the dying line out once and classify it so the DFH
+    // bits (which persist across data blocks) are trained.
+    ++statGroup.counter("evict_trainings");
+    const Probes probes = probeLine(lineId, data, Dfh::Initial);
+    DfhDecision dec;
+    if (p.dectedStable && probes.synNonZero && !probes.gpMismatch) {
+        dec = {Dfh::Stable1, DfhAction::ErrorMiss};
+    } else {
+        dec = dfhOnInitial(probes.sp, probes.synNonZero,
+                           probes.gpMismatch);
+    }
+    noteTransition(Dfh::Initial, dec.next);
+    state[lineId] = dec.next;
+    // The data is leaving: only the learned state matters. The ECC
+    // entry is released by the host's onInvalidate that follows.
+    return p.evictReadoutCost;
+}
+
+void
+KilliProtection::onInvalidate(std::size_t lineId)
+{
+    dirtyLine[lineId] = false;
+    ecc->invalidate(lineId);
+}
+
+void
+KilliProtection::onTouch(std::size_t lineId)
+{
+    // §4.4 coordinated replacement: an L2 MRU promotion promotes the
+    // protecting ECC entry as well.
+    if (!p.coordinatedReplacement)
+        return;
+    if (state[lineId] != Dfh::Stable0 ||
+        (p.writebackMode && dirtyLine[lineId])) {
+        ecc->touch(lineId);
+    }
+}
+
+void
+KilliProtection::onMaintenance()
+{
+    // Footnote 7: disabled lines may have been the victims of
+    // transient upsets rather than persistent LV faults; a scrubber
+    // pass releases them for reclassification. Lines with real
+    // multi-bit fault populations re-disable on their first use.
+    for (Dfh &s : state) {
+        if (s == Dfh::Disabled) {
+            s = Dfh::Initial;
+            ++statGroup.counter("scrub_reclaims");
+        }
+    }
+}
+
+std::size_t
+KilliProtection::usableLines() const
+{
+    std::size_t usable = 0;
+    for (const Dfh d : state)
+        usable += d != Dfh::Disabled;
+    return usable;
+}
+
+std::array<std::size_t, 4>
+KilliProtection::dfhHistogram() const
+{
+    std::array<std::size_t, 4> hist{};
+    for (const Dfh d : state)
+        ++hist[static_cast<std::size_t>(d)];
+    return hist;
+}
+
+} // namespace killi

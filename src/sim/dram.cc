@@ -1,0 +1,25 @@
+#include "sim/dram.hh"
+
+namespace killi
+{
+
+DramModel::DramModel(const DramParams &params)
+    : p(params), channelFree(params.channels, 0)
+{
+    statGroup.counter("reads", "DRAM read accesses");
+    statGroup.counter("writes", "DRAM write accesses");
+}
+
+Tick
+DramModel::access(Addr lineAddr, bool isWrite, Tick now)
+{
+    const std::size_t channel =
+        (lineAddr / p.lineBytes) % p.channels;
+    Tick &free = channelFree[channel];
+    const Tick start = std::max(now, free);
+    free = start + p.occupancyPerAccess;
+    ++statGroup.counter(isWrite ? "writes" : "reads");
+    return start + p.latency;
+}
+
+} // namespace killi

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * A latency/bandwidth DRAM model: fixed access latency plus
+ * per-channel occupancy, with channels interleaved at cache-line
+ * granularity. This is the memory the write-through GPU L2 falls
+ * back to on misses and error-induced misses.
+ */
+
+#ifndef KILLI_SIM_DRAM_HH
+#define KILLI_SIM_DRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace killi
+{
+
+struct DramParams
+{
+    unsigned channels = 8;
+    Cycle latency = 200;        //!< pin-to-pin access latency
+    Cycle occupancyPerAccess = 4; //!< 64B burst at 16B/cycle
+    unsigned lineBytes = 64;
+};
+
+class DramModel
+{
+  public:
+    explicit DramModel(const DramParams &params);
+
+    /**
+     * Issue an access at time @p now; returns the completion time.
+     * Channel queuing is modeled through a per-channel next-free
+     * cursor (no reordering).
+     */
+    Tick access(Addr lineAddr, bool isWrite, Tick now);
+
+    StatGroup &stats() { return statGroup; }
+    const StatGroup &stats() const { return statGroup; }
+
+    std::uint64_t reads() const
+    {
+        return statGroup.counterValue("reads");
+    }
+    std::uint64_t writes() const
+    {
+        return statGroup.counterValue("writes");
+    }
+
+  private:
+    DramParams p;
+    std::vector<Tick> channelFree;
+    StatGroup statGroup;
+};
+
+} // namespace killi
+
+#endif // KILLI_SIM_DRAM_HH

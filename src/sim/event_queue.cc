@@ -1,0 +1,37 @@
+#include "sim/event_queue.hh"
+
+#include "common/log.hh"
+
+namespace killi
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb, int priority)
+{
+    if (when < now)
+        panic("EventQueue: scheduling into the past (%llu < %llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(now));
+    heap.push(Event{when, priority, seqCounter++, std::move(cb)});
+}
+
+bool
+EventQueue::run(Tick limit)
+{
+    while (!heap.empty()) {
+        if (heap.top().when > limit) {
+            now = limit;
+            return false;
+        }
+        // Move the callback out before popping so that the callback
+        // may schedule further events safely.
+        Event ev = heap.top();
+        heap.pop();
+        now = ev.when;
+        ++executed;
+        ev.cb();
+    }
+    return true;
+}
+
+} // namespace killi

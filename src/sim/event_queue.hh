@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A minimal discrete-event simulation kernel in the style of gem5's
+ * event queue: events are (tick, priority, insertion-order)-ordered
+ * callbacks. Deterministic: ties break by insertion order.
+ */
+
+#ifndef KILLI_SIM_EVENT_QUEUE_HH
+#define KILLI_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace killi
+{
+
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick curTick() const { return now; }
+
+    /** Number of events executed so far. */
+    std::uint64_t eventsExecuted() const { return executed; }
+
+    /** True iff no events are pending. */
+    bool empty() const { return heap.empty(); }
+
+    /**
+     * Schedule @p cb at absolute time @p when (>= curTick()).
+     * Lower @p priority runs earlier within a tick.
+     */
+    void schedule(Tick when, Callback cb, int priority = 0);
+
+    /** Schedule @p cb @p delta ticks from now. */
+    void
+    scheduleIn(Tick delta, Callback cb, int priority = 0)
+    {
+        schedule(now + delta, std::move(cb), priority);
+    }
+
+    /** Run events until the queue drains or @p limit is reached.
+     *  Returns true if the queue drained. */
+    bool run(Tick limit = kMaxTick);
+
+  private:
+    struct Event
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        Callback cb;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    Tick now = 0;
+    std::uint64_t seqCounter = 0;
+    std::uint64_t executed = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> heap;
+};
+
+} // namespace killi
+
+#endif // KILLI_SIM_EVENT_QUEUE_HH

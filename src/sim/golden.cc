@@ -1,0 +1,31 @@
+#include "sim/golden.hh"
+
+namespace killi
+{
+
+namespace
+{
+/** splitmix64 mixing for deterministic content generation. */
+std::uint64_t
+mix(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+} // namespace
+
+BitVec
+GoldenMemory::data(Addr lineAddr, std::uint32_t ver) const
+{
+    BitVec value(lineBits());
+    std::uint64_t state = mix(lineAddr * 0x2545f4914f6cdd1dULL + ver);
+    for (std::size_t w = 0; w < value.numWords(); ++w) {
+        state = mix(state);
+        value.setWord(w, state);
+    }
+    return value;
+}
+
+} // namespace killi

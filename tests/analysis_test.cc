@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Tests pinning the analytical models to the paper's numbers:
+ * coverage (§5.3 / Fig. 6 / §5.6.2), storage area (Tables 3, 4, 5,
+ * 7), and power (Table 6). Where the paper's own arithmetic is
+ * reproduced exactly (ECC cache bytes, area ratios) the tests assert
+ * tight tolerances; where it depends on unpublished constants the
+ * tests assert the ordering and approximate magnitudes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/area.hh"
+#include "analysis/coverage.hh"
+#include "analysis/mbist.hh"
+#include "analysis/power.hh"
+#include "common/rng.hh"
+#include "fault/voltage_model.hh"
+
+using namespace killi;
+
+// --- Coverage (Fig. 6, §5.3, §5.6.2) ---------------------------------
+
+TEST(CoverageTest, AllSchemesPerfectAtHighVoltage)
+{
+    const CoverageModel cm;
+    const VoltageModel vm;
+    const double p = vm.pCell(0.65);
+    EXPECT_GT(cm.killiCoverage(p), 99.999);
+    EXPECT_GT(cm.secdedCoverage(p), 99.99);
+    EXPECT_GT(cm.dectedCoverage(p), 99.99);
+    EXPECT_GT(cm.msEccCoverage(p), 99.999);
+}
+
+TEST(CoverageTest, KilliNearPerfectAtLowVoltage)
+{
+    // Fig. 6: below 0.6xVDD only Killi and FLAIR stay near 100%
+    // while the ECC-only schemes collapse.
+    const CoverageModel cm;
+    const VoltageModel vm;
+    for (const double v : {0.60, 0.575, 0.55}) {
+        const double p = vm.pCell(v);
+        // Both stay in Fig. 6's "near 100%" band; they trade places
+        // within it (FLAIR's DMR aliasing grows with pCell^2, Killi's
+        // window peaks at intermediate rates), while the ECC-only
+        // schemes fall out of it entirely.
+        EXPECT_GT(cm.killiCoverage(p), 99.0) << "v=" << v;
+        EXPECT_GT(cm.flairCoverage(p), 85.0) << "v=" << v;
+        EXPECT_GT(cm.killiCoverage(p), cm.secdedCoverage(p) + 5.0)
+            << "v=" << v;
+    }
+}
+
+TEST(CoverageTest, WeakSchemesCollapseAtLowVoltage)
+{
+    const CoverageModel cm;
+    const VoltageModel vm;
+    const double p = vm.pCell(0.55);
+    EXPECT_LT(cm.secdedCoverage(p), cm.dectedCoverage(p));
+    EXPECT_LT(cm.dectedCoverage(p), cm.msEccCoverage(p));
+    EXPECT_LT(cm.msEccCoverage(p), cm.killiCoverage(p));
+    EXPECT_LT(cm.secdedCoverage(p), 90.0);
+}
+
+TEST(CoverageTest, KilliFailureIsProductOfBothDetectors)
+{
+    const CoverageModel cm;
+    const double p = 1e-3;
+    EXPECT_NEAR(cm.pFailKilli(p),
+                cm.pFailSecded(p) * cm.pFailSegParity(p), 1e-15);
+    EXPECT_LT(cm.pFailKilli(p), cm.pFailSecded(p));
+    EXPECT_LT(cm.pFailKilli(p), cm.pFailSegParity(p));
+}
+
+TEST(CoverageTest, MaskedSdcWindowMatchesPaperOrder)
+{
+    // §5.6.2: ~0.003% of lines at 0.625xVDD (we assert the order of
+    // magnitude; the paper's masking assumptions are not published).
+    const CoverageModel cm;
+    const VoltageModel vm;
+    const double window = cm.maskedSdcWindow(vm.pCell(0.625));
+    EXPECT_GT(window, 0.0001);
+    EXPECT_LT(window, 0.05);
+}
+
+TEST(CoverageTest, SecdedFailureMonotoneInPcell)
+{
+    // Note: Killi's *combined* failure is deliberately not asserted
+    // monotone — at very high fault rates nearly every line has two
+    // odd segments, so segmented parity detects more, and the
+    // product P_fail(SECDED) * P_fail(Seg.Parity) can decline.
+    const CoverageModel cm;
+    double prevSecded = 0;
+    for (double p = 1e-5; p < 2e-2; p *= 2) {
+        EXPECT_GE(cm.pFailSecded(p), prevSecded);
+        prevSecded = cm.pFailSecded(p);
+    }
+}
+
+TEST(CoverageTest, EmpiricalBracketsClosedForm)
+{
+    // The paper's P_fail(Seg.Parity) expression omits mixed patterns
+    // (one odd-singleton segment plus even-error segments), so the
+    // closed form is an upper bound on coverage; the Monte-Carlo
+    // classification is the honest estimate. At low fault rates the
+    // two converge.
+    const CoverageModel cm;
+    Rng rng(17);
+    const double pHigh = 8e-3;
+    const double analytic = cm.killiCoverage(pHigh);
+    const double empirical =
+        cm.empiricalKilliCoverage(pHigh, 20000, rng);
+    EXPECT_LE(empirical, analytic + 0.2);
+    EXPECT_GT(empirical, analytic - 6.0);
+
+    const double pLow = 3e-4; // the 0.625xVDD operating point
+    EXPECT_NEAR(cm.empiricalKilliCoverage(pLow, 20000, rng),
+                cm.killiCoverage(pLow), 0.2);
+}
+
+// --- Area (Tables 3, 4, 5, 7) -----------------------------------------
+
+TEST(AreaTest, EccCacheEntryIs41Bits)
+{
+    // Paper Table 3: "ECC cache line size 41 bits".
+    EXPECT_EQ(area::eccEntryBits(CodeKind::Secded), 41u);
+}
+
+TEST(AreaTest, PaperQuotedEccCacheSizes)
+{
+    // "656B for the 1:256 ratio" and "10.25KB for the 1:16 ratio".
+    const std::size_t entries256 = area::kL2Lines / 256;
+    const std::size_t entries16 = area::kL2Lines / 16;
+    EXPECT_EQ(entries256 * area::eccEntryBits(CodeKind::Secded) / 8,
+              656u);
+    EXPECT_EQ(entries16 * area::eccEntryBits(CodeKind::Secded) / 8,
+              10496u); // 10.25 KB
+}
+
+TEST(AreaTest, Table5KilliTotals)
+{
+    // "the Killi area overhead ranges from 24.6KB (1:256) to
+    // 34.25KB (1:16)".
+    EXPECT_NEAR(area::killi(256).bytes(), 24.6 * 1024, 100);
+    EXPECT_NEAR(area::killi(16).bytes(), 34.25 * 1024, 100);
+}
+
+TEST(AreaTest, Table5Ratios)
+{
+    // Row 2 of Table 5, normalized to SECDED.
+    EXPECT_NEAR(area::killi(256).ratioVsSecded, 0.51, 0.01);
+    EXPECT_NEAR(area::killi(128).ratioVsSecded, 0.52, 0.01);
+    EXPECT_NEAR(area::killi(64).ratioVsSecded, 0.55, 0.01);
+    EXPECT_NEAR(area::killi(32).ratioVsSecded, 0.60, 0.015);
+    EXPECT_NEAR(area::killi(16).ratioVsSecded, 0.71, 0.015);
+}
+
+TEST(AreaTest, Table5PercentOverL2)
+{
+    // Row 3: SECDED 2.3%, DECTED 4.3%, Killi 1.2%..1.67%.
+    EXPECT_NEAR(area::baseline(CodeKind::Secded).pctOverL2, 2.3, 0.1);
+    EXPECT_NEAR(area::baseline(CodeKind::Dected).pctOverL2, 4.3, 0.1);
+    EXPECT_NEAR(area::baseline(CodeKind::Olsc11).pctOverL2, 38.6, 0.5);
+    EXPECT_NEAR(area::killi(256).pctOverL2, 1.20, 0.03);
+    EXPECT_NEAR(area::killi(16).pctOverL2, 1.67, 0.03);
+}
+
+TEST(AreaTest, Table4StrongerCodesInKilli)
+{
+    // Every cell of paper Table 4, at bit-count precision.
+    const struct
+    {
+        CodeKind kind;
+        std::size_t ratio;
+        double expected;
+    } cells[] = {
+        {CodeKind::Dected, 256, 0.51}, {CodeKind::Dected, 128, 0.53},
+        {CodeKind::Dected, 64, 0.55},  {CodeKind::Dected, 32, 0.61},
+        {CodeKind::Dected, 16, 0.71},  {CodeKind::Tecqed, 256, 0.52},
+        {CodeKind::Tecqed, 128, 0.54}, {CodeKind::Tecqed, 64, 0.58},
+        {CodeKind::Tecqed, 32, 0.66},  {CodeKind::Tecqed, 16, 0.82},
+        {CodeKind::Hexa, 256, 0.53},   {CodeKind::Hexa, 128, 0.56},
+        {CodeKind::Hexa, 64, 0.62},    {CodeKind::Hexa, 32, 0.74},
+        {CodeKind::Hexa, 16, 0.97},
+    };
+    for (const auto &cell : cells) {
+        EXPECT_NEAR(area::killi(cell.ratio, cell.kind).ratioVsSecded,
+                    cell.expected, 0.015)
+            << codeKindName(cell.kind) << " 1:" << cell.ratio;
+    }
+}
+
+TEST(AreaTest, Table7KilliOlscVsMsEcc)
+{
+    // 1:8 at 0.6xVDD -> ~17% of MS-ECC; 1:2 at 0.575xVDD -> ~65%.
+    EXPECT_NEAR(area::killiOlscVsMsEcc(8), 0.17, 0.02);
+    EXPECT_NEAR(area::killiOlscVsMsEcc(2), 0.65, 0.06);
+}
+
+TEST(AreaTest, OverheadMonotoneInEccCacheSize)
+{
+    double prev = 0;
+    for (const std::size_t ratio : {256, 128, 64, 32, 16}) {
+        const double r = area::killi(ratio).ratioVsSecded;
+        EXPECT_GT(r, prev);
+        prev = r;
+    }
+}
+
+// --- Power (Table 6) ---------------------------------------------------
+
+TEST(PowerTest, BaselineNormalizesToUnity)
+{
+    const auto b = power::normalized(1.0, 0.0, 1.0, 1.0, 0.0);
+    EXPECT_NEAR(b.total(), 1.0, 1e-12);
+}
+
+TEST(PowerTest, Table6Magnitudes)
+{
+    // All LV schemes land in the paper's 40-56% band at 0.625xVDD.
+    const auto killi = power::normalized(
+        0.625, 0.012, 1.0, 1.0, power::codecShare("killi"));
+    const auto flair = power::normalized(
+        0.625, 0.023, 1.0, 1.0, power::codecShare("flair"));
+    const auto dected = power::normalized(
+        0.625, 0.043, 1.0, 1.0, power::codecShare("dected"));
+    const auto msecc = power::normalized(
+        0.625, 0.39, 1.0, 1.0, power::codecShare("msecc"));
+
+    EXPECT_NEAR(killi.total(), 0.403, 0.02);
+    EXPECT_NEAR(flair.total(), 0.426, 0.02);
+    EXPECT_NEAR(dected.total(), 0.437, 0.02);
+    EXPECT_NEAR(msecc.total(), 0.553, 0.04);
+}
+
+TEST(PowerTest, Table6Ordering)
+{
+    const double killi = power::normalized(
+        0.625, 0.012, 1.0, 1.0, power::codecShare("killi")).total();
+    const double flair = power::normalized(
+        0.625, 0.023, 1.0, 1.0, power::codecShare("flair")).total();
+    const double dected = power::normalized(
+        0.625, 0.043, 1.0, 1.0, power::codecShare("dected")).total();
+    const double msecc = power::normalized(
+        0.625, 0.39, 1.0, 1.0, power::codecShare("msecc")).total();
+    EXPECT_LT(killi, flair);
+    EXPECT_LT(flair, dected);
+    EXPECT_LT(dected, msecc);
+    EXPECT_LT(msecc, 1.0);
+}
+
+TEST(PowerTest, ExtraTrafficCosts)
+{
+    const double base = power::normalized(0.625, 0.0, 1.0, 1.0, 0.0)
+        .total();
+    const double busy = power::normalized(0.625, 0.0, 1.2, 1.3, 0.0)
+        .total();
+    EXPECT_GT(busy, base);
+}
+
+// --- MBIST transition-cost model ---------------------------------------
+
+TEST(MbistTest, MarchPassScalesWithCacheAndAlgorithm)
+{
+    mbist::Params p; // 2MB, March C- (10N), 64b port
+    EXPECT_EQ(mbist::passCycles(p), 2621440u);
+
+    mbist::Params half = p;
+    half.cacheBytes /= 2;
+    EXPECT_EQ(mbist::passCycles(half), mbist::passCycles(p) / 2);
+
+    mbist::Params shortMarch = p;
+    shortMarch.marchElements = 5;
+    EXPECT_EQ(mbist::passCycles(shortMarch), mbist::passCycles(p) / 2);
+
+    mbist::Params banked = p;
+    banked.ports = 16;
+    EXPECT_EQ(mbist::passCycles(banked), mbist::passCycles(p) / 16);
+}
+
+TEST(MbistTest, MicrosecondsAtTestFrequency)
+{
+    mbist::Params p;
+    EXPECT_NEAR(mbist::passMicroseconds(p), 2621.44, 0.01);
+    p.testFreqGHz = 0.5;
+    EXPECT_NEAR(mbist::passMicroseconds(p), 5242.88, 0.01);
+}
+
+TEST(MbistTest, AmortizationShrinksWithInterval)
+{
+    mbist::Params p;
+    const double fast = mbist::amortizedOverhead(p, 100.0);
+    const double slow = mbist::amortizedOverhead(p, 100000.0);
+    EXPECT_GT(fast, 0.9);  // DVFS every 0.1ms: MBIST dominates
+    EXPECT_LT(slow, 0.03); // every 100ms: a few percent
+    EXPECT_GT(fast, slow);
+}
+
+TEST(PowerTest, LargerEccCacheCostsMore)
+{
+    // Table 6: Killi 1:256 (40.3) < 1:16 (42.4).
+    const double small = power::normalized(
+        0.625, 0.012, 1.0, 1.0, power::codecShare("killi")).total();
+    const double large = power::normalized(
+        0.625, 0.0167, 1.0, 1.0, power::codecShare("killi")).total();
+    EXPECT_LT(small, large);
+}

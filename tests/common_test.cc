@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Unit tests for the kcommon utility library: BitVec semantics and
+ * invariants, RNG determinism and distribution sanity, Config
+ * parsing, stats registry behaviour, and table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/bitvec.hh"
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+using namespace killi;
+
+TEST(BitVecTest, ConstructsZeroed)
+{
+    BitVec v(523);
+    EXPECT_EQ(v.size(), 523u);
+    EXPECT_TRUE(v.zero());
+    EXPECT_EQ(v.popcount(), 0u);
+    EXPECT_FALSE(v.parity());
+}
+
+TEST(BitVecTest, SetGetFlip)
+{
+    BitVec v(100);
+    v.set(0);
+    v.set(63);
+    v.set(64);
+    v.set(99);
+    EXPECT_TRUE(v.get(0));
+    EXPECT_TRUE(v.get(63));
+    EXPECT_TRUE(v.get(64));
+    EXPECT_TRUE(v.get(99));
+    EXPECT_FALSE(v.get(1));
+    EXPECT_EQ(v.popcount(), 4u);
+    v.flip(0);
+    EXPECT_FALSE(v.get(0));
+    v.set(99, false);
+    EXPECT_FALSE(v.get(99));
+    EXPECT_EQ(v.popcount(), 2u);
+}
+
+TEST(BitVecTest, TailMaskingInvariant)
+{
+    // Writing a full word into the last partial word must not leak
+    // bits beyond size(): popcount and parity depend on it.
+    BitVec v(65);
+    v.setWord(1, ~std::uint64_t{0});
+    EXPECT_EQ(v.popcount(), 1u);
+    EXPECT_TRUE(v.get(64));
+}
+
+TEST(BitVecTest, XorAndOr)
+{
+    BitVec a(70), b(70);
+    a.set(3);
+    a.set(68);
+    b.set(3);
+    b.set(10);
+    const BitVec x = a ^ b;
+    EXPECT_FALSE(x.get(3));
+    EXPECT_TRUE(x.get(10));
+    EXPECT_TRUE(x.get(68));
+    const BitVec an = a & b;
+    EXPECT_EQ(an.popcount(), 1u);
+    EXPECT_TRUE(an.get(3));
+    const BitVec o = a | b;
+    EXPECT_EQ(o.popcount(), 3u);
+}
+
+TEST(BitVecTest, Parity)
+{
+    BitVec v(523);
+    EXPECT_FALSE(v.parity());
+    v.set(5);
+    EXPECT_TRUE(v.parity());
+    v.set(511);
+    EXPECT_FALSE(v.parity());
+    v.set(522);
+    EXPECT_TRUE(v.parity());
+}
+
+TEST(BitVecTest, DotParityMatchesExplicitAnd)
+{
+    Rng rng(7);
+    for (int iter = 0; iter < 50; ++iter) {
+        BitVec a(523), m(523);
+        a.randomize(rng);
+        m.randomize(rng);
+        EXPECT_EQ(a.dotParity(m), (a & m).parity());
+    }
+}
+
+TEST(BitVecTest, HammingDistance)
+{
+    BitVec a(128), b(128);
+    a.set(0);
+    a.set(100);
+    b.set(100);
+    b.set(101);
+    EXPECT_EQ(a.hammingDistance(b), 2u);
+    EXPECT_EQ(a.hammingDistance(a), 0u);
+}
+
+TEST(BitVecTest, OnesPositions)
+{
+    BitVec v(130);
+    v.set(0);
+    v.set(64);
+    v.set(129);
+    const auto ones = v.onesPositions();
+    ASSERT_EQ(ones.size(), 3u);
+    EXPECT_EQ(ones[0], 0u);
+    EXPECT_EQ(ones[1], 64u);
+    EXPECT_EQ(ones[2], 129u);
+}
+
+TEST(BitVecTest, StringRoundTrip)
+{
+    Rng rng(11);
+    BitVec v(75);
+    v.randomize(rng);
+    const BitVec back = BitVec::fromString(v.toString());
+    EXPECT_EQ(back, v);
+}
+
+TEST(RngTest, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(RngTest, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    EXPECT_NE(a.next64(), b.next64());
+}
+
+TEST(RngTest, UniformInRange)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, BelowIsBounded)
+{
+    Rng rng(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 3000; ++i) {
+        const std::uint64_t v = rng.below(7);
+        EXPECT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all residues reachable
+}
+
+TEST(RngTest, BernoulliFrequency)
+{
+    Rng rng(9);
+    int hits = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(hits / double(trials), 0.3, 0.02);
+}
+
+TEST(RngTest, PoissonMean)
+{
+    Rng rng(13);
+    double sum = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i)
+        sum += rng.poisson(2.5);
+    EXPECT_NEAR(sum / trials, 2.5, 0.1);
+}
+
+TEST(ConfigTest, ParsesKeyValues)
+{
+    Config cfg;
+    const char *argv[] = {"prog", "l2.size=2097152", "ratio=256",
+                          "verbose=true", "scale=0.625"};
+    cfg.parseArgs(5, const_cast<char **>(argv));
+    EXPECT_EQ(cfg.getInt("l2.size", 0), 2097152);
+    EXPECT_EQ(cfg.getInt("ratio", 0), 256);
+    EXPECT_TRUE(cfg.getBool("verbose", false));
+    EXPECT_DOUBLE_EQ(cfg.getDouble("scale", 0.0), 0.625);
+    EXPECT_EQ(cfg.getInt("absent", 17), 17);
+    EXPECT_TRUE(cfg.has("ratio"));
+    EXPECT_FALSE(cfg.has("absent"));
+}
+
+TEST(StatsTest, CountersAccumulate)
+{
+    StatGroup stats;
+    Counter &hits = stats.counter("hits", "cache hits");
+    ++hits;
+    hits += 4;
+    EXPECT_EQ(stats.counterValue("hits"), 5u);
+    EXPECT_EQ(stats.counterValue("misses"), 0u);
+}
+
+TEST(StatsTest, SameNameSharesCounter)
+{
+    StatGroup stats;
+    ++stats.counter("x");
+    ++stats.counter("x");
+    EXPECT_EQ(stats.counterValue("x"), 2u);
+}
+
+TEST(StatsTest, FormulaEvaluatesLazily)
+{
+    StatGroup stats;
+    Counter &n = stats.counter("n");
+    stats.formula("twice", [&] { return 2.0 * n.value(); });
+    n += 3;
+    EXPECT_DOUBLE_EQ(stats.formulaValue("twice"), 6.0);
+}
+
+TEST(StatsTest, DistributionTracksMinMaxMean)
+{
+    StatGroup stats;
+    Distribution &d = stats.distribution("lat");
+    d.sample(2);
+    d.sample(10);
+    d.sample(6);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 6.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 10.0);
+}
+
+TEST(StatsTest, ResetClears)
+{
+    StatGroup stats;
+    stats.counter("c") += 9;
+    stats.distribution("d").sample(1.0);
+    stats.resetAll();
+    EXPECT_EQ(stats.counterValue("c"), 0u);
+    EXPECT_EQ(stats.distribution("d").count(), 0u);
+}
+
+TEST(StatsTest, DumpContainsEntries)
+{
+    StatGroup stats;
+    stats.counter("l2.hits", "hits") += 12;
+    std::ostringstream os;
+    stats.dump(os, "sim.");
+    EXPECT_NE(os.str().find("sim.l2.hits"), std::string::npos);
+    EXPECT_NE(os.str().find("12"), std::string::npos);
+}
+
+TEST(TableTest, RendersAligned)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"alpha", "1"});
+    t.row({"b", "22.5"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("| name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22.5"), std::string::npos);
+}
+
+TEST(TableTest, NumFormatting)
+{
+    EXPECT_EQ(TextTable::num(0.625, 3), "0.625");
+    EXPECT_EQ(TextTable::num(1.0, 1), "1.0");
+}
+
+TEST(TableTest, MismatchedRowWidthIsFatal)
+{
+    TextTable t;
+    t.header({"a", "b"});
+    EXPECT_DEATH(t.row({"only-one"}), "");
+}
+
+TEST(ConfigTest, MalformedArgumentIsFatal)
+{
+    Config cfg;
+    const char *argv[] = {"prog", "no-equals-sign"};
+    EXPECT_DEATH(cfg.parseArgs(2, const_cast<char **>(argv)), "");
+}
+
+TEST(ConfigTest, EnvironmentFallback)
+{
+    setenv("KILLI_TEST_KNOB", "17", 1);
+    Config cfg;
+    EXPECT_EQ(cfg.getInt("test.knob", 0), 17);
+    EXPECT_TRUE(cfg.has("test.knob"));
+    unsetenv("KILLI_TEST_KNOB");
+}
+
+TEST(ConfigTest, ExplicitSetWinsOverDefault)
+{
+    Config cfg;
+    cfg.set("ratio", "64");
+    EXPECT_EQ(cfg.getInt("ratio", 256), 64);
+}
+
+TEST(BitVecTest, FromStringRejectsGarbage)
+{
+    EXPECT_DEATH(BitVec::fromString("01x0"), "");
+}
+
+TEST(RngTest, ForkedStreamsDiverge)
+{
+    Rng parent(5);
+    Rng childA = parent.fork();
+    Rng childB = parent.fork();
+    EXPECT_NE(childA.next64(), childB.next64());
+}

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tests for Orthogonal Latin Square Codes: construction constraints,
+ * the orthogonality property underpinning majority decoding, t-error
+ * correction (data and checkbit errors), probe/decode equivalence,
+ * and the MS-ECC-strength t=11 instance from paper §5.5.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hh"
+#include "ecc/olsc.hh"
+
+using namespace killi;
+
+namespace
+{
+std::vector<std::size_t>
+distinctPositions(Rng &rng, std::size_t count, std::size_t bound)
+{
+    std::vector<std::size_t> positions;
+    while (positions.size() < count) {
+        const std::size_t pos = rng.below(bound);
+        if (std::find(positions.begin(), positions.end(), pos) ==
+            positions.end()) {
+            positions.push_back(pos);
+        }
+    }
+    return positions;
+}
+
+void
+applyErrors(BitVec &data, BitVec &check,
+            const std::vector<std::size_t> &positions)
+{
+    for (const std::size_t pos : positions) {
+        if (pos < data.size())
+            data.flip(pos);
+        else
+            check.flip(pos - data.size());
+    }
+}
+} // namespace
+
+TEST(OlscTest, PaperGeometry)
+{
+    // MS-ECC-strength instance: m=23, t=11 over a 512-bit line.
+    const Olsc code(512, 23, 11);
+    EXPECT_EQ(code.dataBits(), 512u);
+    EXPECT_EQ(code.checkBits(), 2u * 11 * 23);
+    EXPECT_EQ(code.correctsUpTo(), 11u);
+}
+
+TEST(OlscTest, RejectsInvalidParameters)
+{
+    EXPECT_DEATH({ Olsc bad(512, 24, 2); }, "");  // m not prime
+    EXPECT_DEATH({ Olsc bad(512, 7, 2); }, "");   // payload > m^2
+    EXPECT_DEATH({ Olsc bad(100, 11, 7); }, ""); // 2t > m+1
+}
+
+TEST(OlscTest, CleanRoundTrip)
+{
+    const Olsc code(512, 23, 3);
+    Rng rng(1);
+    for (int iter = 0; iter < 10; ++iter) {
+        BitVec data(512);
+        data.randomize(rng);
+        BitVec check = code.encode(data);
+        const BitVec golden = data;
+        const DecodeResult res = code.decode(data, check);
+        EXPECT_EQ(res.status, DecodeStatus::NoError);
+        EXPECT_EQ(data, golden);
+    }
+}
+
+class OlscCapability
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(OlscCapability, CorrectsUpToTErrors)
+{
+    const auto [t, nerr] = GetParam();
+    ASSERT_LE(nerr, t);
+    const Olsc code(512, 23, t);
+    Rng rng(50 * t + nerr);
+    for (int iter = 0; iter < 40; ++iter) {
+        BitVec data(512);
+        data.randomize(rng);
+        BitVec check = code.encode(data);
+        const BitVec goldenData = data;
+
+        const auto errs =
+            distinctPositions(rng, nerr, code.codewordBits());
+        applyErrors(data, check, errs);
+        const DecodeResult res = code.decode(data, check);
+        if (nerr == 0)
+            EXPECT_EQ(res.status, DecodeStatus::NoError);
+        else
+            EXPECT_EQ(res.status, DecodeStatus::Corrected);
+        EXPECT_EQ(data, goldenData)
+            << nerr << " errors not corrected (t=" << t << ")";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OlscCapability,
+    ::testing::Values(std::make_tuple(2u, 1u), std::make_tuple(2u, 2u),
+                      std::make_tuple(3u, 3u), std::make_tuple(5u, 5u),
+                      std::make_tuple(11u, 7u),
+                      std::make_tuple(11u, 11u)));
+
+TEST(OlscTest, CorrectsElevenScatteredErrors)
+{
+    // The headline MS-ECC capability: 11 random errors in a 64B line.
+    const Olsc code(512, 23, 11);
+    Rng rng(2);
+    for (int iter = 0; iter < 20; ++iter) {
+        BitVec data(512);
+        data.randomize(rng);
+        BitVec check = code.encode(data);
+        const BitVec golden = data;
+        const auto errs = distinctPositions(rng, 11, 512);
+        for (const std::size_t pos : errs)
+            data.flip(pos);
+        const DecodeResult res = code.decode(data, check);
+        EXPECT_EQ(res.status, DecodeStatus::Corrected);
+        EXPECT_EQ(data, golden);
+    }
+}
+
+TEST(OlscTest, OrthogonalityOfCheckGroups)
+{
+    // Any two distinct data bits may share at most one check group
+    // class — the property that bounds vote contamination to one
+    // equation per foreign error.
+    const Olsc code(512, 23, 5);
+    Rng rng(3);
+    for (int iter = 0; iter < 200; ++iter) {
+        const std::size_t a = rng.below(512);
+        std::size_t b = rng.below(512);
+        if (a == b)
+            continue;
+        // Recover co-occurrence through probe: flipping both bits
+        // must leave at least 2*2t - 2 failing equations (each bit
+        // contributes 2t, overlapping in at most one equation where
+        // both cancel).
+        const DecodeResult res = code.probe({a, b});
+        (void)res;
+        // Count directly using encode on unit vectors instead.
+        BitVec ua(512), ub(512);
+        ua.set(a);
+        ub.set(b);
+        const BitVec ca = code.encode(ua);
+        const BitVec cb = code.encode(ub);
+        const BitVec both = ca & cb;
+        EXPECT_LE(both.popcount(), 1u)
+            << "bits " << a << " and " << b << " share >1 group";
+    }
+}
+
+TEST(OlscTest, ProbeAgreesWithDecodeWithinCapability)
+{
+    const Olsc code(512, 23, 3);
+    Rng rng(4);
+    for (int iter = 0; iter < 100; ++iter) {
+        const std::size_t nerr = rng.below(4); // 0..3
+        const auto errs =
+            distinctPositions(rng, nerr, code.codewordBits());
+
+        BitVec data(512);
+        data.randomize(rng);
+        BitVec check = code.encode(data);
+        const BitVec golden = data;
+        applyErrors(data, check, errs);
+
+        const DecodeResult predicted = code.probe(errs);
+        const DecodeResult real = code.decode(data, check);
+        if (nerr == 0) {
+            EXPECT_EQ(predicted.status, DecodeStatus::NoError);
+        } else {
+            EXPECT_EQ(predicted.status, DecodeStatus::Corrected);
+            EXPECT_EQ(real.status, DecodeStatus::Corrected);
+        }
+        EXPECT_EQ(data, golden);
+    }
+}
+
+TEST(OlscTest, BeyondCapabilityNeverReportsCleanSuccess)
+{
+    const Olsc code(512, 23, 2);
+    Rng rng(5);
+    for (int iter = 0; iter < 100; ++iter) {
+        const auto errs = distinctPositions(rng, 5, 512);
+        const DecodeResult predicted = code.probe(errs);
+        EXPECT_NE(predicted.status, DecodeStatus::NoError);
+        EXPECT_NE(predicted.status, DecodeStatus::Corrected);
+    }
+}
+
+TEST(OlscTest, CheckbitErrorsAreRepaired)
+{
+    const Olsc code(512, 23, 3);
+    Rng rng(6);
+    BitVec data(512);
+    data.randomize(rng);
+    BitVec check = code.encode(data);
+    const BitVec goldenData = data;
+    const BitVec goldenCheck = check;
+    check.flip(0);
+    check.flip(30);
+    const DecodeResult res = code.decode(data, check);
+    EXPECT_EQ(res.status, DecodeStatus::Corrected);
+    EXPECT_EQ(data, goldenData);
+    EXPECT_EQ(check, goldenCheck);
+}
+
+TEST(OlscTest, SmallerWordInstance)
+{
+    // A 49-bit payload on m=7 — the per-word organization of the
+    // original MS-ECC proposal.
+    const Olsc code(49, 7, 2);
+    EXPECT_EQ(code.checkBits(), 28u);
+    Rng rng(7);
+    BitVec data(49);
+    data.randomize(rng);
+    BitVec check = code.encode(data);
+    const BitVec golden = data;
+    data.flip(3);
+    data.flip(44);
+    EXPECT_EQ(code.decode(data, check).status, DecodeStatus::Corrected);
+    EXPECT_EQ(data, golden);
+}

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Tests for segmented interleaved parity (Killi §4.1): encode/check
+ * round trips, interleaving structure, probe/check equivalence, fold
+ * consistency, and the §5.3 detection-capability properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "ecc/parity.hh"
+
+using namespace killi;
+
+namespace
+{
+/** The paper's layout: 512-bit line, 16 interleaved segments. */
+SegmentedParity
+paperParity()
+{
+    return SegmentedParity(512, 16);
+}
+} // namespace
+
+TEST(SegmentedParityTest, CleanDataChecksClean)
+{
+    const SegmentedParity sp = paperParity();
+    Rng rng(1);
+    for (int iter = 0; iter < 20; ++iter) {
+        BitVec data(512);
+        data.randomize(rng);
+        const BitVec parity = sp.encode(data);
+        EXPECT_EQ(parity.size(), 16u);
+        const ParityCheck chk = sp.check(data, parity);
+        EXPECT_TRUE(chk.ok());
+        EXPECT_EQ(chk.mismatchedSegments, 0u);
+    }
+}
+
+TEST(SegmentedParityTest, InterleavedSegmentAssignment)
+{
+    const SegmentedParity sp = paperParity();
+    // Adjacent bits must land in different segments (soft-error
+    // multi-bit clusters are adjacent).
+    for (std::size_t i = 0; i + 1 < 512; ++i)
+        EXPECT_NE(sp.segmentOf(i), sp.segmentOf(i + 1));
+    EXPECT_EQ(sp.segmentOf(0), 0u);
+    EXPECT_EQ(sp.segmentOf(17), 1u);
+}
+
+TEST(SegmentedParityTest, SingleDataErrorFlagsItsSegment)
+{
+    const SegmentedParity sp = paperParity();
+    Rng rng(2);
+    BitVec data(512);
+    data.randomize(rng);
+    const BitVec parity = sp.encode(data);
+    for (const std::size_t pos : {std::size_t{0}, std::size_t{17},
+                                  std::size_t{255}, std::size_t{511}}) {
+        BitVec corrupted = data;
+        corrupted.flip(pos);
+        const ParityCheck chk = sp.check(corrupted, parity);
+        EXPECT_TRUE(chk.single());
+        EXPECT_TRUE(chk.mismatch.get(pos % 16));
+    }
+}
+
+TEST(SegmentedParityTest, StoredParityBitErrorFlagsItsSegment)
+{
+    const SegmentedParity sp = paperParity();
+    Rng rng(3);
+    BitVec data(512);
+    data.randomize(rng);
+    BitVec parity = sp.encode(data);
+    parity.flip(5);
+    const ParityCheck chk = sp.check(data, parity);
+    EXPECT_TRUE(chk.single());
+    EXPECT_TRUE(chk.mismatch.get(5));
+}
+
+TEST(SegmentedParityTest, TwoErrorsSameSegmentAreMasked)
+{
+    // Two flips in one segment cancel: the S.Parity "blind spot" the
+    // paper closes with SECDED (Table 2).
+    const SegmentedParity sp = paperParity();
+    Rng rng(4);
+    BitVec data(512);
+    data.randomize(rng);
+    const BitVec parity = sp.encode(data);
+    BitVec corrupted = data;
+    corrupted.flip(3);       // segment 3
+    corrupted.flip(3 + 16);  // same segment
+    const ParityCheck chk = sp.check(corrupted, parity);
+    EXPECT_TRUE(chk.ok());
+}
+
+TEST(SegmentedParityTest, TwoErrorsDistinctSegmentsDetected)
+{
+    const SegmentedParity sp = paperParity();
+    Rng rng(5);
+    BitVec data(512);
+    data.randomize(rng);
+    const BitVec parity = sp.encode(data);
+    BitVec corrupted = data;
+    corrupted.flip(3);
+    corrupted.flip(4);
+    const ParityCheck chk = sp.check(corrupted, parity);
+    EXPECT_TRUE(chk.multi());
+    EXPECT_EQ(chk.mismatchedSegments, 2u);
+}
+
+TEST(SegmentedParityTest, AdjacentMultiBitSoftErrorAlwaysDetected)
+{
+    // The reason for interleaving: any burst of 2..16 adjacent flips
+    // touches that many distinct segments, all flagged.
+    const SegmentedParity sp = paperParity();
+    Rng rng(6);
+    BitVec data(512);
+    data.randomize(rng);
+    const BitVec parity = sp.encode(data);
+    for (unsigned burst = 2; burst <= 16; ++burst) {
+        BitVec corrupted = data;
+        for (unsigned i = 0; i < burst; ++i)
+            corrupted.flip(100 + i);
+        const ParityCheck chk = sp.check(corrupted, parity);
+        EXPECT_EQ(chk.mismatchedSegments, burst);
+    }
+}
+
+TEST(SegmentedParityTest, ProbeMatchesCheckOnRandomPatterns)
+{
+    const SegmentedParity sp = paperParity();
+    Rng rng(7);
+    for (int iter = 0; iter < 200; ++iter) {
+        BitVec data(512);
+        data.randomize(rng);
+        BitVec parity = sp.encode(data);
+
+        const unsigned nerr = static_cast<unsigned>(rng.below(6));
+        std::vector<std::size_t> errs;
+        BitVec cdata = data;
+        BitVec cparity = parity;
+        for (unsigned e = 0; e < nerr; ++e) {
+            // Distinct positions over the combined 528-bit space.
+            std::size_t pos;
+            bool dup;
+            do {
+                pos = rng.below(528);
+                dup = false;
+                for (const std::size_t p : errs)
+                    dup = dup || p == pos;
+            } while (dup);
+            errs.push_back(pos);
+            if (pos < 512)
+                cdata.flip(pos);
+            else
+                cparity.flip(pos - 512);
+        }
+
+        const ParityCheck real = sp.check(cdata, cparity);
+        const ParityCheck predicted = sp.probe(errs);
+        EXPECT_EQ(real.mismatchedSegments, predicted.mismatchedSegments);
+        EXPECT_EQ(real.mismatch, predicted.mismatch);
+    }
+}
+
+TEST(SegmentedParityTest, FoldIsConsistentWithCoarseLayout)
+{
+    // The 4-bit trained layout must equal parity computed directly
+    // over 128-bit-wide interleaved segments.
+    const SegmentedParity sp16 = paperParity();
+    const SegmentedParity sp4(512, 4);
+    Rng rng(8);
+    for (int iter = 0; iter < 50; ++iter) {
+        BitVec data(512);
+        data.randomize(rng);
+        const BitVec folded = sp16.fold(sp16.encode(data), 4);
+        const BitVec direct = sp4.encode(data);
+        EXPECT_EQ(folded, direct);
+    }
+}
+
+TEST(SegmentedParityTest, FoldRequiresDivisibleGroups)
+{
+    const SegmentedParity sp = paperParity();
+    BitVec parity(16);
+    EXPECT_DEATH(
+        {
+            SegmentedParity local(512, 16);
+            local.fold(parity, 5);
+        },
+        "");
+}
+
+TEST(SegmentedParityTest, OddErrorCountAlwaysDetected)
+{
+    // Property from §5.3: any odd number of errors flips the XOR of
+    // all segment parities, so at least one segment must mismatch.
+    const SegmentedParity sp = paperParity();
+    Rng rng(9);
+    for (int iter = 0; iter < 100; ++iter) {
+        const unsigned nerr = 2 * static_cast<unsigned>(rng.below(8)) + 1;
+        std::vector<std::size_t> errs;
+        while (errs.size() < nerr) {
+            const std::size_t pos = rng.below(528);
+            bool dup = false;
+            for (const std::size_t p : errs)
+                dup = dup || p == pos;
+            if (!dup)
+                errs.push_back(pos);
+        }
+        EXPECT_GE(sp.probe(errs).mismatchedSegments, 1u)
+            << "odd error count " << nerr << " went undetected";
+    }
+}
+
+TEST(SegmentedParityTest, ContiguousLayoutOption)
+{
+    const SegmentedParity sp(512, 16, /*interleave=*/false);
+    EXPECT_FALSE(sp.interleaved());
+    // Contiguous: bits 0..31 in segment 0, 32..63 in segment 1, ...
+    EXPECT_EQ(sp.segmentOf(0), 0u);
+    EXPECT_EQ(sp.segmentOf(31), 0u);
+    EXPECT_EQ(sp.segmentOf(32), 1u);
+    EXPECT_EQ(sp.segmentOf(511), 15u);
+
+    Rng rng(20);
+    BitVec data(512);
+    data.randomize(rng);
+    const BitVec parity = sp.encode(data);
+    EXPECT_TRUE(sp.check(data, parity).ok());
+}
+
+TEST(SegmentedParityTest, InterleavingIsWhatCatchesAdjacentBursts)
+{
+    // The design rationale made measurable: a 2-bit adjacent upset
+    // is invisible to contiguous segments (even count in one
+    // segment) but flags two segments when interleaved.
+    const SegmentedParity inter(512, 16, true);
+    const SegmentedParity contig(512, 16, false);
+    Rng rng(21);
+    BitVec data(512);
+    data.randomize(rng);
+    const BitVec pInter = inter.encode(data);
+    const BitVec pContig = contig.encode(data);
+
+    BitVec corrupted = data;
+    corrupted.flip(100);
+    corrupted.flip(101); // adjacent pair, same 32-bit block
+    EXPECT_EQ(inter.check(corrupted, pInter).mismatchedSegments, 2u);
+    EXPECT_EQ(contig.check(corrupted, pContig).mismatchedSegments, 0u)
+        << "contiguous parity is blind to the burst";
+}
+
+TEST(SegmentedParityTest, ContiguousFoldIsConsistent)
+{
+    const SegmentedParity fine(512, 16, false);
+    const SegmentedParity coarse(512, 4, false);
+    Rng rng(22);
+    for (int iter = 0; iter < 30; ++iter) {
+        BitVec data(512);
+        data.randomize(rng);
+        EXPECT_EQ(fine.fold(fine.encode(data), 4),
+                  coarse.encode(data));
+    }
+}
+
+// Parameterized sweep over segment counts used by the ablation bench.
+class ParitySegmentSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(ParitySegmentSweep, EncodeCheckRoundTrip)
+{
+    const std::size_t segments = GetParam();
+    const SegmentedParity sp(512, segments);
+    Rng rng(10 + segments);
+    BitVec data(512);
+    data.randomize(rng);
+    const BitVec parity = sp.encode(data);
+    EXPECT_EQ(parity.size(), segments);
+    EXPECT_TRUE(sp.check(data, parity).ok());
+
+    BitVec corrupted = data;
+    corrupted.flip(1);
+    EXPECT_TRUE(sp.check(corrupted, parity).single());
+}
+
+INSTANTIATE_TEST_SUITE_P(SegmentCounts, ParitySegmentSweep,
+                         ::testing::Values(4, 8, 16, 32, 64));

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Tests for the voltage model and fault maps: calibration anchors,
+ * monotonicity in voltage and frequency, persistence, stuck-at
+ * masking semantics, and agreement between sampled fault maps and
+ * the analytical line-fault distribution (Fig. 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitvec.hh"
+#include "common/rng.hh"
+#include "fault/fault_map.hh"
+#include "fault/voltage_model.hh"
+
+using namespace killi;
+
+TEST(VoltageModelTest, CalibrationAnchors)
+{
+    const VoltageModel vm;
+    EXPECT_NEAR(vm.pCell(0.625), 3.0e-4, 3e-6);
+    EXPECT_NEAR(vm.pCell(0.600), 6.2e-3, 6.2e-5);
+    EXPECT_NEAR(vm.pCell(0.575), 1.41e-2, 1.41e-4);
+    EXPECT_NEAR(vm.pCell(0.500), 5.0e-2, 5e-4);
+    EXPECT_LT(vm.pCell(0.700), 2e-9);
+}
+
+TEST(VoltageModelTest, MonotoneDecreasingInVoltage)
+{
+    const VoltageModel vm;
+    double prev = 1.0;
+    for (double v = 0.45; v <= 1.01; v += 0.005) {
+        const double p = vm.pCell(v);
+        EXPECT_LE(p, prev) << "pCell not monotone at v=" << v;
+        prev = p;
+    }
+}
+
+TEST(VoltageModelTest, MonotoneIncreasingInFrequency)
+{
+    const VoltageModel vm;
+    // The DAC'17 measurements: failures at f occur at all higher f.
+    EXPECT_LT(vm.pCell(0.625, 0.4), vm.pCell(0.625, 1.0));
+    EXPECT_LT(vm.pCell(0.6, 0.4), vm.pCell(0.6, 0.7));
+    EXPECT_LT(vm.pCell(0.6, 0.7), vm.pCell(0.6, 1.0));
+}
+
+TEST(VoltageModelTest, ExponentialRiseBelowKnee)
+{
+    // Section 3: below 0.675xVDD failure probability rises
+    // exponentially — each 25mV step should multiply pCell.
+    const VoltageModel vm;
+    const double r1 = vm.pCell(0.650) / vm.pCell(0.675);
+    const double r2 = vm.pCell(0.625) / vm.pCell(0.650);
+    EXPECT_GT(r1, 3.0);
+    EXPECT_GT(r2, 3.0);
+}
+
+TEST(VoltageModelTest, ReadWriteSplit)
+{
+    const VoltageModel vm;
+    const double p = vm.pCell(0.6);
+    EXPECT_NEAR(vm.pRead(0.6) + vm.pWrite(0.6), p, 1e-12);
+    EXPECT_GT(vm.pWrite(0.6), vm.pRead(0.6)); // writeability worse
+}
+
+TEST(VoltageModelTest, PaperLineFaultStatement)
+{
+    // Section 3: at 1GHz and 0.625xVDD, >95% of rows have fewer
+    // than two failures (523-bit SECDED codeword rows).
+    const VoltageModel vm;
+    const double fewer2 = vm.pLineFaults(523, 0, 0.625) +
+        vm.pLineFaults(523, 1, 0.625);
+    EXPECT_GT(fewer2, 0.95);
+}
+
+TEST(VoltageModelTest, LineFaultDistributionSumsToOne)
+{
+    const VoltageModel vm;
+    double sum = 0.0;
+    for (unsigned k = 0; k <= 30; ++k)
+        sum += vm.pLineFaults(512, k, 0.575);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_NEAR(vm.pLineAtLeast(512, 2, 0.575) +
+                    vm.pLineFaults(512, 0, 0.575) +
+                    vm.pLineFaults(512, 1, 0.575),
+                1.0, 1e-9);
+}
+
+namespace
+{
+FaultMap
+smallMap(double voltage, std::uint64_t seed = 7)
+{
+    static const VoltageModel vm;
+    FaultMap fm(2048, 720, vm, seed);
+    fm.setVoltage(voltage);
+    return fm;
+}
+} // namespace
+
+TEST(FaultMapTest, NominalVoltageIsEssentiallyFaultFree)
+{
+    FaultMap fm = smallMap(1.0);
+    const auto hist = fm.histogram(523);
+    EXPECT_EQ(hist.one + hist.twoPlus, 0u);
+}
+
+TEST(FaultMapTest, MonotoneInVoltage)
+{
+    // Every cell faulty at v must be faulty at all lower voltages.
+    static const VoltageModel vm;
+    FaultMap fm(1024, 720, vm, 11);
+    for (double vHigh : {0.65, 0.625, 0.6}) {
+        const double vLow = vHigh - 0.025;
+        fm.setVoltage(vHigh);
+        std::vector<std::vector<std::uint16_t>> before(1024);
+        for (std::size_t i = 0; i < 1024; ++i) {
+            for (const FaultCell &c : fm.lineFaults(i))
+                before[i].push_back(c.bit);
+        }
+        fm.setVoltage(vLow);
+        for (std::size_t i = 0; i < 1024; ++i) {
+            for (const std::uint16_t bit : before[i]) {
+                bool still = false;
+                for (const FaultCell &c : fm.lineFaults(i))
+                    still = still || c.bit == bit;
+                EXPECT_TRUE(still)
+                    << "fault " << bit << " of line " << i
+                    << " vanished when lowering " << vHigh << "->"
+                    << vLow;
+            }
+        }
+    }
+}
+
+TEST(FaultMapTest, PersistentAcrossQueries)
+{
+    FaultMap fm = smallMap(0.6);
+    const auto &a = fm.lineFaults(5);
+    const auto &b = fm.lineFaults(5);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].bit, b[i].bit);
+}
+
+TEST(FaultMapTest, SeedsProduceDifferentDies)
+{
+    FaultMap a = smallMap(0.575, 1);
+    FaultMap b = smallMap(0.575, 2);
+    std::size_t differing = 0;
+    for (std::size_t i = 0; i < a.numLines(); ++i)
+        differing += a.lineFaults(i).size() != b.lineFaults(i).size();
+    EXPECT_GT(differing, 0u);
+}
+
+TEST(FaultMapTest, Table7CapacityAnchors)
+{
+    // MS-ECC usable capacity (<= 11 faults over its 710-bit line):
+    // 99.8% at 0.6xVDD and 69.6% at 0.575xVDD (paper Table 7).
+    const VoltageModel vm;
+    const auto capacity = [&](double v) {
+        double sum = 0.0;
+        for (unsigned k = 0; k <= 11; ++k)
+            sum += vm.pLineFaults(710, k, v);
+        return sum;
+    };
+    EXPECT_NEAR(capacity(0.600), 0.998, 0.003);
+    EXPECT_NEAR(capacity(0.575), 0.696, 0.03);
+}
+
+TEST(FaultMapTest, HistogramMatchesBinomial)
+{
+    // The sampled per-line fault distribution must match the
+    // analytical model (Fig. 2 consistency), within sampling noise.
+    static const VoltageModel vm;
+    FaultMap fm(32768, 720, vm, 3);
+    fm.setVoltage(0.6);
+    const auto hist = fm.histogram(512);
+    const double n = 32768.0;
+    EXPECT_NEAR(hist.zero / n, vm.pLineFaults(512, 0, 0.6), 0.02);
+    EXPECT_NEAR(hist.one / n, vm.pLineFaults(512, 1, 0.6), 0.02);
+    EXPECT_NEAR(hist.twoPlus / n, vm.pLineAtLeast(512, 2, 0.6), 0.02);
+}
+
+TEST(FaultMapTest, StuckAtMaskingSemantics)
+{
+    // A stuck cell corrupts data only when the stored bit differs
+    // from the stuck value: write the stuck value -> no visible
+    // error; write the complement -> visible.
+    FaultMap fm = smallMap(0.55);
+    bool exercised = false;
+    for (std::size_t line = 0; line < fm.numLines() && !exercised;
+         ++line) {
+        for (const FaultCell &cell : fm.lineFaults(line)) {
+            if (cell.bit >= 512)
+                continue;
+            BitVec match(512);
+            match.set(cell.bit, cell.stuckValue);
+            BitVec clash(512);
+            clash.set(cell.bit, !cell.stuckValue);
+
+            const auto visMatch = fm.visibleErrors(line, match);
+            for (const std::size_t pos : visMatch)
+                EXPECT_NE(pos, std::size_t{cell.bit});
+
+            const auto visClash = fm.visibleErrors(line, clash);
+            bool found = false;
+            for (const std::size_t pos : visClash)
+                found = found || pos == cell.bit;
+            EXPECT_TRUE(found);
+            exercised = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(exercised) << "no faulty line found at 0.55xVDD";
+}
+
+TEST(FaultMapTest, TwoPartVisibleErrorsMatchesConcatenation)
+{
+    FaultMap fm = smallMap(0.5);
+    Rng rng(9);
+    for (std::size_t line = 0; line < 64; ++line) {
+        BitVec data(512);
+        data.randomize(rng);
+        BitVec meta(21);
+        meta.randomize(rng);
+
+        BitVec combined(533);
+        for (std::size_t i = 0; i < 512; ++i)
+            combined.set(i, data.get(i));
+        for (std::size_t i = 0; i < 21; ++i)
+            combined.set(512 + i, meta.get(i));
+
+        EXPECT_EQ(fm.visibleErrors(line, combined),
+                  fm.visibleErrors(line, data, meta));
+    }
+}
+
+TEST(FaultMapTest, ApplyFaultsFlipsExactlyVisibleErrors)
+{
+    FaultMap fm = smallMap(0.5);
+    Rng rng(10);
+    for (std::size_t line = 0; line < 128; ++line) {
+        BitVec data(720);
+        data.randomize(rng);
+        const auto vis = fm.visibleErrors(line, data);
+        BitVec mutated = data;
+        const unsigned flips = fm.applyFaults(line, mutated);
+        EXPECT_EQ(flips, vis.size());
+        EXPECT_EQ(mutated.hammingDistance(data), vis.size());
+        for (const std::size_t pos : vis)
+            EXPECT_NE(mutated.get(pos), data.get(pos));
+    }
+}
+
+TEST(FaultMapTest, CountFaultsRespectsPrefix)
+{
+    FaultMap fm = smallMap(0.5);
+    for (std::size_t line = 0; line < 256; ++line) {
+        EXPECT_LE(fm.countFaults(line, 512), fm.countFaults(line, 720));
+        EXPECT_EQ(fm.countFaults(line, 720), fm.lineFaults(line).size());
+    }
+}

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the simulation kernel: event ordering and determinism,
+ * DRAM latency/occupancy behaviour, and the golden-memory oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/dram.hh"
+#include "sim/event_queue.hh"
+#include "sim/golden.hh"
+
+using namespace killi;
+
+TEST(EventQueueTest, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueueTest, TiesBreakByPriorityThenInsertion)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] { order.push_back(1); }, 0);
+    eq.schedule(5, [&] { order.push_back(2); }, -1); // runs first
+    eq.schedule(5, [&] { order.push_back(3); }, 0);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{2, 1, 3}));
+}
+
+TEST(EventQueueTest, CallbacksMayScheduleMore)
+{
+    EventQueue eq;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        if (++fired < 5)
+            eq.scheduleIn(2, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(eq.curTick(), 8u);
+}
+
+TEST(EventQueueTest, RunHonoursLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(100, [&] { ++fired; });
+    EXPECT_FALSE(eq.run(50));
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.curTick(), 50u);
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, SchedulingIntoThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [&] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(5, [] {}), "");
+}
+
+TEST(DramTest, LatencyApplied)
+{
+    DramParams p;
+    p.latency = 200;
+    p.occupancyPerAccess = 4;
+    DramModel dram(p);
+    EXPECT_EQ(dram.access(0, false, 100), 300u);
+}
+
+TEST(DramTest, ChannelOccupancySerializes)
+{
+    DramParams p;
+    p.channels = 1;
+    p.latency = 100;
+    p.occupancyPerAccess = 4;
+    DramModel dram(p);
+    const Tick t1 = dram.access(0, false, 0);
+    const Tick t2 = dram.access(64, false, 0);
+    const Tick t3 = dram.access(128, false, 0);
+    EXPECT_EQ(t1, 100u);
+    EXPECT_EQ(t2, 104u); // queued behind the first burst
+    EXPECT_EQ(t3, 108u);
+}
+
+TEST(DramTest, ChannelsInterleaveByLine)
+{
+    DramParams p;
+    p.channels = 2;
+    p.latency = 100;
+    p.occupancyPerAccess = 4;
+    DramModel dram(p);
+    const Tick a = dram.access(0, false, 0);   // channel 0
+    const Tick b = dram.access(64, false, 0);  // channel 1
+    EXPECT_EQ(a, 100u);
+    EXPECT_EQ(b, 100u); // no queuing across channels
+}
+
+TEST(DramTest, CountsReadsAndWrites)
+{
+    DramModel dram(DramParams{});
+    dram.access(0, false, 0);
+    dram.access(0, true, 0);
+    dram.access(64, true, 0);
+    EXPECT_EQ(dram.reads(), 1u);
+    EXPECT_EQ(dram.writes(), 2u);
+}
+
+TEST(GoldenMemoryTest, DeterministicContent)
+{
+    GoldenMemory mem;
+    const BitVec a = mem.data(0x1000, 0);
+    const BitVec b = mem.data(0x1000, 0);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.size(), 512u);
+}
+
+TEST(GoldenMemoryTest, VersionsChangeContent)
+{
+    GoldenMemory mem;
+    const BitVec v0 = mem.data(0x40, 0);
+    EXPECT_EQ(mem.version(0x40), 0u);
+    EXPECT_EQ(mem.write(0x40), 1u);
+    const BitVec v1 = mem.data(0x40);
+    EXPECT_NE(v0, v1);
+    EXPECT_EQ(mem.data(0x40, 0), v0); // old versions reproducible
+}
+
+TEST(GoldenMemoryTest, DistinctLinesDiffer)
+{
+    GoldenMemory mem;
+    EXPECT_NE(mem.data(0, 0), mem.data(64, 0));
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the trace-driven workload: parsing (records, comments,
+ * hex/dec addresses, ragged streams, malformed input), the
+ * write/replay round trip against a synthetic workload, and a full
+ * GpuSystem run driven by a trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cache/protection.hh"
+#include "gpu/gpu_system.hh"
+#include "gpu/trace_workload.hh"
+
+using namespace killi;
+
+TEST(TraceTest, ParsesBasicRecords)
+{
+    std::istringstream in(
+        "# demo trace\n"
+        "0 0 R 0x1000 5\n"
+        "0 0 W 4096 2\n"
+        "0 1 R 0x2000\n");
+    const auto wl = TraceWorkload::fromStream(in, "demo");
+    EXPECT_EQ(wl->opsFor(0, 0), 2u);
+    EXPECT_EQ(wl->opsFor(0, 1), 1u);
+    EXPECT_EQ(wl->totalOps(), 3u);
+
+    const MemOp a = wl->op(0, 0, 0);
+    EXPECT_EQ(a.addr, 0x1000u);
+    EXPECT_FALSE(a.isWrite);
+    EXPECT_EQ(a.computeCycles, 5u);
+
+    const MemOp b = wl->op(0, 0, 1);
+    EXPECT_EQ(b.addr, 4096u);
+    EXPECT_TRUE(b.isWrite);
+
+    const MemOp c = wl->op(0, 1, 0);
+    EXPECT_EQ(c.computeCycles, 0u); // compute column optional
+}
+
+TEST(TraceTest, InlineCommentsAndBlankLines)
+{
+    std::istringstream in(
+        "\n"
+        "0 0 R 0x40 1  # first load\n"
+        "   # a full-line comment\n"
+        "0 0 R 0x80 1\n");
+    const auto wl = TraceWorkload::fromStream(in, "c");
+    EXPECT_EQ(wl->opsFor(0, 0), 2u);
+}
+
+TEST(TraceTest, RaggedStreamsAreSupported)
+{
+    std::istringstream in(
+        "0 0 R 0x00 1\n"
+        "0 0 R 0x40 1\n"
+        "0 0 R 0x80 1\n"
+        "1 2 W 0xC0 1\n");
+    const auto wl = TraceWorkload::fromStream(in, "ragged");
+    EXPECT_EQ(wl->opsFor(0, 0), 3u);
+    EXPECT_EQ(wl->opsFor(1, 2), 1u);
+    EXPECT_EQ(wl->opsFor(1, 0), 0u); // absent stream
+    EXPECT_EQ(wl->wavefrontsPerCu(), 3u);
+    EXPECT_EQ(wl->opsPerWavefront(), 3u); // the longest stream
+}
+
+TEST(TraceTest, MalformedOpIsFatal)
+{
+    std::istringstream in("0 0 X 0x1000\n");
+    EXPECT_DEATH(TraceWorkload::fromStream(in, "bad"), "");
+}
+
+TEST(TraceTest, EmptyTraceIsFatal)
+{
+    std::istringstream in("# nothing here\n");
+    EXPECT_DEATH(TraceWorkload::fromStream(in, "empty"), "");
+}
+
+TEST(TraceTest, MissingFileIsFatal)
+{
+    EXPECT_DEATH(TraceWorkload::fromFile("/nonexistent/trace.txt"),
+                 "");
+}
+
+TEST(TraceTest, OutOfRangeOpIsFatal)
+{
+    std::istringstream in("0 0 R 0x0 1\n");
+    const auto wl = TraceWorkload::fromStream(in, "t");
+    EXPECT_DEATH(wl->op(0, 0, 5), "");
+}
+
+TEST(TraceTest, RoundTripMatchesSyntheticWorkload)
+{
+    // Export a synthetic workload, re-parse it, and verify every op
+    // is bit-identical.
+    const auto original = makeWorkload("spmv", 0.01);
+    std::stringstream buffer;
+    writeTrace(buffer, *original, /*cus=*/2);
+    const auto replay = TraceWorkload::fromStream(buffer, "replay");
+
+    for (unsigned cu = 0; cu < 2; ++cu) {
+        for (unsigned wf = 0; wf < original->wavefrontsPerCu(); ++wf) {
+            ASSERT_EQ(replay->opsFor(cu, wf),
+                      original->opsPerWavefront());
+            for (std::uint64_t i = 0; i < original->opsPerWavefront();
+                 ++i) {
+                const MemOp a = original->op(cu, wf, i);
+                const MemOp b = replay->op(cu, wf, i);
+                EXPECT_EQ(a.addr, b.addr);
+                EXPECT_EQ(a.isWrite, b.isWrite);
+                EXPECT_EQ(a.computeCycles, b.computeCycles);
+            }
+        }
+    }
+}
+
+TEST(TraceTest, ReplayedRunMatchesSyntheticRun)
+{
+    // The simulator must be indistinguishable between a synthetic
+    // workload and its exported trace.
+    GpuParams gp;
+    gp.numCus = 2;
+    const auto original = makeWorkload("dgemm", 0.01);
+    std::stringstream buffer;
+    writeTrace(buffer, *original, gp.numCus);
+    const auto replay = TraceWorkload::fromStream(buffer, "replay");
+
+    FaultFreeProtection p1, p2;
+    const RunResult a = GpuSystem(gp, p1, *original).run();
+    const RunResult b = GpuSystem(gp, p2, *replay).run();
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.l2ReadMisses, b.l2ReadMisses);
+    EXPECT_EQ(a.dramWrites, b.dramWrites);
+}
+
+TEST(TraceTest, RunsThroughFullSystem)
+{
+    std::stringstream trace;
+    trace << "# two CUs hammering a shared line plus private data\n";
+    for (int i = 0; i < 200; ++i) {
+        trace << "0 0 R 0x" << std::hex << (0x1000 + 64 * (i % 16))
+              << std::dec << " 3\n";
+        trace << "1 0 " << (i % 4 == 0 ? 'W' : 'R') << " 0x"
+              << std::hex << (0x8000 + 64 * (i % 8)) << std::dec
+              << " 2\n";
+    }
+    const auto wl = TraceWorkload::fromStream(trace, "hammer");
+    GpuParams gp;
+    gp.numCus = 2;
+    FaultFreeProtection prot;
+    const RunResult r = GpuSystem(gp, prot, *wl).run();
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_EQ(r.sdc, 0u);
+    EXPECT_GT(r.l2ReadHits + r.l2ReadMisses, 0u);
+}

@@ -10,15 +10,21 @@
  *  - ECC-cache associativity (2 / 4 / 8);
  *  - the §5.6.2 inverted-write masked-fault mitigation;
  *  - the §5.2 DECTED-strength trained-line upgrade.
+ *
+ * Every (workload, variant) point runs as an isolated job on the
+ * experiment runner; `jobs=N` parallelizes the study with identical
+ * tables, and results land in results/ablation_killi.json.
  */
 
 #include <iostream>
 
 #include "bench/sweep.hh"
+#include "common/log.hh"
 #include "common/table.hh"
 #include "fault/fault_map.hh"
 #include "fault/voltage_model.hh"
 #include "killi/killi.hh"
+#include "runner/runner.hh"
 
 using namespace killi;
 
@@ -83,55 +89,136 @@ variants()
     return list;
 }
 
+/** One finished (workload, variant) point. */
+struct VariantRun
+{
+    bool ok = false;
+    RunResult result;
+    std::uint64_t eccDrops = 0;
+    std::size_t disabled = 0;
+};
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    Config cfg;
-    cfg.parseArgs(argc, argv);
-    const double scale = cfg.getDouble("scale", 0.5);
-    const unsigned warmup =
-        static_cast<unsigned>(cfg.getInt("warmup", 1));
-    const double voltage = cfg.getDouble("voltage", 0.625);
-    const std::uint64_t seed =
-        static_cast<std::uint64_t>(cfg.getInt("seed", 42));
+    Options opts("ablation_killi",
+                 "Killi design-choice ablations on the two most "
+                 "sensitive workloads");
+    opts.add<double>("scale", 0.5, "workload length multiplier")
+        .range(0.001, 1000.0);
+    opts.add<unsigned>("warmup", 1u,
+                       "warmup passes excluded from stats")
+        .range(0u, 16u);
+    opts.add<double>("voltage", 0.625, "normalized L2 supply")
+        .range(0.5, 1.0);
+    opts.add<std::uint64_t>("seed", std::uint64_t{42},
+                            "fault-map die seed");
+    opts.add<unsigned>("jobs", 1u,
+                       "concurrent ablation points (0 = all hardware "
+                       "threads)")
+        .range(0u, 1024u);
+    opts.add<unsigned>("retries", 1u,
+                       "extra attempts before a failed point is "
+                       "skipped")
+        .range(0u, 10u);
+    opts.add("json", "results/ablation_killi.json",
+             "machine-readable results path (empty string disables)");
+    opts.parse(argc, argv);
 
-    const VoltageModel model;
-    GpuParams gp;
-    FaultMap faults(gp.l2Geom.numLines(), 720, model, seed);
-    faults.setVoltage(voltage);
+    const double scale = opts.get<double>("scale");
+    const unsigned warmup = opts.get<unsigned>("warmup");
+    const double voltage = opts.get<double>("voltage");
+    const std::uint64_t seed = opts.get<std::uint64_t>("seed");
 
     std::cout << "=== Killi design-choice ablations @ " << voltage
               << "xVDD (scale=" << scale << ", warmup=" << warmup
               << ") ===\n\n";
 
-    for (const char *wlName : {"xsbench", "fft"}) {
-        const auto wl = makeWorkload(wlName, scale);
+    const std::vector<const char *> workloads{"xsbench", "fft"};
+    const std::vector<Variant> list = variants();
 
-        FaultFreeProtection baseProt;
-        GpuSystem baseSys(gp, baseProt, *wl);
-        const RunResult base = baseSys.run(warmup);
+    // Index-addressed result slots: [workload] -> baseline + one
+    // VariantRun per variant; every job owns exactly one slot.
+    std::vector<RunResult> baselines(workloads.size());
+    std::vector<std::vector<VariantRun>> runs(
+        workloads.size(), std::vector<VariantRun>(list.size()));
 
-        std::cout << "--- " << wlName << " (baseline "
+    std::vector<Job> jobs;
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        const std::string wlName = workloads[wi];
+        jobs.push_back(
+            {wlName + "/baseline", [&, wi, wlName] {
+                 const auto wl = makeWorkload(wlName, scale);
+                 GpuParams gp;
+                 FaultFreeProtection prot;
+                 GpuSystem sys(gp, prot, *wl);
+                 baselines[wi] = sys.run(warmup);
+             }});
+        for (std::size_t vi = 0; vi < list.size(); ++vi) {
+            jobs.push_back(
+                {wlName + "/" + list[vi].name, [&, wi, vi, wlName] {
+                     const VoltageModel model;
+                     GpuParams gp;
+                     FaultMap faults(gp.l2Geom.numLines(), 720,
+                                     model, seed);
+                     faults.setVoltage(voltage);
+                     const auto wl = makeWorkload(wlName, scale);
+                     KilliProtection prot(faults, list[vi].params);
+                     GpuSystem sys(gp, prot, *wl);
+                     VariantRun &slot = runs[wi][vi];
+                     slot.result = sys.run(warmup);
+                     slot.eccDrops =
+                         prot.stats().counterValue("ecc_drops");
+                     slot.disabled = prot.dfhHistogram()[3];
+                     slot.ok = true;
+                 }});
+        }
+    }
+
+    RunnerOptions ropt;
+    ropt.jobs = opts.get<unsigned>("jobs");
+    ropt.retries = opts.get<unsigned>("retries");
+    ExperimentRunner runner(ropt);
+    const CampaignReport campaign = runner.run(jobs);
+    campaign.warnOnFailures();
+
+    Json resultArray = Json::array();
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        const RunResult &base = baselines[wi];
+        std::cout << "--- " << workloads[wi] << " (baseline "
                   << base.cycles << " cycles) ---\n";
         TextTable table;
         table.header({"variant", "norm. time", "MPKI", "err misses",
                       "ECC drops", "SDC", "disabled"});
-        for (const Variant &variant : variants()) {
-            KilliProtection prot(faults, variant.params);
-            GpuSystem sys(gp, prot, *wl);
-            const RunResult r = sys.run(warmup);
-            const auto hist = prot.dfhHistogram();
+        for (std::size_t vi = 0; vi < list.size(); ++vi) {
+            const VariantRun &run = runs[wi][vi];
+            if (!run.ok) {
+                table.row({list[vi].name, "n/a", "n/a", "n/a", "n/a",
+                           "n/a", "n/a"});
+                continue;
+            }
             table.row(
-                {variant.name,
-                 TextTable::num(double(r.cycles) / double(base.cycles),
+                {list[vi].name,
+                 TextTable::num(double(run.result.cycles) /
+                                    double(base.cycles),
                                 4),
-                 TextTable::num(r.mpki(), 2),
-                 std::to_string(r.l2ErrorMisses),
-                 std::to_string(
-                     prot.stats().counterValue("ecc_drops")),
-                 std::to_string(r.sdc), std::to_string(hist[3])});
+                 TextTable::num(run.result.mpki(), 2),
+                 std::to_string(run.result.l2ErrorMisses),
+                 std::to_string(run.eccDrops),
+                 std::to_string(run.result.sdc),
+                 std::to_string(run.disabled)});
+
+            Json entry = Json::object();
+            entry.set("workload", Json::string(workloads[wi]));
+            entry.set("variant", Json::string(list[vi].name));
+            entry.set("baseline", base.toJson());
+            entry.set("result", run.result.toJson());
+            entry.set("ecc_drops", Json::number(run.eccDrops));
+            entry.set("disabled",
+                      Json::number(std::uint64_t(run.disabled)));
+            resultArray.push(std::move(entry));
         }
         table.print(std::cout);
         std::cout << "\n";
@@ -143,5 +230,16 @@ main(int argc, char **argv)
                  "faster training;\ninverted-write eliminates SDCs "
                  "at a small fill cost; DECTED-stable re-enables\n"
                  "two-fault lines at zero storage cost.\n";
+
+    const std::string jsonPath = opts.get<std::string>("json");
+    if (!jsonPath.empty()) {
+        Json doc = Json::object();
+        doc.set("bench", Json::string(opts.program()));
+        doc.set("options", opts.toJson());
+        doc.set("variants", std::move(resultArray));
+        doc.set("campaign", campaign.toJson());
+        writeJsonFile(jsonPath, doc);
+        inform("wrote %s", jsonPath.c_str());
+    }
     return 0;
 }

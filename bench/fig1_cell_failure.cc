@@ -12,7 +12,7 @@
 #include <cstdio>
 #include <iostream>
 
-#include "common/config.hh"
+#include "bench/report.hh"
 #include "common/table.hh"
 #include "fault/voltage_model.hh"
 
@@ -21,10 +21,17 @@ using namespace killi;
 int
 main(int argc, char **argv)
 {
-    Config cfg;
-    cfg.parseArgs(argc, argv);
-    const double freqLo = cfg.getDouble("freq.lo", 0.4);
-    const double freqHi = cfg.getDouble("freq.hi", 1.0);
+    Options opts("fig1_cell_failure",
+                 "Figure 1: SRAM cell failure probability vs "
+                 "normalized VDD");
+    const auto &freqLo =
+        opts.add<double>("freq.lo", 0.4, "low frequency curve (GHz)")
+            .range(0.1, 10.0);
+    const auto &freqHi =
+        opts.add<double>("freq.hi", 1.0, "high frequency curve (GHz)")
+            .range(0.1, 10.0);
+    declareJsonOption(opts, "fig1_cell_failure");
+    opts.parse(argc, argv);
 
     const VoltageModel model;
 
@@ -56,5 +63,7 @@ main(int argc, char **argv)
                               model.pLineFaults(523, 1, 0.625)),
                      2)
               << "%).\n";
+
+    writeBenchReport(opts, {{"table", table.toJson()}});
     return 0;
 }

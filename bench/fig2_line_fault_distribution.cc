@@ -8,7 +8,7 @@
 
 #include <iostream>
 
-#include "common/config.hh"
+#include "bench/report.hh"
 #include "common/table.hh"
 #include "fault/fault_map.hh"
 #include "fault/voltage_model.hh"
@@ -18,15 +18,21 @@ using namespace killi;
 int
 main(int argc, char **argv)
 {
-    Config cfg;
-    cfg.parseArgs(argc, argv);
-    const std::uint64_t seed =
-        static_cast<std::uint64_t>(cfg.getInt("seed", 42));
-    const std::size_t lineBits =
-        static_cast<std::size_t>(cfg.getInt("line.bits", 512));
+    Options opts("fig2_line_fault_distribution",
+                 "Figure 2: % lines with 0 / 1 / 2+ faults vs "
+                 "normalized VDD");
+    const auto &seed = opts.add<std::uint64_t>(
+        "seed", 42, "fault map sampling seed");
+    const auto &lineBits =
+        opts.add<std::uint64_t>("line.bits", 512,
+                                "data bits per line for the binomial")
+            .range(1, 4096);
+    declareJsonOption(opts, "fig2_line_fault_distribution");
+    opts.parse(argc, argv);
 
     const VoltageModel model;
     FaultMap map(32768, 720, model, seed);
+    const auto bits = static_cast<std::size_t>(lineBits.value());
 
     std::cout << "=== Figure 2: % lines with 0 / 1 / 2+ faults vs "
                  "normalized VDD (64B line) ===\n\n";
@@ -35,23 +41,25 @@ main(int argc, char **argv)
                   "zero(die)", "one(die)", "2+(die)"});
     for (double v = 0.50; v <= 0.7001; v += 0.025) {
         map.setVoltage(v);
-        const auto hist = map.histogram(lineBits);
+        const auto hist = map.histogram(bits);
         const double n = double(map.numLines());
         table.row({TextTable::num(v, 3),
                    TextTable::num(
-                       100 * model.pLineFaults(lineBits, 0, v), 3),
+                       100 * model.pLineFaults(bits, 0, v), 3),
                    TextTable::num(
-                       100 * model.pLineFaults(lineBits, 1, v), 3),
+                       100 * model.pLineFaults(bits, 1, v), 3),
                    TextTable::num(
-                       100 * model.pLineAtLeast(lineBits, 2, v), 3),
+                       100 * model.pLineAtLeast(bits, 2, v), 3),
                    TextTable::num(100 * hist.zero / n, 3),
                    TextTable::num(100 * hist.one / n, 3),
                    TextTable::num(100 * hist.twoPlus / n, 3)});
     }
     table.print(std::cout);
     std::cout << "\nThe \"die\" columns sample one fault map (seed "
-              << seed << ") of the 2MB L2;\nKilli's operating point "
-                 "is 0.625xVDD where the majority of lines are "
+              << seed.value() << ") of the 2MB L2;\nKilli's operating "
+                 "point is 0.625xVDD where the majority of lines are "
                  "fault-free.\n";
+
+    writeBenchReport(opts, {{"table", table.toJson()}});
     return 0;
 }

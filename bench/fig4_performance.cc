@@ -9,6 +9,10 @@
  * baseline; Killi's penalty regulated by the ECC-cache size, with
  * the memory-bound, capacity-sensitive workloads (XSBench, FFT)
  * showing the largest 1:256 penalties.
+ *
+ * Run with --help for the sweep knobs; `jobs=N` runs N sweep points
+ * concurrently with bit-identical tables, and the full per-point
+ * results land in results/fig4_performance.json.
  */
 
 #include <cmath>
@@ -22,39 +26,54 @@ using namespace killi;
 int
 main(int argc, char **argv)
 {
-    Config cfg;
-    cfg.parseArgs(argc, argv);
-    const SweepOptions opt = sweepOptions(cfg);
+    Options opts("fig4_performance",
+                 "Figure 4: normalized GPU kernel execution time "
+                 "across LV protection schemes");
+    declareSweepOptions(opts, "fig4_performance");
+    opts.parse(argc, argv);
+    const SweepOptions opt = sweepOptions(opts);
 
     std::cout << "=== Figure 4: normalized GPU kernel execution time "
                  "(baseline = fault-free @ 1.0xVDD) ===\n"
               << "    L2 @ " << opt.voltage << "xVDD, 1GHz; scale="
               << opt.scale << ", warmup=" << opt.warmupPasses
-              << "\n\n";
+              << ", jobs=" << opt.jobs << "\n\n";
 
-    const auto sweeps = runEvaluationSweep(opt);
+    const SweepResult res = runEvaluationSweep(opt);
+    const auto &sweeps = res.workloads;
 
     TextTable table;
     std::vector<std::string> header{"workload"};
-    for (const auto &name : sweepSchemeNames())
-        header.push_back(name);
+    for (const SchemeRun &run : sweeps.front().schemes)
+        header.push_back(run.scheme);
     table.header(header);
 
-    std::vector<double> logSum(sweepSchemeNames().size(), 0.0);
+    const std::size_t numSchemes = sweeps.front().schemes.size();
+    std::vector<double> logSum(numSchemes, 0.0);
+    std::vector<std::size_t> logCount(numSchemes, 0);
     for (const auto &sweep : sweeps) {
         std::vector<std::string> row{sweep.workload};
         for (std::size_t i = 0; i < sweep.schemes.size(); ++i) {
-            const double norm =
-                double(sweep.schemes[i].result.cycles) /
+            const SchemeRun &run = sweep.schemes[i];
+            if (!run.ok) {
+                row.push_back("n/a");
+                continue;
+            }
+            const double norm = double(run.result.cycles) /
                 double(sweep.baseline.cycles);
             logSum[i] += std::log(norm);
+            ++logCount[i];
             row.push_back(TextTable::num(norm, 4));
         }
         table.row(std::move(row));
     }
     std::vector<std::string> geo{"geomean"};
-    for (const double s : logSum)
-        geo.push_back(TextTable::num(std::exp(s / sweeps.size()), 4));
+    for (std::size_t i = 0; i < numSchemes; ++i) {
+        geo.push_back(logCount[i]
+                          ? TextTable::num(
+                                std::exp(logSum[i] / logCount[i]), 4)
+                          : "n/a");
+    }
     table.row(std::move(geo));
     table.print(std::cout);
 
@@ -62,12 +81,14 @@ main(int argc, char **argv)
                  "are the documented 5.6.2 window):\n";
     for (const auto &sweep : sweeps) {
         for (const auto &run : sweep.schemes) {
-            if (run.result.sdc) {
+            if (run.ok && run.result.sdc) {
                 std::cout << "  " << sweep.workload << " / "
                           << run.scheme << ": " << run.result.sdc
                           << " corrupted reads\n";
             }
         }
     }
+
+    writeSweepJson(opts, opt, res);
     return 0;
 }

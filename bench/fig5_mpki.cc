@@ -6,6 +6,9 @@
  * (MPKI > 100). MS-ECC tracks the fault-free baseline closest
  * (highest usable capacity); Killi's MPKI shrinks as the ECC cache
  * grows.
+ *
+ * Run with --help for the sweep knobs; `jobs=N` parallelizes the
+ * campaign, results land in results/fig5_mpki.json.
  */
 
 #include <iostream>
@@ -22,16 +25,19 @@ printPanel(const std::vector<WorkloadSweep> &sweeps, bool memoryBound)
 {
     TextTable table;
     std::vector<std::string> header{"workload", "baseline"};
-    for (const auto &name : sweepSchemeNames())
-        header.push_back(name);
+    for (const SchemeRun &run : sweeps.front().schemes)
+        header.push_back(run.scheme);
     table.header(header);
     for (const auto &sweep : sweeps) {
         if (sweep.memoryBound != memoryBound)
             continue;
         std::vector<std::string> row{
             sweep.workload, TextTable::num(sweep.baseline.mpki(), 2)};
-        for (const auto &run : sweep.schemes)
-            row.push_back(TextTable::num(run.result.mpki(), 2));
+        for (const auto &run : sweep.schemes) {
+            row.push_back(
+                run.ok ? TextTable::num(run.result.mpki(), 2)
+                       : "n/a");
+        }
         table.row(std::move(row));
     }
     table.print(std::cout);
@@ -41,24 +47,27 @@ printPanel(const std::vector<WorkloadSweep> &sweeps, bool memoryBound)
 int
 main(int argc, char **argv)
 {
-    Config cfg;
-    cfg.parseArgs(argc, argv);
-    const SweepOptions opt = sweepOptions(cfg);
+    Options opts("fig5_mpki",
+                 "Figure 5: GPU L2 MPKI across LV protection "
+                 "schemes, in the paper's two panels");
+    declareSweepOptions(opts, "fig5_mpki");
+    opts.parse(argc, argv);
+    const SweepOptions opt = sweepOptions(opts);
 
     std::cout << "=== Figure 5: GPU L2 MPKI (demand + error-induced "
                  "misses per kilo-instruction) ===\n"
               << "    L2 @ " << opt.voltage << "xVDD, 1GHz; scale="
               << opt.scale << ", warmup=" << opt.warmupPasses
-              << "\n\n";
+              << ", jobs=" << opt.jobs << "\n\n";
 
-    const auto sweeps = runEvaluationSweep(opt);
+    const SweepResult res = runEvaluationSweep(opt);
 
     std::cout << "--- compute-bound applications (paper: MPKI < 50) "
                  "---\n";
-    printPanel(sweeps, false);
+    printPanel(res.workloads, false);
     std::cout << "\n--- memory-bound applications (paper: MPKI > "
                  "100) ---\n";
-    printPanel(sweeps, true);
+    printPanel(res.workloads, true);
 
     std::cout << "\nUsable-capacity note: Killi 1:256 leaves most "
                  "single-fault (b'10) lines\nunprotectable (128 ECC "
@@ -66,5 +75,7 @@ main(int argc, char **argv)
                  "0.625xVDD);\n1:16 protects 2048 of them — the MPKI "
                  "gap between those columns is the paper's\n"
                  "observation (a)+(b)+(c) in Section 5.2.\n";
+
+    writeSweepJson(opts, opt, res);
     return 0;
 }

@@ -11,7 +11,7 @@
 #include <iostream>
 
 #include "analysis/coverage.hh"
-#include "common/config.hh"
+#include "bench/report.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
 #include "fault/voltage_model.hh"
@@ -21,14 +21,22 @@ using namespace killi;
 int
 main(int argc, char **argv)
 {
-    Config cfg;
-    cfg.parseArgs(argc, argv);
-    const std::size_t mcSamples =
-        static_cast<std::size_t>(cfg.getInt("mc.samples", 20000));
+    Options opts("fig6_coverage",
+                 "Figure 6: % lines correctly classified without "
+                 "MBIST");
+    const auto &mcSamples =
+        opts.add<std::uint64_t>("mc.samples", 20000,
+                                "Monte-Carlo samples per voltage "
+                                "point")
+            .range(1, 100000000);
+    const auto &seed =
+        opts.add<std::uint64_t>("seed", 11, "Monte-Carlo RNG seed");
+    declareJsonOption(opts, "fig6_coverage");
+    opts.parse(argc, argv);
 
     const VoltageModel vm;
     const CoverageModel cm;
-    Rng rng(static_cast<std::uint64_t>(cfg.getInt("seed", 11)));
+    Rng rng(seed);
 
     std::cout << "=== Figure 6: % lines correctly classified "
                  "(single- and multi-bit LV faults) ===\n\n";
@@ -46,7 +54,10 @@ main(int argc, char **argv)
                    TextTable::num(cm.flairCoverage(p), 3),
                    TextTable::num(cm.killiCoverage(p), 3),
                    TextTable::num(
-                       cm.empiricalKilliCoverage(p, mcSamples, rng),
+                       cm.empiricalKilliCoverage(
+                           p, static_cast<std::size_t>(
+                                  mcSamples.value()),
+                           rng),
                        3)});
     }
     table.print(std::cout);
@@ -65,5 +76,11 @@ main(int argc, char **argv)
                  "the remaining "
               << TextTable::num(100.0 - cm.maskedSdcWindow(p625), 3)
               << "%.\n";
+
+    Json sdc = Json::object();
+    sdc.set("masked_sdc_window_pct",
+            Json::number(cm.maskedSdcWindow(p625)));
+    writeBenchReport(opts, {{"table", table.toJson()},
+                            {"sdc_window", std::move(sdc)}});
     return 0;
 }

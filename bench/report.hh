@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared helpers for the bench binaries' machine-readable output:
+ * the conventional `json=` knob (default results/<bench>.json) and
+ * the results-document envelope ({bench, options, ...sections}).
+ */
+
+#ifndef KILLI_BENCH_REPORT_HH
+#define KILLI_BENCH_REPORT_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "common/options.hh"
+
+namespace killi
+{
+
+/** Declare the standard `json=` results-path knob. */
+inline Option<std::string> &
+declareJsonOption(Options &opts, const std::string &benchName)
+{
+    return opts.add("json", "results/" + benchName + ".json",
+                    "machine-readable results path (empty string "
+                    "disables)");
+}
+
+/**
+ * Write {bench, options, <sections>...} to the `json=` path; no-op
+ * when the path is empty.
+ */
+inline void
+writeBenchReport(const Options &opts,
+                 std::vector<std::pair<std::string, Json>> sections)
+{
+    const std::string path = opts.get<std::string>("json");
+    if (path.empty())
+        return;
+    Json doc = Json::object();
+    doc.set("bench", Json::string(opts.program()));
+    doc.set("options", opts.toJson());
+    for (auto &[key, value] : sections)
+        doc.set(key, std::move(value));
+    writeJsonFile(path, doc);
+    inform("wrote %s", path.c_str());
+}
+
+} // namespace killi
+
+#endif // KILLI_BENCH_REPORT_HH

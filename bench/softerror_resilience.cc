@@ -13,7 +13,7 @@
 #include <iostream>
 
 #include "baselines/precharacterized.hh"
-#include "common/config.hh"
+#include "bench/report.hh"
 #include "common/table.hh"
 #include "fault/fault_map.hh"
 #include "fault/voltage_model.hh"
@@ -25,18 +25,30 @@ using namespace killi;
 int
 main(int argc, char **argv)
 {
-    Config cfg;
-    cfg.parseArgs(argc, argv);
-    const double scale = cfg.getDouble("scale", 0.5);
-    const double voltage = cfg.getDouble("voltage", 0.625);
-    const double burst = cfg.getDouble("burst", 0.3);
-    const std::uint64_t seed =
-        static_cast<std::uint64_t>(cfg.getInt("seed", 42));
+    Options opts("softerror_resilience",
+                 "Soft-error detection outcomes for FLAIR vs Killi "
+                 "at the LV operating point");
+    const auto &scale =
+        opts.add<double>("scale", 0.5, "workload size multiplier")
+            .range(0.001, 1000.0);
+    const auto &voltage =
+        opts.add<double>("voltage", 0.625,
+                         "normalized supply voltage (V/VDD)")
+            .range(0.5, 1.0);
+    const auto &burst =
+        opts.add<double>("burst", 0.3,
+                         "fraction of upsets that flip an adjacent "
+                         "pair")
+            .range(0.0, 1.0);
+    const auto &seed =
+        opts.add<std::uint64_t>("seed", 42, "fault map seed");
+    declareJsonOption(opts, "softerror_resilience");
+    opts.parse(argc, argv);
 
     const VoltageModel model;
 
-    std::cout << "=== Soft-error resilience at " << voltage
-              << "xVDD (adjacent-pair fraction " << burst
+    std::cout << "=== Soft-error resilience at " << voltage.value()
+              << "xVDD (adjacent-pair fraction " << burst.value()
               << ") ===\n\n";
     TextTable table;
     table.header({"rate/bit/cycle", "scheme", "soft errors",
@@ -102,5 +114,7 @@ main(int argc, char **argv)
                  "the scrubber\nand are reclaimed with it (footnote "
                  "7). SDC counts include the persistent\n5.6.2 "
                  "masked-fault window.\n";
+
+    writeBenchReport(opts, {{"table", table.toJson()}});
     return 0;
 }

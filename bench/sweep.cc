@@ -1,10 +1,13 @@
 #include "bench/sweep.hh"
 
 #include <cstdio>
+#include <functional>
+#include <memory>
 #include <sstream>
 
 #include "analysis/area.hh"
 #include "baselines/precharacterized.hh"
+#include "common/log.hh"
 #include "fault/fault_map.hh"
 #include "fault/voltage_model.hh"
 #include "killi/killi.hh"
@@ -12,114 +15,310 @@
 namespace killi
 {
 
-SweepOptions
-sweepOptions(const Config &cfg)
-{
-    SweepOptions opt;
-    opt.scale = cfg.getDouble("scale", opt.scale);
-    opt.warmupPasses = static_cast<unsigned>(
-        cfg.getInt("warmup", opt.warmupPasses));
-    opt.voltage = cfg.getDouble("voltage", opt.voltage);
-    opt.seed = static_cast<std::uint64_t>(cfg.getInt("seed", 42));
-    const std::string list = cfg.getString("workloads", "");
-    if (list.empty()) {
-        opt.workloads = workloadNames();
-    } else {
-        std::stringstream ss(list);
-        std::string token;
-        while (std::getline(ss, token, ','))
-            opt.workloads.push_back(token);
-    }
-    return opt;
-}
-
 namespace
 {
-constexpr std::size_t kKilliRatios[] = {256, 128, 64, 32, 16};
-} // namespace
 
-std::vector<std::string>
-sweepSchemeNames()
+constexpr std::size_t kKilliRatios[] = {256, 128, 64, 32, 16};
+
+/** Static description of one scheme column. */
+struct SchemeSpec
 {
-    std::vector<std::string> names{"DECTED", "FLAIR", "MS-ECC"};
-    for (const std::size_t ratio : kKilliRatios)
-        names.push_back("Killi 1:" + std::to_string(ratio));
-    return names;
+    std::string name;
+    double areaOverheadFrac;
+    std::string powerKey;
+    /** Build a fresh protection instance against @p faults. */
+    std::function<std::unique_ptr<ProtectionScheme>(FaultMap &)> make;
+};
+
+std::vector<SchemeSpec>
+schemeSpecs()
+{
+    std::vector<SchemeSpec> specs;
+    specs.push_back(
+        {"DECTED", area::baseline(CodeKind::Dected).pctOverL2 / 100.0,
+         "dected",
+         [](FaultMap &faults) -> std::unique_ptr<ProtectionScheme> {
+             return makeDectedLine(faults);
+         }});
+    specs.push_back(
+        {"FLAIR", area::baseline(CodeKind::Secded).pctOverL2 / 100.0,
+         "flair",
+         [](FaultMap &faults) -> std::unique_ptr<ProtectionScheme> {
+             return makeFlair(faults);
+         }});
+    specs.push_back(
+        {"MS-ECC", area::baseline(CodeKind::Olsc11).pctOverL2 / 100.0,
+         "msecc",
+         [](FaultMap &faults) -> std::unique_ptr<ProtectionScheme> {
+             return makeMsEcc(faults);
+         }});
+    for (const std::size_t ratio : kKilliRatios) {
+        specs.push_back(
+            {"Killi 1:" + std::to_string(ratio),
+             area::killi(ratio).pctOverL2 / 100.0, "killi",
+             [ratio](FaultMap &faults)
+                 -> std::unique_ptr<ProtectionScheme> {
+                 KilliParams kp;
+                 kp.ratio = ratio;
+                 return std::make_unique<KilliProtection>(faults, kp);
+             }});
+    }
+    return specs;
 }
 
-std::vector<WorkloadSweep>
-runEvaluationSweep(const SweepOptions &opt)
+std::vector<std::string>
+splitList(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(list);
+    std::string token;
+    while (std::getline(ss, token, ',')) {
+        if (!token.empty())
+            out.push_back(token);
+    }
+    return out;
+}
+
+/**
+ * Execute one fully isolated sweep point. Everything stateful — the
+ * fault map, the protection scheme, the workload instance, the GPU
+ * system — is constructed here, inside the job, so concurrent points
+ * share nothing mutable (see the gpu_system.hh thread-confinement
+ * contract). FaultMap construction is deterministic in (seed,
+ * voltage): every point sees the identical die.
+ */
+RunResult
+runPoint(const SweepOptions &opt, const std::string &wlName,
+         const SchemeSpec *scheme)
 {
     const VoltageModel model;
     GpuParams gp;
     FaultMap faults(gp.l2Geom.numLines(), 720, model, opt.seed);
     faults.setVoltage(opt.voltage);
+    const auto wl = makeWorkload(wlName, opt.scale);
 
-    std::vector<WorkloadSweep> all;
-    for (const std::string &wlName : opt.workloads) {
-        const auto wl = makeWorkload(wlName, opt.scale);
-        WorkloadSweep sweep;
-        sweep.workload = wlName;
-        sweep.memoryBound = wl->memoryBound();
-
-        {
-            FaultFreeProtection prot;
-            GpuSystem sys(gp, prot, *wl);
-            sweep.baseline = sys.run(opt.warmupPasses);
-            std::fprintf(stderr, "  %-8s baseline   %12llu cycles\n",
-                         wlName.c_str(),
-                         static_cast<unsigned long long>(
-                             sweep.baseline.cycles));
-        }
-
-        const auto record = [&](const std::string &name,
-                                ProtectionScheme &prot,
-                                double areaFrac,
-                                const std::string &powerKey) {
-            GpuSystem sys(gp, prot, *wl);
-            SchemeRun run;
-            run.scheme = name;
-            run.result = sys.run(opt.warmupPasses);
-            run.areaOverheadFrac = areaFrac;
-            run.powerKey = powerKey;
-            std::fprintf(stderr,
-                         "  %-8s %-10s %12llu cycles (%.4fx)\n",
-                         wlName.c_str(), name.c_str(),
-                         static_cast<unsigned long long>(
-                             run.result.cycles),
-                         double(run.result.cycles) /
-                             double(sweep.baseline.cycles));
-            sweep.schemes.push_back(std::move(run));
-        };
-
-        {
-            auto prot = makeDectedLine(faults);
-            record("DECTED", *prot,
-                   area::baseline(CodeKind::Dected).pctOverL2 / 100.0,
-                   "dected");
-        }
-        {
-            auto prot = makeFlair(faults);
-            record("FLAIR", *prot,
-                   area::baseline(CodeKind::Secded).pctOverL2 / 100.0,
-                   "flair");
-        }
-        {
-            auto prot = makeMsEcc(faults);
-            record("MS-ECC", *prot,
-                   area::baseline(CodeKind::Olsc11).pctOverL2 / 100.0,
-                   "msecc");
-        }
-        for (const std::size_t ratio : kKilliRatios) {
-            KilliParams kp;
-            kp.ratio = ratio;
-            KilliProtection prot(faults, kp);
-            record("Killi 1:" + std::to_string(ratio), prot,
-                   area::killi(ratio).pctOverL2 / 100.0, "killi");
-        }
-        all.push_back(std::move(sweep));
+    std::unique_ptr<ProtectionScheme> prot;
+    FaultFreeProtection baseline;
+    ProtectionScheme *active = &baseline;
+    if (scheme) {
+        prot = scheme->make(faults);
+        active = prot.get();
     }
-    return all;
+    GpuSystem sys(gp, *active, *wl);
+    const RunResult result = sys.run(opt.warmupPasses);
+    std::fprintf(stderr, "  %-8s %-12s %12llu cycles\n",
+                 wlName.c_str(),
+                 scheme ? scheme->name.c_str() : "baseline",
+                 static_cast<unsigned long long>(result.cycles));
+    return result;
+}
+
+} // namespace
+
+void
+declareSweepOptions(Options &opts, const std::string &benchName,
+                    double defaultScale)
+{
+    opts.add<double>("scale", defaultScale,
+                     "workload length multiplier")
+        .range(0.001, 1000.0);
+    opts.add<unsigned>("warmup", 2u,
+                       "warmup passes excluded from stats")
+        .range(0u, 16u);
+    opts.add<double>("voltage", 0.625, "normalized L2 supply")
+        .range(0.5, 1.0);
+    opts.add<std::uint64_t>("seed", std::uint64_t{42},
+                            "fault-map die seed");
+    opts.add("workloads", "",
+             "comma-separated workload subset (default: all ten)");
+    opts.add("schemes", "",
+             "comma-separated scheme subset, e.g. "
+             "'DECTED,Killi 1:256' (default: all)");
+    opts.add<unsigned>("jobs", 1u,
+                       "concurrent sweep points (0 = all hardware "
+                       "threads; results are identical at any value)")
+        .range(0u, 1024u);
+    opts.add<unsigned>("retries", 1u,
+                       "extra attempts before a failed sweep point "
+                       "is skipped")
+        .range(0u, 10u);
+    opts.add("json", "results/" + benchName + ".json",
+             "machine-readable results path (empty string disables)");
+}
+
+SweepOptions
+sweepOptions(const Options &opts)
+{
+    SweepOptions opt;
+    opt.scale = opts.get<double>("scale");
+    opt.warmupPasses = opts.get<unsigned>("warmup");
+    opt.voltage = opts.get<double>("voltage");
+    opt.seed = opts.get<std::uint64_t>("seed");
+    opt.jobs = opts.get<unsigned>("jobs");
+    opt.retries = opts.get<unsigned>("retries");
+    opt.jsonPath = opts.get<std::string>("json");
+    opt.workloads = splitList(opts.get<std::string>("workloads"));
+    if (opt.workloads.empty())
+        opt.workloads = workloadNames();
+    opt.schemes = splitList(opts.get<std::string>("schemes"));
+    return opt;
+}
+
+std::vector<std::string>
+sweepSchemeNames()
+{
+    std::vector<std::string> names;
+    for (const SchemeSpec &spec : schemeSpecs())
+        names.push_back(spec.name);
+    return names;
+}
+
+SweepResult
+runEvaluationSweep(const SweepOptions &opt)
+{
+    // Resolve the scheme columns (validated against the subset knob).
+    std::vector<SchemeSpec> specs = schemeSpecs();
+    if (!opt.schemes.empty()) {
+        std::vector<SchemeSpec> subset;
+        for (const std::string &want : opt.schemes) {
+            bool found = false;
+            for (const SchemeSpec &spec : specs) {
+                if (spec.name == want) {
+                    subset.push_back(spec);
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                std::string known;
+                for (const SchemeSpec &spec : specs)
+                    known += (known.empty() ? "" : ", ") + spec.name;
+                fatal("sweep: unknown scheme '%s' (known: %s)",
+                      want.c_str(), known.c_str());
+            }
+        }
+        specs = std::move(subset);
+    }
+
+    SweepResult out;
+    out.workloads.resize(opt.workloads.size());
+
+    // Pre-size every result slot so jobs write only into memory they
+    // exclusively own — the campaign result is then independent of
+    // scheduling order by construction.
+    std::vector<Job> jobs;
+    for (std::size_t wi = 0; wi < opt.workloads.size(); ++wi) {
+        const std::string wlName = opt.workloads[wi];
+        WorkloadSweep &sweep = out.workloads[wi];
+        sweep.workload = wlName;
+        // Validates the name (fatal on a typo) before the campaign
+        // starts, and records the Fig. 5 panel grouping.
+        sweep.memoryBound = makeWorkload(wlName, opt.scale)
+                                ->memoryBound();
+        sweep.schemes.resize(specs.size());
+
+        jobs.push_back({wlName + "/baseline", [&opt, &sweep, wlName] {
+                            sweep.baseline =
+                                runPoint(opt, wlName, nullptr);
+                            sweep.baselineOk = true;
+                        }});
+        for (std::size_t si = 0; si < specs.size(); ++si) {
+            SchemeRun &slot = sweep.schemes[si];
+            const SchemeSpec &spec = specs[si];
+            slot.scheme = spec.name;
+            slot.areaOverheadFrac = spec.areaOverheadFrac;
+            slot.powerKey = spec.powerKey;
+            jobs.push_back(
+                {wlName + "/" + spec.name,
+                 [&opt, &slot, &spec, wlName] {
+                     slot.result = runPoint(opt, wlName, &spec);
+                     slot.ok = true;
+                 }});
+        }
+    }
+
+    RunnerOptions ropt;
+    ropt.jobs = opt.jobs;
+    ropt.retries = opt.retries;
+    ExperimentRunner runner(ropt);
+    out.campaign = runner.run(jobs);
+    out.campaign.warnOnFailures();
+
+    // A workload without its baseline cannot be normalized; drop it
+    // rather than divide by zero in every table.
+    for (auto it = out.workloads.begin(); it != out.workloads.end();) {
+        if (!it->baselineOk) {
+            warn("sweep: dropping workload '%s' (baseline point "
+                 "failed)",
+                 it->workload.c_str());
+            it = out.workloads.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    if (out.workloads.empty())
+        fatal("sweep: no workload completed its baseline point");
+    return out;
+}
+
+Json
+sweepToJson(const SweepOptions &opt, const SweepResult &result)
+{
+    Json sweepObj = Json::object();
+    sweepObj.set("scale", Json::number(opt.scale));
+    sweepObj.set("warmup", Json::number(std::int64_t(opt.warmupPasses)));
+    sweepObj.set("voltage", Json::number(opt.voltage));
+    sweepObj.set("seed", Json::number(std::uint64_t(opt.seed)));
+    sweepObj.set("jobs", Json::number(std::int64_t(opt.jobs)));
+
+    Json workloadArray = Json::array();
+    for (const WorkloadSweep &sweep : result.workloads) {
+        Json wlObj = Json::object();
+        wlObj.set("workload", Json::string(sweep.workload));
+        wlObj.set("memory_bound", Json::boolean(sweep.memoryBound));
+        wlObj.set("baseline", sweep.baseline.toJson());
+        Json schemeArray = Json::array();
+        for (const SchemeRun &run : sweep.schemes) {
+            Json runObj = Json::object();
+            runObj.set("scheme", Json::string(run.scheme));
+            runObj.set("ok", Json::boolean(run.ok));
+            runObj.set("area_overhead_frac",
+                       Json::number(run.areaOverheadFrac));
+            runObj.set("power_key", Json::string(run.powerKey));
+            if (run.ok) {
+                runObj.set("result", run.result.toJson());
+                runObj.set("normalized_time",
+                           Json::number(
+                               double(run.result.cycles) /
+                               double(sweep.baseline.cycles)));
+            }
+            schemeArray.push(std::move(runObj));
+        }
+        wlObj.set("schemes", std::move(schemeArray));
+        workloadArray.push(std::move(wlObj));
+    }
+
+    Json doc = Json::object();
+    doc.set("sweep", std::move(sweepObj));
+    doc.set("workloads", std::move(workloadArray));
+    doc.set("campaign", result.campaign.toJson());
+    return doc;
+}
+
+void
+writeSweepJson(const Options &opts, const SweepOptions &opt,
+               const SweepResult &result)
+{
+    if (opt.jsonPath.empty())
+        return;
+    Json doc = Json::object();
+    doc.set("bench", Json::string(opts.program()));
+    doc.set("options", opts.toJson());
+    const Json body = sweepToJson(opt, result);
+    for (const auto &[key, value] : body.members())
+        doc.set(key, value);
+    writeJsonFile(opt.jsonPath, doc);
+    inform("wrote %s", opt.jsonPath.c_str());
 }
 
 } // namespace killi

@@ -5,12 +5,15 @@
  * baseline and each LV protection scheme (DECTED, FLAIR, MS-ECC,
  * Killi at the paper's five ECC-cache ratios) on the Table 3 GPU.
  *
- * Knobs (key=value arguments or KILLI_* environment variables):
- *   scale    workload length multiplier        (default 1.0)
- *   warmup   warmup passes excluded from stats (default 1)
- *   voltage  normalized L2 supply              (default 0.625)
- *   seed     fault-map die seed                (default 42)
- *   workloads comma-separated subset           (default all ten)
+ * The sweep executes on the killi::ExperimentRunner: every point
+ * (workload × scheme) is an independent job with its own GpuSystem,
+ * FaultMap, and workload instance, so `jobs=N` runs N points
+ * concurrently while producing tables bit-identical to `jobs=1`.
+ * A point that keeps failing after its retries is skipped (ok=false
+ * in its SchemeRun) instead of aborting the campaign.
+ *
+ * Knobs are declared through the typed Options API — run any
+ * sweep-based bench binary with --help for the generated list.
  */
 
 #ifndef KILLI_BENCH_SWEEP_HH
@@ -19,8 +22,10 @@
 #include <string>
 #include <vector>
 
-#include "common/config.hh"
+#include "common/json.hh"
+#include "common/options.hh"
 #include "gpu/gpu_system.hh"
+#include "runner/runner.hh"
 
 namespace killi
 {
@@ -31,16 +36,38 @@ struct SweepOptions
     unsigned warmupPasses = 2;
     double voltage = 0.625;
     std::uint64_t seed = 42;
+    /** Worker threads for the campaign (0 = all hardware threads). */
+    unsigned jobs = 1;
+    /** Extra attempts for a failed sweep point before skipping it. */
+    unsigned retries = 1;
+    /** Results-file path; empty disables the JSON dump. */
+    std::string jsonPath;
+    /** Workload subset; empty = the full ten-proxy suite. */
     std::vector<std::string> workloads;
+    /** Scheme subset (names from sweepSchemeNames()); empty = all. */
+    std::vector<std::string> schemes;
 };
 
-/** Parse sweep knobs from a Config. */
-SweepOptions sweepOptions(const Config &cfg);
+/**
+ * Declare the shared sweep knobs (scale, warmup, voltage, seed,
+ * workloads, schemes, jobs, retries, json) on @p opts.
+ *
+ * @param benchName stem of the default results path
+ *        ("results/<benchName>.json")
+ * @param defaultScale default workload length multiplier
+ */
+void declareSweepOptions(Options &opts, const std::string &benchName,
+                         double defaultScale = 1.0);
+
+/** Extract a SweepOptions from parsed @p opts. */
+SweepOptions sweepOptions(const Options &opts);
 
 /** One scheme's result on one workload. */
 struct SchemeRun
 {
     std::string scheme;
+    /** False iff this point failed all its attempts and was skipped. */
+    bool ok = false;
     RunResult result;
     /** Extra LV storage bits / 512 (power-model input). */
     double areaOverheadFrac = 0.0;
@@ -52,15 +79,42 @@ struct WorkloadSweep
 {
     std::string workload;
     bool memoryBound = false;
+    bool baselineOk = false;
     RunResult baseline;
     std::vector<SchemeRun> schemes;
+};
+
+struct SweepResult
+{
+    std::vector<WorkloadSweep> workloads;
+    /** Per-job execution record (attempts, timing, failures). */
+    CampaignReport campaign;
 };
 
 /** The scheme column order used by Fig. 4 / Fig. 5 / Table 6. */
 std::vector<std::string> sweepSchemeNames();
 
-/** Execute the full sweep; prints one progress line per run. */
-std::vector<WorkloadSweep> runEvaluationSweep(const SweepOptions &opt);
+/**
+ * Execute the full campaign on opt.jobs worker threads; prints one
+ * progress line per run (interleaved across workers when jobs > 1 —
+ * only the line order varies, never the results). Workloads whose
+ * baseline point failed are dropped with a warning, since nothing
+ * can be normalized against them.
+ */
+SweepResult runEvaluationSweep(const SweepOptions &opt);
+
+/**
+ * Machine-readable form of a finished sweep: options, campaign
+ * report, and the full per-point RunResults.
+ */
+Json sweepToJson(const SweepOptions &opt, const SweepResult &result);
+
+/**
+ * Write sweepToJson() (plus the binary's effective options under
+ * "options") to opt.jsonPath. No-op when the path is empty.
+ */
+void writeSweepJson(const Options &opts, const SweepOptions &opt,
+                    const SweepResult &result);
 
 } // namespace killi
 

@@ -10,13 +10,20 @@
 #include <iostream>
 
 #include "analysis/area.hh"
+#include "bench/report.hh"
 #include "common/table.hh"
 
 using namespace killi;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Options opts("table4_ecc_strength_area",
+                 "Table 4: Killi storage area with stronger ECC "
+                 "codes");
+    declareJsonOption(opts, "table4_ecc_strength_area");
+    opts.parse(argc, argv);
+
     std::cout << "=== Table 4: Killi storage area with stronger ECC "
                  "codes (normalized to SECDED-per-line) ===\n\n";
 
@@ -43,5 +50,7 @@ main()
                  "Even Killi+6EC7ED at 1:16 stays below per-line "
                  "SECDED's cost while enabling\nmulti-bit-fault "
                  "lines.\n";
+
+    writeBenchReport(opts, {{"table", table.toJson()}});
     return 0;
 }

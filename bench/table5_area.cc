@@ -10,13 +10,20 @@
 #include <iostream>
 
 #include "analysis/area.hh"
+#include "bench/report.hh"
 #include "common/table.hh"
 
 using namespace killi;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Options opts("table5_area",
+                 "Table 5: area comparison across error protection "
+                 "techniques (2MB L2)");
+    declareJsonOption(opts, "table5_area");
+    opts.parse(argc, argv);
+
     std::cout << "=== Table 5: area comparison across error "
                  "protection techniques (2MB L2) ===\n\n";
 
@@ -51,5 +58,7 @@ main()
                  "18, SECDED 1, Killi 0.51/0.52/0.55/0.60/0.71.\n"
               << "Killi halves the error-protection area vs SECDED "
                  "(the paper's headline 50% claim).\n";
+
+    writeBenchReport(opts, {{"table", table.toJson()}});
     return 0;
 }

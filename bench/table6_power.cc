@@ -6,6 +6,9 @@
  * Access and DRAM-traffic ratios come from the same simulation sweep
  * as Fig. 4; the voltage/area scaling model is in
  * src/analysis/power.hh.
+ *
+ * Run with --help for the sweep knobs; `jobs=N` parallelizes the
+ * campaign, results land in results/table6_power.json.
  */
 
 #include <iostream>
@@ -19,51 +22,59 @@ using namespace killi;
 int
 main(int argc, char **argv)
 {
-    Config cfg;
-    cfg.set("scale", cfg.getString("scale", "0.5")); // default: fast
-    cfg.parseArgs(argc, argv);
-    const SweepOptions opt = sweepOptions(cfg);
+    Options opts("table6_power",
+                 "Table 6: L2 power normalized to a fault-free "
+                 "cache at nominal VDD");
+    declareSweepOptions(opts, "table6_power", /*defaultScale=*/0.5);
+    opts.parse(argc, argv);
+    const SweepOptions opt = sweepOptions(opts);
 
     std::cout << "=== Table 6: L2 power (%) normalized to fault-free "
                  "cache at nominal VDD ===\n    all schemes at "
               << opt.voltage << "xVDD and 1GHz\n\n";
 
-    const auto sweeps = runEvaluationSweep(opt);
-    const auto schemeNames = sweepSchemeNames();
+    const SweepResult res = runEvaluationSweep(opt);
+    const auto &sweeps = res.workloads;
+    const std::size_t numSchemes = sweeps.front().schemes.size();
 
-    // Average access/DRAM ratios across the workload suite.
-    std::vector<double> accessRatio(schemeNames.size(), 0.0);
-    std::vector<double> dramRatio(schemeNames.size(), 0.0);
-    double areaFrac[16] = {};
-    std::string powerKey[16];
+    // Average access/DRAM ratios across the workloads each scheme
+    // completed on.
+    std::vector<double> accessRatio(numSchemes, 0.0);
+    std::vector<double> dramRatio(numSchemes, 0.0);
+    std::vector<std::size_t> completed(numSchemes, 0);
     for (const auto &sweep : sweeps) {
         const double baseAcc = double(sweep.baseline.l2Accesses());
         const double baseDram = double(sweep.baseline.dramReads +
                                        sweep.baseline.dramWrites);
         for (std::size_t i = 0; i < sweep.schemes.size(); ++i) {
             const auto &run = sweep.schemes[i];
+            if (!run.ok)
+                continue;
             accessRatio[i] +=
                 double(run.result.l2Accesses()) / baseAcc;
             dramRatio[i] += double(run.result.dramReads +
                                    run.result.dramWrites) /
                 baseDram;
-            areaFrac[i] = run.areaOverheadFrac;
-            powerKey[i] = run.powerKey;
+            ++completed[i];
         }
     }
-    for (auto &r : accessRatio)
-        r /= double(sweeps.size());
-    for (auto &r : dramRatio)
-        r /= double(sweeps.size());
 
     TextTable table;
     table.header({"scheme", "tag", "data leak", "data dyn", "codec",
                   "dram extra", "total %"});
-    for (std::size_t i = 0; i < schemeNames.size(); ++i) {
+    for (std::size_t i = 0; i < numSchemes; ++i) {
+        const SchemeRun &col = sweeps.front().schemes[i];
+        if (!completed[i]) {
+            table.row({col.scheme, "n/a", "n/a", "n/a", "n/a", "n/a",
+                       "n/a"});
+            continue;
+        }
         const auto b = power::normalized(
-            opt.voltage, areaFrac[i], accessRatio[i], dramRatio[i],
-            power::codecShare(powerKey[i].c_str()));
-        table.row({schemeNames[i], TextTable::num(100 * b.tag, 1),
+            opt.voltage, col.areaOverheadFrac,
+            accessRatio[i] / double(completed[i]),
+            dramRatio[i] / double(completed[i]),
+            power::codecShare(col.powerKey.c_str()));
+        table.row({col.scheme, TextTable::num(100 * b.tag, 1),
                    TextTable::num(100 * b.dataLeak, 1),
                    TextTable::num(100 * b.dataDyn, 1),
                    TextTable::num(100 * b.codec, 1),
@@ -77,5 +88,7 @@ main(int argc, char **argv)
                  "... 42.4 (1:16). Killi's 1:256 configuration is "
                  "the paper's\nheadline 59.3% L2 power saving versus "
                  "the nominal-voltage baseline.\n";
+
+    writeSweepJson(opts, opt, res);
     return 0;
 }

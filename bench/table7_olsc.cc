@@ -11,14 +11,21 @@
 #include <iostream>
 
 #include "analysis/area.hh"
+#include "bench/report.hh"
 #include "common/table.hh"
 #include "fault/voltage_model.hh"
 
 using namespace killi;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Options opts("table7_olsc",
+                 "Table 7: Killi w/OLSC storage vs MS-ECC at lower "
+                 "Vmin");
+    declareJsonOption(opts, "table7_olsc");
+    opts.parse(argc, argv);
+
     const VoltageModel vm;
 
     std::cout << "=== Table 7: Killi w/OLSC storage vs MS-ECC for "
@@ -53,5 +60,7 @@ main()
                  "the stronger code by\nresizing one structure (the "
                  "ECC cache) instead of re-architecting the whole "
                  "L2.\n";
+
+    writeBenchReport(opts, {{"table", table.toJson()}});
     return 0;
 }

@@ -10,7 +10,7 @@
 #include <iostream>
 
 #include "analysis/mbist.hh"
-#include "common/config.hh"
+#include "bench/report.hh"
 #include "common/table.hh"
 #include "fault/fault_map.hh"
 #include "fault/voltage_model.hh"
@@ -22,9 +22,14 @@ using namespace killi;
 int
 main(int argc, char **argv)
 {
-    Config cfg;
-    cfg.parseArgs(argc, argv);
-    const double scale = cfg.getDouble("scale", 0.5);
+    Options opts("transition_cost",
+                 "MBIST re-characterization cost vs Killi online "
+                 "training");
+    const auto &scale =
+        opts.add<double>("scale", 0.5, "workload size multiplier")
+            .range(0.001, 1000.0);
+    declareJsonOption(opts, "transition_cost");
+    opts.parse(argc, argv);
 
     std::cout << "=== Voltage-transition cost: MBIST "
                  "re-characterization vs Killi online training ===\n\n";
@@ -83,5 +88,18 @@ main(int argc, char **argv)
                  "transition stall exists at all, because Killi has "
                  "\"only one mode\n     of execution\" (paper "
                  "2.4).\n";
+
+    Json killiCost = Json::object();
+    killiCost.set("cold_vs_baseline",
+                  Json::number(double(coldRun.cycles) /
+                               double(base.cycles)));
+    killiCost.set("warm_vs_baseline",
+                  Json::number(double(warmRun.cycles) /
+                               double(base.cycles)));
+    killiCost.set("mbist_pass_cycles",
+                  Json::number(std::uint64_t(mbist::passCycles(mp))));
+    writeBenchReport(opts, {{"amortization", amort.toJson()},
+                            {"killi_training",
+                             std::move(killiCost)}});
     return 0;
 }

@@ -11,7 +11,7 @@
 #include <iostream>
 
 #include "baselines/precharacterized.hh"
-#include "common/config.hh"
+#include "common/options.hh"
 #include "common/table.hh"
 #include "fault/fault_map.hh"
 #include "fault/voltage_model.hh"
@@ -73,11 +73,17 @@ class PipelineWorkload : public Workload
 int
 main(int argc, char **argv)
 {
-    Config cfg;
-    cfg.parseArgs(argc, argv);
-    const double voltage = cfg.getDouble("voltage", 0.625);
-    const std::uint64_t ops =
-        static_cast<std::uint64_t>(cfg.getInt("ops", 3000));
+    Options opts("custom_workload",
+                 "A user-defined workload under Killi vs FLAIR");
+    const auto &voltage =
+        opts.add<double>("voltage", 0.625,
+                         "normalized supply voltage (V/VDD)")
+            .range(0.5, 1.0);
+    const auto &ops =
+        opts.add<std::uint64_t>("ops", 3000,
+                                "memory operations per wavefront")
+            .range(1, 100000000);
+    opts.parse(argc, argv);
 
     const VoltageModel model;
     GpuParams gp;
@@ -99,7 +105,7 @@ main(int argc, char **argv)
     const RunResult killiRun = killiSys.run(/*warmupPasses=*/1);
 
     std::cout << "Custom workload '" << wl.name() << "' at "
-              << voltage << "xVDD:\n\n";
+              << voltage.value() << "xVDD:\n\n";
     TextTable table;
     table.header({"scheme", "cycles", "norm. time", "MPKI",
                   "DRAM writes", "SDC"});

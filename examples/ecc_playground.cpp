@@ -11,7 +11,8 @@
 #include <iostream>
 #include <sstream>
 
-#include "common/config.hh"
+#include "common/log.hh"
+#include "common/options.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
 #include "ecc/codec_factory.hh"
@@ -22,17 +23,31 @@ using namespace killi;
 int
 main(int argc, char **argv)
 {
-    Config cfg;
-    cfg.parseArgs(argc, argv);
+    Options opts("ecc_playground",
+                 "Encode a 64B line, flip chosen bits, decode with "
+                 "every codec");
+    const auto &errors =
+        opts.add("errors", "0,17",
+                 "comma-separated payload bit positions to flip");
+    const auto &seed =
+        opts.add<std::uint64_t>("seed", 5, "payload pattern seed");
+    opts.parse(argc, argv);
+
     std::vector<std::size_t> errorBits;
     {
-        std::stringstream ss(cfg.getString("errors", "0,17"));
+        std::stringstream ss(errors.value());
         std::string token;
-        while (std::getline(ss, token, ','))
-            errorBits.push_back(std::stoul(token));
+        while (std::getline(ss, token, ',')) {
+            std::uint64_t bit = 0;
+            if (!tryParseUint(token, bit))
+                fatal("ecc_playground: errors= expects comma-"
+                      "separated bit positions, got '%s'",
+                      token.c_str());
+            errorBits.push_back(static_cast<std::size_t>(bit));
+        }
     }
 
-    Rng rng(static_cast<std::uint64_t>(cfg.getInt("seed", 5)));
+    Rng rng(seed);
     BitVec data(512);
     data.randomize(rng);
 

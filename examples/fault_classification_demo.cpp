@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "cache/protection.hh"
+#include "common/options.hh"
 #include "fault/fault_map.hh"
 #include "fault/voltage_model.hh"
 #include "killi/killi.hh"
@@ -50,8 +51,12 @@ show(KilliProtection &killi, std::size_t line, const char *when)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Options opts("fault_classification_demo",
+                 "Guided tour of Killi's Table 2 DFH state machine");
+    opts.parse(argc, argv); // no knobs; accepts --help
+
     const VoltageModel model;
     const CacheGeometry geom{16 * 1024, 16, 64, 2};
     FaultMap faults(geom.numLines(), 720, model, /*seed=*/3);

@@ -9,7 +9,7 @@
 
 #include <iostream>
 
-#include "common/config.hh"
+#include "common/options.hh"
 #include "fault/fault_map.hh"
 #include "fault/voltage_model.hh"
 #include "gpu/gpu_system.hh"
@@ -20,12 +20,19 @@ using namespace killi;
 int
 main(int argc, char **argv)
 {
-    Config cfg;
-    cfg.parseArgs(argc, argv);
-    const std::string wlName = cfg.getString("workload", "xsbench");
-    const double voltage = cfg.getDouble("voltage", 0.625);
-    const std::size_t ratio =
-        static_cast<std::size_t>(cfg.getInt("ratio", 256));
+    Options opts("quickstart",
+                 "Killi vs fault-free baseline on one workload");
+    const auto &wlName =
+        opts.add("workload", "xsbench", "built-in workload name");
+    const auto &voltage =
+        opts.add<double>("voltage", 0.625,
+                         "normalized supply voltage (V/VDD)")
+            .range(0.5, 1.0);
+    const auto &ratio =
+        opts.add<std::uint64_t>("ratio", 256,
+                                "ECC cache ratio (lines per entry)")
+            .choices({16, 32, 64, 128, 256});
+    opts.parse(argc, argv);
 
     // 1. The GPU of paper Table 3: 8 CUs, 16KB L1s, 2MB 16-way
     //    write-through L2 in 16 banks.
@@ -37,7 +44,7 @@ main(int argc, char **argv)
     FaultMap faults(gp.l2Geom.numLines(), 720, model, /*seed=*/1);
     faults.setVoltage(voltage);
     const auto hist = faults.histogram(516);
-    std::cout << "Fault population of the L2 at " << voltage
+    std::cout << "Fault population of the L2 at " << voltage.value()
               << "xVDD:\n  " << hist.zero << " fault-free lines, "
               << hist.one << " single-fault lines, " << hist.twoPlus
               << " multi-fault lines\n\n";
@@ -50,14 +57,14 @@ main(int argc, char **argv)
 
     // 4. Killi: runtime classification, no MBIST.
     KilliParams kp;
-    kp.ratio = ratio;
+    kp.ratio = static_cast<std::size_t>(ratio.value());
     KilliProtection killi(faults, kp);
     GpuSystem killiSys(gp, killi, *wl);
     const RunResult run = killiSys.run(/*warmupPasses=*/1);
 
     const auto dfh = killi.dfhHistogram();
-    std::cout << "Workload '" << wlName << "' under " << killi.name()
-              << ":\n"
+    std::cout << "Workload '" << wlName.value() << "' under "
+              << killi.name() << ":\n"
               << "  baseline cycles : " << base.cycles << "\n"
               << "  Killi cycles    : " << run.cycles << "  ("
               << double(run.cycles) / double(base.cycles)

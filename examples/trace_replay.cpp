@@ -12,7 +12,7 @@
 #include <fstream>
 #include <iostream>
 
-#include "common/config.hh"
+#include "common/options.hh"
 #include "fault/fault_map.hh"
 #include "fault/voltage_model.hh"
 #include "gpu/gpu_system.hh"
@@ -24,22 +24,25 @@ using namespace killi;
 int
 main(int argc, char **argv)
 {
-    Config cfg;
-    cfg.parseArgs(argc, argv);
-    const std::string wlName = cfg.getString("workload", "spmv");
-    const std::string path =
-        cfg.getString("file", "/tmp/killi_demo.trace");
+    Options opts("trace_replay",
+                 "Export a workload as a text trace, replay it, and "
+                 "run it under Killi");
+    const auto &wlName =
+        opts.add("workload", "spmv", "built-in workload name");
+    const auto &path =
+        opts.add("file", "/tmp/killi_demo.trace", "trace file path");
+    opts.parse(argc, argv);
 
     GpuParams gp;
 
     // 1. Capture: export the synthetic workload as a text trace.
     const auto original = makeWorkload(wlName, 0.05);
     {
-        std::ofstream out(path);
+        std::ofstream out(path.value());
         writeTrace(out, *original, gp.numCus);
     }
-    std::cout << "Wrote trace of '" << wlName << "' to " << path
-              << "\n";
+    std::cout << "Wrote trace of '" << wlName.value() << "' to "
+              << path.value() << "\n";
 
     // 2. Replay through the fault-free system; must be identical.
     const auto replay = TraceWorkload::fromFile(path);

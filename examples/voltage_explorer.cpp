@@ -15,7 +15,7 @@
 #include "analysis/area.hh"
 #include "analysis/coverage.hh"
 #include "analysis/power.hh"
-#include "common/config.hh"
+#include "common/options.hh"
 #include "common/table.hh"
 #include "fault/fault_map.hh"
 #include "fault/voltage_model.hh"
@@ -27,22 +27,29 @@ using namespace killi;
 int
 main(int argc, char **argv)
 {
-    Config cfg;
-    cfg.parseArgs(argc, argv);
-    const std::size_t ratio =
-        static_cast<std::size_t>(cfg.getInt("ratio", 256));
-    const std::uint64_t seed =
-        static_cast<std::uint64_t>(cfg.getInt("seed", 1));
-    const double scale = cfg.getDouble("scale", 0.25);
+    Options opts("voltage_explorer",
+                 "Sweep the L2 supply and report capacity, coverage, "
+                 "and power per point");
+    const auto &ratio =
+        opts.add<std::uint64_t>("ratio", 256,
+                                "ECC cache ratio (lines per entry)")
+            .choices({16, 32, 64, 128, 256});
+    const auto &seed =
+        opts.add<std::uint64_t>("seed", 1, "die (fault map) seed");
+    const auto &scale =
+        opts.add<double>("scale", 0.25, "workload size multiplier")
+            .range(0.001, 1000.0);
+    opts.parse(argc, argv);
 
     const VoltageModel model;
     const CoverageModel coverage;
     GpuParams gp;
     FaultMap faults(gp.l2Geom.numLines(), 720, model, seed);
     const auto wl = makeWorkload("xsbench", scale);
+    const auto eccRatio = static_cast<std::size_t>(ratio.value());
 
-    std::cout << "=== Voltage explorer: Killi(1:" << ratio
-              << ") on die seed " << seed << " ===\n\n";
+    std::cout << "=== Voltage explorer: Killi(1:" << eccRatio
+              << ") on die seed " << seed.value() << " ===\n\n";
     TextTable table;
     table.header({"V/VDD", "1-fault lines", "2+ lines", "usable %",
                   "b'11 after run", "coverage %", "power %",
@@ -55,7 +62,7 @@ main(int argc, char **argv)
 
         // The (fresh) Killi instance learns this voltage's faults.
         KilliParams kp;
-        kp.ratio = ratio;
+        kp.ratio = eccRatio;
         KilliProtection killi(faults, kp);
         GpuSystem sys(gp, killi, *wl);
         const RunResult run = sys.run(/*warmupPasses=*/1);
@@ -69,7 +76,7 @@ main(int argc, char **argv)
             double(gp.l2Geom.numLines());
         const double pw = 100.0 *
             power::normalized(v,
-                              area::killi(ratio).pctOverL2 / 100.0,
+                              area::killi(eccRatio).pctOverL2 / 100.0,
                               double(run.l2Accesses()) /
                                   double(base.l2Accesses()),
                               double(run.dramReads + run.dramWrites) /

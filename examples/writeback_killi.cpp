@@ -14,7 +14,7 @@
 
 #include <iostream>
 
-#include "common/config.hh"
+#include "common/options.hh"
 #include "common/table.hh"
 #include "fault/fault_map.hh"
 #include "fault/voltage_model.hh"
@@ -26,12 +26,20 @@ using namespace killi;
 int
 main(int argc, char **argv)
 {
-    Config cfg;
-    cfg.parseArgs(argc, argv);
-    const std::string wlName = cfg.getString("workload", "lulesh");
-    const double voltage = cfg.getDouble("voltage", 0.625);
-    const std::size_t ratio =
-        static_cast<std::size_t>(cfg.getInt("ratio", 64));
+    Options opts("writeback_killi",
+                 "Killi on a write-back L2 vs the paper's "
+                 "write-through design");
+    const auto &wlName =
+        opts.add("workload", "lulesh", "built-in workload name");
+    const auto &voltage =
+        opts.add<double>("voltage", 0.625,
+                         "normalized supply voltage (V/VDD)")
+            .range(0.5, 1.0);
+    const auto &ratio =
+        opts.add<std::uint64_t>("ratio", 64,
+                                "ECC cache ratio (lines per entry)")
+            .choices({16, 32, 64, 128, 256});
+    opts.parse(argc, argv);
 
     const VoltageModel model;
     const auto wl = makeWorkload(wlName, 0.5);
@@ -48,7 +56,7 @@ main(int argc, char **argv)
         faults.setVoltage(voltage);
 
         KilliParams kp;
-        kp.ratio = ratio;
+        kp.ratio = static_cast<std::size_t>(ratio.value());
         kp.writebackMode = policy == WritePolicy::WriteBack;
         kp.invertedWriteCheck = invertedWrite;
         KilliProtection killi(faults, kp);
@@ -65,8 +73,9 @@ main(int argc, char **argv)
                    std::to_string(losses), std::to_string(r.sdc)});
     };
 
-    std::cout << "Killi(1:" << ratio << ") on '" << wlName << "' at "
-              << voltage << "xVDD:\n\n";
+    std::cout << "Killi(1:" << ratio.value() << ") on '"
+              << wlName.value() << "' at " << voltage.value()
+              << "xVDD:\n\n";
     run("write-through (paper 2.4)", WritePolicy::WriteThrough, false);
     run("write-back (paper 5.6.1)", WritePolicy::WriteBack, false);
     run("write-back + inverted-write", WritePolicy::WriteBack, true);

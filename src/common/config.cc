@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/log.hh"
+#include "common/options.hh"
 
 namespace killi
 {
@@ -69,7 +70,12 @@ Config::getInt(const std::string &key, std::int64_t dflt) const
     std::string out;
     if (!lookup(key, out))
         return dflt;
-    return std::strtoll(out.c_str(), nullptr, 0);
+    std::int64_t value;
+    if (!tryParseInt(out, value)) {
+        fatal("config: option '%s' expects an integer, got '%s'",
+              key.c_str(), out.c_str());
+    }
+    return value;
 }
 
 double
@@ -78,7 +84,12 @@ Config::getDouble(const std::string &key, double dflt) const
     std::string out;
     if (!lookup(key, out))
         return dflt;
-    return std::strtod(out.c_str(), nullptr);
+    double value;
+    if (!tryParseDouble(out, value)) {
+        fatal("config: option '%s' expects a number, got '%s'",
+              key.c_str(), out.c_str());
+    }
+    return value;
 }
 
 bool
@@ -87,7 +98,12 @@ Config::getBool(const std::string &key, bool dflt) const
     std::string out;
     if (!lookup(key, out))
         return dflt;
-    return out == "1" || out == "true" || out == "yes" || out == "on";
+    bool value;
+    if (!tryParseBool(out, value)) {
+        fatal("config: option '%s' expects a boolean, got '%s'",
+              key.c_str(), out.c_str());
+    }
+    return value;
 }
 
 } // namespace killi

@@ -6,6 +6,12 @@
  * Values are taken from (in priority order) command-line "key=value"
  * arguments, then KILLI_-prefixed environment variables, then the
  * built-in default supplied at the query site.
+ *
+ * Config does not validate key names (any key=value token is
+ * accepted and silently ignored if never queried); malformed numeric
+ * and boolean values are fatal at query time. New binaries should
+ * use the declared, typed Options API (common/options.hh) instead,
+ * which also rejects unknown keys and generates --help.
  */
 
 #ifndef KILLI_COMMON_CONFIG_HH
@@ -23,7 +29,8 @@ class Config
   public:
     Config() = default;
 
-    /** Parse argv-style "key=value" tokens; unknown tokens are fatal. */
+    /** Parse argv-style "key=value" tokens; tokens that are not of
+     *  key=value shape are fatal (keys themselves are not checked). */
     void parseArgs(int argc, char **argv);
 
     /** Explicitly set a key (used by tests). */

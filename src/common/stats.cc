@@ -59,15 +59,57 @@ StatGroup::dump(std::ostream &os, const std::string &prefix) const
     }
     for (const auto &[name, dist] : distributions) {
         os << std::left << std::setw(44) << (prefix + name)
-           << std::right << std::setw(16) << dist.mean()
-           << " (n=" << dist.count() << ", min=" << dist.min()
-           << ", max=" << dist.max() << ")" << describe(name) << "\n";
+           << std::right << std::setw(16) << dist.mean();
+        if (dist.empty()) {
+            os << " (no samples)";
+        } else {
+            os << " (n=" << dist.count() << ", min=" << dist.min()
+               << ", max=" << dist.max() << ")";
+        }
+        os << describe(name) << "\n";
     }
     for (const auto &[name, fn] : formulas) {
         os << std::left << std::setw(44) << (prefix + name)
            << std::right << std::setw(16) << fn()
            << describe(name) << "\n";
     }
+}
+
+Json
+StatGroup::toJson() const
+{
+    Json counterObj = Json::object();
+    for (const auto &[name, ctr] : counters)
+        counterObj.set(name, Json::number(ctr.value()));
+
+    Json distObj = Json::object();
+    for (const auto &[name, dist] : distributions) {
+        Json entry = Json::object();
+        entry.set("count", Json::number(dist.count()));
+        entry.set("mean", Json::number(dist.mean()));
+        // Json serializes the empty distribution's NaN extrema as
+        // null, keeping "never sampled" distinct from a 0.0 sample.
+        entry.set("min", Json::number(dist.min()));
+        entry.set("max", Json::number(dist.max()));
+        distObj.set(name, std::move(entry));
+    }
+
+    Json formulaObj = Json::object();
+    for (const auto &[name, fn] : formulas)
+        formulaObj.set(name, Json::number(fn()));
+
+    Json doc = Json::object();
+    doc.set("counters", std::move(counterObj));
+    doc.set("distributions", std::move(distObj));
+    doc.set("formulas", std::move(formulaObj));
+    return doc;
+}
+
+void
+StatGroup::dumpJson(std::ostream &os) const
+{
+    toJson().dump(os, 2);
+    os << '\n';
 }
 
 void

@@ -10,10 +10,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "common/json.hh"
 
 namespace killi
 {
@@ -35,7 +38,14 @@ class Counter
     std::uint64_t count = 0;
 };
 
-/** Running scalar sample statistics (mean/min/max). */
+/**
+ * Running scalar sample statistics (mean/min/max).
+ *
+ * An empty distribution has no extrema: min()/max() return NaN so a
+ * never-sampled statistic cannot be mistaken for a real 0.0 sample
+ * (callers can also branch on empty()). Text and JSON dumps render
+ * the empty case explicitly.
+ */
 class Distribution
 {
   public:
@@ -51,9 +61,10 @@ class Distribution
     }
 
     std::uint64_t count() const { return samples; }
+    bool empty() const { return samples == 0; }
     double mean() const { return samples ? sum / samples : 0.0; }
-    double min() const { return minVal; }
-    double max() const { return maxVal; }
+    double min() const { return samples ? minVal : nan(); }
+    double max() const { return samples ? maxVal : nan(); }
 
     void
     reset()
@@ -65,6 +76,8 @@ class Distribution
     }
 
   private:
+    static double nan() { return std::numeric_limits<double>::quiet_NaN(); }
+
     double sum = 0;
     std::uint64_t samples = 0;
     double minVal = 0;
@@ -97,6 +110,16 @@ class StatGroup
 
     /** Write all statistics, sorted by name, to @p os. */
     void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /**
+     * Structured serialization: an object with "counters",
+     * "distributions" (count/mean/min/max; min/max null when empty)
+     * and "formulas" members. Formula callbacks are evaluated now.
+     */
+    Json toJson() const;
+
+    /** Write toJson() to @p os, pretty-printed. */
+    void dumpJson(std::ostream &os) const;
 
     /** Reset all counters and distributions (formulas re-derive). */
     void resetAll();

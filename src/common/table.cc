@@ -63,4 +63,17 @@ TextTable::print(std::ostream &os) const
         emit(r);
 }
 
+Json
+TextTable::toJson() const
+{
+    Json out = Json::array();
+    for (const auto &r : rows) {
+        Json row = Json::object();
+        for (std::size_t c = 0; c < r.size(); ++c)
+            row.set(head[c], Json::string(r[c]));
+        out.push(std::move(row));
+    }
+    return out;
+}
+
 } // namespace killi

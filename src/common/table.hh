@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
+
 namespace killi
 {
 
@@ -31,6 +33,13 @@ class TextTable
 
     /** Render with separators to @p os. */
     void print(std::ostream &os) const;
+
+    /**
+     * Machine-readable form: an array with one object per row,
+     * keyed by the header columns. Cells stay strings — the table
+     * layer does not guess which cells are numeric.
+     */
+    Json toJson() const;
 
   private:
     std::vector<std::string> head;

@@ -5,6 +5,55 @@
 namespace killi
 {
 
+namespace
+{
+
+/** Field table driving RunResult's JSON round trip. */
+struct ResultField
+{
+    const char *key;
+    std::uint64_t RunResult::*member;
+};
+
+constexpr ResultField kResultFields[] = {
+    {"instructions", &RunResult::instructions},
+    {"l2_read_hits", &RunResult::l2ReadHits},
+    {"l2_read_misses", &RunResult::l2ReadMisses},
+    {"l2_error_misses", &RunResult::l2ErrorMisses},
+    {"l2_write_hits", &RunResult::l2WriteHits},
+    {"l2_write_misses", &RunResult::l2WriteMisses},
+    {"l2_evictions", &RunResult::l2Evictions},
+    {"l2_prot_invalidations", &RunResult::l2ProtInvalidations},
+    {"l2_bypass_fills", &RunResult::l2BypassFills},
+    {"sdc", &RunResult::sdc},
+    {"dram_reads", &RunResult::dramReads},
+    {"dram_writes", &RunResult::dramWrites},
+};
+
+} // namespace
+
+Json
+RunResult::toJson() const
+{
+    Json doc = Json::object();
+    doc.set("cycles", Json::number(std::uint64_t(cycles)));
+    for (const ResultField &field : kResultFields)
+        doc.set(field.key, Json::number(this->*field.member));
+    // Derived, for consumers that don't want to recompute it.
+    doc.set("mpki", Json::number(mpki()));
+    return doc;
+}
+
+RunResult
+RunResult::fromJson(const Json &doc)
+{
+    RunResult r;
+    r.cycles = Cycle(doc.at("cycles").asInt());
+    for (const ResultField &field : kResultFields)
+        r.*field.member = std::uint64_t(doc.at(field.key).asInt());
+    return r;
+}
+
 GpuSystem::GpuSystem(const GpuParams &params,
                      ProtectionScheme &protection,
                      const Workload &wl, FaultMap *fault_map)

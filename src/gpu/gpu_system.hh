@@ -5,6 +5,21 @@
  * runs a workload to completion, and reports the metrics the paper's
  * evaluation uses (kernel cycles, MPKI, power-model inputs).
  * Configuration defaults follow paper Table 3.
+ *
+ * Thread-confinement contract (audited for the parallel experiment
+ * runner): a GpuSystem and everything it owns (event queue, caches,
+ * DRAM, golden memory) is used by exactly one thread; nothing in
+ * this module touches global mutable state. Objects passed in by
+ * reference follow these rules when runs execute concurrently:
+ *  - Workload: const and pure (op() is a function of coordinates),
+ *    safe to share across threads;
+ *  - ProtectionScheme: mutable (DFH/ECC-cache state), one instance
+ *    per GpuSystem;
+ *  - FaultMap: logically const during a run *unless* soft-error
+ *    injection is enabled (injectTransient/clearTransients mutate
+ *    it), so concurrent runs must each own a private FaultMap —
+ *    construction is deterministic in (seed, voltage), which keeps
+ *    per-run isolation bit-identical to sharing one map.
  */
 
 #ifndef KILLI_GPU_GPU_SYSTEM_HH
@@ -15,6 +30,7 @@
 #include <vector>
 
 #include "cache/geometry.hh"
+#include "common/json.hh"
 #include "cache/l1cache.hh"
 #include "cache/l2cache.hh"
 #include "cache/protection.hh"
@@ -74,6 +90,12 @@ struct RunResult
         return l2ReadHits + l2ReadMisses + l2ErrorMisses +
             l2WriteHits + l2WriteMisses;
     }
+
+    /** Structured form for machine-readable results files. */
+    Json toJson() const;
+
+    /** Inverse of toJson(); fatal() on missing/mistyped members. */
+    static RunResult fromJson(const Json &doc);
 };
 
 class GpuSystem

@@ -1,0 +1,79 @@
+#include "runner/thread_pool.hh"
+
+#include <algorithm>
+
+namespace killi
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned n = std::max(1u, threads);
+    workers.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    workAvailable.notify_all();
+    for (std::thread &t : workers)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        queue.push_back(std::move(task));
+    }
+    workAvailable.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    allIdle.wait(lock, [this] { return queue.empty() && active == 0; });
+}
+
+unsigned
+ThreadPool::defaultThreads()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void
+ThreadPool::workerLoop()
+{
+    while (true) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            workAvailable.wait(lock, [this] {
+                return stopping || !queue.empty();
+            });
+            if (queue.empty()) {
+                // stopping && drained: exit. The destructor runs
+                // outstanding work before the workers retire.
+                return;
+            }
+            task = std::move(queue.front());
+            queue.pop_front();
+            ++active;
+        }
+        task();
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            --active;
+            if (queue.empty() && active == 0)
+                allIdle.notify_all();
+        }
+    }
+}
+
+} // namespace killi

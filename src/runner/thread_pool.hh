@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fixed-size worker-thread pool for the experiment runner.
+ *
+ * Deliberately minimal: submit() enqueues a task, wait() blocks until
+ * every submitted task has finished. Tasks must be self-contained —
+ * the pool provides no result channel, no cancellation, and no
+ * ordering guarantee between tasks; campaigns that need deterministic
+ * output write into pre-allocated, index-addressed slots instead
+ * (see runner.hh).
+ */
+
+#ifndef KILLI_RUNNER_THREAD_POOL_HH
+#define KILLI_RUNNER_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace killi
+{
+
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers; at least one. */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains outstanding work (wait()), then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p task for execution on some worker. */
+    void submit(std::function<void()> task);
+
+    /** Block until all submitted tasks have completed. */
+    void wait();
+
+    unsigned threadCount() const { return unsigned(workers.size()); }
+
+    /** hardware_concurrency with a sane floor of 1. */
+    static unsigned defaultThreads();
+
+  private:
+    void workerLoop();
+
+    std::mutex mtx;
+    std::condition_variable workAvailable;
+    std::condition_variable allIdle;
+    std::deque<std::function<void()>> queue;
+    std::vector<std::thread> workers;
+    unsigned active = 0;
+    bool stopping = false;
+};
+
+} // namespace killi
+
+#endif // KILLI_RUNNER_THREAD_POOL_HH

@@ -2,16 +2,20 @@
  * @file
  * Unit tests for the kcommon utility library: BitVec semantics and
  * invariants, RNG determinism and distribution sanity, Config
- * parsing, stats registry behaviour, and table rendering.
+ * parsing, stats registry behaviour, JSON documents, and table
+ * rendering.
  */
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdio>
 #include <set>
 #include <sstream>
 
 #include "common/bitvec.hh"
 #include "common/config.hh"
+#include "common/json.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -322,4 +326,176 @@ TEST(RngTest, ForkedStreamsDiverge)
     Rng childA = parent.fork();
     Rng childB = parent.fork();
     EXPECT_NE(childA.next64(), childB.next64());
+}
+
+TEST(ConfigTest, MalformedIntegerIsFatal)
+{
+    Config cfg;
+    cfg.set("ratio", "25six");
+    EXPECT_DEATH(cfg.getInt("ratio", 0), "expects an integer");
+}
+
+TEST(ConfigTest, MalformedDoubleIsFatal)
+{
+    Config cfg;
+    cfg.set("scale", "half");
+    EXPECT_DEATH(cfg.getDouble("scale", 1.0), "expects a number");
+}
+
+TEST(ConfigTest, MalformedBoolIsFatal)
+{
+    Config cfg;
+    cfg.set("verbose", "yep");
+    EXPECT_DEATH(cfg.getBool("verbose", false), "expects a boolean");
+}
+
+TEST(ConfigTest, TrailingGarbageOnNumberIsFatal)
+{
+    // strtol would silently accept "42abc" as 42; the strict parser
+    // must not.
+    Config cfg;
+    cfg.set("seed", "42abc");
+    EXPECT_DEATH(cfg.getInt("seed", 0), "expects an integer");
+}
+
+TEST(StatsTest, EmptyDistributionHasNoExtrema)
+{
+    Distribution d;
+    EXPECT_TRUE(d.empty());
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_TRUE(std::isnan(d.min()));
+    EXPECT_TRUE(std::isnan(d.max()));
+    d.sample(-4.0);
+    EXPECT_FALSE(d.empty());
+    EXPECT_DOUBLE_EQ(d.min(), -4.0);
+    EXPECT_DOUBLE_EQ(d.max(), -4.0);
+    d.reset();
+    EXPECT_TRUE(d.empty());
+    EXPECT_TRUE(std::isnan(d.min()));
+}
+
+TEST(StatsTest, NegativeSamplesKeepTrueExtrema)
+{
+    // Before the NaN fix min/max started at 0.0, so an all-negative
+    // (or all-positive-above-zero) stream reported a bogus extremum.
+    Distribution d;
+    d.sample(-2.0);
+    d.sample(-8.0);
+    EXPECT_DOUBLE_EQ(d.min(), -8.0);
+    EXPECT_DOUBLE_EQ(d.max(), -2.0);
+    Distribution e;
+    e.sample(5.0);
+    e.sample(3.0);
+    EXPECT_DOUBLE_EQ(e.min(), 3.0);
+}
+
+TEST(StatsTest, TextDumpMarksEmptyDistributions)
+{
+    StatGroup stats;
+    stats.distribution("lat", "never sampled");
+    std::ostringstream os;
+    stats.dump(os);
+    EXPECT_NE(os.str().find("no samples"), std::string::npos);
+}
+
+TEST(JsonTest, ScalarRoundTrip)
+{
+    Json doc = Json::object();
+    doc.set("i", Json::number(std::int64_t{-42}));
+    doc.set("u", Json::number(std::uint64_t{1} << 63));
+    doc.set("d", Json::number(0.625));
+    doc.set("s", Json::string("hi \"there\"\n"));
+    doc.set("t", Json::boolean(true));
+    doc.set("n", Json::null());
+
+    Json back;
+    std::string err;
+    ASSERT_TRUE(Json::parse(doc.toString(), back, &err)) << err;
+    EXPECT_EQ(back, doc);
+    EXPECT_EQ(back.at("i").asInt(), -42);
+    EXPECT_DOUBLE_EQ(back.at("d").asDouble(), 0.625);
+    EXPECT_EQ(back.at("s").asString(), "hi \"there\"\n");
+    EXPECT_TRUE(back.at("n").isNull());
+}
+
+TEST(JsonTest, NestedArraysAndObjects)
+{
+    Json arr = Json::array();
+    for (int i = 0; i < 3; ++i) {
+        Json entry = Json::object();
+        entry.set("idx", Json::number(std::int64_t(i)));
+        arr.push(std::move(entry));
+    }
+    Json doc = Json::object();
+    doc.set("rows", std::move(arr));
+
+    Json back;
+    ASSERT_TRUE(Json::parse(doc.toString(), back, nullptr));
+    ASSERT_EQ(back.at("rows").size(), 3u);
+    EXPECT_EQ(back.at("rows").at(2).at("idx").asInt(), 2);
+}
+
+TEST(JsonTest, ObjectsPreserveInsertionOrder)
+{
+    Json doc = Json::object();
+    doc.set("zebra", Json::number(std::int64_t{1}));
+    doc.set("alpha", Json::number(std::int64_t{2}));
+    ASSERT_EQ(doc.members().size(), 2u);
+    EXPECT_EQ(doc.members()[0].first, "zebra");
+    EXPECT_EQ(doc.members()[1].first, "alpha");
+}
+
+TEST(JsonTest, NonFiniteDoublesSerializeAsNull)
+{
+    Json doc = Json::object();
+    doc.set("bad", Json::number(std::nan("")));
+    EXPECT_NE(doc.toString().find("null"), std::string::npos);
+    Json back;
+    ASSERT_TRUE(Json::parse(doc.toString(), back, nullptr));
+    EXPECT_TRUE(back.at("bad").isNull());
+}
+
+TEST(JsonTest, ParserRejectsMalformedInput)
+{
+    Json out;
+    std::string err;
+    EXPECT_FALSE(Json::parse("{\"a\": }", out, &err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(Json::parse("[1, 2", out, &err));
+    EXPECT_FALSE(Json::parse("{\"a\": 1} trailing", out, &err));
+    EXPECT_FALSE(Json::parse("", out, &err));
+}
+
+TEST(JsonTest, DoubleKindSurvivesRoundTripForWholeValues)
+{
+    // 2.0 must come back as a Double (not Int) so that results files
+    // are stable under rewrite.
+    Json doc = Json::number(2.0);
+    Json back;
+    ASSERT_TRUE(Json::parse(doc.toString(), back, nullptr));
+    EXPECT_EQ(back.kind(), Json::Kind::Double);
+    EXPECT_EQ(back, doc);
+}
+
+TEST(JsonTest, FileRoundTripCreatesParentDirs)
+{
+    const std::string dir = ::testing::TempDir() + "/killi_json_test";
+    const std::string path = dir + "/nested/out.json";
+    Json doc = Json::object();
+    doc.set("answer", Json::number(std::int64_t{42}));
+    writeJsonFile(path, doc);
+    EXPECT_EQ(readJsonFile(path), doc);
+    std::remove(path.c_str());
+}
+
+TEST(TableTest, ToJsonKeysRowsByHeader)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"alpha", "1"});
+    t.row({"beta", "2"});
+    const Json doc = t.toJson();
+    ASSERT_EQ(doc.size(), 2u);
+    EXPECT_EQ(doc.at(0).at("name").asString(), "alpha");
+    EXPECT_EQ(doc.at(1).at("value").asString(), "2");
 }

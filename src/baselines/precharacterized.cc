@@ -64,8 +64,10 @@ PrecharacterizedScheme::onFill(std::size_t lineId, const BitVec &data)
 {
     if (!enabled[lineId])
         panic("%s: fill into a disabled line", p.displayName.c_str());
-    // Checkbits only need materializing where faults can bite.
-    if (!p.behavioral && !faults.lineFaults(lineId).empty())
+    // Checkbits are always materialized: even a line with no active
+    // persistent fault can take a transient upset later, and the
+    // probe then needs checkbits of the right width.
+    if (!p.behavioral)
         checkStore[lineId] = code->encode(data);
     return 0;
 }
@@ -74,7 +76,7 @@ void
 PrecharacterizedScheme::onWriteHit(std::size_t lineId,
                                    const BitVec &data)
 {
-    if (!p.behavioral && !faults.lineFaults(lineId).empty())
+    if (!p.behavioral)
         checkStore[lineId] = code->encode(data);
 }
 
@@ -86,8 +88,10 @@ PrecharacterizedScheme::onReadHit(std::size_t lineId,
     AccessResult res;
     // The parity/syndrome check overlaps the 2-cycle data access;
     // latency is only exposed when error processing actually runs.
-    if (faults.lineFaults(lineId).empty())
+    if (faults.lineFaults(lineId).empty() &&
+        faults.transients(lineId).empty()) {
         return res; // fault-free fast path
+    }
 
     res.extraLatency = p.codecLatency;
     if (p.behavioral) {
@@ -110,6 +114,10 @@ PrecharacterizedScheme::onReadHit(std::size_t lineId,
     const DecodeResult dr = code->probe(errs);
     switch (dr.status) {
       case DecodeStatus::NoError:
+        // Visible flips that still form a valid codeword: the error
+        // weight exceeds the code distance and the payload is served
+        // corrupted without any indication.
+        res.sdc = true;
         break;
       case DecodeStatus::Corrected:
         ++statGroup.counter("corrections");
@@ -134,8 +142,10 @@ PrecharacterizedScheme::onWriteback(std::size_t lineId,
                                     const BitVec &data)
 {
     WritebackOutcome out;
-    if (faults.lineFaults(lineId).empty())
+    if (faults.lineFaults(lineId).empty() &&
+        faults.transients(lineId).empty()) {
         return out;
+    }
     if (p.behavioral)
         return out; // within the OLSC capability by construction
     const std::vector<std::size_t> errs =
@@ -143,8 +153,9 @@ PrecharacterizedScheme::onWriteback(std::size_t lineId,
     if (errs.empty())
         return out;
     const DecodeResult dr = code->probe(errs);
-    out.clean = dr.status == DecodeStatus::NoError ||
-        dr.status == DecodeStatus::Corrected;
+    // NoError with visible flips is an undetected corruption — the
+    // written-back word only counts as clean after a real correction.
+    out.clean = dr.status == DecodeStatus::Corrected;
     if (dr.status == DecodeStatus::Corrected)
         out.extraCost = p.correctionLatency;
     return out;

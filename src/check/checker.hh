@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The kcheck differential scenario checker.
+ *
+ * runScenario() drives two independent harnesses — KilliProtection
+ * and the pre-characterized SECDED baseline — through the same
+ * scenario trace, each against its own identically-constructed
+ * FaultMap and GoldenMemory. Every hook call mirrors the exact
+ * ordering of src/cache/l2cache.cc (eviction = onEvict, write back
+ * if dirty, onInvalidate; error-induced miss = immediate
+ * onInvalidate; a store bumps golden memory whether or not the line
+ * is resident), so a scenario exercises the schemes the way the real
+ * host does, minus the timing machinery.
+ *
+ * For each access the checker independently recomputes the parity
+ * and ECC signals from the fault overlay, asks the oracle
+ * (check/oracle.hh) what must happen, and compares: DFH transition,
+ * miss/deliver outcome, SDC flag, and exposed latency. Corrections
+ * are additionally materialized through the real encode()/decode()
+ * path and compared against golden memory end to end, so a
+ * probe/decode divergence is caught as well. Structural ECC-cache
+ * invariants are re-validated after every operation.
+ */
+
+#ifndef KILLI_CHECK_CHECKER_HH
+#define KILLI_CHECK_CHECKER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/scenario.hh"
+#include "common/json.hh"
+
+namespace killi::check
+{
+
+/** One oracle disagreement, pinned to a trace position. */
+struct CheckViolation
+{
+    std::size_t opIndex = 0;
+    std::string scheme; //!< "killi" or "secded"
+    std::string message;
+};
+
+/** What a scenario actually exercised (campaign reporting). */
+struct CheckCoverage
+{
+    std::uint64_t reads = 0;
+    std::uint64_t corrections = 0;
+    std::uint64_t errorMisses = 0;
+    std::uint64_t evictTrainings = 0;
+    std::uint64_t eccDrops = 0;
+    std::uint64_t invertedChecks = 0;
+    /** Deliveries where the oracle *expected* silent corruption
+     *  (the documented §5.6.2 masked-pair window and friends). */
+    std::uint64_t expectedSdc = 0;
+    std::uint64_t skippedOps = 0;
+
+    void add(const CheckCoverage &other);
+    Json toJson() const;
+};
+
+struct CheckResult
+{
+    std::vector<CheckViolation> violations;
+    CheckCoverage coverage;
+
+    bool ok() const { return violations.empty(); }
+    /** Trace index of the first violation (meaningless when ok). */
+    std::size_t firstViolationOp() const;
+    Json toJson() const;
+};
+
+/** Run @p scenario through both schemes; stops executing the trace
+ *  once @p maxViolations disagreements have been recorded. */
+CheckResult runScenario(const Scenario &scenario,
+                        std::size_t maxViolations = 8);
+
+} // namespace killi::check
+
+#endif // KILLI_CHECK_CHECKER_HH

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * kcheck: property-based differential verification of the Killi DFH
+ * state machine with fault injection and replayable seeds.
+ *
+ * Campaign mode generates `runs` random scenarios from a master seed
+ * and checks each one (in parallel, into index-addressed slots, so
+ * results are bit-identical at any --jobs value). Failures are
+ * shrunk to minimal counterexamples and written as replayable seed
+ * files; `kcheck --replay file.json` re-runs one. Exit status is 1
+ * iff any scenario failed.
+ */
+
+#include <filesystem>
+#include <iostream>
+#include <vector>
+
+#include "check/checker.hh"
+#include "check/scenario.hh"
+#include "check/shrink.hh"
+#include "common/json.hh"
+#include "common/options.hh"
+#include "runner/thread_pool.hh"
+
+using namespace killi;
+using namespace killi::check;
+
+namespace
+{
+
+int
+replayFile(const std::string &path)
+{
+    const Scenario sc = Scenario::fromJson(readJsonFile(path));
+    std::cout << "replaying " << path << ": " << sc.summary()
+              << "\n";
+    const CheckResult res = runScenario(sc);
+    for (const CheckViolation &v : res.violations)
+        std::cout << "  op " << v.opIndex << " [" << v.scheme
+                  << "] " << v.message << "\n";
+    std::cout << (res.ok() ? "OK" : "FAILED") << " — coverage: "
+              << res.coverage.toJson().toString(0) << "\n";
+    return res.ok() ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts("kcheck",
+                 "property-based differential checker for the Killi "
+                 "DFH state machine (see TESTING.md)");
+    const auto &seed = opts.add<std::uint64_t>(
+        "seed", 1, "campaign master seed");
+    const auto &runs =
+        opts.add<std::uint64_t>("runs", 500,
+                                "random scenarios to check")
+            .range(1, 1000000);
+    const auto &jobs = opts.add<std::uint64_t>(
+        "jobs", 0, "worker threads (0 = hardware concurrency)");
+    const auto &shrink = opts.add<bool>(
+        "shrink", true, "minimize failing scenarios");
+    const auto &maxFailures =
+        opts.add<std::uint64_t>("max-failures", 4,
+                                "shrink/report at most this many "
+                                "failing scenarios")
+            .range(1, 1000);
+    const auto &outDir = opts.add(
+        "out", "kcheck_failures",
+        "directory for minimized counterexample seed files");
+    const auto &replay = opts.add(
+        "replay", "", "replay one scenario JSON file and exit");
+    const auto &jsonPath = opts.add(
+        "json", "", "write a machine-readable campaign summary");
+    opts.parse(argc, argv);
+
+    if (!replay.value().empty())
+        return replayFile(replay.value());
+
+    const std::size_t n = runs.value();
+    std::vector<CheckResult> slots(n);
+    {
+        const unsigned threads = jobs.value()
+            ? unsigned(jobs.value()) : ThreadPool::defaultThreads();
+        ThreadPool pool(threads);
+        for (std::size_t i = 0; i < n; ++i) {
+            pool.submit([i, &slots, master = seed.value()] {
+                slots[i] = runScenario(
+                    Scenario::generate(caseSeed(master, i)));
+            });
+        }
+        pool.wait();
+    }
+
+    CheckCoverage coverage;
+    std::vector<std::size_t> failures;
+    for (std::size_t i = 0; i < n; ++i) {
+        coverage.add(slots[i].coverage);
+        if (!slots[i].ok())
+            failures.push_back(i);
+    }
+
+    std::cout << "kcheck: " << n << " scenarios, seed "
+              << seed.value() << ": " << failures.size()
+              << " failing\n";
+    std::cout << "coverage: " << coverage.toJson().toString(0)
+              << "\n";
+
+    Json failureArr = Json::array();
+    const std::size_t reportCount =
+        std::min<std::size_t>(failures.size(), maxFailures.value());
+    for (std::size_t f = 0; f < reportCount; ++f) {
+        const std::size_t i = failures[f];
+        const std::uint64_t cs = caseSeed(seed.value(), i);
+        Scenario sc = Scenario::generate(cs);
+        CheckResult res = slots[i];
+        std::cout << "\nFAIL case " << i << " (" << sc.summary()
+                  << ")\n";
+        if (shrink.value()) {
+            const ShrinkOutcome shrunk = shrinkScenario(sc);
+            std::cout << "  shrunk to " << shrunk.scenario.trace.size()
+                      << " ops / " << shrunk.scenario.faults.size()
+                      << " faults in " << shrunk.evaluations
+                      << " evaluations\n";
+            sc = shrunk.scenario;
+            res = shrunk.result;
+        }
+        for (const CheckViolation &v : res.violations)
+            std::cout << "  op " << v.opIndex << " [" << v.scheme
+                      << "] " << v.message << "\n";
+
+        std::filesystem::create_directories(outDir.value());
+        const std::string path = outDir.value() + "/case_" +
+            std::to_string(cs) + ".json";
+        writeJsonFile(path, sc.toJson());
+        std::cout << "  seed file: " << path
+                  << " (replay with kcheck replay=" << path << ")\n";
+
+        Json entry = Json::object();
+        entry.set("case", Json::number(std::uint64_t(i)));
+        entry.set("case_seed", Json::number(cs));
+        entry.set("seed_file", Json::string(path));
+        entry.set("result", res.toJson());
+        failureArr.push(std::move(entry));
+    }
+    if (failures.size() > reportCount)
+        std::cout << "(" << failures.size() - reportCount
+                  << " further failing cases not shrunk; raise "
+                     "max-failures to see them)\n";
+
+    if (!jsonPath.value().empty()) {
+        Json doc = Json::object();
+        doc.set("runs", Json::number(std::uint64_t(n)));
+        doc.set("seed", Json::number(seed.value()));
+        doc.set("failing",
+                Json::number(std::uint64_t(failures.size())));
+        doc.set("coverage", coverage.toJson());
+        doc.set("failures", std::move(failureArr));
+        writeJsonFile(jsonPath.value(), doc);
+    }
+    return failures.empty() ? 0 : 1;
+}

@@ -1,0 +1,201 @@
+#include "check/oracle.hh"
+
+namespace killi::check
+{
+
+namespace
+{
+
+/** Expected SDC flag for a decision's action: delivering stored data
+ *  exposes any visible payload error; delivering a "corrected" word
+ *  exposes exactly the miscorrections; a refetch exposes nothing. */
+OracleDecision
+withSdc(Dfh next, DfhAction action, const OracleProbe &probe)
+{
+    OracleDecision dec{next, action, false};
+    switch (action) {
+      case DfhAction::SendClean:
+        dec.sdc = probe.payloadCorrupt;
+        break;
+      case DfhAction::CorrectAndSend:
+        dec.sdc = probe.eccStatus == DecodeStatus::Miscorrected;
+        break;
+      case DfhAction::ErrorMiss:
+        dec.sdc = false;
+        break;
+    }
+    return dec;
+}
+
+/** Paper Table 2, b'00 rows: only the folded parity is available. */
+OracleDecision
+stable0Row(const OracleProbe &probe)
+{
+    switch (probe.sp) {
+      case SParity::Ok:
+        return withSdc(Dfh::Stable0, DfhAction::SendClean, probe);
+      case SParity::Single:
+        return withSdc(Dfh::Initial, DfhAction::ErrorMiss, probe);
+      case SParity::Multi:
+        return withSdc(Dfh::Disabled, DfhAction::ErrorMiss, probe);
+    }
+    return withSdc(Dfh::Disabled, DfhAction::ErrorMiss, probe);
+}
+
+/** Paper Table 2, b'01 rows plus the documented conservative fills
+ *  for combinations the table leaves unspecified. */
+OracleDecision
+initialRow(const OracleProbe &probe)
+{
+    const bool syn = probe.synNonZero;
+    const bool gp = probe.gpMismatch;
+    // Specified rows first.
+    if (probe.sp == SParity::Ok && !syn && !gp)
+        return withSdc(Dfh::Stable0, DfhAction::SendClean, probe);
+    if (probe.sp == SParity::Single && syn && gp)
+        return withSdc(Dfh::Stable1, DfhAction::CorrectAndSend, probe);
+    if (syn && !gp) // SECDED double-error signature
+        return withSdc(Dfh::Disabled, DfhAction::ErrorMiss, probe);
+    if (probe.sp == SParity::Multi)
+        return withSdc(Dfh::Disabled, DfhAction::ErrorMiss, probe);
+    // Conservative fills (metadata-cell fault interpretations).
+    if (probe.sp == SParity::Ok && gp) // syn either way
+        return withSdc(Dfh::Stable1, DfhAction::CorrectAndSend, probe);
+    if (probe.sp == SParity::Single && !syn && !gp)
+        return withSdc(Dfh::Stable1, DfhAction::SendClean, probe);
+    return withSdc(Dfh::Disabled, DfhAction::ErrorMiss, probe);
+}
+
+/** Paper Table 2, b'10 rows plus the documented fills. */
+OracleDecision
+stable1Row(const OracleProbe &probe)
+{
+    const bool syn = probe.synNonZero;
+    const bool gp = probe.gpMismatch;
+    if (syn && gp) // single-bit error: the known fault bit
+        return withSdc(Dfh::Stable1, DfhAction::CorrectAndSend, probe);
+    if (probe.sp == SParity::Ok && !syn && !gp)
+        return withSdc(Dfh::Stable0, DfhAction::SendClean, probe);
+    if (!syn && !gp) // parity sees what the ECC cannot
+        return withSdc(Dfh::Disabled, DfhAction::ErrorMiss, probe);
+    if (syn && !gp) // even error count on a known-faulty line
+        return withSdc(Dfh::Disabled, DfhAction::ErrorMiss, probe);
+    // !syn && gp: overall-checkbit cell fault iff parity agrees.
+    if (probe.sp == SParity::Ok)
+        return withSdc(Dfh::Stable1, DfhAction::CorrectAndSend, probe);
+    return withSdc(Dfh::Disabled, DfhAction::ErrorMiss, probe);
+}
+
+/** §5.2: trained lines guarded by DECTED follow the strong decoder's
+ *  verdict rather than the SECDED rows. */
+OracleDecision
+stable1StrongRow(const OracleProbe &probe)
+{
+    switch (probe.eccStatus) {
+      case DecodeStatus::NoError:
+        if (probe.sp == SParity::Ok)
+            return withSdc(Dfh::Stable0, DfhAction::SendClean, probe);
+        return withSdc(Dfh::Disabled, DfhAction::ErrorMiss, probe);
+      case DecodeStatus::Corrected:
+      case DecodeStatus::Miscorrected:
+        return withSdc(Dfh::Stable1, DfhAction::CorrectAndSend, probe);
+      case DecodeStatus::DetectedUncorrectable:
+        return withSdc(Dfh::Disabled, DfhAction::ErrorMiss, probe);
+    }
+    return withSdc(Dfh::Disabled, DfhAction::ErrorMiss, probe);
+}
+
+/** §5.6.1: the dirty copy is the only copy; ECC is the sole recovery
+ *  path and an uncorrectable pattern loses the data. */
+OracleDecision
+dirtyRow(Dfh state, const OracleProbe &probe)
+{
+    switch (probe.eccStatus) {
+      case DecodeStatus::NoError:
+        if (probe.sp == SParity::Ok)
+            return withSdc(state, DfhAction::SendClean, probe);
+        return withSdc(Dfh::Disabled, DfhAction::ErrorMiss, probe);
+      case DecodeStatus::Corrected:
+      case DecodeStatus::Miscorrected:
+        return withSdc(Dfh::Stable1, DfhAction::CorrectAndSend, probe);
+      case DecodeStatus::DetectedUncorrectable:
+        return withSdc(Dfh::Disabled, DfhAction::ErrorMiss, probe);
+    }
+    return withSdc(Dfh::Disabled, DfhAction::ErrorMiss, probe);
+}
+
+/** A CorrectAndSend decision whose probe says the pattern is beyond
+ *  the code's capability cannot be executed by hardware either: the
+ *  controller sees the uncorrectable signature and must refetch. */
+OracleDecision
+guardUncorrectable(OracleDecision dec, const OracleProbe &probe)
+{
+    if (dec.action == DfhAction::CorrectAndSend &&
+        probe.eccStatus == DecodeStatus::DetectedUncorrectable) {
+        return {Dfh::Disabled, DfhAction::ErrorMiss, false};
+    }
+    return dec;
+}
+
+} // namespace
+
+OracleDecision
+oracleReadHit(Dfh state, bool dirty, bool dectedStable,
+              const OracleProbe &probe)
+{
+    OracleDecision dec;
+    if (dirty) {
+        dec = dirtyRow(state, probe);
+    } else {
+        switch (state) {
+          case Dfh::Stable0:
+            dec = stable0Row(probe);
+            break;
+          case Dfh::Initial:
+            if (dectedStable && probe.synNonZero &&
+                !probe.gpMismatch) {
+                // §5.2: the double-error signature classifies the
+                // line as 2-fault; DECTED keeps it enabled, but the
+                // current (SECDED-guarded) content must be refetched.
+                dec = {Dfh::Stable1, DfhAction::ErrorMiss, false};
+            } else {
+                dec = initialRow(probe);
+            }
+            break;
+          case Dfh::Stable1:
+            dec = dectedStable ? stable1StrongRow(probe)
+                               : stable1Row(probe);
+            break;
+          case Dfh::Disabled:
+            dec = {Dfh::Disabled, DfhAction::ErrorMiss, false};
+            break;
+        }
+    }
+    return guardUncorrectable(dec, probe);
+}
+
+OracleDecision
+oracleEvictTraining(bool dectedStable, const OracleProbe &probe)
+{
+    if (dectedStable && probe.synNonZero && !probe.gpMismatch)
+        return {Dfh::Stable1, DfhAction::ErrorMiss, false};
+    // The data is leaving anyway; only `next` matters to callers.
+    return initialRow(probe);
+}
+
+bool
+oracleWritebackClean(const OracleProbe &probe)
+{
+    switch (probe.eccStatus) {
+      case DecodeStatus::NoError:
+        return probe.sp == SParity::Ok && !probe.payloadCorrupt;
+      case DecodeStatus::Corrected:
+        return true;
+      case DecodeStatus::Miscorrected:
+      case DecodeStatus::DetectedUncorrectable:
+        return false;
+    }
+    return false;
+}
+
+} // namespace killi::check

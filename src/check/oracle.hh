@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Independent DFH-transition oracle for the kcheck harness.
+ *
+ * This is a second, deliberately separate transcription of the
+ * paper's Tables 1 and 2 (plus the §5.2 DECTED upgrade, the §5.6.1
+ * dirty-line decisions, and the documented conservative fills for
+ * rows Table 2 leaves unspecified). It shares no code with
+ * src/killi/dfh.cc or killi.cc — the whole point is that a typo in
+ * either transcription shows up as a differential mismatch instead
+ * of silently agreeing with itself. Keep it that way: fix
+ * discrepancies by consulting the paper, not by copying code across.
+ */
+
+#ifndef KILLI_CHECK_ORACLE_HH
+#define KILLI_CHECK_ORACLE_HH
+
+#include "ecc/code.hh"
+#include "killi/dfh.hh"
+
+namespace killi::check
+{
+
+/** Signals the checker derives on its own from the fault overlay. */
+struct OracleProbe
+{
+    SParity sp = SParity::Ok;
+    bool synNonZero = false;
+    bool gpMismatch = false;
+    DecodeStatus eccStatus = DecodeStatus::NoError;
+    /** Any visible error within the 512 payload bits. */
+    bool payloadCorrupt = false;
+};
+
+/** What the oracle expects an access to do. */
+struct OracleDecision
+{
+    Dfh next = Dfh::Initial;
+    DfhAction action = DfhAction::SendClean;
+    /** Whether delivered data is expected to differ from golden. */
+    bool sdc = false;
+};
+
+/**
+ * Expected outcome of a protected read hit on a line in @p state.
+ *
+ * @param dirty the line is dirty in write-back mode (§5.6.1 rules
+ *              replace the Table 2 rows: no refetch path exists)
+ * @param dectedStable the §5.2 DECTED-trained-lines extension is on
+ */
+OracleDecision oracleReadHit(Dfh state, bool dirty, bool dectedStable,
+                             const OracleProbe &probe);
+
+/** Expected training outcome when an Initial line is evicted
+ *  (§4.4: same decision logic as a read, but the data leaves). */
+OracleDecision oracleEvictTraining(bool dectedStable,
+                                   const OracleProbe &probe);
+
+/** Expected correctness of the data leaving on a write-back
+ *  (§5.6.1): true iff the written-back word matches golden. */
+bool oracleWritebackClean(const OracleProbe &probe);
+
+} // namespace killi::check
+
+#endif // KILLI_CHECK_ORACLE_HH

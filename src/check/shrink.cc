@@ -1,0 +1,155 @@
+#include "check/shrink.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace killi::check
+{
+
+namespace
+{
+
+/** Drop everything after the first violation — later ops cannot have
+ *  caused it. */
+bool
+truncateToFirst(Scenario &s, const CheckResult &res)
+{
+    const std::size_t first = res.firstViolationOp();
+    if (first == ~std::size_t{0} || first + 1 >= s.trace.size())
+        return false;
+    s.trace.resize(first + 1);
+    return true;
+}
+
+/** ddmin-style removal over @p items: try dropping chunks, halving
+ *  the chunk size when a whole sweep makes no progress. @p stillFails
+ *  evaluates a candidate with the items [begin, begin+len) removed. */
+template <typename Vec, typename Test>
+bool
+chunkRemoval(Vec &items, unsigned &evals, unsigned maxEvals,
+             const Test &stillFails)
+{
+    bool shrunk = false;
+    for (std::size_t chunk = std::max<std::size_t>(items.size() / 2, 1);
+         chunk >= 1; chunk /= 2) {
+        std::size_t start = 0;
+        while (start < items.size() && evals < maxEvals) {
+            const std::size_t len =
+                std::min(chunk, items.size() - start);
+            Vec candidate;
+            candidate.reserve(items.size() - len);
+            candidate.insert(candidate.end(), items.begin(),
+                             items.begin() + start);
+            candidate.insert(candidate.end(),
+                             items.begin() + start + len, items.end());
+            if (stillFails(candidate)) {
+                items = std::move(candidate);
+                shrunk = true; // retry same start at the new layout
+            } else {
+                start += len;
+            }
+        }
+        if (chunk == 1)
+            break;
+    }
+    return shrunk;
+}
+
+} // namespace
+
+Scenario
+shrinkWith(const Scenario &failing,
+           const std::function<bool(const Scenario &)> &stillFails,
+           unsigned maxEvals, unsigned &evaluations)
+{
+    ++evaluations;
+    if (!stillFails(failing))
+        fatal("shrinkWith: scenario does not satisfy the predicate");
+
+    Scenario best = failing;
+    const auto accepts = [&](const Scenario &candidate) {
+        ++evaluations;
+        return stillFails(candidate);
+    };
+
+    bool progress = true;
+    while (progress && evaluations < maxEvals) {
+        progress = false;
+
+        // Pass 1: remove trace operations.
+        progress |= chunkRemoval(
+            best.trace, evaluations, maxEvals,
+            [&](const std::vector<TraceOp> &trace) {
+                Scenario candidate = best;
+                candidate.trace = trace;
+                return accepts(candidate);
+            });
+
+        // Pass 2: remove planted faults.
+        if (!best.faults.empty()) {
+            progress |= chunkRemoval(
+                best.faults, evaluations, maxEvals,
+                [&](const std::vector<PlantedFault> &flist) {
+                    Scenario candidate = best;
+                    candidate.faults = flist;
+                    return accepts(candidate);
+                });
+        }
+
+        // Pass 3: reset knobs toward the paper defaults — a
+        // counterexample that reproduces without an extension is
+        // easier to reason about (and implicates the core tables).
+        const KilliParams defaults;
+        const auto tryKnob = [&](auto member, auto value) {
+            if (best.params.*member == value ||
+                evaluations >= maxEvals)
+                return;
+            Scenario candidate = best;
+            candidate.params.*member = value;
+            if (accepts(candidate)) {
+                best = std::move(candidate);
+                progress = true;
+            }
+        };
+        tryKnob(&KilliParams::invertedWriteCheck,
+                defaults.invertedWriteCheck);
+        tryKnob(&KilliParams::dectedStable, defaults.dectedStable);
+        tryKnob(&KilliParams::writebackMode, defaults.writebackMode);
+        tryKnob(&KilliParams::interleavedParity,
+                defaults.interleavedParity);
+        tryKnob(&KilliParams::ratio, defaults.ratio);
+    }
+    return best;
+}
+
+ShrinkOutcome
+shrinkScenario(const Scenario &failing, unsigned maxEvals)
+{
+    ShrinkOutcome out;
+    out.scenario = failing;
+    ++out.evaluations;
+    out.result = runScenario(out.scenario, 4);
+    if (out.result.ok())
+        fatal("shrinkScenario: scenario does not fail");
+    // Everything after the first violation is irrelevant; cutting it
+    // up front saves the ddmin pass most of its work.
+    truncateToFirst(out.scenario, out.result);
+
+    out.scenario = shrinkWith(
+        out.scenario,
+        [](const Scenario &candidate) {
+            // Shrinking only needs to know *whether* a candidate
+            // fails; any violation counts, not necessarily the
+            // original one.
+            return !runScenario(candidate, 4).ok();
+        },
+        maxEvals, out.evaluations);
+
+    // The shrunk scenario is self-contained; keep the original seed
+    // for provenance in the emitted file.
+    out.result = runScenario(out.scenario);
+    return out;
+}
+
+} // namespace killi::check

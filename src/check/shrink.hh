@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Counterexample minimization for failing kcheck scenarios.
+ *
+ * A freshly generated failing scenario typically has dozens of trace
+ * ops and faults that have nothing to do with the violation. The
+ * shrinker reduces it to something a human can replay and read:
+ * truncate the trace at the first violation, delta-debug the
+ * remaining ops (ddmin-style chunk removal), drop irrelevant planted
+ * faults, and reset KilliParams knobs to their defaults — accepting
+ * a candidate whenever it still fails (any violation counts, not
+ * necessarily the original one; the minimal scenario is what gets
+ * committed to tests/corpus/). Every pass is deterministic, and the
+ * total number of runScenario() evaluations is bounded.
+ */
+
+#ifndef KILLI_CHECK_SHRINK_HH
+#define KILLI_CHECK_SHRINK_HH
+
+#include <functional>
+
+#include "check/checker.hh"
+#include "check/scenario.hh"
+
+namespace killi::check
+{
+
+struct ShrinkOutcome
+{
+    Scenario scenario;    //!< the minimized failing scenario
+    CheckResult result;   //!< its violations
+    unsigned evaluations = 0;
+};
+
+/** Minimize @p failing (which must fail); bounded by @p maxEvals
+ *  checker runs. */
+ShrinkOutcome shrinkScenario(const Scenario &failing,
+                             unsigned maxEvals = 500);
+
+/**
+ * The generic minimization core behind shrinkScenario: ddmin over
+ * trace ops, then planted faults, then knob resets, iterated to a
+ * fixed point, keeping any candidate for which @p stillFails returns
+ * true. @p failing must satisfy the predicate. Exposed separately so
+ * tests can drive the machinery with synthetic predicates instead of
+ * a real checker violation.
+ */
+Scenario shrinkWith(
+    const Scenario &failing,
+    const std::function<bool(const Scenario &)> &stillFails,
+    unsigned maxEvals, unsigned &evaluations);
+
+} // namespace killi::check
+
+#endif // KILLI_CHECK_SHRINK_HH

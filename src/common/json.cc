@@ -333,7 +333,10 @@ Json::operator==(const Json &other) const
 namespace
 {
 
-/** Recursive-descent parser over a raw character range. */
+/** Recursive-descent parser over a raw character range. The parser
+ *  is strict: trailing characters, duplicate object keys, and
+ *  nesting beyond kMaxDepth (a stack-overflow guard for adversarial
+ *  inputs) are all parse errors. */
 class Parser
 {
   public:
@@ -508,11 +511,15 @@ class Parser
             return true;
           }
           case '[': {
+            if (depth >= kMaxDepth)
+                return fail("nesting depth limit exceeded");
+            ++depth;
             ++pos;
             out = Json::array();
             skipWs();
             if (pos < text.size() && text[pos] == ']') {
                 ++pos;
+                --depth;
                 return true;
             }
             while (true) {
@@ -530,17 +537,22 @@ class Parser
                 }
                 if (text[pos] == ']') {
                     ++pos;
+                    --depth;
                     return true;
                 }
                 return fail("expected ',' or ']'");
             }
           }
           case '{': {
+            if (depth >= kMaxDepth)
+                return fail("nesting depth limit exceeded");
+            ++depth;
             ++pos;
             out = Json::object();
             skipWs();
             if (pos < text.size() && text[pos] == '}') {
                 ++pos;
+                --depth;
                 return true;
             }
             while (true) {
@@ -556,6 +568,8 @@ class Parser
                 Json member;
                 if (!value(member))
                     return false;
+                if (out.contains(key))
+                    return fail("duplicate object key \"" + key + "\"");
                 out.set(key, std::move(member));
                 skipWs();
                 if (pos >= text.size())
@@ -566,6 +580,7 @@ class Parser
                 }
                 if (text[pos] == '}') {
                     ++pos;
+                    --depth;
                     return true;
                 }
                 return fail("expected ',' or '}'");
@@ -576,9 +591,14 @@ class Parser
         }
     }
 
+    /** Containers deeper than this are rejected (recursion guard;
+     *  every legitimate document in this project is < 10 deep). */
+    static constexpr int kMaxDepth = 96;
+
     const std::string &text;
     std::string *err;
     std::size_t pos = 0;
+    int depth = 0;
 };
 
 } // namespace

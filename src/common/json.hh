@@ -78,7 +78,9 @@ class Json
 
     /**
      * Strict parser for the subset dump() emits (standard JSON minus
-     * \\u escapes). Returns false and fills @p err on malformed input.
+     * non-ASCII \\u escapes). Duplicate object keys, trailing
+     * characters, and nesting deeper than 96 containers are rejected.
+     * Returns false and fills @p err on malformed input.
      */
     static bool parse(const std::string &text, Json &out,
                       std::string *err = nullptr);

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cerrno>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <limits>
 #include <sstream>
@@ -309,25 +310,56 @@ void
 Options::parse(int argc, char **argv)
 {
     for (int i = 1; i < argc; ++i) {
-        const std::string token(argv[i]);
+        std::string token(argv[i]);
         if (token == "--help" || token == "-h" || token == "help") {
             printHelp(std::cout);
             std::exit(0);
         }
+        // Both spellings are accepted: the original "key=value" and
+        // the GNU-style "--key=value" / "--key value" (a bare
+        // "--flag" sets a bool option to true).
+        const bool dashed =
+            token.size() > 2 && token.compare(0, 2, "--") == 0;
+        if (dashed)
+            token.erase(0, 2);
         const auto eq = token.find('=');
-        if (eq == std::string::npos || eq == 0) {
-            fatal("%s: expected key=value argument, got '%s' "
+        std::string key;
+        std::string value;
+        bool haveValue = false;
+        if (eq != std::string::npos && eq != 0) {
+            key = token.substr(0, eq);
+            value = token.substr(eq + 1);
+            haveValue = true;
+        } else if (dashed && eq == std::string::npos) {
+            key = token;
+        } else {
+            fatal("%s: expected key=value or --key value, got '%s' "
                   "(run with --help for the option list)",
-                  programName.c_str(), token.c_str());
+                  programName.c_str(), argv[i]);
         }
-        const std::string key = token.substr(0, eq);
         OptionBase *opt = find(key);
         if (!opt) {
             fatal("%s: unknown option '%s' "
                   "(run with --help for the option list)",
                   programName.c_str(), key.c_str());
         }
-        opt->parseValue(token.substr(eq + 1), "command line");
+        if (!haveValue) {
+            const bool isBool =
+                std::string(opt->typeName()) == "bool";
+            const char *next = i + 1 < argc ? argv[i + 1] : nullptr;
+            const bool nextIsOption = next &&
+                (std::strncmp(next, "--", 2) == 0 ||
+                 std::strchr(next, '=') != nullptr);
+            if (next && !(isBool && nextIsOption)) {
+                value = argv[++i];
+            } else if (isBool) {
+                value = "true"; // bare flag
+            } else {
+                fatal("%s: option '--%s' needs a value",
+                      programName.c_str(), key.c_str());
+            }
+        }
+        opt->parseValue(value, "command line");
     }
 
     // Environment fallback for anything the command line left unset.
@@ -367,7 +399,8 @@ void
 Options::printHelp(std::ostream &os) const
 {
     os << programName << " — " << summaryText << "\n\n"
-       << "usage: " << programName << " [key=value ...]\n";
+       << "usage: " << programName
+       << " [key=value | --key value ...]\n";
     if (decls.empty())
         return;
     os << "\noptions:\n";

@@ -13,7 +13,9 @@
  *     opts.parse(argc, argv);
  *     ... use voltage.value() (or double(voltage)) ...
  *
- * parse() accepts "key=value" tokens and --help/-h/help. Unlike the
+ * parse() accepts "key=value" tokens, the GNU-style "--key=value" /
+ * "--key value" spellings (a bare "--flag" sets a bool option), and
+ * --help/-h/help. Unlike the
  * legacy Config store, unknown keys, malformed numbers, and
  * out-of-range values are all fatal() — a typo'd knob can no longer
  * silently run the experiment with defaults. Values fall back to
@@ -150,10 +152,12 @@ class Options
                              const std::string &help);
 
     /**
-     * Parse argv-style "key=value" tokens. --help/-h/help prints the
-     * generated usage text and exits(0). Unknown keys, malformed
-     * values, and constraint violations are fatal(). Options not set
-     * on the command line fall back to KILLI_* environment variables.
+     * Parse argv-style "key=value" tokens; "--key=value", "--key
+     * value", and bare bool "--flag" are accepted as equivalent
+     * spellings. --help/-h/help prints the generated usage text and
+     * exits(0). Unknown keys, malformed values, and constraint
+     * violations are fatal(). Options not set on the command line
+     * fall back to KILLI_* environment variables.
      */
     void parse(int argc, char **argv);
 

@@ -83,6 +83,10 @@ class EccCache
     /** Live entries (reporting/tests). */
     std::size_t validEntries() const;
 
+    /** Raw entry table (invariant checking / the kcheck harness);
+     *  invalid slots are included — test EccEntry::valid. */
+    const std::vector<EccEntry> &entries() const { return table; }
+
     StatGroup &stats() { return statGroup; }
     const StatGroup &stats() const { return statGroup; }
 

@@ -12,6 +12,50 @@ constexpr std::size_t kDataBits = 512;
 constexpr std::size_t kPhysBits = kDataBits + 4;
 } // namespace
 
+#ifdef KILLI_CHECK_INVARIANTS
+#define KILLI_CHECK_INV(lineId, where) checkInvariants(lineId, where)
+#else
+#define KILLI_CHECK_INV(lineId, where) ((void)0)
+#endif
+
+void
+KilliProtection::checkInvariants(std::size_t lineId,
+                                 const char *where) const
+{
+#ifndef KILLI_CHECK_INVARIANTS
+    (void)lineId;
+    (void)where;
+#else
+    // Every live ECC-cache entry must protect a line that still
+    // needs it: training (b'01), known-faulty (b'10), or dirty in
+    // write-back mode (§5.6.1). An entry pointing at a clean b'00 or
+    // b'11 line means a missed invalidation — silently wasted
+    // ECC-cache capacity and bogus contention.
+    for (const EccEntry &e : ecc->entries()) {
+        if (!e.valid)
+            continue;
+        const Dfh d = state[e.l2Line];
+        if (d != Dfh::Initial && d != Dfh::Stable1 &&
+            !(p.writebackMode && dirtyLine[e.l2Line]))
+            panic("Killi invariant (%s): line %zu in %s holds an "
+                  "ECC-cache entry",
+                  where, e.l2Line, dfhName(d).c_str());
+        // Fine-parity overflow exists exactly while training.
+        if (d == Dfh::Initial &&
+            e.fineParity.size() != p.segments - p.groups)
+            panic("Killi invariant (%s): training line %zu carries "
+                  "%zu fine-parity bits, want %u",
+                  where, e.l2Line, e.fineParity.size(),
+                  p.segments - p.groups);
+    }
+    // The accessed line: b'11 must never be allocatable.
+    if (state[lineId] == Dfh::Disabled && canAllocate(lineId))
+        panic("Killi invariant (%s): disabled line %zu passes "
+              "canAllocate",
+              where, lineId);
+#endif
+}
+
 KilliProtection::KilliProtection(FaultMap &fault_map,
                                  const KilliParams &params)
     : faults(fault_map), p(params),
@@ -154,16 +198,9 @@ KilliProtection::installMetadata(std::size_t lineId, const BitVec &data,
                                  Dfh forState)
 {
     EccEntry *entry = ecc->find(lineId);
-    if (!entry) {
-        std::size_t evictedLine = EccCache::npos;
+    std::size_t evictedLine = EccCache::npos;
+    if (!entry)
         entry = ecc->allocate(lineId, evictedLine);
-        if (evictedLine != EccCache::npos) {
-            // A disjoint line loses its checkbits and cannot stay
-            // resident (§4.3): the host must drop it.
-            ++statGroup.counter("ecc_drops");
-            host->invalidateLine(evictedLine);
-        }
-    }
     const BlockCode &code = codeFor(forState, dirtyLine[lineId]);
     entry->check = code.encode(data);
     if (forState == Dfh::Initial) {
@@ -177,14 +214,29 @@ KilliProtection::installMetadata(std::size_t lineId, const BitVec &data,
     } else {
         entry->fineParity = BitVec(0);
     }
+    if (evictedLine != EccCache::npos) {
+        // A disjoint line loses its checkbits and cannot stay
+        // resident (§4.3): the host must drop it. Deferred until the
+        // new entry is fully populated — the host callback re-enters
+        // this scheme (onEvict/onInvalidate of the dropped line) and
+        // must observe a consistent structure.
+        ++statGroup.counter("ecc_drops");
+        host->invalidateLine(evictedLine);
+    }
 }
 
 Cycle
 KilliProtection::onFill(std::size_t lineId, const BitVec &data)
 {
+    KILLI_CHECK_INV(lineId, "onFill");
     const Dfh d = state[lineId];
     if (d == Dfh::Disabled)
         panic("Killi: fill into a disabled line");
+#ifdef KILLI_CHECK_INVARIANTS
+    if (!canAllocate(lineId))
+        panic("Killi invariant (onFill): fill into an unallocatable "
+              "line %zu (%s)", lineId, dfhName(d).c_str());
+#endif
 
     dirtyLine[lineId] = false; // fills install clean data
     folded[lineId] = foldedParity.encode(data);
@@ -224,6 +276,7 @@ KilliProtection::onFill(std::size_t lineId, const BitVec &data)
 void
 KilliProtection::onWriteHit(std::size_t lineId, const BitVec &data)
 {
+    KILLI_CHECK_INV(lineId, "onWriteHit");
     folded[lineId] = foldedParity.encode(data);
     const Dfh d = state[lineId];
     if (p.writebackMode) {
@@ -334,6 +387,7 @@ KilliProtection::decideStable1Strong(const Probes &probes) const
 AccessResult
 KilliProtection::onReadHit(std::size_t lineId, const BitVec &data)
 {
+    KILLI_CHECK_INV(lineId, "onReadHit");
     ++statGroup.counter("reads");
     const Dfh d = state[lineId];
     if (d == Dfh::Disabled)
@@ -384,7 +438,10 @@ KilliProtection::onReadHit(std::size_t lineId, const BitVec &data)
 
     noteTransition(d, dec.next);
     state[lineId] = dec.next;
-    if (dec.freeEccEntry && !isDirty)
+    // Free the entry eagerly on disable too: the host's follow-up
+    // onInvalidate would release it anyway, but a driver that stops
+    // after this hook must still observe a consistent structure.
+    if ((dec.freeEccEntry || dec.next == Dfh::Disabled) && !isDirty)
         ecc->invalidate(lineId);
 
     AccessResult res;
@@ -444,6 +501,7 @@ KilliProtection::onWriteback(std::size_t lineId, const BitVec &data)
 Cycle
 KilliProtection::onEvict(std::size_t lineId, const BitVec &data)
 {
+    KILLI_CHECK_INV(lineId, "onEvict");
     if (state[lineId] != Dfh::Initial || !p.evictionTraining)
         return 0;
 
@@ -460,8 +518,14 @@ KilliProtection::onEvict(std::size_t lineId, const BitVec &data)
     }
     noteTransition(Dfh::Initial, dec.next);
     state[lineId] = dec.next;
-    // The data is leaving: only the learned state matters. The ECC
-    // entry is released by the host's onInvalidate that follows.
+    // The data is leaving: only the learned state matters. The host's
+    // onInvalidate releases the ECC entry; drop it eagerly when the
+    // trained state no longer warrants one (a dirty line keeps its
+    // checkbits for the writeback verification that follows).
+    if ((dec.next == Dfh::Stable0 || dec.next == Dfh::Disabled) &&
+        !dirtyLine[lineId]) {
+        ecc->invalidate(lineId);
+    }
     return p.evictReadoutCost;
 }
 

@@ -136,6 +136,12 @@ class KilliProtection : public ProtectionScheme
     /** Record a DFH transition in the stats. */
     void noteTransition(Dfh from, Dfh to);
 
+    /** Cross-structure consistency assertions, compiled in (and
+     *  called at the entry of every public hook) only under the
+     *  KILLI_CHECK_INVARIANTS CMake option — on in CI, off in
+     *  release sweeps. */
+    void checkInvariants(std::size_t lineId, const char *where) const;
+
     /** Install metadata for a line entering/keeping b'01 or b'10. */
     void installMetadata(std::size_t lineId, const BitVec &data,
                          Dfh forState);

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Tests for the kcheck property-based differential harness: scenario
+ * generation determinism and round-tripping, agreement between the
+ * independent oracle and the production DFH tables over the whole
+ * signal space, zero violations on generated scenario batches, and
+ * ddmin minimization via synthetic failure predicates.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "check/checker.hh"
+#include "check/oracle.hh"
+#include "check/scenario.hh"
+#include "check/shrink.hh"
+#include "killi/dfh.hh"
+
+namespace killi::check
+{
+namespace
+{
+
+TEST(ScenarioGenerator, SameSeedSameScenario)
+{
+    const Scenario a = Scenario::generate(12345);
+    const Scenario b = Scenario::generate(12345);
+    EXPECT_EQ(a.toJson().toString(), b.toJson().toString());
+}
+
+TEST(ScenarioGenerator, DifferentSeedsDiffer)
+{
+    const Scenario a = Scenario::generate(1);
+    const Scenario b = Scenario::generate(2);
+    EXPECT_NE(a.toJson().toString(), b.toJson().toString());
+}
+
+TEST(ScenarioGenerator, CaseSeedsAreDistinct)
+{
+    std::set<std::uint64_t> seen;
+    for (std::size_t i = 0; i < 256; ++i)
+        seen.insert(caseSeed(1, i));
+    EXPECT_EQ(seen.size(), 256u);
+    // Distinct master seeds decorrelate the whole sequence.
+    EXPECT_NE(caseSeed(1, 0), caseSeed(2, 0));
+}
+
+TEST(ScenarioGenerator, JsonRoundTripIsExact)
+{
+    for (std::uint64_t seed : {1ull, 7ull, 0xdeadbeefull,
+                               ~0ull /* full-range uint64 seed */}) {
+        const Scenario s = Scenario::generate(seed);
+        const std::string text = s.toJson().toString();
+        Json doc;
+        std::string err;
+        ASSERT_TRUE(Json::parse(text, doc, &err)) << err;
+        const Scenario back = Scenario::fromJson(doc);
+        EXPECT_EQ(back.toJson().toString(), text);
+        EXPECT_EQ(back.seed, seed);
+    }
+}
+
+/**
+ * The oracle is an independent transcription of the paper's tables;
+ * this sweep ties the two transcriptions together over every signal
+ * combination for the baseline configuration (clean line, DECTED
+ * extension off), including the read-hit uncorrectable guard and the
+ * documented SDC contract per action.
+ */
+TEST(Oracle, AgreesWithDfhTablesOnCleanLines)
+{
+    const SParity sps[] = {SParity::Ok, SParity::Single,
+                           SParity::Multi};
+    const DecodeStatus statuses[] = {
+        DecodeStatus::NoError, DecodeStatus::Corrected,
+        DecodeStatus::Miscorrected,
+        DecodeStatus::DetectedUncorrectable};
+    const Dfh states[] = {Dfh::Stable0, Dfh::Initial, Dfh::Stable1};
+
+    for (const Dfh state : states) {
+        for (const SParity sp : sps) {
+            for (const bool syn : {false, true}) {
+                for (const bool gp : {false, true}) {
+                    for (const DecodeStatus st : statuses) {
+                        for (const bool corrupt : {false, true}) {
+                            OracleProbe probe;
+                            probe.sp = sp;
+                            probe.synNonZero = syn;
+                            probe.gpMismatch = gp;
+                            probe.eccStatus = st;
+                            probe.payloadCorrupt = corrupt;
+
+                            DfhDecision want;
+                            switch (state) {
+                              case Dfh::Stable0:
+                                want = dfhOnStable0(sp);
+                                break;
+                              case Dfh::Initial:
+                                want = dfhOnInitial(sp, syn, gp);
+                                break;
+                              default:
+                                want = dfhOnStable1(sp, syn, gp);
+                                break;
+                            }
+                            // The production read path downgrades a
+                            // correction whose syndrome points
+                            // outside the codeword.
+                            if (want.action ==
+                                    DfhAction::CorrectAndSend &&
+                                st == DecodeStatus::
+                                          DetectedUncorrectable) {
+                                want.action = DfhAction::ErrorMiss;
+                                want.next = Dfh::Disabled;
+                            }
+                            bool wantSdc = false;
+                            if (want.action == DfhAction::SendClean)
+                                wantSdc = corrupt;
+                            else if (want.action ==
+                                     DfhAction::CorrectAndSend)
+                                wantSdc = st ==
+                                    DecodeStatus::Miscorrected;
+
+                            const OracleDecision got = oracleReadHit(
+                                state, false, false, probe);
+                            EXPECT_EQ(got.next, want.next)
+                                << dfhName(state);
+                            EXPECT_EQ(int(got.action),
+                                      int(want.action))
+                                << dfhName(state);
+                            EXPECT_EQ(got.sdc, wantSdc)
+                                << dfhName(state);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(Oracle, EvictTrainingMatchesInitialRow)
+{
+    // Eviction training reuses the Initial-row logic but never
+    // applies the read-hit uncorrectable guard (the data is leaving
+    // anyway) — pin the asymmetry.
+    OracleProbe probe;
+    probe.sp = SParity::Single;
+    probe.synNonZero = true;
+    probe.gpMismatch = true;
+    probe.eccStatus = DecodeStatus::DetectedUncorrectable;
+    const OracleDecision got = oracleEvictTraining(false, probe);
+    EXPECT_EQ(got.next, Dfh::Stable1);
+
+    probe.eccStatus = DecodeStatus::Corrected;
+    EXPECT_EQ(oracleEvictTraining(false, probe).next, Dfh::Stable1);
+}
+
+TEST(Checker, GeneratedScenariosHaveNoViolations)
+{
+    for (std::size_t i = 0; i < 60; ++i) {
+        const Scenario s = Scenario::generate(caseSeed(77, i));
+        const CheckResult res = runScenario(s);
+        EXPECT_TRUE(res.ok())
+            << s.summary() << ": "
+            << (res.violations.empty()
+                    ? std::string("?")
+                    : res.violations.front().message);
+    }
+}
+
+TEST(Checker, RunScenarioIsDeterministic)
+{
+    const Scenario s = Scenario::generate(caseSeed(9, 3));
+    const CheckResult a = runScenario(s);
+    const CheckResult b = runScenario(s);
+    EXPECT_EQ(a.toJson().toString(), b.toJson().toString());
+}
+
+/** A scenario with known structure for the synthetic shrink tests:
+ *  mixed trace with several writes, several planted faults. */
+Scenario
+syntheticScenario()
+{
+    Scenario s;
+    s.seed = 99;
+    for (std::uint16_t i = 0; i < 6; ++i)
+        s.faults.push_back({std::uint16_t(i), std::uint16_t(i * 7),
+                            bool(i & 1)});
+    const OpKind kinds[] = {OpKind::Fill, OpKind::Read, OpKind::Write,
+                            OpKind::Touch, OpKind::Evict,
+                            OpKind::Scrub};
+    for (std::uint16_t i = 0; i < 24; ++i) {
+        TraceOp op;
+        op.kind = kinds[i % 6];
+        op.line = std::uint16_t(i % 8);
+        s.trace.push_back(op);
+    }
+    s.params.ratio = 16;
+    s.params.dectedStable = true;
+    return s;
+}
+
+TEST(Shrink, MinimizesToThePredicateCore)
+{
+    const Scenario failing = syntheticScenario();
+    // "Fails" iff the trace still holds a Write and any fault
+    // survives — the minimal scenario is exactly one of each.
+    const auto predicate = [](const Scenario &s) {
+        bool hasWrite = false;
+        for (const TraceOp &op : s.trace)
+            hasWrite |= op.kind == OpKind::Write;
+        return hasWrite && !s.faults.empty();
+    };
+    unsigned evals = 0;
+    const Scenario shrunk =
+        shrinkWith(failing, predicate, 500, evals);
+    ASSERT_EQ(shrunk.trace.size(), 1u);
+    EXPECT_EQ(int(shrunk.trace[0].kind), int(OpKind::Write));
+    EXPECT_EQ(shrunk.faults.size(), 1u);
+    // Knobs the predicate ignores are reset to the paper defaults.
+    const KilliParams defaults;
+    EXPECT_EQ(shrunk.params.ratio, defaults.ratio);
+    EXPECT_EQ(shrunk.params.dectedStable, defaults.dectedStable);
+    EXPECT_GT(evals, 0u);
+    EXPECT_LE(evals, 500u);
+}
+
+TEST(Shrink, RespectsTheEvaluationBudget)
+{
+    const Scenario failing = syntheticScenario();
+    unsigned evals = 0;
+    const Scenario shrunk = shrinkWith(
+        failing, [](const Scenario &) { return true; }, 10, evals);
+    EXPECT_LE(evals, 11u); // budget + the initial predicate call
+    EXPECT_TRUE(shrunk.trace.empty());
+}
+
+TEST(Shrink, DeterministicAcrossRuns)
+{
+    const Scenario failing = syntheticScenario();
+    const auto predicate = [](const Scenario &s) {
+        return s.trace.size() >= 3;
+    };
+    unsigned evalsA = 0, evalsB = 0;
+    const Scenario a = shrinkWith(failing, predicate, 300, evalsA);
+    const Scenario b = shrinkWith(failing, predicate, 300, evalsB);
+    EXPECT_EQ(a.toJson().toString(), b.toJson().toString());
+    EXPECT_EQ(evalsA, evalsB);
+}
+
+} // namespace
+} // namespace killi::check

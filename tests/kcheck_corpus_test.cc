@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Regression corpus replay: every scenario committed under
+ * tests/corpus/ is a minimized kcheck seed file (one per KilliParams
+ * extension) and must run violation-free. When kcheck finds and
+ * shrinks a real counterexample, the fixed scenario gets added here
+ * so the bug stays dead.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "check/checker.hh"
+#include "check/scenario.hh"
+#include "common/json.hh"
+
+namespace killi::check
+{
+namespace
+{
+
+std::vector<std::filesystem::path>
+corpusFiles()
+{
+    std::vector<std::filesystem::path> files;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(KCHECK_CORPUS_DIR)) {
+        if (entry.path().extension() == ".json")
+            files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+TEST(KcheckCorpus, HasOneSeedPerExtension)
+{
+    const auto files = corpusFiles();
+    ASSERT_GE(files.size(), 6u);
+    bool dected = false, invertedWrite = false, writeback = false,
+         smallRatio = false, interleaveOff = false;
+    for (const auto &path : files) {
+        const Scenario s =
+            Scenario::fromJson(readJsonFile(path.string()));
+        dected |= s.params.dectedStable;
+        invertedWrite |= s.params.invertedWriteCheck;
+        writeback |= s.params.writebackMode;
+        smallRatio |= s.params.ratio < 256;
+        interleaveOff |= !s.params.interleavedParity;
+    }
+    EXPECT_TRUE(dected) << "no corpus seed covers dected_stable";
+    EXPECT_TRUE(invertedWrite)
+        << "no corpus seed covers inverted_write_check";
+    EXPECT_TRUE(writeback) << "no corpus seed covers writeback_mode";
+    EXPECT_TRUE(smallRatio) << "no corpus seed covers ratio < 256";
+    EXPECT_TRUE(interleaveOff)
+        << "no corpus seed covers interleaved_parity=false";
+}
+
+TEST(KcheckCorpus, AllSeedsReplayWithoutViolations)
+{
+    const auto files = corpusFiles();
+    ASSERT_FALSE(files.empty());
+    for (const auto &path : files) {
+        const Scenario s =
+            Scenario::fromJson(readJsonFile(path.string()));
+        const CheckResult res = runScenario(s);
+        EXPECT_TRUE(res.ok())
+            << path.filename().string() << " (" << s.summary()
+            << "): "
+            << (res.violations.empty()
+                    ? std::string("?")
+                    : res.violations.front().message);
+    }
+}
+
+TEST(KcheckCorpus, ReplayIsDeterministic)
+{
+    const auto files = corpusFiles();
+    ASSERT_FALSE(files.empty());
+    const Scenario s =
+        Scenario::fromJson(readJsonFile(files.front().string()));
+    EXPECT_EQ(runScenario(s).toJson().toString(),
+              runScenario(s).toJson().toString());
+}
+
+} // namespace
+} // namespace killi::check

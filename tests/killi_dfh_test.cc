@@ -199,3 +199,22 @@ TEST(DfhTest, DisabledIsTerminalUntilReset)
     // the invariant enforced in KilliProtection::onReadHit.
     SUCCEED();
 }
+
+TEST(DfhTest, FreeEccEntryExactlyOnDemotionToStable0)
+{
+    // The freeEccEntry flag drives the controller's entry release on
+    // read hits; it must fire exactly when a line demotes to b'00
+    // (which no longer needs checkbits) and never on transitions
+    // that keep — or will immediately re-install — protection.
+    EXPECT_TRUE(dfhOnInitial(SParity::Ok, false, false).freeEccEntry);
+    EXPECT_TRUE(dfhOnStable1(SParity::Ok, false, false).freeEccEntry);
+
+    EXPECT_FALSE(
+        dfhOnInitial(SParity::Single, true, true).freeEccEntry);
+    EXPECT_FALSE(dfhOnStable1(SParity::Ok, true, true).freeEccEntry);
+    for (const SParity sp :
+         {SParity::Ok, SParity::Single, SParity::Multi}) {
+        const DfhDecision d = dfhOnStable0(sp);
+        EXPECT_FALSE(d.freeEccEntry); // b'00 lines hold no entry
+    }
+}

@@ -545,3 +545,156 @@ TEST(KilliTest, NameReflectsConfiguration)
     KilliFixture strong(kp);
     EXPECT_EQ(strong.prot->name(), "Killi(1:16)+DECTED");
 }
+
+// ---------------------------------------------------------------
+// Directed coverage grown out of the kcheck harness: live-entry
+// eviction of trained lines (§4.3), eviction-triggered training
+// outcomes (§4.4), and dirty-line handling in write-back mode
+// (§5.6.1).
+
+TEST(KilliTest, LiveEccEvictionDropsStable1Line)
+{
+    // §4.3: a *trained* (b'10) line loses its checkbits when a
+    // younger training line claims its ECC entry; the host must drop
+    // it even though its DFH classification survives.
+    KilliParams kp;
+    kp.ratio = 64; // 4 entries, one 4-way set
+    KilliFixture f(kp);
+    const BitVec data = f.zeros();
+
+    f.faults->plantFault(0, 100, true);
+    f.prot->onFill(0, data);
+    f.prot->onReadHit(0, data);
+    ASSERT_EQ(f.prot->dfhOf(0), Dfh::Stable1);
+    ASSERT_NE(f.prot->eccCache().find(0), nullptr);
+
+    // Three training lines share the set; line 0's entry is LRU.
+    for (std::size_t line = 1; line < 4; ++line)
+        f.prot->onFill(line, data);
+    EXPECT_TRUE(f.host.invalidated.empty());
+
+    f.prot->onFill(4, data);
+    ASSERT_EQ(f.host.invalidated.size(), 1u);
+    EXPECT_EQ(f.host.invalidated[0], 0u);
+    EXPECT_EQ(f.prot->eccCache().find(0), nullptr);
+    // The DFH bits persist: the line is still known single-fault,
+    // and unallocatable until an entry can host it again.
+    EXPECT_EQ(f.prot->dfhOf(0), Dfh::Stable1);
+    EXPECT_FALSE(f.prot->canAllocate(0));
+}
+
+TEST(KilliTest, EvictionTrainingDisablesTwoFaultLine)
+{
+    // §4.4 training on the way out must reach the same terminal
+    // classification a read would, including b'11 — and release the
+    // now-useless ECC entry immediately.
+    KilliFixture f;
+    f.faults->plantFault(12, 10, true);
+    f.faults->plantFault(12, 11, true); // distinct fine segments
+    const BitVec data = f.zeros();
+    f.prot->onFill(12, data);
+    ASSERT_NE(f.prot->eccCache().find(12), nullptr);
+
+    const Cycle cost = f.prot->onEvict(12, data);
+    EXPECT_GT(cost, 0u);
+    EXPECT_EQ(f.prot->dfhOf(12), Dfh::Disabled);
+    EXPECT_FALSE(f.prot->canAllocate(12));
+    EXPECT_EQ(f.prot->eccCache().find(12), nullptr);
+}
+
+TEST(KilliTest, EvictionTrainingToStable0FreesEntry)
+{
+    KilliFixture f;
+    const BitVec data = f.zeros();
+    f.prot->onFill(13, data);
+    ASSERT_NE(f.prot->eccCache().find(13), nullptr);
+    f.prot->onEvict(13, data);
+    EXPECT_EQ(f.prot->dfhOf(13), Dfh::Stable0);
+    EXPECT_EQ(f.prot->eccCache().find(13), nullptr);
+}
+
+TEST(KilliTest, WritebackDirtyStable0GetsOnDemandCheckbits)
+{
+    // §5.6.1: once dirty, even a believed-fault-free (b'00) line
+    // needs checkbits — the dirty copy is the only copy.
+    KilliParams kp;
+    kp.writebackMode = true;
+    KilliFixture f(kp);
+    const BitVec data = f.zeros();
+    f.prot->onFill(3, data);
+    f.prot->onReadHit(3, data);
+    ASSERT_EQ(f.prot->dfhOf(3), Dfh::Stable0);
+    ASSERT_EQ(f.prot->eccCache().find(3), nullptr);
+
+    const BitVec written = f.pattern({50});
+    f.prot->onWriteHit(3, written);
+    EXPECT_NE(f.prot->eccCache().find(3), nullptr);
+
+    const WritebackOutcome out = f.prot->onWriteback(3, written);
+    EXPECT_TRUE(out.clean);
+    EXPECT_EQ(out.extraCost, 0u);
+    // The write-back cleaned the line; onInvalidate releases the
+    // entry with nothing left to protect.
+    f.prot->onInvalidate(3);
+    EXPECT_EQ(f.prot->eccCache().find(3), nullptr);
+}
+
+TEST(KilliTest, WritebackDirtyUnmaskedFaultCorrects)
+{
+    // A masked stuck-0 cell trains the line to b'00; a later store
+    // unmasks it while dirty. With no refetch path, the on-demand
+    // SECDED checkbits are the only recovery — the read must correct
+    // (not error-miss) and reclassify the line b'10.
+    KilliParams kp;
+    kp.writebackMode = true;
+    KilliFixture f(kp);
+    f.faults->plantFault(5, 40, false);
+    const BitVec masked = f.zeros();
+    f.prot->onFill(5, masked);
+    f.prot->onReadHit(5, masked);
+    ASSERT_EQ(f.prot->dfhOf(5), Dfh::Stable0);
+
+    const BitVec unmasking = f.pattern({40});
+    f.prot->onWriteHit(5, unmasking);
+    const AccessResult res = f.prot->onReadHit(5, unmasking);
+    EXPECT_FALSE(res.errorInducedMiss);
+    EXPECT_FALSE(res.sdc);
+    EXPECT_EQ(f.prot->dfhOf(5), Dfh::Stable1);
+    EXPECT_EQ(f.prot->stats().counterValue("corrections"), 1u);
+
+    const WritebackOutcome out = f.prot->onWriteback(5, unmasking);
+    EXPECT_TRUE(out.clean);
+    EXPECT_GT(out.extraCost, 0u);
+}
+
+TEST(KilliTest, WritebackDirtyStable1UsesDectedStrength)
+{
+    // §5.6.1: a dirty b'10 line is held to the failure probability of
+    // a safe-voltage SECDED cache by upgrading it to DECTED strength
+    // (the freed parity bits fit the wider code) — two visible faults
+    // correct instead of losing the only copy. No §5.2 knob needed.
+    KilliParams kp;
+    kp.writebackMode = true;
+    KilliFixture f(kp);
+    f.faults->plantFault(8, 10, true);  // visible on zeros
+    f.faults->plantFault(8, 20, false); // masked on zeros
+
+    const BitVec data = f.zeros();
+    f.prot->onFill(8, data);
+    f.prot->onReadHit(8, data); // one visible fault
+    ASSERT_EQ(f.prot->dfhOf(8), Dfh::Stable1);
+
+    // The store keeps bit 10 at 0 (still visible) and writes a 1
+    // over the stuck-0 cell at 20: two visible errors while dirty.
+    const BitVec written = f.pattern({20});
+    f.prot->onWriteHit(8, written);
+    const AccessResult res = f.prot->onReadHit(8, written);
+    EXPECT_FALSE(res.errorInducedMiss)
+        << "DECTED-strength dirty line must not lose the only copy";
+    EXPECT_FALSE(res.sdc);
+    EXPECT_EQ(f.prot->dfhOf(8), Dfh::Stable1);
+
+    const WritebackOutcome out = f.prot->onWriteback(8, written);
+    EXPECT_TRUE(out.clean);
+    EXPECT_GT(out.extraCost, 0u);
+}

@@ -521,3 +521,70 @@ TEST(EvaluationSweepDeathTest, UnknownSchemeNameIsFatal)
         },
         "NotAScheme");
 }
+
+// ---------------------------------------------------------------
+// GNU-style option spellings (--key=value, --key value, bare --flag)
+// accepted alongside the original key=value tokens.
+
+TEST(Options, DashedKeyEqualsValue)
+{
+    Options opts("t", "test");
+    opts.add<std::uint64_t>("runs", 10, "cases");
+    parseArgs(opts, {"--runs=42"});
+    EXPECT_EQ(opts.get<std::uint64_t>("runs"), 42u);
+}
+
+TEST(Options, DashedKeyThenValueToken)
+{
+    Options opts("t", "test");
+    opts.add<std::uint64_t>("runs", 10, "cases");
+    opts.add<std::uint64_t>("jobs", 0, "threads");
+    parseArgs(opts, {"--runs", "500", "--jobs", "4"});
+    EXPECT_EQ(opts.get<std::uint64_t>("runs"), 500u);
+    EXPECT_EQ(opts.get<std::uint64_t>("jobs"), 4u);
+}
+
+TEST(Options, MixedSpellingsInOneCommandLine)
+{
+    Options opts("t", "test");
+    opts.add<std::uint64_t>("runs", 10, "cases");
+    opts.add<double>("voltage", 0.625, "v");
+    parseArgs(opts, {"runs=7", "--voltage", "0.55"});
+    EXPECT_EQ(opts.get<std::uint64_t>("runs"), 7u);
+    EXPECT_DOUBLE_EQ(opts.get<double>("voltage"), 0.55);
+}
+
+TEST(Options, BareBoolFlagSetsTrue)
+{
+    Options opts("t", "test");
+    opts.add<bool>("shrink", false, "minimize failures");
+    opts.add<std::uint64_t>("runs", 10, "cases");
+    // Both at the end of argv and followed by another option.
+    parseArgs(opts, {"--shrink", "--runs", "3"});
+    EXPECT_TRUE(opts.get<bool>("shrink"));
+    EXPECT_EQ(opts.get<std::uint64_t>("runs"), 3u);
+
+    Options opts2("t", "test");
+    opts2.add<bool>("shrink", false, "minimize failures");
+    parseArgs(opts2, {"--shrink"});
+    EXPECT_TRUE(opts2.get<bool>("shrink"));
+}
+
+TEST(Options, BoolFlagStillTakesExplicitValue)
+{
+    Options opts("t", "test");
+    opts.add<bool>("shrink", true, "minimize failures");
+    parseArgs(opts, {"--shrink", "false"});
+    EXPECT_FALSE(opts.get<bool>("shrink"));
+}
+
+TEST(OptionsDeathTest, DashedNonBoolWithoutValueIsFatal)
+{
+    EXPECT_DEATH(
+        {
+            Options opts("t", "test");
+            opts.add<std::uint64_t>("runs", 10, "cases");
+            parseArgs(opts, {"--runs"});
+        },
+        "needs a value");
+}

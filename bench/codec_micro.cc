@@ -15,6 +15,7 @@
 #include "ecc/olsc.hh"
 #include "ecc/parity.hh"
 #include "ecc/secded.hh"
+#include "trace/trace.hh"
 
 using namespace killi;
 
@@ -187,5 +188,75 @@ BM_OlscDecodeAtCapability(benchmark::State &state)
     }
 }
 BENCHMARK(BM_OlscDecodeAtCapability)->Arg(2)->Arg(11);
+
+// ---- trace-overhead pair -------------------------------------------
+//
+// The same SECDED probe loop three ways: no KTRACE at all, a KTRACE
+// against a null sink (how untraced binaries run), and a KTRACE
+// against a live sink whose runtime mask is empty (a sink exists but
+// the category is off). CI asserts the null-sink variant stays
+// within 2% of the untraced baseline — the compiled-in-but-off cost
+// of the instrumentation — and loosely bounds the masked-sink
+// variant, whose relaxed atomic load is visible on a 15ns probe.
+
+static void
+BM_TraceProbeUntraced(benchmark::State &state)
+{
+    const Secded code(512);
+    const std::vector<std::size_t> errs{100};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(code.probe(errs));
+}
+BENCHMARK(BM_TraceProbeUntraced);
+
+static void
+BM_TraceProbeNullSink(benchmark::State &state)
+{
+    const Secded code(512);
+    const std::vector<std::size_t> errs{100};
+    TraceSink *sink = nullptr;
+    benchmark::DoNotOptimize(sink);
+    Tick tick = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(code.probe(errs));
+        KTRACE(sink, ++tick, TraceCat::Ecc, "bench.probe",
+               {"tick", tick});
+    }
+}
+BENCHMARK(BM_TraceProbeNullSink);
+
+static void
+BM_TraceProbeMaskedSink(benchmark::State &state)
+{
+    const Secded code(512);
+    const std::vector<std::size_t> errs{100};
+    TraceSink sinkStorage;
+    sinkStorage.setMask(0);
+    TraceSink *sink = &sinkStorage;
+    benchmark::DoNotOptimize(sink);
+    Tick tick = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(code.probe(errs));
+        KTRACE(sink, ++tick, TraceCat::Ecc, "bench.probe",
+               {"tick", tick});
+    }
+}
+BENCHMARK(BM_TraceProbeMaskedSink);
+
+static void
+BM_TraceProbeRecording(benchmark::State &state)
+{
+    const Secded code(512);
+    const std::vector<std::size_t> errs{100};
+    TraceSink sinkStorage(1 << 12);
+    TraceSink *sink = &sinkStorage;
+    Tick tick = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(code.probe(errs));
+        KTRACE(sink, ++tick, TraceCat::Ecc, "bench.probe",
+               {"tick", tick});
+    }
+}
+BENCHMARK(BM_TraceProbeRecording);
 
 BENCHMARK_MAIN();

@@ -1,6 +1,8 @@
 #include "bench/sweep.hh"
 
+#include <cctype>
 #include <cstdio>
+#include <filesystem>
 #include <functional>
 #include <memory>
 #include <sstream>
@@ -11,6 +13,7 @@
 #include "fault/fault_map.hh"
 #include "fault/voltage_model.hh"
 #include "killi/killi.hh"
+#include "trace/trace.hh"
 
 namespace killi
 {
@@ -79,23 +82,51 @@ splitList(const std::string &list)
     return out;
 }
 
+/** Filesystem-safe stem for a sweep point's trace file. */
+std::string
+pointFileStem(const std::string &wlName, const SchemeSpec *scheme)
+{
+    std::string stem =
+        wlName + "_" + (scheme ? scheme->name : "baseline");
+    for (char &c : stem) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) &&
+            c != '-' && c != '.')
+            c = '_';
+    }
+    return stem;
+}
+
 /**
  * Execute one fully isolated sweep point. Everything stateful — the
  * fault map, the protection scheme, the workload instance, the GPU
- * system — is constructed here, inside the job, so concurrent points
- * share nothing mutable (see the gpu_system.hh thread-confinement
- * contract). FaultMap construction is deterministic in (seed,
- * voltage): every point sees the identical die.
+ * system, the trace sink — is constructed here, inside the job, so
+ * concurrent points share nothing mutable (see the gpu_system.hh
+ * thread-confinement contract). FaultMap construction is
+ * deterministic in (seed, voltage): every point sees the identical
+ * die.
+ *
+ * @param seriesOut receives the point's StatTimeseries as JSON when
+ *        opt.statsInterval > 0 (untouched otherwise); may be null.
  */
 RunResult
 runPoint(const SweepOptions &opt, const std::string &wlName,
-         const SchemeSpec *scheme)
+         const SchemeSpec *scheme, Json *seriesOut)
 {
     const VoltageModel model;
     GpuParams gp;
+    gp.statsInterval = opt.statsInterval;
     FaultMap faults(gp.l2Geom.numLines(), 720, model, opt.seed);
     faults.setVoltage(opt.voltage);
     const auto wl = makeWorkload(wlName, opt.scale);
+
+    TraceSink sink;
+    if (!opt.trace.empty()) {
+        std::uint32_t mask = 0;
+        // Already validated by sweepOptions(); cannot fail here.
+        parseTraceCats(opt.trace, mask);
+        sink.setMask(mask);
+        gp.l2.trace = &sink;
+    }
 
     std::unique_ptr<ProtectionScheme> prot;
     FaultFreeProtection baseline;
@@ -106,6 +137,13 @@ runPoint(const SweepOptions &opt, const std::string &wlName,
     }
     GpuSystem sys(gp, *active, *wl);
     const RunResult result = sys.run(opt.warmupPasses);
+    if (!opt.trace.empty()) {
+        const std::string path = opt.traceDir + "/" +
+            pointFileStem(wlName, scheme) + ".trace.json";
+        writeJsonFile(path, sink.chromeTraceJson());
+    }
+    if (seriesOut && opt.statsInterval)
+        *seriesOut = sys.timeseries().toJson();
     std::fprintf(stderr, "  %-8s %-12s %12llu cycles\n",
                  wlName.c_str(),
                  scheme ? scheme->name.c_str() : "baseline",
@@ -144,6 +182,19 @@ declareSweepOptions(Options &opts, const std::string &benchName,
         .range(0u, 10u);
     opts.add("json", "results/" + benchName + ".json",
              "machine-readable results path (empty string disables)");
+    opts.add("trace", "",
+             "trace categories recorded per sweep point (e.g. "
+             "dfh,ecc,l2 or all; empty disables tracing)");
+    opts.add("trace-dir", "results/trace",
+             "directory for per-point Chrome trace_event files "
+             "(Perfetto-loadable)");
+    opts.add<std::uint64_t>("stats-interval", std::uint64_t{0},
+                            "cycles between periodic stat snapshots "
+                            "(0 disables the timeseries)");
+    opts.add("timeseries",
+             "results/" + benchName + ".timeseries.json",
+             "combined stat-timeseries path, written when "
+             "stats-interval > 0 (empty string disables)");
 }
 
 SweepOptions
@@ -161,6 +212,19 @@ sweepOptions(const Options &opts)
     if (opt.workloads.empty())
         opt.workloads = workloadNames();
     opt.schemes = splitList(opts.get<std::string>("schemes"));
+    opt.trace = opts.get<std::string>("trace");
+    opt.traceDir = opts.get<std::string>("trace-dir");
+    opt.statsInterval =
+        Cycle(opts.get<std::uint64_t>("stats-interval"));
+    opt.timeseriesPath = opts.get<std::string>("timeseries");
+    if (!opt.trace.empty()) {
+        // Reject a bad category list before the campaign starts, not
+        // from inside a worker thread.
+        std::uint32_t mask = 0;
+        std::string err;
+        if (!parseTraceCats(opt.trace, mask, &err))
+            fatal("sweep: %s", err.c_str());
+    }
     return opt;
 }
 
@@ -219,7 +283,8 @@ runEvaluationSweep(const SweepOptions &opt)
 
         jobs.push_back({wlName + "/baseline", [&opt, &sweep, wlName] {
                             sweep.baseline =
-                                runPoint(opt, wlName, nullptr);
+                                runPoint(opt, wlName, nullptr,
+                                         &sweep.baselineTimeseries);
                             sweep.baselineOk = true;
                         }});
         for (std::size_t si = 0; si < specs.size(); ++si) {
@@ -231,11 +296,18 @@ runEvaluationSweep(const SweepOptions &opt)
             jobs.push_back(
                 {wlName + "/" + spec.name,
                  [&opt, &slot, &spec, wlName] {
-                     slot.result = runPoint(opt, wlName, &spec);
+                     slot.result = runPoint(opt, wlName, &spec,
+                                            &slot.timeseries);
                      slot.ok = true;
                  }});
         }
     }
+
+    // Jobs append trace files concurrently; create the directory
+    // once, up front, instead of racing create_directories in every
+    // worker.
+    if (!opt.trace.empty())
+        std::filesystem::create_directories(opt.traceDir);
 
     RunnerOptions ropt;
     ropt.jobs = opt.jobs;
@@ -305,20 +377,55 @@ sweepToJson(const SweepOptions &opt, const SweepResult &result)
     return doc;
 }
 
+Json
+timeseriesToJson(const SweepOptions &opt, const SweepResult &result)
+{
+    Json doc = Json::object();
+    doc.set("interval",
+            Json::number(std::uint64_t(opt.statsInterval)));
+    Json workloadArray = Json::array();
+    for (const WorkloadSweep &sweep : result.workloads) {
+        Json wlObj = Json::object();
+        wlObj.set("workload", Json::string(sweep.workload));
+        Json points = Json::array();
+        Json base = Json::object();
+        base.set("scheme", Json::string("baseline"));
+        base.set("timeseries", sweep.baselineTimeseries);
+        points.push(std::move(base));
+        for (const SchemeRun &run : sweep.schemes) {
+            if (!run.ok)
+                continue;
+            Json pt = Json::object();
+            pt.set("scheme", Json::string(run.scheme));
+            pt.set("timeseries", run.timeseries);
+            points.push(std::move(pt));
+        }
+        wlObj.set("points", std::move(points));
+        workloadArray.push(std::move(wlObj));
+    }
+    doc.set("workloads", std::move(workloadArray));
+    return doc;
+}
+
 void
 writeSweepJson(const Options &opts, const SweepOptions &opt,
                const SweepResult &result)
 {
-    if (opt.jsonPath.empty())
-        return;
-    Json doc = Json::object();
-    doc.set("bench", Json::string(opts.program()));
-    doc.set("options", opts.toJson());
-    const Json body = sweepToJson(opt, result);
-    for (const auto &[key, value] : body.members())
-        doc.set(key, value);
-    writeJsonFile(opt.jsonPath, doc);
-    inform("wrote %s", opt.jsonPath.c_str());
+    if (!opt.jsonPath.empty()) {
+        Json doc = Json::object();
+        doc.set("bench", Json::string(opts.program()));
+        doc.set("options", opts.toJson());
+        const Json body = sweepToJson(opt, result);
+        for (const auto &[key, value] : body.members())
+            doc.set(key, value);
+        writeJsonFile(opt.jsonPath, doc);
+        inform("wrote %s", opt.jsonPath.c_str());
+    }
+    if (opt.statsInterval && !opt.timeseriesPath.empty()) {
+        writeJsonFile(opt.timeseriesPath,
+                      timeseriesToJson(opt, result));
+        inform("wrote %s", opt.timeseriesPath.c_str());
+    }
 }
 
 } // namespace killi

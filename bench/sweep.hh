@@ -46,6 +46,18 @@ struct SweepOptions
     std::vector<std::string> workloads;
     /** Scheme subset (names from sweepSchemeNames()); empty = all. */
     std::vector<std::string> schemes;
+    /** Trace categories recorded per sweep point (e.g. "dfh,ecc,l2"
+     *  or "all"); empty disables tracing entirely. */
+    std::string trace;
+    /** Directory receiving one Chrome trace_event file per traced
+     *  sweep point (load them in Perfetto / chrome://tracing). */
+    std::string traceDir = "results/trace";
+    /** Cycles between periodic stat snapshots (0 disables the
+     *  timeseries machinery). */
+    Cycle statsInterval = 0;
+    /** Path of the combined stat-timeseries JSON, written when
+     *  statsInterval > 0; empty disables. */
+    std::string timeseriesPath;
 };
 
 /**
@@ -73,6 +85,9 @@ struct SchemeRun
     double areaOverheadFrac = 0.0;
     /** codecShare() key for the power model. */
     std::string powerKey;
+    /** StatTimeseries::toJson() of the point's measured region
+     *  (null unless statsInterval > 0). */
+    Json timeseries = Json::null();
 };
 
 struct WorkloadSweep
@@ -81,6 +96,8 @@ struct WorkloadSweep
     bool memoryBound = false;
     bool baselineOk = false;
     RunResult baseline;
+    /** Baseline point's timeseries (null unless statsInterval > 0). */
+    Json baselineTimeseries = Json::null();
     std::vector<SchemeRun> schemes;
 };
 
@@ -111,10 +128,22 @@ Json sweepToJson(const SweepOptions &opt, const SweepResult &result);
 
 /**
  * Write sweepToJson() (plus the binary's effective options under
- * "options") to opt.jsonPath. No-op when the path is empty.
+ * "options") to opt.jsonPath. No-op when the path is empty. When the
+ * sweep ran with statsInterval > 0, additionally writes the combined
+ * per-point stat timeseries to opt.timeseriesPath (see
+ * timeseriesToJson() for the schema).
  */
 void writeSweepJson(const Options &opts, const SweepOptions &opt,
                     const SweepResult &result);
+
+/**
+ * The combined stat-timeseries document: {"interval", "workloads":
+ * [{"workload", "points": [{"scheme", "timeseries"}, ...]}, ...]}
+ * where each "timeseries" is a StatTimeseries::toJson() table. The
+ * baseline point appears as scheme "baseline".
+ */
+Json timeseriesToJson(const SweepOptions &opt,
+                      const SweepResult &result);
 
 } // namespace killi
 

@@ -47,8 +47,12 @@ PrecharacterizedScheme::reset()
     for (std::size_t i = 0; i < enabled.size(); ++i) {
         const unsigned n = faults.countFaults(i, physBits());
         enabled[i] = n < p.disableThreshold;
-        if (!enabled[i])
+        if (!enabled[i]) {
             ++statGroup.counter("disabled_lines");
+            KTRACE(trace, tickNow(), TraceCat::Error,
+                   "prechar.line_disable", {"line", i},
+                   {"faults", std::uint64_t(n)});
+        }
         checkStore[i] = BitVec(0);
     }
 }
@@ -121,15 +125,21 @@ PrecharacterizedScheme::onReadHit(std::size_t lineId,
         break;
       case DecodeStatus::Corrected:
         ++statGroup.counter("corrections");
+        KTRACE(trace, tickNow(), TraceCat::Error, "error.correct",
+               {"line", lineId});
         res.extraLatency += p.correctionLatency;
         break;
       case DecodeStatus::DetectedUncorrectable:
         // Write-through: drop and refetch.
         ++statGroup.counter("error_misses");
+        KTRACE(trace, tickNow(), TraceCat::Error, "error.detect",
+               {"line", lineId});
         res.errorInducedMiss = true;
         break;
       case DecodeStatus::Miscorrected:
         ++statGroup.counter("corrections");
+        KTRACE(trace, tickNow(), TraceCat::Error, "error.correct",
+               {"line", lineId});
         res.extraLatency += p.correctionLatency;
         res.sdc = true;
         break;
@@ -174,6 +184,15 @@ std::size_t
 PrecharacterizedScheme::disabledLines() const
 {
     return enabled.size() - usableLines();
+}
+
+void
+PrecharacterizedScheme::addTimeseriesSources(StatTimeseries &ts)
+{
+    // Static after the MBIST pass, but recorded so the schema is
+    // uniform across schemes in comparative sweeps.
+    ts.addSource("disabled_lines",
+                 [this] { return double(disabledLines()); });
 }
 
 std::unique_ptr<PrecharacterizedScheme>

@@ -68,6 +68,7 @@ class PrecharacterizedScheme : public ProtectionScheme
     WritebackOutcome onWriteback(std::size_t lineId,
                                  const BitVec &data) override;
     std::size_t usableLines() const override;
+    void addTimeseriesSources(StatTimeseries &ts) override;
 
     /** Lines the MBIST pass disabled (reporting). */
     std::size_t disabledLines() const;

@@ -10,13 +10,15 @@ L2Cache::L2Cache(EventQueue &eq_, DramModel &dram_,
                  const CacheGeometry &geom_, const L2Params &params,
                  FaultMap *fault_map)
     : eq(eq_), dram(dram_), golden(golden_), protection(protection_),
-      geometry(geom_), p(params), faultMap(fault_map),
-      upsetRng(params.softErrorSeed), lines(geom_.numLines()),
-      bankFree(geom_.banks, 0), mshrs(geom_.banks)
+      geometry(geom_), p(params), trace(params.trace),
+      faultMap(fault_map), upsetRng(params.softErrorSeed),
+      lines(geom_.numLines()), bankFree(geom_.banks, 0),
+      mshrs(geom_.banks)
 {
     if (p.softErrorRatePerBitCycle > 0.0 && !faultMap)
         fatal("L2Cache: soft-error injection needs a FaultMap");
     protection.attach(*this, geometry);
+    protection.setTrace(trace);
 
     statGroup.counter("read_hits", "load hits");
     statGroup.counter("read_misses", "demand load misses");
@@ -51,6 +53,8 @@ L2Cache::writebackIfDirty(std::size_t lineId, Line &line)
         (line.tag * geometry.numSets() + set) * geometry.lineBytes;
     const WritebackOutcome wb =
         protection.onWriteback(lineId, line.data);
+    KTRACE(trace, eq.curTick(), TraceCat::L2, "l2.writeback",
+           {"line", lineId}, {"clean", wb.clean});
     if (!wb.clean)
         ++statGroup.counter("wb_data_loss");
     if (wb.extraCost)
@@ -76,6 +80,8 @@ L2Cache::sampleUpsets(std::size_t lineId, Line &line)
         const std::uint16_t bit = static_cast<std::uint16_t>(
             upsetRng.below(line.data.size()));
         faultMap->injectTransient(lineId, bit);
+        KTRACE(trace, now, TraceCat::Error, "error.soft_error",
+               {"line", lineId}, {"bit", std::uint64_t(bit)});
         ++statGroup.counter("soft_errors");
         if (upsetRng.uniform() < p.softErrorBurstFraction) {
             // Multi-bit event in adjacent cells (Maiz et al.): the
@@ -154,6 +160,8 @@ L2Cache::handleReadTag(Addr lineAddr, RespCb cb)
         sampleUpsets(lineId, *line);
     if (!line) {
         ++statGroup.counter("read_misses");
+        KTRACE(trace, eq.curTick(), TraceCat::L2, "l2.read_miss",
+               {"addr", lineAddr});
         startMiss(lineAddr, std::move(cb), 0);
         return;
     }
@@ -161,6 +169,9 @@ L2Cache::handleReadTag(Addr lineAddr, RespCb cb)
     const AccessResult res = protection.onReadHit(lineId, line->data);
     if (res.errorInducedMiss) {
         ++statGroup.counter("error_misses");
+        KTRACE(trace, eq.curTick(), TraceCat::L2, "l2.error_miss",
+               {"line", lineId}, {"addr", lineAddr},
+               {"dirty", line->dirty});
         if (line->dirty) {
             // Write-back mode: the only copy was uncorrectable. The
             // loss is recorded by the oracle; the refetch proceeds
@@ -175,8 +186,13 @@ L2Cache::handleReadTag(Addr lineAddr, RespCb cb)
     }
 
     ++statGroup.counter("read_hits");
-    if (res.sdc)
+    KTRACE(trace, eq.curTick(), TraceCat::L2, "l2.read_hit",
+           {"line", lineId});
+    if (res.sdc) {
         ++statGroup.counter("sdc");
+        KTRACE(trace, eq.curTick(), TraceCat::Error, "error.sdc",
+               {"line", lineId}, {"addr", lineAddr});
+    }
     line->lastUse = ++useCounter;
     protection.onTouch(lineId);
     const Tick respTime =
@@ -270,6 +286,8 @@ L2Cache::allocate(Addr lineAddr)
         Line &victim = lines[victimId];
         if (victim.valid) {
             ++statGroup.counter("evictions");
+            KTRACE(trace, eq.curTick(), TraceCat::L2, "l2.evict",
+                   {"line", victimId});
             const Cycle cost =
                 protection.onEvict(victimId, victim.data);
             if (cost)
@@ -293,11 +311,15 @@ L2Cache::allocate(Addr lineAddr)
         const Cycle fillCost = protection.onFill(victimId, victim.data);
         if (fillCost)
             chargeBank(lineAddr, fillCost);
+        KTRACE(trace, eq.curTick(), TraceCat::L2, "l2.fill",
+               {"line", victimId}, {"addr", lineAddr});
         return victimId;
     }
 
     // Serve without caching.
     ++statGroup.counter("bypass_fills");
+    KTRACE(trace, eq.curTick(), TraceCat::L2, "l2.bypass_fill",
+           {"addr", lineAddr});
     return npos;
 }
 
@@ -326,6 +348,8 @@ L2Cache::write(Addr addr)
         }
         if (line) {
             ++statGroup.counter("write_hits");
+            KTRACE(trace, eq.curTick(), TraceCat::L2, "l2.write_hit",
+                   {"line", lineId});
             line->version = golden.version(lineAddr);
             line->data = golden.data(lineAddr, line->version);
             line->lastUse = ++useCounter;
@@ -337,6 +361,8 @@ L2Cache::write(Addr addr)
             protection.onWriteHit(lineId, line->data);
         } else {
             ++statGroup.counter("write_misses");
+            KTRACE(trace, eq.curTick(), TraceCat::L2, "l2.write_miss",
+                   {"addr", lineAddr});
         }
         if (p.writePolicy == WritePolicy::WriteThrough)
             dram.access(lineAddr, true, eq.curTick());
@@ -361,6 +387,8 @@ L2Cache::invalidateLine(std::size_t lineId)
     writebackIfDirty(lineId, line);
     line.valid = false;
     ++statGroup.counter("prot_invalidations");
+    KTRACE(trace, eq.curTick(), TraceCat::L2, "l2.prot_invalidate",
+           {"line", lineId});
     protection.onInvalidate(lineId);
 }
 

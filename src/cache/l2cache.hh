@@ -29,6 +29,7 @@
 #include "sim/dram.hh"
 #include "sim/event_queue.hh"
 #include "sim/golden.hh"
+#include "trace/trace.hh"
 
 namespace killi
 {
@@ -66,6 +67,10 @@ struct L2Params
     Cycle maintenanceInterval = 0;
 
     WritePolicy writePolicy = WritePolicy::WriteThrough;
+
+    /** Optional event-trace sink (l2.* / error.* categories); also
+     *  handed to the attached ProtectionScheme. Not owned. */
+    TraceSink *trace = nullptr;
 };
 
 class L2Cache : public L2Backdoor
@@ -155,6 +160,7 @@ class L2Cache : public L2Backdoor
     ProtectionScheme &protection;
     CacheGeometry geometry;
     L2Params p;
+    TraceSink *trace;
     FaultMap *faultMap;
     Rng upsetRng;
     Tick lastMaintenance = 0;

@@ -20,6 +20,8 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "cache/geometry.hh"
+#include "trace/timeseries.hh"
+#include "trace/trace.hh"
 
 namespace killi
 {
@@ -160,13 +162,31 @@ class ProtectionScheme
         return geometry.numLines();
     }
 
+    /**
+     * Attach a trace sink for scheme-side events (dfh.* / ecc.* /
+     * error.* categories; nullptr detaches). Schemes owning
+     * sub-components (Killi's ECC cache) override to propagate.
+     */
+    virtual void setTrace(TraceSink *sink) { trace = sink; }
+
+    /**
+     * Register scheme-specific time-series columns (ECC-cache
+     * occupancy, DFH state mix, disabled lines, ...) on @p ts. The
+     * sources are closures over this scheme and must not outlive it.
+     */
+    virtual void addTimeseriesSources(StatTimeseries &ts) { (void)ts; }
+
     StatGroup &stats() { return statGroup; }
     const StatGroup &stats() const { return statGroup; }
 
   protected:
+    /** Current tick, or 0 before attach() (for trace timestamps). */
+    Tick tickNow() const { return host ? host->now() : 0; }
+
     L2Backdoor *host = nullptr;
     CacheGeometry geometry;
     StatGroup statGroup;
+    TraceSink *trace = nullptr;
 };
 
 /** The nominal-voltage, fault-free baseline: no checks, no latency. */

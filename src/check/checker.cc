@@ -82,11 +82,21 @@ class SchemeHarness : public L2Backdoor
         checkMirror.assign(sc.numLines, BitVec(0));
     }
 
+    void setTrace(TraceSink *sink)
+    {
+        trace = sink;
+        scheme->setTrace(sink);
+    }
+
     void
     apply(const TraceOp &op, std::size_t idx)
     {
         opIndex = idx;
         ++tick;
+        KTRACE(trace, tick, TraceCat::Check, "check.op",
+               {"index", idx}, {"kind", opKindName(op.kind)},
+               {"line", op.line},
+               {"scheme", isKilli ? "killi" : "secded"});
         switch (op.kind) {
           case OpKind::Fill:
             doFill(op.line);
@@ -643,6 +653,7 @@ class SchemeHarness : public L2Backdoor
     const std::size_t cap;
     std::size_t opIndex = 0;
     Tick tick = 0;
+    TraceSink *trace = nullptr;
 
     const VoltageModel model;
     FaultMap faults;
@@ -722,11 +733,16 @@ CheckResult::toJson() const
 }
 
 CheckResult
-runScenario(const Scenario &scenario, std::size_t maxViolations)
+runScenario(const Scenario &scenario, std::size_t maxViolations,
+            TraceSink *trace)
 {
     CheckResult out;
     SchemeHarness killiH(scenario, true, out, maxViolations);
     SchemeHarness baseH(scenario, false, out, maxViolations);
+    if (trace) {
+        killiH.setTrace(trace);
+        baseH.setTrace(trace);
+    }
     for (std::size_t i = 0; i < scenario.trace.size(); ++i) {
         killiH.apply(scenario.trace[i], i);
         baseH.apply(scenario.trace[i], i);

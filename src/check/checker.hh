@@ -31,6 +31,7 @@
 
 #include "check/scenario.hh"
 #include "common/json.hh"
+#include "trace/trace.hh"
 
 namespace killi::check
 {
@@ -72,10 +73,16 @@ struct CheckResult
     Json toJson() const;
 };
 
-/** Run @p scenario through both schemes; stops executing the trace
- *  once @p maxViolations disagreements have been recorded. */
+/**
+ * Run @p scenario through both schemes; stops executing the trace
+ * once @p maxViolations disagreements have been recorded. When
+ * @p trace is non-null it is attached to both scheme harnesses
+ * (check.op markers plus the schemes' own dfh/ecc/error events), so
+ * a replayed failure can be inspected event by event.
+ */
 CheckResult runScenario(const Scenario &scenario,
-                        std::size_t maxViolations = 8);
+                        std::size_t maxViolations = 8,
+                        TraceSink *trace = nullptr);
 
 } // namespace killi::check
 

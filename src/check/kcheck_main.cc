@@ -19,8 +19,10 @@
 #include "check/scenario.hh"
 #include "check/shrink.hh"
 #include "common/json.hh"
+#include "common/log.hh"
 #include "common/options.hh"
 #include "runner/thread_pool.hh"
+#include "trace/trace.hh"
 
 using namespace killi;
 using namespace killi::check;
@@ -28,16 +30,51 @@ using namespace killi::check;
 namespace
 {
 
+/**
+ * Re-run a (typically shrunk) failing scenario with every trace
+ * category enabled and return the event list as JSON. Attached to
+ * the seed-file report so a counterexample ships with the full
+ * dfh/ecc/error event history that produced it.
+ */
+Json
+traceScenario(const Scenario &sc, std::size_t maxViolations)
+{
+    TraceSink sink;
+    runScenario(sc, maxViolations, &sink);
+    return sink.toJson();
+}
+
 int
-replayFile(const std::string &path)
+replayFile(const std::string &path, const std::string &traceCats,
+           const std::string &traceOut)
 {
     const Scenario sc = Scenario::fromJson(readJsonFile(path));
     std::cout << "replaying " << path << ": " << sc.summary()
               << "\n";
-    const CheckResult res = runScenario(sc);
+    TraceSink sink;
+    TraceSink *trace = nullptr;
+    if (!traceCats.empty()) {
+        std::string err;
+        std::uint32_t mask = 0;
+        if (!parseTraceCats(traceCats, mask, &err))
+            fatal("kcheck: %s", err.c_str());
+        sink.setMask(mask);
+        trace = &sink;
+    }
+    const CheckResult res = runScenario(sc, 8, trace);
     for (const CheckViolation &v : res.violations)
         std::cout << "  op " << v.opIndex << " [" << v.scheme
                   << "] " << v.message << "\n";
+    if (trace) {
+        if (!traceOut.empty()) {
+            writeJsonFile(traceOut, sink.chromeTraceJson());
+            std::cout << "  trace: " << traceOut << " ("
+                      << sink.retained() << " events)\n";
+        } else {
+            for (const TraceEvent &ev : sink.events())
+                std::cout << "  " << ev.toJson().toString(0) << "\n";
+        }
+    }
     std::cout << (res.ok() ? "OK" : "FAILED") << " — coverage: "
               << res.coverage.toJson().toString(0) << "\n";
     return res.ok() ? 0 : 1;
@@ -71,12 +108,21 @@ main(int argc, char **argv)
         "directory for minimized counterexample seed files");
     const auto &replay = opts.add(
         "replay", "", "replay one scenario JSON file and exit");
+    const auto &traceCats = opts.add(
+        "trace", "",
+        "replay mode: trace categories to record (e.g. dfh,ecc,check "
+        "or all); printed as JSONL unless trace-out is set");
+    const auto &traceOut = opts.add(
+        "trace-out", "",
+        "replay mode: write the trace as Chrome trace_event JSON "
+        "(load in Perfetto) instead of printing it");
     const auto &jsonPath = opts.add(
         "json", "", "write a machine-readable campaign summary");
     opts.parse(argc, argv);
 
     if (!replay.value().empty())
-        return replayFile(replay.value());
+        return replayFile(replay.value(), traceCats.value(),
+                          traceOut.value());
 
     const std::size_t n = runs.value();
     std::vector<CheckResult> slots(n);
@@ -142,6 +188,7 @@ main(int argc, char **argv)
         entry.set("case_seed", Json::number(cs));
         entry.set("seed_file", Json::string(path));
         entry.set("result", res.toJson());
+        entry.set("trace", traceScenario(sc, 8));
         failureArr.push(std::move(entry));
     }
     if (failures.size() > reportCount)

@@ -1,5 +1,6 @@
 #include "common/log.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -8,27 +9,132 @@ namespace killi
 
 namespace
 {
-LogLevel gLevel = LogLevel::Normal;
 
-void
-vreport(const char *tag, const char *fmt, va_list ap)
+std::atomic<LogLevel> gLevel{LogLevel::Normal};
+
+/** Guards the sink and clock pointers and serializes writes, so
+ *  interleaved messages from worker threads never shear. */
+std::mutex gLogMutex;
+LogSink *gSink = nullptr;
+std::function<Tick()> *gClock = nullptr;
+
+std::string
+formatMessage(const char *fmt, va_list ap)
 {
-    std::fprintf(stderr, "%s: ", tag);
-    std::vfprintf(stderr, fmt, ap);
-    std::fprintf(stderr, "\n");
+    va_list apCopy;
+    va_copy(apCopy, ap);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, apCopy);
+    va_end(apCopy);
+    std::string out(needed > 0 ? std::size_t(needed) : 0, '\0');
+    if (needed > 0)
+        std::vsnprintf(out.data(), out.size() + 1, fmt, ap);
+    return out;
 }
+
+/** @p alwaysStderr keeps panic/fatal visible to death-test matchers
+ *  and crash logs even when a capture sink is installed. */
+void
+vreport(const char *tag, const char *fmt, va_list ap, bool alwaysStderr)
+{
+    std::string msg = formatMessage(fmt, ap);
+
+    std::lock_guard<std::mutex> lock(gLogMutex);
+    if (gClock && *gClock) {
+        const Tick now = (*gClock)();
+        char stamp[32];
+        std::snprintf(stamp, sizeof(stamp), "@%llu ",
+                      static_cast<unsigned long long>(now));
+        msg.insert(0, stamp);
+    }
+    if (gSink) {
+        gSink->write(tag, msg);
+        if (!alwaysStderr)
+            return;
+    }
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+}
+
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    gLevel = level;
+    gLevel.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return gLevel;
+    return gLevel.load(std::memory_order_relaxed);
+}
+
+LogSink *
+setLogSink(LogSink *sink)
+{
+    std::lock_guard<std::mutex> lock(gLogMutex);
+    LogSink *previous = gSink;
+    gSink = sink;
+    return previous;
+}
+
+ScopedLogCapture::ScopedLogCapture() : previous(setLogSink(this)) {}
+
+ScopedLogCapture::~ScopedLogCapture()
+{
+    setLogSink(previous);
+}
+
+void
+ScopedLogCapture::write(const char *tag, const std::string &message)
+{
+    // The logger's mutex serializes logger-driven calls; this mutex
+    // additionally protects against concurrent messages()/clear().
+    std::lock_guard<std::mutex> lock(mtx);
+    lines.push_back(std::string(tag) + ": " + message);
+}
+
+std::vector<std::string>
+ScopedLogCapture::messages() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return lines;
+}
+
+bool
+ScopedLogCapture::contains(const std::string &needle) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    for (const std::string &line : lines) {
+        if (line.find(needle) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+void
+ScopedLogCapture::clear()
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    lines.clear();
+}
+
+ScopedLogClock::ScopedLogClock(std::function<Tick()> now)
+{
+    auto *clock = new std::function<Tick()>(std::move(now));
+    std::lock_guard<std::mutex> lock(gLogMutex);
+    previous = gClock;
+    gClock = clock;
+}
+
+ScopedLogClock::~ScopedLogClock()
+{
+    std::function<Tick()> *mine = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(gLogMutex);
+        mine = gClock;
+        gClock = previous;
+    }
+    delete mine;
 }
 
 void
@@ -36,7 +142,7 @@ panic(const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
-    vreport("panic", fmt, ap);
+    vreport("panic", fmt, ap, true);
     va_end(ap);
     std::abort();
 }
@@ -46,7 +152,7 @@ fatal(const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
-    vreport("fatal", fmt, ap);
+    vreport("fatal", fmt, ap, true);
     va_end(ap);
     std::exit(1);
 }
@@ -54,33 +160,33 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (gLevel == LogLevel::Quiet)
+    if (logLevel() == LogLevel::Quiet)
         return;
     va_list ap;
     va_start(ap, fmt);
-    vreport("warn", fmt, ap);
+    vreport("warn", fmt, ap, false);
     va_end(ap);
 }
 
 void
 inform(const char *fmt, ...)
 {
-    if (gLevel == LogLevel::Quiet)
+    if (logLevel() == LogLevel::Quiet)
         return;
     va_list ap;
     va_start(ap, fmt);
-    vreport("info", fmt, ap);
+    vreport("info", fmt, ap, false);
     va_end(ap);
 }
 
 void
 debugLog(const char *fmt, ...)
 {
-    if (gLevel != LogLevel::Debug)
+    if (logLevel() != LogLevel::Debug)
         return;
     va_list ap;
     va_start(ap, fmt);
-    vreport("debug", fmt, ap);
+    vreport("debug", fmt, ap, false);
     va_end(ap);
 }
 

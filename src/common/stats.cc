@@ -2,22 +2,66 @@
 
 #include <iomanip>
 
+#include "common/log.hh"
+
 namespace killi
 {
+
+void
+Distribution::initBuckets(double lo, double hi, std::size_t nbuckets)
+{
+    if (samples)
+        panic("Distribution::initBuckets after %llu samples",
+              static_cast<unsigned long long>(samples));
+    if (nbuckets == 0)
+        panic("Distribution::initBuckets: zero buckets");
+    if (!(hi > lo))
+        panic("Distribution::initBuckets: empty range [%g, %g)", lo, hi);
+    bucketLo = lo;
+    bucketWidth = (hi - lo) / double(nbuckets);
+    bucketCounts.assign(nbuckets, 0);
+    underflowCount = 0;
+    overflowCount = 0;
+}
+
+void
+StatGroup::checkRegistration(const std::string &name, const char *kind,
+                             const std::string &desc)
+{
+    const bool isCounter = counters.count(name) != 0;
+    const bool isDist = distributions.count(name) != 0;
+    const bool isFormula = formulas.count(name) != 0;
+    const char *existing = isCounter ? "counter"
+                           : isDist  ? "distribution"
+                           : isFormula ? "formula"
+                                       : nullptr;
+    if (existing && std::string(existing) != kind) {
+        panic("StatGroup: '%s' already registered as a %s, "
+              "cannot re-register as a %s",
+              name.c_str(), existing, kind);
+    }
+    if (!desc.empty()) {
+        const auto it = descriptions.find(name);
+        if (it != descriptions.end() && it->second.desc != desc) {
+            panic("StatGroup: '%s' re-registered with a different "
+                  "description ('%s' vs '%s')",
+                  name.c_str(), it->second.desc.c_str(), desc.c_str());
+        }
+        descriptions[name] = {desc};
+    }
+}
 
 Counter &
 StatGroup::counter(const std::string &name, const std::string &desc)
 {
-    if (!desc.empty())
-        descriptions[name] = {desc};
+    checkRegistration(name, "counter", desc);
     return counters[name];
 }
 
 Distribution &
 StatGroup::distribution(const std::string &name, const std::string &desc)
 {
-    if (!desc.empty())
-        descriptions[name] = {desc};
+    checkRegistration(name, "distribution", desc);
     return distributions[name];
 }
 
@@ -25,8 +69,7 @@ void
 StatGroup::formula(const std::string &name, std::function<double()> fn,
                    const std::string &desc)
 {
-    if (!desc.empty())
-        descriptions[name] = {desc};
+    checkRegistration(name, "formula", desc);
     formulas[name] = std::move(fn);
 }
 
@@ -63,10 +106,19 @@ StatGroup::dump(std::ostream &os, const std::string &prefix) const
         if (dist.empty()) {
             os << " (no samples)";
         } else {
-            os << " (n=" << dist.count() << ", min=" << dist.min()
-               << ", max=" << dist.max() << ")";
+            os << " (n=" << dist.count() << ", stddev=" << dist.stddev()
+               << ", min=" << dist.min() << ", max=" << dist.max() << ")";
         }
         os << describe(name) << "\n";
+        if (dist.hasBuckets() && !dist.empty()) {
+            os << std::left << std::setw(44)
+               << (prefix + name + ".hist") << " [" << dist.bucketLow()
+               << ", " << dist.bucketHigh() << ") <" << dist.underflow()
+               << " |";
+            for (std::size_t k = 0; k < dist.numBuckets(); ++k)
+                os << " " << dist.bucketCount(k);
+            os << " | >=" << dist.overflow() << "\n";
+        }
     }
     for (const auto &[name, fn] : formulas) {
         os << std::left << std::setw(44) << (prefix + name)
@@ -87,10 +139,23 @@ StatGroup::toJson() const
         Json entry = Json::object();
         entry.set("count", Json::number(dist.count()));
         entry.set("mean", Json::number(dist.mean()));
-        // Json serializes the empty distribution's NaN extrema as
+        // Json serializes the empty distribution's NaN moments as
         // null, keeping "never sampled" distinct from a 0.0 sample.
+        entry.set("stddev", Json::number(dist.stddev()));
         entry.set("min", Json::number(dist.min()));
         entry.set("max", Json::number(dist.max()));
+        if (dist.hasBuckets()) {
+            Json hist = Json::object();
+            hist.set("lo", Json::number(dist.bucketLow()));
+            hist.set("hi", Json::number(dist.bucketHigh()));
+            Json countsArr = Json::array();
+            for (std::size_t k = 0; k < dist.numBuckets(); ++k)
+                countsArr.push(Json::number(dist.bucketCount(k)));
+            hist.set("counts", std::move(countsArr));
+            hist.set("underflow", Json::number(dist.underflow()));
+            hist.set("overflow", Json::number(dist.overflow()));
+            entry.set("buckets", std::move(hist));
+        }
         distObj.set(name, std::move(entry));
     }
 

@@ -8,6 +8,7 @@
 #ifndef KILLI_COMMON_STATS_HH
 #define KILLI_COMMON_STATS_HH
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -39,12 +40,21 @@ class Counter
 };
 
 /**
- * Running scalar sample statistics (mean/min/max).
+ * Running scalar sample statistics (mean/min/max/stddev), with
+ * optional fixed-width histogram buckets.
  *
- * An empty distribution has no extrema: min()/max() return NaN so a
- * never-sampled statistic cannot be mistaken for a real 0.0 sample
- * (callers can also branch on empty()). Text and JSON dumps render
- * the empty case explicitly.
+ * Mean and variance use Welford's online algorithm, so they stay
+ * numerically stable over billions of samples. variance() is the
+ * population variance (divide by n): a single sample has variance
+ * 0, and an empty distribution has no moments — variance()/stddev(),
+ * like min()/max(), return NaN so a never-sampled statistic cannot
+ * be mistaken for a real 0.0 sample (callers can also branch on
+ * empty()). Text and JSON dumps render the empty case explicitly.
+ *
+ * Histogram buckets are opt-in via initBuckets(lo, hi, n): bucket k
+ * counts samples in the half-open range [lo + k*w, lo + (k+1)*w)
+ * with w = (hi-lo)/n; samples below lo and at-or-above hi land in
+ * the underflow/overflow counts.
  */
 class Distribution
 {
@@ -52,19 +62,55 @@ class Distribution
     void
     sample(double value)
     {
-        sum += value;
         ++samples;
+        sum += value;
+        const double delta = value - meanVal;
+        meanVal += delta / double(samples);
+        m2 += delta * (value - meanVal);
         if (samples == 1 || value < minVal)
             minVal = value;
         if (samples == 1 || value > maxVal)
             maxVal = value;
+        if (!bucketCounts.empty()) {
+            if (value < bucketLo) {
+                ++underflowCount;
+            } else {
+                const double offset = (value - bucketLo) / bucketWidth;
+                const std::size_t idx = std::size_t(offset);
+                if (idx >= bucketCounts.size())
+                    ++overflowCount;
+                else
+                    ++bucketCounts[idx];
+            }
+        }
     }
 
     std::uint64_t count() const { return samples; }
     bool empty() const { return samples == 0; }
-    double mean() const { return samples ? sum / samples : 0.0; }
+    double mean() const { return samples ? meanVal : nan(); }
     double min() const { return samples ? minVal : nan(); }
     double max() const { return samples ? maxVal : nan(); }
+    double variance() const { return samples ? m2 / double(samples) : nan(); }
+    double stddev() const { return samples ? std::sqrt(m2 / double(samples)) : nan(); }
+
+    /**
+     * Enable fixed-width histogram buckets over [lo, hi). panic()s if
+     * called after sampling began, on a non-positive range, or on
+     * zero buckets. May be called once per reconfiguration cycle
+     * (reset() keeps the bucket layout, only zeroing the counts).
+     */
+    void initBuckets(double lo, double hi, std::size_t nbuckets);
+
+    bool hasBuckets() const { return !bucketCounts.empty(); }
+    std::size_t numBuckets() const { return bucketCounts.size(); }
+    double bucketLow() const { return bucketLo; }
+    double bucketHigh() const
+    {
+        return bucketLo + bucketWidth * double(bucketCounts.size());
+    }
+    std::uint64_t bucketCount(std::size_t k) const { return bucketCounts.at(k); }
+    std::uint64_t underflow() const { return underflowCount; }
+    std::uint64_t overflow() const { return overflowCount; }
 
     void
     reset()
@@ -73,6 +119,12 @@ class Distribution
         samples = 0;
         minVal = 0;
         maxVal = 0;
+        meanVal = 0;
+        m2 = 0;
+        underflowCount = 0;
+        overflowCount = 0;
+        for (std::uint64_t &c : bucketCounts)
+            c = 0;
     }
 
   private:
@@ -82,11 +134,23 @@ class Distribution
     std::uint64_t samples = 0;
     double minVal = 0;
     double maxVal = 0;
+    double meanVal = 0;
+    double m2 = 0;
+    double bucketLo = 0;
+    double bucketWidth = 0;
+    std::vector<std::uint64_t> bucketCounts;
+    std::uint64_t underflowCount = 0;
+    std::uint64_t overflowCount = 0;
 };
 
 /**
  * Registry mapping hierarchical names ("l2.hits") to counters,
  * distributions, and formula callbacks evaluated at dump time.
+ *
+ * Names are checked at registration: registering the same name under
+ * two different kinds (e.g. a counter shadowing a formula), or
+ * re-registering a name with a different non-empty description, is a
+ * panic() rather than a silent shadow.
  */
 class StatGroup
 {
@@ -113,8 +177,9 @@ class StatGroup
 
     /**
      * Structured serialization: an object with "counters",
-     * "distributions" (count/mean/min/max; min/max null when empty)
-     * and "formulas" members. Formula callbacks are evaluated now.
+     * "distributions" (count/mean/stddev/min/max, plus "buckets"
+     * when histogramming is enabled; moments null when empty) and
+     * "formulas" members. Formula callbacks are evaluated now.
      */
     Json toJson() const;
 
@@ -129,6 +194,10 @@ class StatGroup
     {
         std::string desc;
     };
+
+    /** Enforce kind/description uniqueness for @p name. */
+    void checkRegistration(const std::string &name, const char *kind,
+                           const std::string &desc);
 
     std::map<std::string, Counter> counters;
     std::map<std::string, Distribution> distributions;

@@ -55,27 +55,72 @@ RunResult::fromJson(const Json &doc)
 }
 
 GpuSystem::GpuSystem(const GpuParams &params,
-                     ProtectionScheme &protection,
+                     ProtectionScheme &protection_,
                      const Workload &wl, FaultMap *fault_map)
-    : p(params), workload(wl), golden(params.l2Geom.lineBytes)
+    : p(params), protection(protection_), workload(wl),
+      golden(params.l2Geom.lineBytes), series(params.statsInterval)
 {
     dram = std::make_unique<DramModel>(p.dram);
     l2Cache = std::make_unique<L2Cache>(eq, *dram, golden, protection,
                                         p.l2Geom, p.l2, fault_map);
+    eq.setTrace(p.l2.trace);
     for (unsigned cu = 0; cu < p.numCus; ++cu) {
         l1s.push_back(std::make_unique<L1Cache>(p.l1Geom));
         cus.push_back(std::make_unique<ComputeUnit>(
             cu, eq, *l1s.back(), *l2Cache, workload, p.l1Latency,
             [this] { --wavefrontsRemaining; }));
     }
+
+    if (p.statsInterval) {
+        series.addSource("instructions", [this] {
+            return double(measuredInstructions());
+        });
+        series.addSource("l2_read_hits", [this] {
+            return double(l2Cache->stats().counterValue("read_hits"));
+        });
+        series.addSource("l2_read_misses", [this] {
+            return double(l2Cache->stats().counterValue("read_misses"));
+        });
+        series.addSource("l2_error_misses", [this] {
+            return double(
+                l2Cache->stats().counterValue("error_misses"));
+        });
+        // Same definition as RunResult::mpki(), evaluated mid-run:
+        // the final post-run sample matches the aggregate result.
+        series.addSource("mpki", [this] {
+            const StatGroup &l2s = l2Cache->stats();
+            const double misses =
+                double(l2s.counterValue("read_misses")) +
+                double(l2s.counterValue("error_misses"));
+            const std::uint64_t instr = measuredInstructions();
+            return instr ? misses * 1000.0 / double(instr) : 0.0;
+        });
+        protection.addTimeseriesSources(series);
+        eq.setPeriodic(p.statsInterval,
+                       [this] { series.sample(eq.curTick()); });
+    }
+}
+
+std::uint64_t
+GpuSystem::measuredInstructions() const
+{
+    std::uint64_t total = 0;
+    for (const auto &cu : cus)
+        total += cu->instructions();
+    return total - instrBase;
 }
 
 void
 GpuSystem::runPass()
 {
+    // Warnings emitted mid-simulation carry the simulated cycle.
+    ScopedLogClock clock([this] { return eq.curTick(); });
+
     wavefrontsRemaining = p.numCus * workload.wavefrontsPerCu();
     for (auto &cu : cus)
         cu->start();
+    KTRACE(p.l2.trace, eq.curTick(), TraceCat::Gpu, "gpu.pass_start",
+           {"wavefronts", wavefrontsRemaining});
 
     const bool drained = eq.run(p.maxCycles);
     if (!drained)
@@ -84,13 +129,15 @@ GpuSystem::runPass()
     if (wavefrontsRemaining != 0)
         panic("GpuSystem: %u wavefronts never completed",
               wavefrontsRemaining);
+    KTRACE(p.l2.trace, eq.curTick(), TraceCat::Gpu, "gpu.pass_done",
+           {"executed", eq.eventsExecuted()});
 }
 
 RunResult
 GpuSystem::run(unsigned warmupPasses)
 {
     Tick cycleBase = 0;
-    std::uint64_t instrBase = 0;
+    instrBase = 0;
     for (unsigned pass = 0; pass < warmupPasses; ++pass) {
         runPass();
         cycleBase = eq.curTick();
@@ -99,9 +146,17 @@ GpuSystem::run(unsigned warmupPasses)
             instrBase += cu->instructions();
         l2Cache->stats().resetAll();
         dram->stats().resetAll();
+        // The measured region starts clean: warmup samples would mix
+        // pre-reset counter values into the series.
+        series.clearSamples();
     }
 
     runPass();
+    if (p.statsInterval) {
+        // Terminal snapshot: the series always ends at the final
+        // tick, consistent with the aggregate RunResult.
+        series.sample(eq.curTick());
+    }
 
     RunResult r;
     r.cycles = eq.curTick() - cycleBase;

@@ -39,6 +39,7 @@
 #include "sim/dram.hh"
 #include "sim/event_queue.hh"
 #include "sim/golden.hh"
+#include "trace/timeseries.hh"
 
 namespace killi
 {
@@ -54,6 +55,14 @@ struct GpuParams
     Cycle l1Latency = 1;
     /** Safety net for runaway simulations. */
     Tick maxCycles = 2'000'000'000;
+    /**
+     * Cycles between periodic stat snapshots into the run's
+     * StatTimeseries (0 disables). Samples taken during warmup
+     * passes are discarded; one final sample is always appended
+     * after the measured pass so the series ends consistent with the
+     * end-of-run aggregates.
+     */
+    Cycle statsInterval = 0;
 };
 
 /** End-of-run metrics. */
@@ -125,6 +134,10 @@ class GpuSystem
     /** Dump all component statistics (post-run diagnostics). */
     void dumpStats(std::ostream &os) const;
 
+    /** The periodic stat snapshots (empty when statsInterval == 0 or
+     *  before run()). */
+    const StatTimeseries &timeseries() const { return series; }
+
     L2Cache &l2() { return *l2Cache; }
     EventQueue &eventQueue() { return eq; }
 
@@ -132,7 +145,11 @@ class GpuSystem
     /** Execute the workload once, to completion. */
     void runPass();
 
+    /** Instructions retired in the measured region so far. */
+    std::uint64_t measuredInstructions() const;
+
     GpuParams p;
+    ProtectionScheme &protection;
     const Workload &workload;
 
     EventQueue eq;
@@ -142,6 +159,9 @@ class GpuSystem
     std::vector<std::unique_ptr<L1Cache>> l1s;
     std::vector<std::unique_ptr<ComputeUnit>> cus;
     unsigned wavefrontsRemaining = 0;
+    StatTimeseries series;
+    /** Warmup baseline subtracted from measured-region sources. */
+    std::uint64_t instrBase = 0;
 };
 
 } // namespace killi

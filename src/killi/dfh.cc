@@ -19,6 +19,22 @@ dfhName(Dfh state)
     return "?";
 }
 
+const char *
+dfhCName(Dfh state)
+{
+    switch (state) {
+      case Dfh::Stable0:
+        return "b00";
+      case Dfh::Initial:
+        return "b01";
+      case Dfh::Stable1:
+        return "b10";
+      case Dfh::Disabled:
+        return "b11";
+    }
+    return "?";
+}
+
 DfhDecision
 dfhOnStable0(SParity sp)
 {

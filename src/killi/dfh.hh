@@ -38,6 +38,10 @@ enum class Dfh : std::uint8_t
 
 std::string dfhName(Dfh state);
 
+/** Static-storage short name ("b00", ...) for trace-event payloads,
+ *  whose string arguments must outlive the sink. */
+const char *dfhCName(Dfh state);
+
 /** Segmented-parity observation (Table 2 "S.Parity" column). */
 enum class SParity : std::uint8_t
 {

@@ -91,8 +91,14 @@ EccCache::allocate(std::size_t l2Line, std::size_t &evictedLine)
     if (victim->valid) {
         evictedLine = victim->l2Line;
         ++statGroup.counter("evictions");
+        // §4.3 contention: a live entry dies for a disjoint line and
+        // takes its protected L2 line with it.
+        KTRACE(trace, tickNow(), TraceCat::Ecc, "ecc.contention_evict",
+               {"victim_line", victim->l2Line}, {"for_line", l2Line});
     }
     ++statGroup.counter("allocs");
+    KTRACE(trace, tickNow(), TraceCat::Ecc, "ecc.install",
+           {"line", l2Line}, {"set", setOf(l2Line)});
     victim->valid = true;
     victim->l2Line = l2Line;
     victim->lastUse = ++useCounter;
@@ -110,6 +116,8 @@ EccCache::invalidate(std::size_t l2Line)
         if (entry.valid && entry.l2Line == l2Line) {
             entry.valid = false;
             ++statGroup.counter("frees");
+            KTRACE(trace, tickNow(), TraceCat::Ecc, "ecc.free",
+                   {"line", l2Line});
             return;
         }
     }

@@ -19,11 +19,13 @@
 #define KILLI_KILLI_ECC_CACHE_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/bitvec.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "trace/trace.hh"
 
 namespace killi
 {
@@ -90,8 +92,19 @@ class EccCache
     StatGroup &stats() { return statGroup; }
     const StatGroup &stats() const { return statGroup; }
 
+    /** Attach a trace sink for ecc.* events; @p now supplies the
+     *  timestamp (the ECC cache has no clock of its own). */
+    void
+    setTrace(TraceSink *sink, std::function<Tick()> now)
+    {
+        trace = sink;
+        clock = std::move(now);
+    }
+
   private:
     std::size_t setOf(std::size_t l2Line) const;
+
+    Tick tickNow() const { return clock ? clock() : 0; }
 
     unsigned assoc;
     unsigned l2Assoc;
@@ -99,6 +112,8 @@ class EccCache
     std::vector<EccEntry> table;
     std::uint64_t useCounter = 0;
     StatGroup statGroup;
+    TraceSink *trace = nullptr;
+    std::function<Tick()> clock;
 };
 
 } // namespace killi

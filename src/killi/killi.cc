@@ -87,6 +87,10 @@ KilliProtection::KilliProtection(FaultMap &fault_map,
     statGroup.counter("t_01_11", "transitions b'01 -> b'11");
     statGroup.counter("t_10_00", "transitions b'10 -> b'00");
     statGroup.counter("t_10_11", "transitions b'10 -> b'11");
+    statGroup
+        .distribution("dfh.training_accesses",
+                      "read hits before a line leaves b'01")
+        .initBuckets(0, 64, 16);
 }
 
 std::string
@@ -114,6 +118,8 @@ KilliProtection::attach(L2Backdoor &backdoor, const CacheGeometry &geom)
     state.assign(geom.numLines(), Dfh::Initial);
     folded.assign(geom.numLines(), BitVec(p.groups));
     dirtyLine.assign(geom.numLines(), false);
+    trainAccesses.assign(geom.numLines(), 0);
+    ecc->setTrace(trace, [this] { return tickNow(); });
 }
 
 void
@@ -123,7 +129,35 @@ KilliProtection::reset()
     std::fill(state.begin(), state.end(), Dfh::Initial);
     std::fill(folded.begin(), folded.end(), BitVec(p.groups));
     std::fill(dirtyLine.begin(), dirtyLine.end(), false);
+    std::fill(trainAccesses.begin(), trainAccesses.end(), 0);
     ecc->clear();
+}
+
+void
+KilliProtection::setTrace(TraceSink *sink)
+{
+    ProtectionScheme::setTrace(sink);
+    if (ecc)
+        ecc->setTrace(sink, [this] { return tickNow(); });
+}
+
+void
+KilliProtection::addTimeseriesSources(StatTimeseries &ts)
+{
+    ts.addSource("ecc_occupancy", [this] {
+        return ecc ? double(ecc->validEntries()) /
+                         double(ecc->numEntries())
+                   : 0.0;
+    });
+    // Protection-grade mix over time: line counts per DFH state.
+    ts.addSource("dfh_b00",
+                 [this] { return double(dfhHistogram()[0b00]); });
+    ts.addSource("dfh_b01",
+                 [this] { return double(dfhHistogram()[0b01]); });
+    ts.addSource("dfh_b10",
+                 [this] { return double(dfhHistogram()[0b10]); });
+    ts.addSource("dfh_b11",
+                 [this] { return double(dfhHistogram()[0b11]); });
 }
 
 bool
@@ -164,10 +198,19 @@ KilliProtection::allocPriority(std::size_t lineId) const
 }
 
 void
-KilliProtection::noteTransition(Dfh from, Dfh to)
+KilliProtection::noteTransition(std::size_t lineId, Dfh from, Dfh to,
+                                const char *trigger)
 {
     if (from == to)
         return;
+    KTRACE(trace, tickNow(), TraceCat::Dfh, "dfh.transition",
+           {"line", lineId}, {"from", dfhCName(from)},
+           {"to", dfhCName(to)}, {"trigger", trigger});
+    if (from == Dfh::Initial) {
+        statGroup.distribution("dfh.training_accesses")
+            .sample(double(trainAccesses[lineId]));
+    }
+    trainAccesses[lineId] = 0;
     const std::string key = "t_" +
         std::string(from == Dfh::Stable0 ? "00"
                     : from == Dfh::Initial ? "01"
@@ -261,7 +304,7 @@ KilliProtection::onFill(std::size_t lineId, const BitVec &data)
             next = Dfh::Stable1;
         else
             next = Dfh::Disabled;
-        noteTransition(d, next);
+        noteTransition(lineId, d, next, "inverted_write");
         state[lineId] = next;
         if (next == Dfh::Stable0 || next == Dfh::Disabled)
             ecc->invalidate(lineId);
@@ -394,6 +437,8 @@ KilliProtection::onReadHit(std::size_t lineId, const BitVec &data)
         panic("Killi: read hit on a disabled line");
 
     const bool isDirty = p.writebackMode && dirtyLine[lineId];
+    if (d == Dfh::Initial)
+        ++trainAccesses[lineId];
     const Probes probes = probeLine(lineId, data, d, isDirty);
 
     DfhDecision dec;
@@ -436,7 +481,7 @@ KilliProtection::onReadHit(std::size_t lineId, const BitVec &data)
         dec.next = Dfh::Disabled;
     }
 
-    noteTransition(d, dec.next);
+    noteTransition(lineId, d, dec.next, "read_hit");
     state[lineId] = dec.next;
     // Free the entry eagerly on disable too: the host's follow-up
     // onInvalidate would release it anyway, but a driver that stops
@@ -459,6 +504,8 @@ KilliProtection::onReadHit(std::size_t lineId, const BitVec &data)
         break;
       case DfhAction::CorrectAndSend:
         ++statGroup.counter("corrections");
+        KTRACE(trace, tickNow(), TraceCat::Error, "error.correct",
+               {"line", lineId}, {"dfh", dfhCName(dec.next)});
         res.extraLatency += p.correctionLatency;
         // probe() is omniscient: Miscorrected means the decoder
         // "fixed" the wrong bit(s).
@@ -466,6 +513,8 @@ KilliProtection::onReadHit(std::size_t lineId, const BitVec &data)
         break;
       case DfhAction::ErrorMiss:
         ++statGroup.counter("error_misses");
+        KTRACE(trace, tickNow(), TraceCat::Error, "error.detect",
+               {"line", lineId}, {"dfh", dfhCName(dec.next)});
         res.errorInducedMiss = true;
         break;
     }
@@ -516,7 +565,7 @@ KilliProtection::onEvict(std::size_t lineId, const BitVec &data)
         dec = dfhOnInitial(probes.sp, probes.synNonZero,
                            probes.gpMismatch);
     }
-    noteTransition(Dfh::Initial, dec.next);
+    noteTransition(lineId, Dfh::Initial, dec.next, "evict_training");
     state[lineId] = dec.next;
     // The data is leaving: only the learned state matters. The host's
     // onInvalidate releases the ECC entry; drop it eagerly when the
@@ -556,11 +605,18 @@ KilliProtection::onMaintenance()
     // transient upsets rather than persistent LV faults; a scrubber
     // pass releases them for reclassification. Lines with real
     // multi-bit fault populations re-disable on their first use.
-    for (Dfh &s : state) {
-        if (s == Dfh::Disabled) {
-            s = Dfh::Initial;
+    std::size_t reclaimed = 0;
+    for (std::size_t id = 0; id < state.size(); ++id) {
+        if (state[id] == Dfh::Disabled) {
+            state[id] = Dfh::Initial;
+            trainAccesses[id] = 0;
             ++statGroup.counter("scrub_reclaims");
+            ++reclaimed;
         }
+    }
+    if (reclaimed) {
+        KTRACE(trace, tickNow(), TraceCat::Dfh, "dfh.scrub_reclaim",
+               {"lines", reclaimed});
     }
 }
 

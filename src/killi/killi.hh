@@ -96,6 +96,8 @@ class KilliProtection : public ProtectionScheme
     void onTouch(std::size_t lineId) override;
     void onMaintenance() override;
     std::size_t usableLines() const override;
+    void setTrace(TraceSink *sink) override;
+    void addTimeseriesSources(StatTimeseries &ts) override;
 
     /** Current DFH state of a line (tests / reporting). */
     Dfh dfhOf(std::size_t lineId) const { return state[lineId]; }
@@ -133,8 +135,11 @@ class KilliProtection : public ProtectionScheme
     /** §5.6.1 decision for dirty lines (no refetch possible). */
     DfhDecision decideDirty(Dfh current, const Probes &probes) const;
 
-    /** Record a DFH transition in the stats. */
-    void noteTransition(Dfh from, Dfh to);
+    /** Record a DFH transition: edge counter, dfh.transition trace
+     *  event (with @p trigger naming the hook that caused it), and —
+     *  when a line leaves b'01 — the dfh.training_accesses sample. */
+    void noteTransition(std::size_t lineId, Dfh from, Dfh to,
+                        const char *trigger);
 
     /** Cross-structure consistency assertions, compiled in (and
      *  called at the entry of every public hook) only under the
@@ -159,6 +164,9 @@ class KilliProtection : public ProtectionScheme
     std::vector<BitVec> folded;
     /** Mirror of the host's dirty bits (write-back mode). */
     std::vector<bool> dirtyLine;
+    /** Read hits observed while the line sits in b'01 — sampled into
+     *  dfh.training_accesses when the line leaves training. */
+    std::vector<std::uint32_t> trainAccesses;
 };
 
 } // namespace killi

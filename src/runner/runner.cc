@@ -109,11 +109,11 @@ ExperimentRunner::runOne(const Job &job) const
         }
         report.outcome = JobOutcome::Failed;
         if (opt.verbose && attempt < opt.retries) {
-            std::fprintf(stderr,
-                         "  [runner] %s failed (%s), retrying "
-                         "(%u/%u)\n",
-                         job.name.c_str(), report.error.c_str(),
-                         attempt + 1, opt.retries);
+            // warn() rather than raw stderr so an installed LogSink
+            // (tests, capture harnesses) sees retry chatter too.
+            warn("runner: %s failed (%s), retrying (%u/%u)",
+                 job.name.c_str(), report.error.c_str(), attempt + 1,
+                 opt.retries);
         }
     }
     report.seconds = std::chrono::duration<double>(

@@ -12,14 +12,34 @@ EventQueue::schedule(Tick when, Callback cb, int priority)
         panic("EventQueue: scheduling into the past (%llu < %llu)",
               static_cast<unsigned long long>(when),
               static_cast<unsigned long long>(now));
+    KTRACE(trace, now, TraceCat::Sim, "sim.schedule", {"when", when},
+           {"priority", priority});
     heap.push(Event{when, priority, seqCounter++, std::move(cb)});
+}
+
+void
+EventQueue::setPeriodic(Tick interval, Callback cb)
+{
+    periodicInterval = interval;
+    periodicCb = interval ? std::move(cb) : Callback{};
+    nextPeriodic = now + interval;
 }
 
 bool
 EventQueue::run(Tick limit)
 {
     while (!heap.empty()) {
-        if (heap.top().when > limit) {
+        const Tick nextEvent = heap.top().when;
+        if (periodicCb && nextPeriodic <= nextEvent &&
+            nextPeriodic <= limit) {
+            now = nextPeriodic;
+            KTRACE(trace, now, TraceCat::Sim, "sim.periodic",
+                   {"interval", periodicInterval});
+            periodicCb();
+            nextPeriodic += periodicInterval;
+            continue;
+        }
+        if (nextEvent > limit) {
             now = limit;
             return false;
         }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "trace/trace.hh"
 
 namespace killi
 {
@@ -45,6 +46,20 @@ class EventQueue
         schedule(now + delta, std::move(cb), priority);
     }
 
+    /**
+     * Register a callback fired every @p interval ticks while events
+     * remain pending (interval 0 uninstalls). The first firing is at
+     * curTick() + interval. A firing that coincides with a scheduled
+     * event runs *before* that tick's events, so a stats snapshot at
+     * tick T observes the state as of the end of tick T-1. Firings
+     * stop with the last event: callers wanting the final state take
+     * one explicit sample after run() returns.
+     */
+    void setPeriodic(Tick interval, Callback cb);
+
+    /** Attach a trace sink for sim.* events (nullptr detaches). */
+    void setTrace(TraceSink *sink) { trace = sink; }
+
     /** Run events until the queue drains or @p limit is reached.
      *  Returns true if the queue drained. */
     bool run(Tick limit = kMaxTick);
@@ -74,6 +89,10 @@ class EventQueue
     std::uint64_t seqCounter = 0;
     std::uint64_t executed = 0;
     std::priority_queue<Event, std::vector<Event>, Later> heap;
+    Tick periodicInterval = 0;
+    Tick nextPeriodic = 0;
+    Callback periodicCb;
+    TraceSink *trace = nullptr;
 };
 
 } // namespace killi

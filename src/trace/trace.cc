@@ -1,0 +1,281 @@
+#include "trace/trace.hh"
+
+#include <algorithm>
+
+namespace killi
+{
+
+namespace
+{
+
+/** Sink identity generator (thread-local cache invalidation). */
+std::atomic<std::uint64_t> gSinkIds{1};
+
+/** One-slot per-thread cache: the ring this thread last recorded
+ *  into, keyed by sink identity. The common case — one sink per
+ *  thread — never takes the registry mutex after the first event. */
+struct TlsRingSlot
+{
+    std::uint64_t sinkId = 0;
+    void *ring = nullptr;
+};
+thread_local TlsRingSlot tlsRing;
+
+} // namespace
+
+const char *
+traceCatName(TraceCat cat)
+{
+    switch (cat) {
+      case TraceCat::Sim: return "sim";
+      case TraceCat::L2: return "l2";
+      case TraceCat::Dfh: return "dfh";
+      case TraceCat::Ecc: return "ecc";
+      case TraceCat::Error: return "error";
+      case TraceCat::Gpu: return "gpu";
+      case TraceCat::Stats: return "stats";
+      case TraceCat::Check: return "check";
+    }
+    return "?";
+}
+
+bool
+parseTraceCats(const std::string &list, std::uint32_t &mask,
+               std::string *err)
+{
+    const std::uint32_t parsed = traceMaskFromList(list);
+    if (parsed == kBadTraceMask) {
+        if (err) {
+            *err = "unknown trace category in '" + list +
+                   "' (known: sim,l2,dfh,ecc,error,gpu,stats,check,"
+                   "all,none)";
+        }
+        return false;
+    }
+    mask = parsed;
+    return true;
+}
+
+Json
+TraceArg::valueJson() const
+{
+    switch (kind) {
+      case Kind::U64: return Json::number(u);
+      case Kind::I64: return Json::number(i);
+      case Kind::F64: return Json::number(f);
+      case Kind::Bool: return Json::boolean(b);
+      case Kind::Str: return Json::string(s ? s : "");
+    }
+    return Json::null();
+}
+
+Json
+TraceEvent::toJson() const
+{
+    Json doc = Json::object();
+    doc.set("t", Json::number(std::uint64_t(tick)));
+    doc.set("cat", Json::string(traceCatName(cat)));
+    doc.set("name", Json::string(name));
+    doc.set("tid", Json::number(std::uint64_t(tid)));
+    if (nargs) {
+        Json argObj = Json::object();
+        for (unsigned a = 0; a < nargs; ++a)
+            argObj.set(args[a].key, args[a].valueJson());
+        doc.set("args", std::move(argObj));
+    }
+    return doc;
+}
+
+Json
+TraceEvent::toChromeJson() const
+{
+    // Instant event ("ph":"i", thread scope). ts is nominally in
+    // microseconds; we map 1 cycle -> 1 us, which Perfetto renders
+    // fine (times read as cycles).
+    Json doc = Json::object();
+    doc.set("name", Json::string(name));
+    doc.set("cat", Json::string(traceCatName(cat)));
+    doc.set("ph", Json::string("i"));
+    doc.set("s", Json::string("t"));
+    doc.set("ts", Json::number(std::uint64_t(tick)));
+    doc.set("pid", Json::number(std::int64_t(0)));
+    doc.set("tid", Json::number(std::uint64_t(tid)));
+    Json argObj = Json::object();
+    for (unsigned a = 0; a < nargs; ++a)
+        argObj.set(args[a].key, args[a].valueJson());
+    doc.set("args", std::move(argObj));
+    return doc;
+}
+
+TraceSink::TraceSink(std::size_t capacityPerThread)
+    : sinkId(gSinkIds.fetch_add(1, std::memory_order_relaxed)),
+      capacity(capacityPerThread ? capacityPerThread : 1)
+{
+}
+
+void
+TraceSink::setMask(std::uint32_t mask)
+{
+    runtimeMask.store(mask, std::memory_order_relaxed);
+}
+
+TraceSink::Ring &
+TraceSink::ringForThisThread()
+{
+    if (tlsRing.sinkId == sinkId)
+        return *static_cast<Ring *>(tlsRing.ring);
+
+    std::lock_guard<std::mutex> lock(registry);
+    const std::thread::id self = std::this_thread::get_id();
+    Ring *mine = nullptr;
+    for (Ring &ring : rings) {
+        if (ring.owner == self) {
+            mine = &ring;
+            break;
+        }
+    }
+    if (!mine) {
+        rings.push_back(Ring{});
+        mine = &rings.back();
+        mine->owner = self;
+        mine->tid = unsigned(rings.size() - 1);
+        mine->buf.reserve(std::min<std::size_t>(capacity, 1024));
+    }
+    tlsRing = {sinkId, mine};
+    return *mine;
+}
+
+void
+TraceSink::record(Tick tick, TraceCat cat, const char *name,
+                  std::initializer_list<TraceArg> args)
+{
+    Ring &ring = ringForThisThread();
+    TraceEvent ev;
+    ev.tick = tick;
+    ev.seq = seqCounter.fetch_add(1, std::memory_order_relaxed);
+    ev.cat = cat;
+    ev.name = name;
+    ev.tid = ring.tid;
+    for (const TraceArg &arg : args) {
+        if (ev.nargs == TraceEvent::kMaxArgs)
+            break;
+        ev.args[ev.nargs++] = arg;
+    }
+    if (ring.buf.size() < capacity) {
+        ring.buf.push_back(ev);
+    } else {
+        ring.buf[ring.written % capacity] = ev;
+    }
+    ++ring.written;
+}
+
+std::uint64_t
+TraceSink::recorded() const
+{
+    std::lock_guard<std::mutex> lock(registry);
+    std::uint64_t total = 0;
+    for (const Ring &ring : rings)
+        total += ring.written;
+    return total;
+}
+
+std::uint64_t
+TraceSink::dropped() const
+{
+    std::lock_guard<std::mutex> lock(registry);
+    std::uint64_t lost = 0;
+    for (const Ring &ring : rings) {
+        if (ring.written > ring.buf.size())
+            lost += ring.written - ring.buf.size();
+    }
+    return lost;
+}
+
+std::uint64_t
+TraceSink::retained() const
+{
+    std::lock_guard<std::mutex> lock(registry);
+    std::uint64_t kept = 0;
+    for (const Ring &ring : rings)
+        kept += ring.buf.size();
+    return kept;
+}
+
+std::vector<TraceEvent>
+TraceSink::events() const
+{
+    std::vector<TraceEvent> out;
+    {
+        std::lock_guard<std::mutex> lock(registry);
+        for (const Ring &ring : rings) {
+            // Oldest-first within the ring: a wrapped ring's oldest
+            // element sits at written % capacity.
+            const std::size_t n = ring.buf.size();
+            const std::size_t start =
+                ring.written > n ? ring.written % capacity : 0;
+            for (std::size_t k = 0; k < n; ++k)
+                out.push_back(ring.buf[(start + k) % n]);
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TraceEvent &a, const TraceEvent &b) {
+                  if (a.tick != b.tick)
+                      return a.tick < b.tick;
+                  return a.seq < b.seq;
+              });
+    return out;
+}
+
+void
+TraceSink::clear()
+{
+    std::lock_guard<std::mutex> lock(registry);
+    for (Ring &ring : rings) {
+        ring.buf.clear();
+        ring.written = 0;
+    }
+    seqCounter.store(0, std::memory_order_relaxed);
+}
+
+Json
+TraceSink::toJson() const
+{
+    Json arr = Json::array();
+    for (const TraceEvent &ev : events())
+        arr.push(ev.toJson());
+    return arr;
+}
+
+Json
+TraceSink::chromeTraceJson() const
+{
+    Json evArr = Json::array();
+    for (const TraceEvent &ev : events())
+        evArr.push(ev.toChromeJson());
+    Json doc = Json::object();
+    doc.set("traceEvents", std::move(evArr));
+    doc.set("displayTimeUnit", Json::string("ms"));
+    Json meta = Json::object();
+    meta.set("recorded", Json::number(recorded()));
+    meta.set("dropped", Json::number(dropped()));
+    doc.set("otherData", std::move(meta));
+    return doc;
+}
+
+void
+TraceSink::writeJsonl(std::ostream &os) const
+{
+    for (const TraceEvent &ev : events()) {
+        ev.toJson().dump(os, 0);
+        os << '\n';
+    }
+}
+
+void
+TraceSink::writeChromeTrace(std::ostream &os) const
+{
+    chromeTraceJson().dump(os, 2);
+    os << '\n';
+}
+
+} // namespace killi

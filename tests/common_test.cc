@@ -12,10 +12,12 @@
 #include <cstdio>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include "common/bitvec.hh"
 #include "common/config.hh"
 #include "common/json.hh"
+#include "common/log.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -498,4 +500,213 @@ TEST(TableTest, ToJsonKeysRowsByHeader)
     ASSERT_EQ(doc.size(), 2u);
     EXPECT_EQ(doc.at(0).at("name").asString(), "alpha");
     EXPECT_EQ(doc.at(1).at("value").asString(), "2");
+}
+
+// ---- Distribution moments and histograms ---------------------------
+
+TEST(StatsTest, DistributionVarianceAndStddev)
+{
+    Distribution d;
+    d.sample(2);
+    d.sample(4);
+    d.sample(4);
+    d.sample(4);
+    d.sample(5);
+    d.sample(5);
+    d.sample(7);
+    d.sample(9);
+    // Classic textbook set: population variance 4, stddev 2.
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 2.0);
+}
+
+TEST(StatsTest, EmptyDistributionMomentsAreNaN)
+{
+    const Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_TRUE(std::isnan(d.mean()));
+    EXPECT_TRUE(std::isnan(d.variance()));
+    EXPECT_TRUE(std::isnan(d.stddev()));
+}
+
+TEST(StatsTest, SingleSampleHasZeroVariance)
+{
+    Distribution d;
+    d.sample(42.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+}
+
+TEST(StatsTest, HistogramBucketsAndOutOfRangeCounts)
+{
+    Distribution d;
+    d.initBuckets(0.0, 8.0, 4); // [0,2) [2,4) [4,6) [6,8)
+    ASSERT_TRUE(d.hasBuckets());
+    ASSERT_EQ(d.numBuckets(), 4u);
+    d.sample(-1.0); // underflow
+    d.sample(0.0);  // bucket 0 (half-open low edge included)
+    d.sample(1.99); // bucket 0
+    d.sample(2.0);  // bucket 1
+    d.sample(7.99); // bucket 3
+    d.sample(8.0);  // overflow (high edge excluded)
+    d.sample(50.0); // overflow
+    EXPECT_EQ(d.bucketCount(0), 2u);
+    EXPECT_EQ(d.bucketCount(1), 1u);
+    EXPECT_EQ(d.bucketCount(2), 0u);
+    EXPECT_EQ(d.bucketCount(3), 1u);
+    EXPECT_EQ(d.underflow(), 1u);
+    EXPECT_EQ(d.overflow(), 2u);
+    // Moments still accumulate over every sample.
+    EXPECT_EQ(d.count(), 7u);
+}
+
+TEST(StatsTest, HistogramSurvivesResetAndSerializes)
+{
+    StatGroup stats;
+    Distribution &d = stats.distribution("lat", "hit latency");
+    d.initBuckets(0.0, 10.0, 5);
+    d.sample(3.0);
+    d.sample(-2.0);
+    stats.resetAll();
+    EXPECT_EQ(d.count(), 0u);
+    ASSERT_TRUE(d.hasBuckets()); // layout survives, counts zeroed
+    EXPECT_EQ(d.bucketCount(1), 0u);
+    EXPECT_EQ(d.underflow(), 0u);
+
+    d.sample(5.0);
+    std::ostringstream os;
+    stats.dump(os);
+    EXPECT_NE(os.str().find("lat.hist"), std::string::npos);
+    EXPECT_NE(os.str().find("stddev"), std::string::npos);
+
+    const Json doc = stats.toJson();
+    const Json &buckets =
+        doc.at("distributions").at("lat").at("buckets");
+    EXPECT_DOUBLE_EQ(buckets.at("lo").asDouble(), 0.0);
+    EXPECT_DOUBLE_EQ(buckets.at("hi").asDouble(), 10.0);
+    EXPECT_EQ(buckets.at("counts").at(2).asInt(), 1);
+}
+
+TEST(StatsDeathTest, InitBucketsAfterSamplesPanics)
+{
+    Distribution d;
+    d.sample(1.0);
+    EXPECT_DEATH(d.initBuckets(0.0, 1.0, 2), "initBuckets");
+}
+
+TEST(StatsDeathTest, InitBucketsRejectsDegenerateLayouts)
+{
+    Distribution d;
+    EXPECT_DEATH(d.initBuckets(0.0, 1.0, 0), "zero buckets");
+    Distribution d2;
+    EXPECT_DEATH(d2.initBuckets(5.0, 5.0, 4), "empty range");
+}
+
+// ---- StatGroup name-collision detection ----------------------------
+
+TEST(StatsDeathTest, CrossKindRegistrationPanics)
+{
+    StatGroup stats;
+    stats.counter("x", "a counter");
+    EXPECT_DEATH(stats.distribution("x"), "already registered");
+    StatGroup stats2;
+    stats2.distribution("y");
+    EXPECT_DEATH(stats2.formula("y", [] { return 0.0; }),
+                 "already registered");
+}
+
+TEST(StatsDeathTest, ConflictingDescriptionPanics)
+{
+    StatGroup stats;
+    stats.counter("hits", "cache hits");
+    // Same kind, different non-empty description: a second component
+    // silently sharing the stat would corrupt both reports.
+    EXPECT_DEATH(stats.counter("hits", "something else"),
+                 "different");
+}
+
+TEST(StatsTest, RefetchWithEmptyDescriptionIsAllowed)
+{
+    StatGroup stats;
+    stats.counter("hits", "cache hits") += 2;
+    ++stats.counter("hits"); // plain fetch, no description claim
+    EXPECT_EQ(stats.counterValue("hits"), 3u);
+}
+
+// ---- logging: pluggable sink, capture, cycle timestamps ------------
+
+TEST(LogTest, CaptureSeesWarnAndInform)
+{
+    ScopedLogCapture capture;
+    warn("deprecated knob %s", "x");
+    inform("loaded %d entries", 7);
+    EXPECT_TRUE(capture.contains("deprecated knob x"));
+    EXPECT_TRUE(capture.contains("loaded 7 entries"));
+    ASSERT_EQ(capture.messages().size(), 2u);
+    EXPECT_EQ(capture.messages()[0].rfind("warn:", 0), 0u)
+        << capture.messages()[0];
+    capture.clear();
+    EXPECT_TRUE(capture.messages().empty());
+}
+
+TEST(LogTest, CaptureRestoresPreviousSinkOnDestruction)
+{
+    ScopedLogCapture outer;
+    {
+        ScopedLogCapture inner;
+        warn("inner message");
+        EXPECT_TRUE(inner.contains("inner message"));
+        EXPECT_FALSE(outer.contains("inner message"));
+    }
+    warn("outer message");
+    EXPECT_TRUE(outer.contains("outer message"));
+}
+
+TEST(LogTest, ClockPrefixesMessagesWithTick)
+{
+    ScopedLogCapture capture;
+    {
+        Tick t = 1234;
+        ScopedLogClock clock([&t] { return t; });
+        warn("mid-run condition");
+    }
+    warn("post-run condition");
+    ASSERT_EQ(capture.messages().size(), 2u);
+    EXPECT_NE(capture.messages()[0].find("@1234"), std::string::npos)
+        << capture.messages()[0];
+    EXPECT_EQ(capture.messages()[1].find("@"), std::string::npos)
+        << capture.messages()[1];
+}
+
+TEST(LogTest, QuietLevelSuppressesWarnings)
+{
+    ScopedLogCapture capture;
+    const LogLevel prev = logLevel();
+    setLogLevel(LogLevel::Quiet);
+    warn("should vanish");
+    inform("also vanishes");
+    setLogLevel(prev);
+    EXPECT_TRUE(capture.messages().empty());
+}
+
+TEST(LogTest, SetLogLevelIsThreadSafe)
+{
+    // The old implementation raced on a plain global; this hammers
+    // the accessors from two threads so TSan (CI) can prove the
+    // atomic rewrite. Values are restored afterwards.
+    const LogLevel prev = logLevel();
+    std::thread a([] {
+        for (int i = 0; i < 1000; ++i)
+            setLogLevel(i % 2 ? LogLevel::Quiet : LogLevel::Normal);
+    });
+    std::thread b([] {
+        for (int i = 0; i < 1000; ++i)
+            (void)logLevel();
+    });
+    a.join();
+    b.join();
+    setLogLevel(prev);
+    SUCCEED();
 }

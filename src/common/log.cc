@@ -12,11 +12,16 @@ namespace
 
 std::atomic<LogLevel> gLevel{LogLevel::Normal};
 
-/** Guards the sink and clock pointers and serializes writes, so
- *  interleaved messages from worker threads never shear. */
+/** Guards the sink pointer and serializes writes, so interleaved
+ *  messages from worker threads never shear. */
 std::mutex gLogMutex;
 LogSink *gSink = nullptr;
-std::function<Tick()> *gClock = nullptr;
+
+/** Per-thread cycle clock (empty = no timestamps). Thread-local so
+ *  concurrent simulations each stamp with their own clock and a
+ *  ScopedLogClock unwinding on one thread can never tear down
+ *  another thread's active clock. */
+thread_local std::function<Tick()> tClock;
 
 std::string
 formatMessage(const char *fmt, va_list ap)
@@ -38,14 +43,17 @@ vreport(const char *tag, const char *fmt, va_list ap, bool alwaysStderr)
 {
     std::string msg = formatMessage(fmt, ap);
 
-    std::lock_guard<std::mutex> lock(gLogMutex);
-    if (gClock && *gClock) {
-        const Tick now = (*gClock)();
+    // The clock is thread-local: read it before taking the write
+    // mutex so the (possibly user-supplied) closure runs unlocked.
+    if (tClock) {
+        const Tick now = tClock();
         char stamp[32];
         std::snprintf(stamp, sizeof(stamp), "@%llu ",
                       static_cast<unsigned long long>(now));
         msg.insert(0, stamp);
     }
+
+    std::lock_guard<std::mutex> lock(gLogMutex);
     if (gSink) {
         gSink->write(tag, msg);
         if (!alwaysStderr)
@@ -119,22 +127,14 @@ ScopedLogCapture::clear()
 }
 
 ScopedLogClock::ScopedLogClock(std::function<Tick()> now)
+    : previous(std::move(tClock))
 {
-    auto *clock = new std::function<Tick()>(std::move(now));
-    std::lock_guard<std::mutex> lock(gLogMutex);
-    previous = gClock;
-    gClock = clock;
+    tClock = std::move(now);
 }
 
 ScopedLogClock::~ScopedLogClock()
 {
-    std::function<Tick()> *mine = nullptr;
-    {
-        std::lock_guard<std::mutex> lock(gLogMutex);
-        mine = gClock;
-        gClock = previous;
-    }
-    delete mine;
+    tClock = std::move(previous);
 }
 
 void

@@ -10,10 +10,12 @@
  * Messages route through a pluggable LogSink (stderr by default);
  * tests install a ScopedLogCapture to assert on output instead of
  * letting it hit the terminal. A ScopedLogClock adds simulated-cycle
- * timestamps ("@<tick>") to every message while in scope. The level,
- * sink, and clock are all safe to change from any thread, though
- * messages emitted concurrently with a sink/clock swap may use either
- * the old or the new one.
+ * timestamps ("@<tick>") to messages logged by the installing thread
+ * while in scope; the clock is thread-local, so concurrent
+ * simulations on worker threads each stamp with their own clock and
+ * never see (or tear down) each other's. The level and sink are safe
+ * to change from any thread, though messages emitted concurrently
+ * with a sink swap may use either the old or the new one.
  */
 
 #ifndef KILLI_COMMON_LOG_HH
@@ -101,9 +103,14 @@ class ScopedLogCapture : public LogSink
 };
 
 /**
- * RAII cycle-timestamp provider: while alive, every log message is
- * prefixed with "@<tick> " using @p now (typically a closure over
- * EventQueue::now). Restores the previous clock on destruction.
+ * RAII cycle-timestamp provider: while alive, every log message
+ * emitted by the installing thread is prefixed with "@<tick> " using
+ * @p now (typically a closure over EventQueue::now). The clock is
+ * thread-local — other threads' messages are unaffected — so
+ * concurrently running simulations (e.g. runner workers) can each
+ * hold one without interference. Restores this thread's previous
+ * clock on destruction; must be destroyed on the thread that
+ * created it.
  */
 class ScopedLogClock
 {
@@ -115,7 +122,7 @@ class ScopedLogClock
     ScopedLogClock &operator=(const ScopedLogClock &) = delete;
 
   private:
-    std::function<Tick()> *previous;
+    std::function<Tick()> previous;
 };
 
 /** Print an unconditional error and abort; use for internal bugs. */

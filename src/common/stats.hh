@@ -76,11 +76,14 @@ class Distribution
                 ++underflowCount;
             } else {
                 const double offset = (value - bucketLo) / bucketWidth;
-                const std::size_t idx = std::size_t(offset);
-                if (idx >= bucketCounts.size())
+                // Range-check in double before converting: for values
+                // far above hi (offset beyond size_t) or NaN the
+                // float-to-integer cast itself would be UB. The
+                // negated comparison routes NaN to overflow too.
+                if (!(offset < double(bucketCounts.size())))
                     ++overflowCount;
                 else
-                    ++bucketCounts[idx];
+                    ++bucketCounts[std::size_t(offset)];
             }
         }
     }

@@ -234,7 +234,9 @@ TraceSink::clear()
         ring.buf.clear();
         ring.written = 0;
     }
-    seqCounter.store(0, std::memory_order_relaxed);
+    // seqCounter is deliberately NOT reset: it is only a (tick, seq)
+    // tie-break, and staying monotonic keeps record order unique
+    // across a clear() boundary.
 }
 
 Json

@@ -11,9 +11,13 @@
  *  2. Thread safety without hot-path locks. A TraceSink keeps one
  *     ring buffer per recording thread; record() touches only the
  *     calling thread's ring (registration of a new thread takes the
- *     sink mutex once). This matches the simulator's confinement
- *     contract — one GpuSystem per thread — while staying correct if
- *     a sink is ever shared.
+ *     sink mutex once), so concurrent record() calls from any number
+ *     of threads never contend or race. The snapshot/reset APIs
+ *     (events(), recorded(), dropped(), retained(), clear(), the
+ *     serializers) are NOT synchronized against in-flight record()
+ *     calls: callers must quiesce recording first. The simulator
+ *     honors this — each GpuSystem records from its own thread and
+ *     traces are only read/cleared after the run completes.
  *  3. Bounded memory. Rings wrap: the newest events win, and the
  *     number of overwritten events is reported (dropped()).
  *  4. Standard outputs. Events serialize as JSONL (one object per
@@ -246,6 +250,10 @@ class TraceSink
     void record(Tick tick, TraceCat cat, const char *name,
                 std::initializer_list<TraceArg> args);
 
+    // The accessors below (and the serializers) require recording to
+    // have quiesced: they do not synchronize with in-flight record()
+    // calls (see design note 2 above).
+
     /** Total record() calls, including later-overwritten events. */
     std::uint64_t recorded() const;
     /** Events lost to ring wraparound. */
@@ -256,7 +264,9 @@ class TraceSink
     /** Merged snapshot of every thread's ring, (tick, seq)-ordered. */
     std::vector<TraceEvent> events() const;
 
-    /** Drop all recorded events (rings stay registered). */
+    /** Drop all recorded events (rings stay registered; sequence
+     *  numbers keep increasing so (tick, seq) order stays unique
+     *  across the clear boundary). */
     void clear();
 
     /** Array of TraceEvent::toJson() objects, (tick, seq)-ordered. */

@@ -10,6 +10,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -562,6 +563,21 @@ TEST(StatsTest, HistogramBucketsAndOutOfRangeCounts)
     EXPECT_EQ(d.count(), 7u);
 }
 
+TEST(StatsTest, HistogramHandlesExtremeAndNanSamples)
+{
+    // Values whose bucket offset exceeds size_t (and NaN) must land
+    // in overflow; the naive double->size_t cast would be UB.
+    Distribution d;
+    d.initBuckets(0.0, 8.0, 4);
+    d.sample(1e300);
+    d.sample(std::numeric_limits<double>::infinity());
+    d.sample(std::numeric_limits<double>::quiet_NaN());
+    EXPECT_EQ(d.overflow(), 3u);
+    EXPECT_EQ(d.underflow(), 0u);
+    for (std::size_t k = 0; k < d.numBuckets(); ++k)
+        EXPECT_EQ(d.bucketCount(k), 0u);
+}
+
 TEST(StatsTest, HistogramSurvivesResetAndSerializes)
 {
     StatGroup stats;
@@ -678,6 +694,41 @@ TEST(LogTest, ClockPrefixesMessagesWithTick)
         << capture.messages()[0];
     EXPECT_EQ(capture.messages()[1].find("@"), std::string::npos)
         << capture.messages()[1];
+}
+
+TEST(LogTest, ClockIsPerThread)
+{
+    // Regression test: concurrent simulations (runner --jobs=N) each
+    // install a ScopedLogClock on their own worker thread. The old
+    // process-global clock made overlapping scopes restore/delete
+    // each other's clocks (use-after-free); now each thread stamps
+    // with its own clock and other threads are unaffected.
+    ScopedLogCapture capture;
+    std::thread a([] {
+        ScopedLogClock clock([] { return Tick(111); });
+        for (int i = 0; i < 200; ++i)
+            warn("from thread a");
+    });
+    std::thread b([] {
+        ScopedLogClock clock([] { return Tick(222); });
+        for (int i = 0; i < 200; ++i)
+            warn("from thread b");
+    });
+    a.join();
+    b.join();
+    // The main thread never installed a clock, so it is unstamped.
+    warn("from main");
+
+    const std::vector<std::string> lines = capture.messages();
+    ASSERT_EQ(lines.size(), 401u);
+    for (const std::string &line : lines) {
+        if (line.find("thread a") != std::string::npos)
+            EXPECT_NE(line.find("@111"), std::string::npos) << line;
+        else if (line.find("thread b") != std::string::npos)
+            EXPECT_NE(line.find("@222"), std::string::npos) << line;
+        else
+            EXPECT_EQ(line.find('@'), std::string::npos) << line;
+    }
 }
 
 TEST(LogTest, QuietLevelSuppressesWarnings)

@@ -129,10 +129,19 @@ TEST(TraceSink, ClearDropsEventsButKeepsRecording)
 {
     TraceSink sink(8);
     recordN(sink, 5);
+    const auto before = sink.events();
+    ASSERT_EQ(before.size(), 5u);
+    const std::uint64_t maxSeqBefore = before.back().seq;
+
     sink.clear();
     EXPECT_EQ(sink.retained(), 0u);
     recordN(sink, 3);
     EXPECT_EQ(sink.retained(), 3u);
+
+    // Sequence numbers stay monotonic across clear(): the (tick, seq)
+    // record order remains unique over the whole sink lifetime.
+    for (const TraceEvent &ev : sink.events())
+        EXPECT_GT(ev.seq, maxSeqBefore);
 }
 
 // ---- serialization -------------------------------------------------

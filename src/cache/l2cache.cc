@@ -20,26 +20,36 @@ L2Cache::L2Cache(EventQueue &eq_, DramModel &dram_,
     protection.attach(*this, geometry);
     protection.setTrace(trace);
 
-    statGroup.counter("read_hits", "load hits");
-    statGroup.counter("read_misses", "demand load misses");
-    statGroup.counter("error_misses",
-                      "error-induced misses (detected errors)");
-    statGroup.counter("write_hits", "store hits (updated in place)");
-    statGroup.counter("write_misses", "store misses (no allocate)");
-    statGroup.counter("evictions", "capacity/conflict evictions");
-    statGroup.counter("bypass_fills",
-                      "fills dropped: no allocatable way in set");
-    statGroup.counter("mshr_retries", "accesses replayed on full MSHR");
-    statGroup.counter("prot_invalidations",
-                      "lines dropped by the protection scheme");
-    statGroup.counter("sdc", "silent data corruptions (oracle)");
-    statGroup.counter("soft_errors", "transient upsets injected");
-    statGroup.counter("maintenance", "scrubber passes run");
-    statGroup.counter("writebacks", "dirty lines flushed to memory");
-    statGroup.counter("wb_data_loss",
-                      "dirty write-backs with uncorrectable data");
-    statGroup.counter("dirty_error_loss",
-                      "dirty lines lost to uncorrectable read errors");
+    cReadHits = &statGroup.counter("read_hits", "load hits");
+    cReadMisses = &statGroup.counter("read_misses",
+                                     "demand load misses");
+    cErrorMisses = &statGroup.counter(
+        "error_misses", "error-induced misses (detected errors)");
+    cWriteHits = &statGroup.counter("write_hits",
+                                    "store hits (updated in place)");
+    cWriteMisses = &statGroup.counter("write_misses",
+                                      "store misses (no allocate)");
+    cEvictions = &statGroup.counter("evictions",
+                                    "capacity/conflict evictions");
+    cBypassFills = &statGroup.counter(
+        "bypass_fills", "fills dropped: no allocatable way in set");
+    cMshrRetries = &statGroup.counter(
+        "mshr_retries", "accesses replayed on full MSHR");
+    cProtInvalidations = &statGroup.counter(
+        "prot_invalidations", "lines dropped by the protection scheme");
+    cSdc = &statGroup.counter("sdc",
+                              "silent data corruptions (oracle)");
+    cSoftErrors = &statGroup.counter("soft_errors",
+                                     "transient upsets injected");
+    cMaintenance = &statGroup.counter("maintenance",
+                                      "scrubber passes run");
+    cWritebacks = &statGroup.counter("writebacks",
+                                     "dirty lines flushed to memory");
+    cWbDataLoss = &statGroup.counter(
+        "wb_data_loss", "dirty write-backs with uncorrectable data");
+    cDirtyErrorLoss = &statGroup.counter(
+        "dirty_error_loss",
+        "dirty lines lost to uncorrectable read errors");
 }
 
 void
@@ -56,10 +66,10 @@ L2Cache::writebackIfDirty(std::size_t lineId, Line &line)
     KTRACE(trace, eq.curTick(), TraceCat::L2, "l2.writeback",
            {"line", lineId}, {"clean", wb.clean});
     if (!wb.clean)
-        ++statGroup.counter("wb_data_loss");
+        ++*cWbDataLoss;
     if (wb.extraCost)
         chargeBank(lineAddr, wb.extraCost);
-    ++statGroup.counter("writebacks");
+    ++*cWritebacks;
     dram.access(lineAddr, true, eq.curTick());
 }
 
@@ -82,14 +92,14 @@ L2Cache::sampleUpsets(std::size_t lineId, Line &line)
         faultMap->injectTransient(lineId, bit);
         KTRACE(trace, now, TraceCat::Error, "error.soft_error",
                {"line", lineId}, {"bit", std::uint64_t(bit)});
-        ++statGroup.counter("soft_errors");
+        ++*cSoftErrors;
         if (upsetRng.uniform() < p.softErrorBurstFraction) {
             // Multi-bit event in adjacent cells (Maiz et al.): the
             // case interleaved parity is built for.
             const std::uint16_t neighbour = static_cast<std::uint16_t>(
                 bit + 1 < line.data.size() ? bit + 1 : bit - 1);
             faultMap->injectTransient(lineId, neighbour);
-            ++statGroup.counter("soft_errors");
+            ++*cSoftErrors;
         }
     }
 }
@@ -103,7 +113,7 @@ L2Cache::maybeMaintain()
     if (now - lastMaintenance < p.maintenanceInterval)
         return;
     lastMaintenance = now;
-    ++statGroup.counter("maintenance");
+    ++*cMaintenance;
     protection.onMaintenance();
 }
 
@@ -159,7 +169,7 @@ L2Cache::handleReadTag(Addr lineAddr, RespCb cb)
     if (line)
         sampleUpsets(lineId, *line);
     if (!line) {
-        ++statGroup.counter("read_misses");
+        ++*cReadMisses;
         KTRACE(trace, eq.curTick(), TraceCat::L2, "l2.read_miss",
                {"addr", lineAddr});
         startMiss(lineAddr, std::move(cb), 0);
@@ -168,7 +178,7 @@ L2Cache::handleReadTag(Addr lineAddr, RespCb cb)
 
     const AccessResult res = protection.onReadHit(lineId, line->data);
     if (res.errorInducedMiss) {
-        ++statGroup.counter("error_misses");
+        ++*cErrorMisses;
         KTRACE(trace, eq.curTick(), TraceCat::L2, "l2.error_miss",
                {"line", lineId}, {"addr", lineAddr},
                {"dirty", line->dirty});
@@ -176,7 +186,7 @@ L2Cache::handleReadTag(Addr lineAddr, RespCb cb)
             // Write-back mode: the only copy was uncorrectable. The
             // loss is recorded by the oracle; the refetch proceeds
             // so the simulation remains deterministic.
-            ++statGroup.counter("dirty_error_loss");
+            ++*cDirtyErrorLoss;
             line->dirty = false;
         }
         line->valid = false;
@@ -185,11 +195,11 @@ L2Cache::handleReadTag(Addr lineAddr, RespCb cb)
         return;
     }
 
-    ++statGroup.counter("read_hits");
+    ++*cReadHits;
     KTRACE(trace, eq.curTick(), TraceCat::L2, "l2.read_hit",
            {"line", lineId});
     if (res.sdc) {
-        ++statGroup.counter("sdc");
+        ++*cSdc;
         KTRACE(trace, eq.curTick(), TraceCat::Error, "error.sdc",
                {"line", lineId}, {"addr", lineAddr});
     }
@@ -211,7 +221,7 @@ L2Cache::startMiss(Addr lineAddr, RespCb cb, Cycle extraDelay)
         return;
     }
     if (table.size() >= p.mshrsPerBank) {
-        ++statGroup.counter("mshr_retries");
+        ++*cMshrRetries;
         eq.scheduleIn(p.mshrRetryDelay,
                       [this, lineAddr, cb = std::move(cb),
                        extraDelay]() mutable {
@@ -285,7 +295,7 @@ L2Cache::allocate(Addr lineAddr)
 
         Line &victim = lines[victimId];
         if (victim.valid) {
-            ++statGroup.counter("evictions");
+            ++*cEvictions;
             KTRACE(trace, eq.curTick(), TraceCat::L2, "l2.evict",
                    {"line", victimId});
             const Cycle cost =
@@ -317,7 +327,7 @@ L2Cache::allocate(Addr lineAddr)
     }
 
     // Serve without caching.
-    ++statGroup.counter("bypass_fills");
+    ++*cBypassFills;
     KTRACE(trace, eq.curTick(), TraceCat::L2, "l2.bypass_fill",
            {"addr", lineAddr});
     return npos;
@@ -335,7 +345,7 @@ L2Cache::write(Addr addr)
         Line *line = findLine(lineAddr, lineId);
         if (!line && p.writePolicy == WritePolicy::WriteBack) {
             // Write-allocate: a full-line store installs directly.
-            ++statGroup.counter("write_misses");
+            ++*cWriteMisses;
             const std::size_t allocated = allocate(lineAddr);
             if (allocated == npos) {
                 dram.access(lineAddr, true, eq.curTick());
@@ -347,7 +357,7 @@ L2Cache::write(Addr addr)
             return;
         }
         if (line) {
-            ++statGroup.counter("write_hits");
+            ++*cWriteHits;
             KTRACE(trace, eq.curTick(), TraceCat::L2, "l2.write_hit",
                    {"line", lineId});
             line->version = golden.version(lineAddr);
@@ -360,7 +370,7 @@ L2Cache::write(Addr addr)
                 line->dirty = true;
             protection.onWriteHit(lineId, line->data);
         } else {
-            ++statGroup.counter("write_misses");
+            ++*cWriteMisses;
             KTRACE(trace, eq.curTick(), TraceCat::L2, "l2.write_miss",
                    {"addr", lineAddr});
         }
@@ -386,7 +396,7 @@ L2Cache::invalidateLine(std::size_t lineId)
         chargeBank(lineAddr, cost);
     writebackIfDirty(lineId, line);
     line.valid = false;
-    ++statGroup.counter("prot_invalidations");
+    ++*cProtInvalidations;
     KTRACE(trace, eq.curTick(), TraceCat::L2, "l2.prot_invalidate",
            {"line", lineId});
     protection.onInvalidate(lineId);

@@ -171,6 +171,28 @@ class L2Cache : public L2Backdoor
     std::vector<std::unordered_map<Addr, std::vector<RespCb>>> mshrs;
     std::uint64_t useCounter = 0;
     StatGroup statGroup;
+
+    /**
+     * Interned stat handles (see KilliProtection): per-access bumps
+     * use these instead of StatGroup's by-name map lookup. Addresses
+     * are stable because StatGroup stores counters in a node-based
+     * map.
+     */
+    Counter *cReadHits = nullptr;
+    Counter *cReadMisses = nullptr;
+    Counter *cErrorMisses = nullptr;
+    Counter *cWriteHits = nullptr;
+    Counter *cWriteMisses = nullptr;
+    Counter *cEvictions = nullptr;
+    Counter *cBypassFills = nullptr;
+    Counter *cMshrRetries = nullptr;
+    Counter *cProtInvalidations = nullptr;
+    Counter *cSdc = nullptr;
+    Counter *cSoftErrors = nullptr;
+    Counter *cMaintenance = nullptr;
+    Counter *cWritebacks = nullptr;
+    Counter *cWbDataLoss = nullptr;
+    Counter *cDirtyErrorLoss = nullptr;
 };
 
 } // namespace killi

@@ -125,6 +125,9 @@ class SchemeHarness : public L2Backdoor
             else
                 skip();
             break;
+          case OpKind::Flush:
+            doFlush(op.line);
+            break;
         }
         if (isKilli)
             checkStructure(op.line);
@@ -571,6 +574,68 @@ class SchemeHarness : public L2Backdoor
         }
         resident[lineId] = false;
         scheme->onInvalidate(lineId);
+    }
+
+    /** Host flush: write the dirty copy back, keep the line
+     *  resident. The structural pass afterwards is the §5.6.1
+     *  bookkeeping oracle — a flushed b'00 line must not strand its
+     *  ECC-cache entry. */
+    void
+    doFlush(std::size_t lineId)
+    {
+        if (!resident[lineId] || !dirty[lineId]) {
+            skip();
+            return;
+        }
+        if (!isKilli) {
+            scheme->onWriteback(lineId, stored[lineId]);
+            dirty[lineId] = false;
+            return;
+        }
+
+        const Dfh before = killi->dfhOf(lineId);
+        std::vector<std::size_t> payloadErrs;
+        const OracleProbe probe =
+            killiProbe(lineId, before, true, payloadErrs);
+        const WritebackOutcome wb =
+            scheme->onWriteback(lineId, stored[lineId]);
+        dirty[lineId] = false;
+
+        if (wb.clean != oracleWritebackClean(probe))
+            report(fmt("flush clean=%d, oracle expects %d",
+                       int(wb.clean),
+                       int(oracleWritebackClean(probe))));
+
+        // Expected post-flush DFH mirrors decideDirty: the probe's
+        // verdict over the dirty copy is the line's classification.
+        // An already-disabled line stays disabled.
+        Dfh want = before;
+        if (before != Dfh::Disabled) {
+            switch (probe.eccStatus) {
+              case DecodeStatus::NoError:
+                want = probe.sp == SParity::Ok ? before
+                                               : Dfh::Disabled;
+                break;
+              case DecodeStatus::Corrected:
+              case DecodeStatus::Miscorrected:
+                want = Dfh::Stable1;
+                break;
+              case DecodeStatus::DetectedUncorrectable:
+                want = Dfh::Disabled;
+                break;
+            }
+        }
+        if (killi->dfhOf(lineId) != want)
+            report(fmt("flush transition %s -> %s, oracle says %s",
+                       dfhName(before).c_str(),
+                       dfhName(killi->dfhOf(lineId)).c_str(),
+                       dfhName(want).c_str()));
+
+        if (killi->dfhOf(lineId) == Dfh::Disabled) {
+            // The host cannot keep data in a disabled frame.
+            resident[lineId] = false;
+            scheme->onInvalidate(lineId);
+        }
     }
 
     void

@@ -58,6 +58,8 @@ opKindName(OpKind kind)
         return "scrub";
       case OpKind::Transient:
         return "transient";
+      case OpKind::Flush:
+        return "flush";
     }
     return "?";
 }
@@ -70,7 +72,8 @@ opKindFromName(const std::string &name)
 {
     for (const OpKind k :
          {OpKind::Fill, OpKind::Read, OpKind::Write, OpKind::Evict,
-          OpKind::Touch, OpKind::Scrub, OpKind::Transient}) {
+          OpKind::Touch, OpKind::Scrub, OpKind::Transient,
+          OpKind::Flush}) {
         if (name == opKindName(k))
             return k;
     }

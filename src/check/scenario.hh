@@ -39,7 +39,13 @@ enum class OpKind : std::uint8_t
     Evict,     //!< capacity eviction (train, write back dirty, drop)
     Touch,     //!< MRU promotion (coordinated replacement path)
     Scrub,     //!< maintenance pass reclaiming disabled lines
-    Transient  //!< soft-error flip at (line, bit) until next rewrite
+    Transient, //!< soft-error flip at (line, bit) until next rewrite
+    /** Write a dirty resident line back without dropping it (a host
+     *  cache flush). No-op unless resident and dirty. Not drawn by
+     *  generate() — adding it to the weights would change every
+     *  existing seed's trace — but available to hand-written corpus
+     *  entries exercising the §5.6.1 writeback bookkeeping. */
+    Flush
 };
 
 const char *opKindName(OpKind kind);

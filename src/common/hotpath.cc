@@ -1,0 +1,27 @@
+#include "common/hotpath.hh"
+
+#include <atomic>
+
+namespace killi
+{
+
+namespace
+{
+// Relaxed is enough: benches flip the flag on one thread before
+// spawning sweep workers, and thread creation orders the store.
+std::atomic<bool> referenceMode{false};
+} // namespace
+
+bool
+hotpathReferenceMode()
+{
+    return referenceMode.load(std::memory_order_relaxed);
+}
+
+void
+setHotpathReferenceMode(bool on)
+{
+    referenceMode.store(on, std::memory_order_relaxed);
+}
+
+} // namespace killi

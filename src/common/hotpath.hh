@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Bench/test-only switch between the optimized hot paths and the
+ * reference implementations they replaced.
+ *
+ * The codecs (bit-sliced encode/decode), and the fault map
+ * (geometric skip sampling) keep their original implementations as
+ * `*Reference` entry points so differential tests can pin the two
+ * paths against each other, and so `bench/hotpath` can measure the
+ * end-to-end speedup honestly by running a whole sweep point down
+ * the old path. Objects sample this flag at *construction*, so flip
+ * it before building the system under measurement. Production code
+ * never sets it; the default is always the optimized path.
+ */
+
+#ifndef KILLI_COMMON_HOTPATH_HH
+#define KILLI_COMMON_HOTPATH_HH
+
+namespace killi
+{
+
+/** True when new objects should route through the reference paths. */
+bool hotpathReferenceMode();
+
+/** Flip the construction-time default (bench/tests only). */
+void setHotpathReferenceMode(bool on);
+
+} // namespace killi
+
+#endif // KILLI_COMMON_HOTPATH_HH

@@ -1,8 +1,10 @@
 #include "ecc/bch.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
+#include "common/hotpath.hh"
 #include "common/log.hh"
 
 namespace killi
@@ -80,6 +82,7 @@ Bch::Bch(std::size_t data_bits, unsigned t, bool extended)
         if (r > 63)
             fatal("Bch: generator degree %zu exceeds 63-bit encoder", r);
         gen = std::move(g);
+        buildSlicer();
         return;
     }
     fatal("Bch: no supported field fits k=%zu t=%u", k, t);
@@ -116,7 +119,7 @@ Bch::combinedOf(std::size_t power) const
 }
 
 BitVec
-Bch::encode(const BitVec &data) const
+Bch::encodeReference(const BitVec &data) const
 {
     assert(data.size() == k);
 
@@ -147,6 +150,66 @@ Bch::encode(const BitVec &data) const
     if (hasExtended)
         check.set(r, overall); // make the full codeword even parity
     return check;
+}
+
+void
+Bch::buildSlicer()
+{
+    // checkBits() = r (+1) <= 64, so the sliced image fits one word.
+    useSliced = !hotpathReferenceMode() && checkBits() <= 64;
+    if (!useSliced)
+        return;
+
+    std::uint64_t genLow = 0;
+    for (std::size_t j = 0; j < r; ++j) {
+        if (gen[j])
+            genLow |= std::uint64_t{1} << j;
+    }
+    const std::uint64_t mask = r == 63
+        ? ~std::uint64_t{0} >> 1 : (std::uint64_t{1} << r) - 1;
+
+    // Column d is x^(r+d) mod g(x), stepped up from x^r mod g =
+    // genLow by multiply-by-x with reduction; the extended bit is
+    // the data bit's own parity contribution XOR its remainder's.
+    std::vector<BitVec> columns(k, BitVec(checkBits()));
+    std::uint64_t rem = genLow;
+    for (std::size_t d = 0; d < k; ++d) {
+        std::uint64_t col = rem;
+        if (hasExtended) {
+            col |= std::uint64_t{
+                       1 ^ (unsigned(std::popcount(rem)) & 1)}
+                << r;
+        }
+        columns[d].setWord(0, col);
+        const bool hi = (rem >> (r - 1)) & 1;
+        rem = (rem << 1) & mask;
+        if (hi)
+            rem ^= genLow;
+    }
+    slicer.build(columns);
+}
+
+BitVec
+Bch::encode(const BitVec &data) const
+{
+    if (!useSliced)
+        return encodeReference(data);
+    BitVec check(checkBits());
+    check.setWord(0, slicer.applyWord(data));
+    return check;
+}
+
+void
+Bch::encodeInto(const BitVec &data, BitVec &out) const
+{
+    if (!useSliced) {
+        out = encodeReference(data);
+        return;
+    }
+    assert(data.size() == k);
+    if (out.size() != checkBits())
+        out = BitVec(checkBits());
+    out.setWord(0, slicer.applyWord(data));
 }
 
 Bch::Action

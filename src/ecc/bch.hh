@@ -24,6 +24,7 @@
 #include <memory>
 #include <vector>
 
+#include "ecc/bitslicer.hh"
 #include "ecc/code.hh"
 #include "ecc/gf2m.hh"
 
@@ -58,11 +59,17 @@ class Bch : public BlockCode
     std::size_t bchCheckBits() const { return r; }
 
     BitVec encode(const BitVec &data) const override;
+    void encodeInto(const BitVec &data, BitVec &out) const override;
     DecodeResult decode(BitVec &data, BitVec &check) const override;
     DecodeResult
     probe(const std::vector<std::size_t> &errorPositions) const override;
 
+    /** Bit-serial LFSR encode, kept for differential tests. */
+    BitVec encodeReference(const BitVec &data) const;
+
   private:
+    /** Precompute the byte-sliced encode table (hot path). */
+    void buildSlicer();
     /** What the algebraic decoder would do for a given syndrome set. */
     struct Action
     {
@@ -92,6 +99,10 @@ class Bch : public BlockCode
     std::unique_ptr<GF2m> field;
     /** Generator polynomial coefficients g[0..r] (g[r] == 1). */
     std::vector<std::uint8_t> gen;
+    /** Byte-sliced data -> packed checkbit map. */
+    BitSlicer slicer;
+    /** Route encode() through the sliced path. */
+    bool useSliced = false;
 };
 
 } // namespace killi

@@ -1,0 +1,98 @@
+#include "ecc/bitslicer.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+
+namespace killi
+{
+
+void
+BitSlicer::build(const std::vector<BitVec> &columns)
+{
+    nIn = columns.size();
+    if (nIn == 0)
+        fatal("BitSlicer: empty linear map");
+    nOut = columns.front().size();
+    for (const BitVec &col : columns) {
+        if (col.size() != nOut)
+            fatal("BitSlicer: ragged column widths");
+    }
+    wordsPerEntry = (nOut + 63) / 64;
+    chunks = (nIn + 7) / 8;
+    table.assign(chunks * 256 * wordsPerEntry, 0);
+
+    for (std::size_t c = 0; c < chunks; ++c) {
+        std::uint64_t *t = &table[c * 256 * wordsPerEntry];
+        // Subset-sum fill: the entry for byte value v is the entry
+        // for v with its lowest set bit cleared, XOR that bit's
+        // column. Entry 0 stays all-zero.
+        for (std::size_t v = 1; v < 256; ++v) {
+            const std::size_t b =
+                std::size_t(std::countr_zero(unsigned(v)));
+            const std::size_t d = c * 8 + b;
+            const std::uint64_t *prev =
+                &t[(v ^ (std::size_t{1} << b)) * wordsPerEntry];
+            std::uint64_t *cur = &t[v * wordsPerEntry];
+            for (std::size_t w = 0; w < wordsPerEntry; ++w)
+                cur[w] = prev[w] ^ (d < nIn ? columns[d].word(w) : 0);
+        }
+    }
+}
+
+void
+BitSlicer::apply(const BitVec &data, std::uint64_t *acc) const
+{
+    if (wordsPerEntry == 1) {
+        acc[0] ^= applyWord(data);
+        return;
+    }
+    if (wordsPerEntry == 2) {
+        // Two independent accumulator pairs, same rationale as
+        // applyWord: break the serial XOR chain so the lookups
+        // pipeline.
+        const std::uint64_t *tab = table.data();
+        std::uint64_t a0 = 0, a1 = 0, b0 = 0, b1 = 0;
+        const std::size_t fullWords = chunks / 8;
+        for (std::size_t wi = 0; wi < fullWords; ++wi) {
+            const std::uint64_t w = data.word(wi);
+            const std::uint64_t *t = tab + wi * (8 * 512);
+            const std::uint64_t *e;
+            e = t + (w & 0xff) * 2;
+            a0 ^= e[0]; a1 ^= e[1];
+            e = t + 512 + ((w >> 8) & 0xff) * 2;
+            b0 ^= e[0]; b1 ^= e[1];
+            e = t + 1024 + ((w >> 16) & 0xff) * 2;
+            a0 ^= e[0]; a1 ^= e[1];
+            e = t + 1536 + ((w >> 24) & 0xff) * 2;
+            b0 ^= e[0]; b1 ^= e[1];
+            e = t + 2048 + ((w >> 32) & 0xff) * 2;
+            a0 ^= e[0]; a1 ^= e[1];
+            e = t + 2560 + ((w >> 40) & 0xff) * 2;
+            b0 ^= e[0]; b1 ^= e[1];
+            e = t + 3072 + ((w >> 48) & 0xff) * 2;
+            a0 ^= e[0]; a1 ^= e[1];
+            e = t + 3584 + (w >> 56) * 2;
+            b0 ^= e[0]; b1 ^= e[1];
+        }
+        for (std::size_t c = fullWords * 8; c < chunks; ++c) {
+            const std::uint64_t *e = tab + c * 512 +
+                ((data.word(c >> 3) >> ((c & 7) * 8)) & 0xff) * 2;
+            a0 ^= e[0];
+            a1 ^= e[1];
+        }
+        acc[0] ^= a0 ^ b0;
+        acc[1] ^= a1 ^ b1;
+        return;
+    }
+    const std::uint64_t *t = table.data();
+    for (std::size_t c = 0; c < chunks; ++c, t += 256 * wordsPerEntry) {
+        const std::size_t byte =
+            (data.word(c >> 3) >> ((c & 7) * 8)) & 0xff;
+        const std::uint64_t *e = &t[byte * wordsPerEntry];
+        for (std::size_t w = 0; w < wordsPerEntry; ++w)
+            acc[w] ^= e[w];
+    }
+}
+
+} // namespace killi

@@ -87,6 +87,18 @@ class BlockCode
     virtual BitVec encode(const BitVec &data) const = 0;
 
     /**
+     * encode() into a caller-provided vector, reusing its backing
+     * storage when the width already matches. The hot paths use this
+     * to keep per-access encodes allocation-free; the result is
+     * identical to encode().
+     */
+    virtual void
+    encodeInto(const BitVec &data, BitVec &out) const
+    {
+        out = encode(data);
+    }
+
+    /**
      * Attempt to decode @p data / @p check in place, correcting
      * both payload and checkbit errors when possible.
      */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/hotpath.hh"
 #include "common/log.hh"
 
 namespace killi
@@ -37,6 +38,16 @@ Olsc::Olsc(std::size_t data_bits, unsigned m, unsigned t)
         for (unsigned g = 0; g < 2 * t; ++g)
             masks[g][classOf(g, d)].set(d);
     }
+
+    useSliced = !hotpathReferenceMode();
+    if (useSliced) {
+        std::vector<BitVec> columns(k, BitVec(checkBits()));
+        for (std::size_t d = 0; d < k; ++d) {
+            for (unsigned g = 0; g < 2 * t; ++g)
+                columns[d].set(std::size_t{g} * dim + classOf(g, d));
+        }
+        slicer.build(columns);
+    }
 }
 
 unsigned
@@ -62,7 +73,7 @@ Olsc::name() const
 }
 
 BitVec
-Olsc::encode(const BitVec &data) const
+Olsc::encodeReference(const BitVec &data) const
 {
     BitVec check(checkBits());
     for (unsigned g = 0; g < 2 * tCap; ++g) {
@@ -72,6 +83,35 @@ Olsc::encode(const BitVec &data) const
         }
     }
     return check;
+}
+
+BitVec
+Olsc::encode(const BitVec &data) const
+{
+    if (!useSliced)
+        return encodeReference(data);
+    BitVec check(checkBits());
+    encodeInto(data, check);
+    return check;
+}
+
+void
+Olsc::encodeInto(const BitVec &data, BitVec &out) const
+{
+    if (!useSliced) {
+        out = encodeReference(data);
+        return;
+    }
+    if (out.size() != checkBits())
+        out = BitVec(checkBits());
+    // 2t*m <= (m+1)*m checkbits: 552 for m=23, well under the
+    // 16-word scratch.
+    std::uint64_t acc[16] = {};
+    if (slicer.outWords() > 16)
+        fatal("Olsc: check width exceeds sliced scratch");
+    slicer.apply(data, acc);
+    for (std::size_t w = 0; w < slicer.outWords(); ++w)
+        out.setWord(w, acc[w]);
 }
 
 std::vector<std::size_t>

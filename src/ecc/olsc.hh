@@ -18,6 +18,7 @@
 
 #include <vector>
 
+#include "ecc/bitslicer.hh"
 #include "ecc/code.hh"
 
 namespace killi
@@ -43,9 +44,13 @@ class Olsc : public BlockCode
     std::string name() const override;
 
     BitVec encode(const BitVec &data) const override;
+    void encodeInto(const BitVec &data, BitVec &out) const override;
     DecodeResult decode(BitVec &data, BitVec &check) const override;
     DecodeResult
     probe(const std::vector<std::size_t> &errorPositions) const override;
+
+    /** Per-class dotParity encode, kept for differential tests. */
+    BitVec encodeReference(const BitVec &data) const;
 
   private:
     /** Class of data bit @p d within check group @p g. */
@@ -72,6 +77,10 @@ class Olsc : public BlockCode
 
     /** masks[g][cls]: payload mask of the class, for encode. */
     std::vector<std::vector<BitVec>> masks;
+    /** Byte-sliced data -> packed check-bit map. */
+    BitSlicer slicer;
+    /** Route encode() through the sliced path. */
+    bool useSliced = false;
 };
 
 } // namespace killi

@@ -1,5 +1,6 @@
 #include "ecc/parity.hh"
 
+#include "common/hotpath.hh"
 #include "common/log.hh"
 
 namespace killi
@@ -17,10 +18,18 @@ SegmentedParity::SegmentedParity(std::size_t data_bits,
     masks.assign(segments, BitVec(data_bits));
     for (std::size_t i = 0; i < data_bits; ++i)
         masks[segmentOf(i)].set(i);
+
+    useSliced = !hotpathReferenceMode() && segments <= 64;
+    if (useSliced) {
+        std::vector<BitVec> columns(data_bits, BitVec(segments));
+        for (std::size_t i = 0; i < data_bits; ++i)
+            columns[i].set(segmentOf(i));
+        slicer.build(columns);
+    }
 }
 
 BitVec
-SegmentedParity::encode(const BitVec &data) const
+SegmentedParity::encodeReference(const BitVec &data) const
 {
     BitVec parity(numSegments);
     for (std::size_t s = 0; s < numSegments; ++s)
@@ -28,18 +37,45 @@ SegmentedParity::encode(const BitVec &data) const
     return parity;
 }
 
+BitVec
+SegmentedParity::encode(const BitVec &data) const
+{
+    if (!useSliced)
+        return encodeReference(data);
+    BitVec parity(numSegments);
+    parity.setWord(0, slicer.applyWord(data));
+    return parity;
+}
+
+void
+SegmentedParity::encodeInto(const BitVec &data, BitVec &out) const
+{
+    if (!useSliced) {
+        out = encodeReference(data);
+        return;
+    }
+    if (out.size() != numSegments)
+        out = BitVec(numSegments);
+    out.setWord(0, slicer.applyWord(data));
+}
+
 ParityCheck
 SegmentedParity::check(const BitVec &data, const BitVec &stored) const
 {
     ParityCheck result;
     result.mismatch = BitVec(numSegments);
-    const BitVec computed = encode(data);
-    for (std::size_t s = 0; s < numSegments; ++s) {
-        if (computed.get(s) != stored.get(s)) {
-            result.mismatch.set(s);
-            ++result.mismatchedSegments;
+    if (useSliced) {
+        result.mismatch.setWord(
+            0, slicer.applyWord(data) ^ stored.word(0));
+    } else {
+        const BitVec computed = encodeReference(data);
+        for (std::size_t s = 0; s < numSegments; ++s) {
+            if (computed.get(s) != stored.get(s))
+                result.mismatch.set(s);
         }
     }
+    result.mismatchedSegments =
+        static_cast<unsigned>(result.mismatch.popcount());
     return result;
 }
 
@@ -47,7 +83,18 @@ ParityCheck
 SegmentedParity::probe(const std::vector<std::size_t> &errorPositions) const
 {
     ParityCheck result;
-    result.mismatch = BitVec(numSegments);
+    probeInto(errorPositions, result);
+    return result;
+}
+
+void
+SegmentedParity::probeInto(const std::vector<std::size_t> &errorPositions,
+                           ParityCheck &out) const
+{
+    if (out.mismatch.size() != numSegments)
+        out.mismatch = BitVec(numSegments);
+    else
+        out.mismatch.clear();
     for (const std::size_t pos : errorPositions) {
         std::size_t seg;
         if (pos < numDataBits) {
@@ -58,11 +105,10 @@ SegmentedParity::probe(const std::vector<std::size_t> &errorPositions) const
                 fatal("SegmentedParity::probe: position %zu out of "
                       "codeword", pos);
         }
-        result.mismatch.flip(seg);
+        out.mismatch.flip(seg);
     }
-    result.mismatchedSegments =
-        static_cast<unsigned>(result.mismatch.popcount());
-    return result;
+    out.mismatchedSegments =
+        static_cast<unsigned>(out.mismatch.popcount());
 }
 
 BitVec

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/bitvec.hh"
+#include "ecc/bitslicer.hh"
 
 namespace killi
 {
@@ -78,6 +79,12 @@ class SegmentedParity
     /** Compute the per-segment parity bits for @p data. */
     BitVec encode(const BitVec &data) const;
 
+    /** encode() into @p out, reusing its storage when sized right. */
+    void encodeInto(const BitVec &data, BitVec &out) const;
+
+    /** Per-segment dotParity encode, kept for differential tests. */
+    BitVec encodeReference(const BitVec &data) const;
+
     /** Check stored parity against data. */
     ParityCheck check(const BitVec &data, const BitVec &stored) const;
 
@@ -87,6 +94,10 @@ class SegmentedParity
      */
     ParityCheck
     probe(const std::vector<std::size_t> &errorPositions) const;
+
+    /** probe() into @p out, reusing its mismatch storage. */
+    void probeInto(const std::vector<std::size_t> &errorPositions,
+                   ParityCheck &out) const;
 
     /**
      * Fold the full parity vector down to @p groups bits by XOR-ing
@@ -101,6 +112,10 @@ class SegmentedParity
     bool interleaving;
     /** masks[s]: payload mask of segment s, for dotParity encode. */
     std::vector<BitVec> masks;
+    /** Byte-sliced data -> packed segment parities map. */
+    BitSlicer slicer;
+    /** Route encode()/check() through the sliced path. */
+    bool useSliced = false;
 };
 
 } // namespace killi

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "common/hotpath.hh"
 #include "common/log.hh"
 
 namespace killi
@@ -49,6 +50,24 @@ Secded::Secded(std::size_t data_bits)
                 syndromeMasks[j].set(d);
         }
     }
+
+    // Transpose the encode map for the byte-sliced hot path. The
+    // image of unit vector e_d packs the h syndrome checkbits (the
+    // bits of d's Hamming position) plus the stored overall-parity
+    // bit, which d flips iff 1 ^ parity(dataToHamming[d]): its
+    // data-parity term XOR its syndrome-bit contributions.
+    useSliced = !hotpathReferenceMode() && h + 1 <= 64;
+    if (useSliced) {
+        std::vector<BitVec> columns(k, BitVec(h + 1));
+        for (std::size_t d = 0; d < k; ++d) {
+            const std::uint64_t col = dataToHamming[d] |
+                (std::uint64_t{
+                     1 ^ (unsigned(std::popcount(dataToHamming[d])) & 1)}
+                 << h);
+            columns[d].setWord(0, col);
+        }
+        slicer.build(columns);
+    }
 }
 
 std::string
@@ -59,7 +78,7 @@ Secded::name() const
 }
 
 BitVec
-Secded::encode(const BitVec &data) const
+Secded::encodeReference(const BitVec &data) const
 {
     BitVec check(h + 1);
     bool overall = data.parity();
@@ -71,6 +90,28 @@ Secded::encode(const BitVec &data) const
     // The overall parity bit makes the whole codeword even-parity.
     check.set(h, overall);
     return check;
+}
+
+BitVec
+Secded::encode(const BitVec &data) const
+{
+    if (!useSliced)
+        return encodeReference(data);
+    BitVec check(h + 1);
+    check.setWord(0, slicer.applyWord(data));
+    return check;
+}
+
+void
+Secded::encodeInto(const BitVec &data, BitVec &out) const
+{
+    if (!useSliced) {
+        out = encodeReference(data);
+        return;
+    }
+    if (out.size() != h + 1)
+        out = BitVec(h + 1);
+    out.setWord(0, slicer.applyWord(data));
 }
 
 std::size_t
@@ -110,7 +151,7 @@ Secded::interpret(const RawSyndrome &raw) const
 }
 
 DecodeResult
-Secded::decode(BitVec &data, BitVec &check) const
+Secded::decodeReference(BitVec &data, BitVec &check) const
 {
     if (data.size() != k || check.size() != h + 1)
         fatal("Secded::decode: wrong operand widths");
@@ -127,6 +168,33 @@ Secded::decode(BitVec &data, BitVec &check) const
     overall ^= check.get(h);
     raw.overallMismatch = overall;
 
+    return applyAction(raw, data, check);
+}
+
+DecodeResult
+Secded::decode(BitVec &data, BitVec &check) const
+{
+    if (!useSliced)
+        return decodeReference(data, check);
+    if (data.size() != k || check.size() != h + 1)
+        fatal("Secded::decode: wrong operand widths");
+
+    // diff holds recomputed^stored for all h+1 checkbits at once;
+    // the syndrome is its low h bits, and the overall mismatch is
+    // the parity of the whole diff word (the recomputed overall bit
+    // already folds in the data parity and the h syndrome bits).
+    const std::uint64_t diff = slicer.applyWord(data) ^ check.word(0);
+    RawSyndrome raw;
+    raw.syndrome = std::uint32_t(diff & ((std::uint64_t{1} << h) - 1));
+    raw.overallMismatch = (std::popcount(diff) & 1) != 0;
+
+    return applyAction(raw, data, check);
+}
+
+DecodeResult
+Secded::applyAction(const RawSyndrome &raw, BitVec &data,
+                    BitVec &check) const
+{
     const Action action = interpret(raw);
     DecodeResult result;
     result.syndromeNonZero = raw.syndrome != 0;

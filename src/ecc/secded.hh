@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ecc/bitslicer.hh"
 #include "ecc/code.hh"
 
 namespace killi
@@ -40,9 +41,19 @@ class Secded : public BlockCode
     std::string name() const override;
 
     BitVec encode(const BitVec &data) const override;
+    void encodeInto(const BitVec &data, BitVec &out) const override;
     DecodeResult decode(BitVec &data, BitVec &check) const override;
     DecodeResult
     probe(const std::vector<std::size_t> &errorPositions) const override;
+
+    /**
+     * The original h-pass mask implementations, kept for differential
+     * tests and bench baselines (see common/hotpath.hh). encode() and
+     * decode() dispatch here when the code was constructed in
+     * reference mode; results are identical either way.
+     */
+    BitVec encodeReference(const BitVec &data) const;
+    DecodeResult decodeReference(BitVec &data, BitVec &check) const;
 
   private:
     /**
@@ -66,6 +77,10 @@ class Secded : public BlockCode
 
     Action interpret(const RawSyndrome &raw) const;
 
+    /** Shared decode tail: act on a raw syndrome, build the result. */
+    DecodeResult applyAction(const RawSyndrome &raw, BitVec &data,
+                             BitVec &check) const;
+
     /** Combined index of the data/check bit at Hamming position. */
     std::size_t combinedFromHamming(std::uint32_t pos) const;
 
@@ -73,8 +88,12 @@ class Secded : public BlockCode
     std::size_t h; //!< Hamming checkbits (excluding overall parity)
     std::size_t m; //!< used Hamming positions = k + h
 
-    /** Per-syndrome-bit payload masks for fast encode. */
+    /** Per-syndrome-bit payload masks (reference encode path). */
     std::vector<BitVec> syndromeMasks;
+    /** Byte-sliced data -> packed (syndrome | overall) map. */
+    BitSlicer slicer;
+    /** Route encode()/decode() through the sliced path. */
+    bool useSliced = false;
     /** data index -> Hamming position (1-based, non-power-of-two). */
     std::vector<std::uint32_t> dataToHamming;
     /** Hamming position -> data index, or -1 for check positions. */

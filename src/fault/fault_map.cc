@@ -1,15 +1,88 @@
 #include "fault/fault_map.hh"
 
 #include <algorithm>
+#include <cmath>
 
+#include "common/hotpath.hh"
 #include "common/log.hh"
 
 namespace killi
 {
 
+namespace
+{
+
+/**
+ * Exact inverse-CDF sampler for Geometric(p) gaps (number of clean
+ * cells before the next faulty one).
+ *
+ * The closed form floor(log1p(-u)/log1p(-p)) costs a transcendental
+ * per draw, which dominates fault-map construction when p is large
+ * (mean gap 1/p is short, so gaps are drawn constantly). Instead the
+ * first K gap values get an explicit CDF table, searched from a
+ * 256-bucket direct index on the top bits of u and finished with the
+ * exact boundary compares — bit-identical to inverse-CDF sampling,
+ * no approximation. The tail (u past the table, probability (1-p)^K)
+ * falls back to the closed form; for sparse maps that is the common
+ * case, but then gaps outrun the line and only ~one draw per line
+ * happens at all.
+ */
+class GeometricSampler
+{
+  public:
+    explicit GeometricSampler(double p)
+        : logq(std::log1p(-p))
+    {
+        double qpow = 1.0; // (1-p)^g
+        for (std::size_t g = 0; g < K; ++g) {
+            qpow *= 1.0 - p;
+            cdf[g] = 1.0 - qpow; // P(gap <= g)
+        }
+        for (std::size_t b = 0; b < 256; ++b) {
+            const double lo = double(b) / 256.0;
+            std::size_t g = 0;
+            while (g + 1 < K && cdf[g] <= lo)
+                ++g;
+            startAt[b] = static_cast<std::uint8_t>(g);
+        }
+    }
+
+    /** Draw a gap, clamped to @p remaining. */
+    std::size_t
+    draw(Rng &rng, std::size_t remaining) const
+    {
+        const double u = rng.uniform();
+        if (u < cdf[K - 1]) {
+            std::size_t g = startAt[std::size_t(u * 256.0)];
+            while (u >= cdf[g])
+                ++g;
+            return g < remaining ? g : remaining;
+        }
+        const double g = std::floor(std::log1p(-u) / logq);
+        return g < double(remaining) ? std::size_t(g) : remaining;
+    }
+
+  private:
+    static constexpr std::size_t K = 64;
+    double cdf[K];
+    std::uint8_t startAt[256];
+    double logq;
+};
+
+} // namespace
+
 FaultMap::FaultMap(std::size_t num_lines, std::size_t line_bits,
                    const VoltageModel &model, std::uint64_t seed,
                    double freq_ghz)
+    : FaultMap(num_lines, line_bits, model, seed, freq_ghz,
+               hotpathReferenceMode() ? FaultSampling::PerBit
+                                      : FaultSampling::Skip)
+{
+}
+
+FaultMap::FaultMap(std::size_t num_lines, std::size_t line_bits,
+                   const VoltageModel &model, std::uint64_t seed,
+                   double freq_ghz, FaultSampling sampling)
     : bitsPerLine(line_bits), freqGHz(freq_ghz), vModel(&model)
 {
     if (line_bits > 0xFFFF)
@@ -24,23 +97,66 @@ FaultMap::FaultMap(std::size_t num_lines, std::size_t line_bits,
 
     Rng rng(seed);
     lines.resize(num_lines);
-    for (auto &line : lines) {
-        // Number of potential faults ~ Binomial(line_bits, pMax);
-        // sample per cell only when the line has any (pMax is a few
-        // percent, so most draws are cheap).
-        for (std::size_t bit = 0; bit < line_bits; ++bit) {
-            const double u = rng.uniform();
-            if (u >= pMax)
-                continue;
-            FaultCell cell;
-            cell.bit = static_cast<std::uint16_t>(bit);
-            // Conditional threshold: uniform in [0, pMax). The cell
-            // is active at voltage v iff threshold < pCell(v).
-            cell.threshold = static_cast<float>(u);
-            cell.stuckValue = rng.bernoulli(0.5);
-            cell.kind = rng.bernoulli(pReadShare)
-                ? FaultKind::ReadDisturb : FaultKind::Writeability;
-            line.push_back(cell);
+    if (sampling == FaultSampling::PerBit || pMax >= 1.0) {
+        // Reference sampler (also the degenerate everything-fails
+        // case): one uniform draw per cell, faulty iff u < pMax with
+        // the draw itself as the conditional threshold.
+        for (auto &line : lines) {
+            for (std::size_t bit = 0; bit < line_bits; ++bit) {
+                const double u = rng.uniform();
+                if (u >= pMax)
+                    continue;
+                FaultCell cell;
+                cell.bit = static_cast<std::uint16_t>(bit);
+                cell.threshold = static_cast<float>(u);
+                cell.stuckValue = rng.bernoulli(0.5);
+                cell.kind = rng.bernoulli(pReadShare)
+                    ? FaultKind::ReadDisturb : FaultKind::Writeability;
+                line.push_back(cell);
+            }
+        }
+    } else if (pMax > 0.0) {
+        // Geometric skip sampling: the gap to the next faulty cell
+        // in an iid Bernoulli(pMax) sequence is Geometric(pMax), so
+        // skip whole runs of clean cells and pay one RNG draw per
+        // *fault* (plus one per line to detect "no more"), not one
+        // per bit. Memorylessness makes the per-line truncation
+        // exact: restarting the gap at each line boundary leaves
+        // every cell marginally Bernoulli(pMax). The faulty cell's
+        // threshold is then conditionally uniform in [0, pMax),
+        // matching the reference sampler's u | u<pMax; threshold,
+        // stuck value and fault kind all come from disjoint bits of
+        // one 64-bit draw (43 + 1 + 20 — the threshold is stored as
+        // a float anyway, and 2^-20 granularity on the kind share is
+        // far below any measurable effect). Lines are staged in one
+        // reusable scratch buffer so each line's backing store is a
+        // single exact-sized allocation instead of a growth chain.
+        const GeometricSampler geo(pMax);
+        const std::uint32_t kindCut =
+            static_cast<std::uint32_t>(pReadShare * 1048576.0);
+        std::vector<FaultCell> scratch;
+        scratch.reserve(line_bits);
+        for (auto &line : lines) {
+            scratch.clear();
+            std::size_t bit = 0;
+            while (bit < line_bits) {
+                const std::size_t gap =
+                    geo.draw(rng, line_bits - bit);
+                bit += gap;
+                if (bit >= line_bits)
+                    break;
+                const std::uint64_t r = rng.next64();
+                FaultCell cell;
+                cell.bit = static_cast<std::uint16_t>(bit);
+                cell.threshold = static_cast<float>(
+                    (r >> 21) * 0x1.0p-43 * pMax);
+                cell.stuckValue = (r & 1) != 0;
+                cell.kind = ((r >> 1) & 0xFFFFF) < kindCut
+                    ? FaultKind::ReadDisturb : FaultKind::Writeability;
+                scratch.push_back(cell);
+                ++bit;
+            }
+            line.assign(scratch.begin(), scratch.end());
         }
     }
     active.resize(num_lines);
@@ -54,10 +170,20 @@ FaultMap::setVoltage(double vNorm)
     currentV = vNorm;
     const double p = vModel->pCell(vNorm, freqGHz);
     for (std::size_t i = 0; i < lines.size(); ++i) {
-        active[i].clear();
-        for (const FaultCell &cell : lines[i]) {
+        const std::vector<FaultCell> &src = lines[i];
+        std::vector<FaultCell> &dst = active[i];
+        dst.clear();
+        // Count first so the copy lands in one exact-sized
+        // allocation (a no-op once capacity has been established).
+        std::size_t n = 0;
+        for (const FaultCell &cell : src)
+            n += cell.threshold < p;
+        if (n == 0)
+            continue;
+        dst.reserve(n);
+        for (const FaultCell &cell : src) {
             if (cell.threshold < p)
-                active[i].push_back(cell);
+                dst.push_back(cell);
         }
     }
 }
@@ -67,8 +193,9 @@ FaultMap::countFaults(std::size_t line, std::size_t prefix_bits) const
 {
     unsigned count = 0;
     for (const FaultCell &cell : active[line]) {
-        if (cell.bit < prefix_bits)
-            ++count;
+        if (cell.bit >= prefix_bits)
+            break; // sorted: everything after is out of the prefix
+        ++count;
     }
     return count;
 }
@@ -76,30 +203,38 @@ FaultMap::countFaults(std::size_t line, std::size_t prefix_bits) const
 bool
 FaultMap::isStuck(std::size_t line, std::uint16_t bit) const
 {
-    for (const FaultCell &cell : active[line]) {
-        if (cell.bit == bit)
-            return true;
-    }
-    return false;
+    const std::vector<FaultCell> &cells = active[line];
+    const auto it = std::lower_bound(
+        cells.begin(), cells.end(), bit,
+        [](const FaultCell &c, std::uint16_t b) { return c.bit < b; });
+    return it != cells.end() && it->bit == bit;
 }
 
 std::vector<std::size_t>
 FaultMap::visibleErrors(std::size_t line, const BitVec &value) const
 {
     std::vector<std::size_t> flipped;
+    visibleErrorsInto(line, value, flipped);
+    return flipped;
+}
+
+void
+FaultMap::visibleErrorsInto(std::size_t line, const BitVec &value,
+                            std::vector<std::size_t> &out) const
+{
+    out.clear();
     for (const FaultCell &cell : active[line]) {
         if (cell.bit < value.size() &&
             value.get(cell.bit) != cell.stuckValue) {
-            flipped.push_back(cell.bit);
+            out.push_back(cell.bit);
         }
     }
     // Soft-error upsets flip healthy cells (stuck cells hold their
     // defect-driven value regardless).
     for (const std::uint16_t bit : transientFlips[line]) {
         if (bit < value.size() && !isStuck(line, bit))
-            flipped.push_back(bit);
+            out.push_back(bit);
     }
-    return flipped;
 }
 
 std::vector<std::size_t>
@@ -107,6 +242,16 @@ FaultMap::visibleErrors(std::size_t line, const BitVec &data,
                         const BitVec &meta) const
 {
     std::vector<std::size_t> flipped;
+    visibleErrorsInto(line, data, meta, flipped);
+    return flipped;
+}
+
+void
+FaultMap::visibleErrorsInto(std::size_t line, const BitVec &data,
+                            const BitVec &meta,
+                            std::vector<std::size_t> &out) const
+{
+    out.clear();
     const std::size_t split = data.size();
     for (const FaultCell &cell : active[line]) {
         bool stored;
@@ -117,13 +262,12 @@ FaultMap::visibleErrors(std::size_t line, const BitVec &data,
         else
             continue;
         if (stored != cell.stuckValue)
-            flipped.push_back(cell.bit);
+            out.push_back(cell.bit);
     }
     for (const std::uint16_t bit : transientFlips[line]) {
         if (bit < split + meta.size() && !isStuck(line, bit))
-            flipped.push_back(bit);
+            out.push_back(bit);
     }
-    return flipped;
 }
 
 unsigned
@@ -188,8 +332,17 @@ FaultMap::plantFault(std::size_t line, std::uint16_t bit,
     cell.threshold = -1.0f; // below every pCell: always active
     cell.stuckValue = stuck_value;
     cell.kind = kind;
-    lines[line].push_back(cell);
-    active[line].push_back(cell);
+    // Keep the by-bit sort invariant isStuck()'s binary search needs.
+    const auto insertSorted = [&cell](std::vector<FaultCell> &cells) {
+        const auto it = std::lower_bound(
+            cells.begin(), cells.end(), cell.bit,
+            [](const FaultCell &c, std::uint16_t b) {
+                return c.bit < b;
+            });
+        cells.insert(it, cell);
+    };
+    insertSorted(lines[line]);
+    insertSorted(active[line]);
 }
 
 FaultMap::LineHistogram

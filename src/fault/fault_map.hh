@@ -41,6 +41,17 @@ struct FaultCell
     FaultKind kind;       //!< failing mechanism (for statistics)
 };
 
+/** How the constructor samples the potential-fault population. */
+enum class FaultSampling
+{
+    /** Geometric skip sampling: one draw per *fault*, not per bit. */
+    Skip,
+    /** One uniform draw per bit — the original reference
+     *  implementation, kept for distribution-equivalence tests and
+     *  the hotpath bench (see common/hotpath.hh). */
+    PerBit,
+};
+
 /**
  * Fault map for an array of lines (e.g.\ the 32768 64-byte lines of
  * the 2MB L2). Construction samples the potential-fault population
@@ -58,10 +69,17 @@ class FaultMap
      * @param model voltage model to draw probabilities from
      * @param seed RNG seed (fault maps are die-specific)
      * @param freq_ghz operating frequency for the whole run
+     * @param sampling population sampler; defaults to geometric
+     *                 skip sampling, which costs O(faults) draws
+     *                 per line instead of O(line_bits). When unset,
+     *                 construction follows hotpathReferenceMode().
      */
     FaultMap(std::size_t num_lines, std::size_t line_bits,
              const VoltageModel &model, std::uint64_t seed,
              double freq_ghz = 1.0);
+    FaultMap(std::size_t num_lines, std::size_t line_bits,
+             const VoltageModel &model, std::uint64_t seed,
+             double freq_ghz, FaultSampling sampling);
 
     std::size_t numLines() const { return lines.size(); }
     std::size_t lineBits() const { return bitsPerLine; }
@@ -106,6 +124,17 @@ class FaultMap
     visibleErrors(std::size_t line, const BitVec &data,
                   const BitVec &meta) const;
 
+    /**
+     * visibleErrors() into a caller-owned vector (cleared first), so
+     * per-access probes can reuse one buffer instead of allocating.
+     * Results are identical to the returning overloads.
+     */
+    void visibleErrorsInto(std::size_t line, const BitVec &value,
+                           std::vector<std::size_t> &out) const;
+    void visibleErrorsInto(std::size_t line, const BitVec &data,
+                           const BitVec &meta,
+                           std::vector<std::size_t> &out) const;
+
     /** Apply the overlay in place; returns number of flipped bits. */
     unsigned applyFaults(std::size_t line, BitVec &value) const;
 
@@ -147,7 +176,8 @@ class FaultMap
     LineHistogram histogram(std::size_t prefix_bits) const;
 
   private:
-    /** Is @p bit held by an active persistent fault? */
+    /** Is @p bit held by an active persistent fault? Binary search
+     *  over the sorted active set. */
     bool isStuck(std::size_t line, std::uint16_t bit) const;
 
     std::size_t bitsPerLine;
@@ -155,9 +185,11 @@ class FaultMap
     double currentV = 1.0;
     const VoltageModel *vModel;
 
-    /** Potential faults per line (threshold-annotated, sorted). */
+    /** Potential faults per line, sorted ascending by bit (the
+     *  constructor emits them in order, plantFault inserts in
+     *  order, and setVoltage's filter preserves order). */
     std::vector<std::vector<FaultCell>> lines;
-    /** Active subset per line at currentV. */
+    /** Active subset per line at currentV (same sort invariant). */
     std::vector<std::vector<FaultCell>> active;
     /** Live soft-error flips per line (cleared on rewrite). */
     std::vector<std::vector<std::uint16_t>> transientFlips;

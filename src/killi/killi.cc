@@ -69,28 +69,52 @@ KilliProtection::KilliProtection(FaultMap &fault_map,
     if (params.dectedStable || params.writebackMode)
         strongCode = makeCode(CodeKind::Dected, kDataBits);
 
-    statGroup.counter("reads", "protected read hits");
-    statGroup.counter("corrections", "SECDED corrections applied");
-    statGroup.counter("error_misses", "error-induced misses raised");
-    statGroup.counter("evict_trainings",
-                      "b'01 lines classified at eviction");
-    statGroup.counter("ecc_drops",
-                      "L2 lines dropped by ECC-cache eviction");
-    statGroup.counter("inverted_checks",
-                      "inverted-write fill disclosures (5.6.2)");
-    statGroup.counter("scrub_reclaims",
-                      "disabled lines released by the scrubber");
-    statGroup.counter("t_00_01", "transitions b'00 -> b'01");
-    statGroup.counter("t_00_11", "transitions b'00 -> b'11");
-    statGroup.counter("t_01_00", "transitions b'01 -> b'00");
-    statGroup.counter("t_01_10", "transitions b'01 -> b'10");
-    statGroup.counter("t_01_11", "transitions b'01 -> b'11");
-    statGroup.counter("t_10_00", "transitions b'10 -> b'00");
-    statGroup.counter("t_10_11", "transitions b'10 -> b'11");
-    statGroup
-        .distribution("dfh.training_accesses",
-                      "read hits before a line leaves b'01")
-        .initBuckets(0, 64, 16);
+    cReads = &statGroup.counter("reads", "protected read hits");
+    cCorrections =
+        &statGroup.counter("corrections", "SECDED corrections applied");
+    cErrorMisses =
+        &statGroup.counter("error_misses", "error-induced misses raised");
+    cEvictTrainings = &statGroup.counter(
+        "evict_trainings", "b'01 lines classified at eviction");
+    cEccDrops = &statGroup.counter(
+        "ecc_drops", "L2 lines dropped by ECC-cache eviction");
+    cInvertedChecks = &statGroup.counter(
+        "inverted_checks", "inverted-write fill disclosures (5.6.2)");
+    cScrubReclaims = &statGroup.counter(
+        "scrub_reclaims", "disabled lines released by the scrubber");
+
+    // Every reachable DFH edge gets a registered, interned counter;
+    // noteTransition panics on anything outside this set rather than
+    // letting StatGroup silently auto-create an undocumented name.
+    const auto edge = [this](Dfh from, Dfh to, const char *name,
+                             const char *desc) {
+        transitionCounter[static_cast<std::size_t>(from)]
+                         [static_cast<std::size_t>(to)] =
+            &statGroup.counter(name, desc);
+    };
+    edge(Dfh::Stable0, Dfh::Initial, "t_00_01",
+         "transitions b'00 -> b'01");
+    edge(Dfh::Stable0, Dfh::Stable1, "t_00_10",
+         "transitions b'00 -> b'10 (dirty-line reclassification)");
+    edge(Dfh::Stable0, Dfh::Disabled, "t_00_11",
+         "transitions b'00 -> b'11");
+    edge(Dfh::Initial, Dfh::Stable0, "t_01_00",
+         "transitions b'01 -> b'00");
+    edge(Dfh::Initial, Dfh::Stable1, "t_01_10",
+         "transitions b'01 -> b'10");
+    edge(Dfh::Initial, Dfh::Disabled, "t_01_11",
+         "transitions b'01 -> b'11");
+    edge(Dfh::Stable1, Dfh::Stable0, "t_10_00",
+         "transitions b'10 -> b'00");
+    edge(Dfh::Stable1, Dfh::Disabled, "t_10_11",
+         "transitions b'10 -> b'11");
+    edge(Dfh::Disabled, Dfh::Initial, "t_11_01",
+         "transitions b'11 -> b'01 (scrub reclaim)");
+
+    dTrainingAccesses = &statGroup.distribution(
+        "dfh.training_accesses",
+        "read hits before a line leaves b'01");
+    dTrainingAccesses->initBuckets(0, 64, 16);
 }
 
 std::string
@@ -150,14 +174,17 @@ KilliProtection::addTimeseriesSources(StatTimeseries &ts)
                    : 0.0;
     });
     // Protection-grade mix over time: line counts per DFH state.
-    ts.addSource("dfh_b00",
-                 [this] { return double(dfhHistogram()[0b00]); });
-    ts.addSource("dfh_b01",
-                 [this] { return double(dfhHistogram()[0b01]); });
-    ts.addSource("dfh_b10",
-                 [this] { return double(dfhHistogram()[0b10]); });
-    ts.addSource("dfh_b11",
-                 [this] { return double(dfhHistogram()[0b11]); });
+    // Sources are polled in registration order within a snapshot
+    // (see StatTimeseries::addSource), so the first DFH column
+    // refreshes the O(numLines) histogram and the rest read the
+    // memoized copy instead of rescanning per column.
+    ts.addSource("dfh_b00", [this] {
+        tsHist = dfhHistogram();
+        return double(tsHist[0b00]);
+    });
+    ts.addSource("dfh_b01", [this] { return double(tsHist[0b01]); });
+    ts.addSource("dfh_b10", [this] { return double(tsHist[0b10]); });
+    ts.addSource("dfh_b11", [this] { return double(tsHist[0b11]); });
 }
 
 bool
@@ -206,20 +233,16 @@ KilliProtection::noteTransition(std::size_t lineId, Dfh from, Dfh to,
     KTRACE(trace, tickNow(), TraceCat::Dfh, "dfh.transition",
            {"line", lineId}, {"from", dfhCName(from)},
            {"to", dfhCName(to)}, {"trigger", trigger});
-    if (from == Dfh::Initial) {
-        statGroup.distribution("dfh.training_accesses")
-            .sample(double(trainAccesses[lineId]));
-    }
+    if (from == Dfh::Initial)
+        dTrainingAccesses->sample(double(trainAccesses[lineId]));
     trainAccesses[lineId] = 0;
-    const std::string key = "t_" +
-        std::string(from == Dfh::Stable0 ? "00"
-                    : from == Dfh::Initial ? "01"
-                    : from == Dfh::Stable1 ? "10" : "11") +
-        "_" +
-        std::string(to == Dfh::Stable0 ? "00"
-                    : to == Dfh::Initial ? "01"
-                    : to == Dfh::Stable1 ? "10" : "11");
-    ++statGroup.counter(key);
+    Counter *c = transitionCounter[static_cast<std::size_t>(from)]
+                                  [static_cast<std::size_t>(to)];
+    if (!c) {
+        panic("Killi: unregistered DFH transition %s -> %s (%s)",
+              dfhName(from).c_str(), dfhName(to).c_str(), trigger);
+    }
+    ++*c;
 }
 
 const BlockCode &
@@ -245,15 +268,17 @@ KilliProtection::installMetadata(std::size_t lineId, const BitVec &data,
     if (!entry)
         entry = ecc->allocate(lineId, evictedLine);
     const BlockCode &code = codeFor(forState, dirtyLine[lineId]);
-    entry->check = code.encode(data);
+    code.encodeInto(data, entry->check);
     if (forState == Dfh::Initial) {
         // Fine parities 4..15 overflow into the ECC cache; the 4
-        // folded group parities live in the line itself.
-        const BitVec fine = fineParity.encode(data);
-        BitVec overflow(p.segments - p.groups);
+        // folded group parities live in the line itself. Both the
+        // encode and the overflow vector reuse existing storage.
+        fineParity.encodeInto(data, fineScratch);
+        BitVec &overflow = entry->fineParity;
+        if (overflow.size() != p.segments - p.groups)
+            overflow = BitVec(p.segments - p.groups);
         for (std::size_t s = p.groups; s < p.segments; ++s)
-            overflow.set(s - p.groups, fine.get(s));
-        entry->fineParity = overflow;
+            overflow.set(s - p.groups, fineScratch.get(s));
     } else {
         entry->fineParity = BitVec(0);
     }
@@ -263,7 +288,7 @@ KilliProtection::installMetadata(std::size_t lineId, const BitVec &data,
         // new entry is fully populated — the host callback re-enters
         // this scheme (onEvict/onInvalidate of the dropped line) and
         // must observe a consistent structure.
-        ++statGroup.counter("ecc_drops");
+        ++*cEccDrops;
         host->invalidateLine(evictedLine);
     }
 }
@@ -282,7 +307,7 @@ KilliProtection::onFill(std::size_t lineId, const BitVec &data)
 #endif
 
     dirtyLine[lineId] = false; // fills install clean data
-    folded[lineId] = foldedParity.encode(data);
+    foldedParity.encodeInto(data, folded[lineId]);
     if (d == Dfh::Initial || d == Dfh::Stable1)
         installMetadata(lineId, data, d);
 
@@ -291,7 +316,7 @@ KilliProtection::onFill(std::size_t lineId, const BitVec &data)
         // §5.6.2: write -> read -> write-inverted -> read exposes
         // every stuck cell regardless of the stored polarity. Two
         // extra array operations; classification is then exact.
-        ++statGroup.counter("inverted_checks");
+        ++*cInvertedChecks;
         cost += 2;
         const unsigned faultsSeen =
             faults.countFaults(lineId, kPhysBits);
@@ -320,7 +345,7 @@ void
 KilliProtection::onWriteHit(std::size_t lineId, const BitVec &data)
 {
     KILLI_CHECK_INV(lineId, "onWriteHit");
-    folded[lineId] = foldedParity.encode(data);
+    foldedParity.encodeInto(data, folded[lineId]);
     const Dfh d = state[lineId];
     if (p.writebackMode) {
         // §5.6.1: from this store until eviction the line holds the
@@ -338,9 +363,9 @@ KilliProtection::probeLine(std::size_t lineId, const BitVec &data,
                            Dfh current, bool isDirty) const
 {
     Probes probes;
-    const std::vector<std::size_t> errs =
-        faults.visibleErrors(lineId, data, folded[lineId]);
-    if (errs.empty())
+    faults.visibleErrorsInto(lineId, data, folded[lineId],
+                             errsScratch);
+    if (errsScratch.empty())
         return probes; // the common fault-free fast path
 
     // Split into payload errors and folded-parity-cell errors; the
@@ -350,10 +375,11 @@ KilliProtection::probeLine(std::size_t lineId, const BitVec &data,
     const SegmentedParity &layout =
         current == Dfh::Initial ? fineParity : foldedParity;
     const std::size_t perGroup = p.segments / p.groups;
-    std::vector<std::size_t> parityProbe;
-    std::vector<std::size_t> eccProbe;
-    parityProbe.reserve(errs.size());
-    for (const std::size_t pos : errs) {
+    std::vector<std::size_t> &parityProbe = parityScratch;
+    std::vector<std::size_t> &eccProbe = eccScratch;
+    parityProbe.clear();
+    eccProbe.clear();
+    for (const std::size_t pos : errsScratch) {
         if (pos < kDataBits) {
             parityProbe.push_back(pos);
             eccProbe.push_back(pos);
@@ -367,7 +393,8 @@ KilliProtection::probeLine(std::size_t lineId, const BitVec &data,
             parityProbe.push_back(pos); // group g directly
         }
     }
-    const ParityCheck pc = layout.probe(parityProbe);
+    layout.probeInto(parityProbe, parityCheckScratch);
+    const ParityCheck &pc = parityCheckScratch;
     probes.sp = pc.ok() ? SParity::Ok
         : pc.single() ? SParity::Single : SParity::Multi;
 
@@ -431,7 +458,7 @@ AccessResult
 KilliProtection::onReadHit(std::size_t lineId, const BitVec &data)
 {
     KILLI_CHECK_INV(lineId, "onReadHit");
-    ++statGroup.counter("reads");
+    ++*cReads;
     const Dfh d = state[lineId];
     if (d == Dfh::Disabled)
         panic("Killi: read hit on a disabled line");
@@ -503,7 +530,7 @@ KilliProtection::onReadHit(std::size_t lineId, const BitVec &data)
         res.sdc = probes.dataCorrupt;
         break;
       case DfhAction::CorrectAndSend:
-        ++statGroup.counter("corrections");
+        ++*cCorrections;
         KTRACE(trace, tickNow(), TraceCat::Error, "error.correct",
                {"line", lineId}, {"dfh", dfhCName(dec.next)});
         res.extraLatency += p.correctionLatency;
@@ -512,7 +539,7 @@ KilliProtection::onReadHit(std::size_t lineId, const BitVec &data)
         res.sdc = probes.eccStatus == DecodeStatus::Miscorrected;
         break;
       case DfhAction::ErrorMiss:
-        ++statGroup.counter("error_misses");
+        ++*cErrorMisses;
         KTRACE(trace, tickNow(), TraceCat::Error, "error.detect",
                {"line", lineId}, {"dfh", dfhCName(dec.next)});
         res.errorInducedMiss = true;
@@ -527,8 +554,9 @@ KilliProtection::onWriteback(std::size_t lineId, const BitVec &data)
     WritebackOutcome out;
     if (!p.writebackMode)
         return out;
-    const Probes probes =
-        probeLine(lineId, data, state[lineId], /*isDirty=*/true);
+    KILLI_CHECK_INV(lineId, "onWriteback");
+    const Dfh d = state[lineId];
+    const Probes probes = probeLine(lineId, data, d, /*isDirty=*/true);
     dirtyLine[lineId] = false;
     switch (probes.eccStatus) {
       case DecodeStatus::NoError:
@@ -537,13 +565,33 @@ KilliProtection::onWriteback(std::size_t lineId, const BitVec &data)
       case DecodeStatus::Corrected:
         out.clean = true;
         out.extraCost = p.correctionLatency;
-        ++statGroup.counter("corrections");
+        ++*cCorrections;
         break;
       case DecodeStatus::Miscorrected:
       case DecodeStatus::DetectedUncorrectable:
         out.clean = false;
         break;
     }
+    // §5.6.1: the writeback closes the line's on-demand protection
+    // window, so the probe's verdict must land in the DFH (same
+    // decision table as a dirty read hit) and the ECC-cache entry a
+    // dirty b'00 line acquired at its store must be released — a
+    // live entry on a clean b'00 line is stranded capacity and trips
+    // checkInvariants on the next hook. An uncorrectable dirty
+    // writeback disables the line, mirroring decideDirty: the only
+    // copy is unrecoverable, the host sees !clean and drops it.
+    if (d == Dfh::Disabled) {
+        // A dirty read hit already disabled the line; the dirty copy
+        // kept the entry pinned until now. Stay disabled — a
+        // writeback never resurrects a line — and release the entry.
+        ecc->invalidate(lineId);
+        return out;
+    }
+    const DfhDecision dec = decideDirty(d, probes);
+    noteTransition(lineId, d, dec.next, "writeback");
+    state[lineId] = dec.next;
+    if (dec.next != Dfh::Initial && dec.next != Dfh::Stable1)
+        ecc->invalidate(lineId);
     return out;
 }
 
@@ -556,7 +604,7 @@ KilliProtection::onEvict(std::size_t lineId, const BitVec &data)
 
     // §4.4: read the dying line out once and classify it so the DFH
     // bits (which persist across data blocks) are trained.
-    ++statGroup.counter("evict_trainings");
+    ++*cEvictTrainings;
     const Probes probes = probeLine(lineId, data, Dfh::Initial);
     DfhDecision dec;
     if (p.dectedStable && probes.synNonZero && !probes.gpMismatch) {
@@ -608,9 +656,13 @@ KilliProtection::onMaintenance()
     std::size_t reclaimed = 0;
     for (std::size_t id = 0; id < state.size(); ++id) {
         if (state[id] == Dfh::Disabled) {
+            // Route through noteTransition like every other DFH
+            // edge: per-line dfh.transition trace event, the
+            // registered t_11_01 counter, and the trainAccesses
+            // reset all come with it.
+            noteTransition(id, Dfh::Disabled, Dfh::Initial, "scrub");
             state[id] = Dfh::Initial;
-            trainAccesses[id] = 0;
-            ++statGroup.counter("scrub_reclaims");
+            ++*cScrubReclaims;
             ++reclaimed;
         }
     }

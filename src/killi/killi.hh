@@ -158,6 +158,42 @@ class KilliProtection : public ProtectionScheme
     std::unique_ptr<BlockCode> secded;
     std::unique_ptr<BlockCode> strongCode; //!< DECTED when enabled
 
+    /**
+     * Interned stat handles: per-access bumps go through these
+     * pointers instead of StatGroup's by-name map lookup. StatGroup
+     * stores counters in a node-based map, so the addresses are
+     * stable for the group's lifetime.
+     */
+    Counter *cReads = nullptr;
+    Counter *cCorrections = nullptr;
+    Counter *cErrorMisses = nullptr;
+    Counter *cEvictTrainings = nullptr;
+    Counter *cEccDrops = nullptr;
+    Counter *cInvertedChecks = nullptr;
+    Counter *cScrubReclaims = nullptr;
+    Distribution *dTrainingAccesses = nullptr;
+    /**
+     * [from][to] DFH transition counters (2-bit encodings as
+     * indices). Null marks an edge the state machine cannot take;
+     * noteTransition panics on it instead of silently auto-creating
+     * a counter the way the old string-keyed lookup did.
+     */
+    std::array<std::array<Counter *, 4>, 4> transitionCounter{};
+
+    /**
+     * Hot-path scratch, reused across accesses so probeLine and
+     * installMetadata stay allocation-free in steady state. A scheme
+     * instance is single-threaded (one per sweep job), so plain
+     * mutable members are safe; probeLine never re-enters itself.
+     */
+    mutable std::vector<std::size_t> errsScratch;
+    mutable std::vector<std::size_t> parityScratch;
+    mutable std::vector<std::size_t> eccScratch;
+    mutable ParityCheck parityCheckScratch;
+    mutable BitVec fineScratch;
+    /** dfhHistogram() memoized across one timeseries snapshot. */
+    std::array<std::size_t, 4> tsHist{};
+
     std::unique_ptr<EccCache> ecc;
     std::vector<Dfh> state;
     /** Stored folded parity cells (the 4 LV bits at 512..515). */

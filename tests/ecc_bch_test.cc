@@ -312,3 +312,31 @@ TEST(BchTest, SmallPayloadGeometry)
     EXPECT_EQ(code.decode(data, check).status, DecodeStatus::Corrected);
     EXPECT_EQ(data, golden);
 }
+
+// --- Bit-sliced vs reference differential -----------------------------
+
+TEST(BchTest, SlicedEncodeMatchesLfsrReference)
+{
+    Rng rng(31337);
+    for (const unsigned t : {2u, 3u, 4u}) {
+        for (const std::size_t width : {64u, 128u, 512u}) {
+            const Bch code(width, t, true);
+            for (int iter = 0; iter < 25; ++iter) {
+                BitVec data(width);
+                data.randomize(rng);
+                const BitVec check = code.encode(data);
+                EXPECT_EQ(check, code.encodeReference(data));
+                BitVec into(check.size());
+                code.encodeInto(data, into);
+                EXPECT_EQ(into, check);
+            }
+        }
+    }
+    // Non-extended variant shares the slicer minus the parity bit.
+    const Bch plain(128, 2, false);
+    for (int iter = 0; iter < 25; ++iter) {
+        BitVec data(128);
+        data.randomize(rng);
+        EXPECT_EQ(plain.encode(data), plain.encodeReference(data));
+    }
+}

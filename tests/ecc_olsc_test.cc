@@ -234,3 +234,22 @@ TEST(OlscTest, SmallerWordInstance)
     EXPECT_EQ(code.decode(data, check).status, DecodeStatus::Corrected);
     EXPECT_EQ(data, golden);
 }
+
+// --- Bit-sliced vs reference differential -----------------------------
+
+TEST(OlscTest, SlicedEncodeMatchesReference)
+{
+    Rng rng(90210);
+    for (const unsigned t : {2u, 3u, 11u}) {
+        const Olsc code(512, 23, t);
+        for (int iter = 0; iter < 25; ++iter) {
+            BitVec data(512);
+            data.randomize(rng);
+            const BitVec check = code.encode(data);
+            EXPECT_EQ(check, code.encodeReference(data));
+            BitVec into(check.size());
+            code.encodeInto(data, into);
+            EXPECT_EQ(into, check);
+        }
+    }
+}

@@ -288,3 +288,38 @@ TEST_P(ParitySegmentSweep, EncodeCheckRoundTrip)
 
 INSTANTIATE_TEST_SUITE_P(SegmentCounts, ParitySegmentSweep,
                          ::testing::Values(4, 8, 16, 32, 64));
+
+// --- Bit-sliced vs reference differential -----------------------------
+
+TEST(SegmentedParityTest, SlicedEncodeMatchesReference)
+{
+    Rng rng(7777);
+    for (const bool interleave : {true, false}) {
+        for (const std::size_t segments : {4u, 8u, 16u, 64u}) {
+            const SegmentedParity sp(512, segments, interleave);
+            for (int iter = 0; iter < 40; ++iter) {
+                BitVec data(512);
+                data.randomize(rng);
+                const BitVec parity = sp.encode(data);
+                EXPECT_EQ(parity, sp.encodeReference(data));
+                BitVec into(segments);
+                sp.encodeInto(data, into);
+                EXPECT_EQ(into, parity);
+
+                // check() (the sliced mismatch) against first
+                // principles: mismatch = reference parity XOR stored.
+                BitVec stored = parity;
+                if (rng.bernoulli(0.5))
+                    stored.flip(rng.below(segments));
+                BitVec corrupted = data;
+                for (std::uint64_t f = rng.below(3); f > 0; --f)
+                    corrupted.flip(rng.below(512));
+                const ParityCheck pc = sp.check(corrupted, stored);
+                const BitVec ref = sp.encodeReference(corrupted);
+                for (std::size_t s = 0; s < segments; ++s)
+                    EXPECT_EQ(pc.mismatch.get(s),
+                              ref.get(s) != stored.get(s));
+            }
+        }
+    }
+}

@@ -426,3 +426,106 @@ TEST(WritebackTest, PrecharacterizedWritebackProbe)
     const WritebackOutcome bad = scheme->onWriteback(4, data);
     EXPECT_FALSE(bad.clean); // double error: detect-only
 }
+
+// --- DFH bookkeeping regressions ---------------------------------------
+
+TEST(ScrubberTest, ScrubReclaimIsAFirstClassTransition)
+{
+    // Regression: the scrubber used to mutate state[] directly,
+    // bypassing noteTransition — no t_11_01 counter (the string
+    // lookup silently auto-created an unregistered one) and no
+    // per-line dfh.transition trace event.
+    Rig r;
+    TraceSink sink;
+    r.prot->setTrace(&sink);
+    const BitVec data = r.zeros();
+    r.prot->onFill(2, data);
+    r.prot->onReadHit(2, data);
+    r.faults->injectTransient(2, 64);
+    r.faults->injectTransient(2, 65);
+    r.prot->onReadHit(2, data); // disables
+    ASSERT_EQ(r.prot->dfhOf(2), Dfh::Disabled);
+
+    r.prot->onMaintenance();
+    EXPECT_EQ(r.prot->dfhOf(2), Dfh::Initial);
+    EXPECT_EQ(r.prot->stats().counterValue("scrub_reclaims"), 1u);
+    EXPECT_EQ(r.prot->stats().counterValue("t_11_01"), 1u);
+
+    bool sawScrubTransition = false;
+    for (const TraceEvent &ev : sink.events()) {
+        if (std::string(ev.name) != "dfh.transition")
+            continue;
+        for (unsigned a = 0; a < ev.nargs; ++a) {
+            if (std::string(ev.args[a].key) == "trigger" &&
+                std::string(ev.args[a].s) == "scrub")
+                sawScrubTransition = true;
+        }
+    }
+    EXPECT_TRUE(sawScrubTransition);
+}
+
+TEST(WritebackTest, CleanDirtyWritebackReleasesEccEntry)
+{
+    // Regression: onWriteback cleared the dirty bit but never
+    // released the ECC-cache entry a dirty b'00 line acquired at its
+    // store (§5.6.1) — stranded capacity, and a latent panic under
+    // KILLI_CHECK_INVARIANTS on the next hook.
+    KilliParams kp;
+    kp.writebackMode = true;
+    Rig r(kp);
+    const BitVec data = r.zeros();
+    r.prot->onFill(5, data);
+    r.prot->onReadHit(5, data); // clean training read -> b'00
+    ASSERT_EQ(r.prot->dfhOf(5), Dfh::Stable0);
+    r.prot->onWriteHit(5, data); // dirty: acquires SECDED entry
+    ASSERT_NE(r.prot->eccCache().find(5), nullptr);
+
+    const WritebackOutcome wb = r.prot->onWriteback(5, data);
+    EXPECT_TRUE(wb.clean);
+    EXPECT_EQ(r.prot->dfhOf(5), Dfh::Stable0);
+    EXPECT_EQ(r.prot->eccCache().find(5), nullptr);
+    // The next hook's invariant sweep must pass (panics if the entry
+    // had been stranded, when KILLI_CHECK_INVARIANTS is on).
+    r.prot->onReadHit(5, data);
+}
+
+TEST(WritebackTest, CorrectedDirtyWritebackReclassifiesLine)
+{
+    KilliParams kp;
+    kp.writebackMode = true;
+    Rig r(kp);
+    const BitVec data = r.zeros();
+    r.prot->onFill(6, data);
+    r.prot->onReadHit(6, data); // -> b'00
+    r.prot->onWriteHit(6, data);
+    r.faults->injectTransient(6, 100); // single flip: correctable
+
+    const WritebackOutcome wb = r.prot->onWriteback(6, data);
+    EXPECT_TRUE(wb.clean);
+    EXPECT_EQ(wb.extraCost, kp.correctionLatency);
+    // Mirrors decideDirty: a b'00 line revealing a correctable error
+    // is reclassified b'10.
+    EXPECT_EQ(r.prot->dfhOf(6), Dfh::Stable1);
+    EXPECT_EQ(r.prot->stats().counterValue("t_00_10"), 1u);
+}
+
+TEST(WritebackTest, UncorrectableDirtyWritebackDisablesLine)
+{
+    KilliParams kp;
+    kp.writebackMode = true;
+    Rig r(kp);
+    const BitVec data = r.zeros();
+    r.prot->onFill(7, data);
+    r.prot->onReadHit(7, data); // -> b'00
+    r.prot->onWriteHit(7, data);
+    r.faults->injectTransient(7, 100);
+    r.faults->injectTransient(7, 200); // double flip: uncorrectable
+
+    const WritebackOutcome wb = r.prot->onWriteback(7, data);
+    // The only copy is unrecoverable: the host sees !clean and the
+    // line disables, exactly as decideDirty rules on the read path.
+    EXPECT_FALSE(wb.clean);
+    EXPECT_EQ(r.prot->dfhOf(7), Dfh::Disabled);
+    EXPECT_EQ(r.prot->eccCache().find(7), nullptr);
+    EXPECT_FALSE(r.prot->canAllocate(7));
+}

@@ -262,3 +262,88 @@ TEST(FaultMapTest, CountFaultsRespectsPrefix)
         EXPECT_EQ(fm.countFaults(line, 720), fm.lineFaults(line).size());
     }
 }
+
+// --- Geometric skip sampling -------------------------------------------
+
+TEST(FaultMapTest, SkipSamplingMatchesPerBitDistribution)
+{
+    // The skip sampler replaces one uniform draw per bit with one
+    // draw per fault; the resulting population must stay marginally
+    // Bernoulli(pCell) per cell with conditionally uniform
+    // thresholds. Compare aggregate counts and the per-voltage
+    // activation curve against the per-bit reference over many dies.
+    const VoltageModel model;
+    const std::size_t numLines = 2048, lineBits = 720;
+    std::size_t faultsSkip = 0, faultsRef = 0;
+    std::size_t activeSkip = 0, activeRef = 0;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        FaultMap skip(numLines, lineBits, model, seed, 1.0,
+                      FaultSampling::Skip);
+        FaultMap ref(numLines, lineBits, model, seed ^ 0xabcdef, 1.0,
+                     FaultSampling::PerBit);
+        skip.setVoltage(VoltageModel::minVoltage());
+        ref.setVoltage(VoltageModel::minVoltage());
+        for (std::size_t l = 0; l < numLines; ++l) {
+            faultsSkip += skip.countFaults(l, lineBits);
+            faultsRef += ref.countFaults(l, lineBits);
+        }
+        skip.setVoltage(0.60);
+        ref.setVoltage(0.60);
+        for (std::size_t l = 0; l < numLines; ++l) {
+            activeSkip += skip.countFaults(l, lineBits);
+            activeRef += ref.countFaults(l, lineBits);
+        }
+    }
+    // Populations are in the tens of thousands; 5% agreement is far
+    // beyond any plausible sampler bug while stable across seeds.
+    EXPECT_GT(faultsSkip, 1000u);
+    EXPECT_NEAR(double(faultsSkip), double(faultsRef),
+                0.05 * double(faultsRef));
+    EXPECT_GT(activeSkip, 100u);
+    EXPECT_NEAR(double(activeSkip), double(activeRef),
+                0.10 * double(activeRef));
+}
+
+TEST(FaultMapTest, SampledPopulationIsSortedByBit)
+{
+    const VoltageModel model;
+    for (const FaultSampling mode :
+         {FaultSampling::Skip, FaultSampling::PerBit}) {
+        FaultMap map(512, 720, model, 42, 1.0, mode);
+        map.setVoltage(VoltageModel::minVoltage());
+        for (std::size_t l = 0; l < map.numLines(); ++l) {
+            const auto &cells = map.lineFaults(l);
+            for (std::size_t i = 1; i < cells.size(); ++i)
+                ASSERT_LT(cells[i - 1].bit, cells[i].bit)
+                    << "line " << l;
+        }
+    }
+}
+
+TEST(FaultMapTest, PlantFaultKeepsSortInvariant)
+{
+    const VoltageModel model;
+    FaultMap map(4, 720, model, 7);
+    map.setVoltage(1.0); // planted faults only
+    // Out-of-order plants must land in sorted position (isStuck and
+    // countFaults binary-search / early-exit over the sorted set).
+    map.plantFault(0, 300, true);
+    map.plantFault(0, 10, false);
+    map.plantFault(0, 650, true);
+    map.plantFault(0, 200, false);
+    const auto &cells = map.lineFaults(0);
+    for (std::size_t i = 1; i < cells.size(); ++i)
+        ASSERT_LT(cells[i - 1].bit, cells[i].bit);
+    // visibleErrors consults isStuck for transient suppression: a
+    // transient on a stuck cell must stay suppressed after the
+    // sorted insertions.
+    map.injectTransient(0, 300);
+    BitVec ones(720);
+    for (std::size_t i = 0; i < 720; ++i)
+        ones.set(i);
+    const auto errs = map.visibleErrors(0, ones);
+    // stuck-false cells at 10 and 200 flip stored ones; stuck-true
+    // at 300/650 match; the transient on stuck 300 is suppressed.
+    EXPECT_EQ(errs.size(), 2u);
+    EXPECT_TRUE(map.countFaults(0, 201) == 2u);
+}

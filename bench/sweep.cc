@@ -1,5 +1,6 @@
 #include "bench/sweep.hh"
 
+#include <atomic>
 #include <cctype>
 #include <cstdio>
 #include <filesystem>
@@ -136,6 +137,31 @@ runPoint(const SweepOptions &opt, const std::string &wlName,
         active = prot.get();
     }
     GpuSystem sys(gp, *active, *wl);
+    if (opt.onProgress && opt.statsInterval) {
+        // Stream every periodic snapshot to the observer (the
+        // serving daemon forwards them as client progress frames).
+        // Observation only: the accumulated series and the simulated
+        // events are untouched, so tapped and untapped runs stay
+        // bit-identical.
+        const std::string point =
+            wlName + "/" + (scheme ? scheme->name : "baseline");
+        const auto &cols = sys.timeseries().columnNames();
+        std::size_t instrCol = cols.size();
+        for (std::size_t c = 0; c < cols.size(); ++c) {
+            if (cols[c] == "instructions")
+                instrCol = c;
+        }
+        sys.timeseries().setOnSample(
+            [&opt, point, instrCol](Tick now,
+                                    const std::vector<double> &row) {
+                SweepProgress p;
+                p.point = point;
+                p.tick = now;
+                if (instrCol < row.size())
+                    p.instructions = std::uint64_t(row[instrCol]);
+                opt.onProgress(p);
+            });
+    }
     const RunResult result = sys.run(opt.warmupPasses);
     if (!opt.trace.empty()) {
         const std::string path = opt.traceDir + "/" +
@@ -144,10 +170,11 @@ runPoint(const SweepOptions &opt, const std::string &wlName,
     }
     if (seriesOut && opt.statsInterval)
         *seriesOut = sys.timeseries().toJson();
-    std::fprintf(stderr, "  %-8s %-12s %12llu cycles\n",
-                 wlName.c_str(),
-                 scheme ? scheme->name.c_str() : "baseline",
-                 static_cast<unsigned long long>(result.cycles));
+    // Through the thread-safe logger, not raw stderr: concurrent
+    // sweep points (jobs > 1) must never interleave mid-line.
+    inform("  %-8s %-12s %12llu cycles", wlName.c_str(),
+           scheme ? scheme->name.c_str() : "baseline",
+           static_cast<unsigned long long>(result.cycles));
     return result;
 }
 
@@ -309,9 +336,33 @@ runEvaluationSweep(const SweepOptions &opt)
     if (!opt.trace.empty())
         std::filesystem::create_directories(opt.traceDir);
 
+    // Point-completion progress: wrap each job so the observer sees
+    // a done/total tally maintained across concurrent workers.
+    std::atomic<std::size_t> pointsDone{0};
+    if (opt.onProgress) {
+        const std::size_t total = jobs.size();
+        for (Job &job : jobs) {
+            const auto inner = std::move(job.work);
+            const std::string pointName = job.name;
+            job.work = [&opt, &pointsDone, total, pointName, inner] {
+                inner();
+                SweepProgress p;
+                p.point = pointName;
+                p.pointDone = true;
+                p.pointsDone =
+                    pointsDone.fetch_add(1,
+                                         std::memory_order_relaxed) +
+                    1;
+                p.pointsTotal = total;
+                opt.onProgress(p);
+            };
+        }
+    }
+
     RunnerOptions ropt;
     ropt.jobs = opt.jobs;
     ropt.retries = opt.retries;
+    ropt.cancel = opt.cancel;
     ExperimentRunner runner(ropt);
     out.campaign = runner.run(jobs);
     out.campaign.warnOnFailures();
@@ -328,8 +379,17 @@ runEvaluationSweep(const SweepOptions &opt)
             ++it;
         }
     }
-    if (out.workloads.empty())
+    if (out.workloads.empty()) {
+        // A cancelled campaign legitimately ends with nothing
+        // completed; that is a job outcome for the embedder (the
+        // serving daemon reports "cancelled"), not a config error.
+        if (opt.cancel && opt.cancel->cancelled()) {
+            warn("sweep: campaign cancelled before any baseline "
+                 "point completed");
+            return out;
+        }
         fatal("sweep: no workload completed its baseline point");
+    }
     return out;
 }
 

@@ -19,6 +19,8 @@
 #ifndef KILLI_BENCH_SWEEP_HH
 #define KILLI_BENCH_SWEEP_HH
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -29,6 +31,22 @@
 
 namespace killi
 {
+
+/**
+ * One progress observation from a running campaign: either a
+ * periodic in-point snapshot (statsInterval > 0; tick/instructions
+ * from the point's StatTimeseries tap) or a point-completion event
+ * (pointDone, with the campaign-level done/total counts).
+ */
+struct SweepProgress
+{
+    std::string point;              //!< "workload/scheme"
+    Tick tick = 0;                  //!< simulated tick of the snapshot
+    std::uint64_t instructions = 0; //!< measured-region instructions
+    bool pointDone = false;
+    std::size_t pointsDone = 0;
+    std::size_t pointsTotal = 0;
+};
 
 struct SweepOptions
 {
@@ -58,6 +76,20 @@ struct SweepOptions
     /** Path of the combined stat-timeseries JSON, written when
      *  statsInterval > 0; empty disables. */
     std::string timeseriesPath;
+
+    // -- Not CLI knobs; set programmatically by embedders (kserved).
+
+    /**
+     * Observer for campaign progress; called from worker threads,
+     * possibly concurrently, so it must be thread-safe. Point
+     * completions are always reported; periodic in-point snapshots
+     * additionally flow when statsInterval > 0.
+     */
+    std::function<void(const SweepProgress &)> onProgress;
+    /** Cooperative cancellation (not owned; may be null): once
+     *  cancelled, sweep points that have not started are skipped and
+     *  the campaign report records them as such. */
+    const CancelToken *cancel = nullptr;
 };
 
 /**

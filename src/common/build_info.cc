@@ -1,0 +1,16 @@
+#include "common/build_info.hh"
+
+namespace killi
+{
+
+const char *
+buildId()
+{
+#ifdef KILLI_BUILD_ID
+    return KILLI_BUILD_ID;
+#else
+    return "unknown";
+#endif
+}
+
+} // namespace killi

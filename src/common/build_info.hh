@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Build identity for content-addressed result caching.
+ *
+ * Simulation results are a function of (options, seed, code); the
+ * serving daemon's cache key therefore folds in a build id so an
+ * upgraded binary never serves results computed by an older one.
+ * The id is captured at configure time (`git describe --always
+ * --dirty`); outside a git checkout it degrades to "unknown", which
+ * still keys consistently within one build.
+ */
+
+#ifndef KILLI_COMMON_BUILD_INFO_HH
+#define KILLI_COMMON_BUILD_INFO_HH
+
+namespace killi
+{
+
+/** The git-describe id baked into this build ("unknown" when the
+ *  source tree was not a git checkout at configure time). */
+const char *buildId();
+
+} // namespace killi
+
+#endif // KILLI_COMMON_BUILD_INFO_HH

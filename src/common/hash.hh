@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Self-contained SHA-256 for content addressing (FIPS 180-4).
+ *
+ * The experiment-serving daemon keys its result cache by the digest
+ * of a canonical request encoding (resolved options + seed + build
+ * id); a cryptographic hash makes accidental key collisions
+ * effectively impossible, so a cache hit can be served without
+ * re-deriving anything. No external dependency: the block function
+ * is the textbook 64-round compression, fast enough for the handful
+ * of digests a request costs.
+ */
+
+#ifndef KILLI_COMMON_HASH_HH
+#define KILLI_COMMON_HASH_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace killi
+{
+
+/** Incremental SHA-256; update() any number of times, then digest. */
+class Sha256
+{
+  public:
+    Sha256();
+
+    void update(const void *data, std::size_t len);
+    void update(const std::string &text)
+    {
+        update(text.data(), text.size());
+    }
+
+    /** Finalize and return the 32-byte digest. The object must not
+     *  be updated afterwards (reset() starts a fresh digest). */
+    std::array<std::uint8_t, 32> digest();
+
+    /** Finalize and render the digest as 64 lowercase hex chars. */
+    std::string hexDigest();
+
+    void reset();
+
+  private:
+    void processBlock(const std::uint8_t *block);
+
+    std::array<std::uint32_t, 8> state;
+    std::uint64_t totalBytes = 0;
+    std::array<std::uint8_t, 64> buffer;
+    std::size_t buffered = 0;
+    bool finalized = false;
+};
+
+/** One-shot convenience: lowercase hex SHA-256 of @p text. */
+std::string sha256Hex(const std::string &text);
+
+} // namespace killi
+
+#endif // KILLI_COMMON_HASH_HH

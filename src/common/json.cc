@@ -636,17 +636,33 @@ writeJsonFile(const std::string &path, const Json &doc)
 Json
 readJsonFile(const std::string &path)
 {
+    Json doc;
+    std::string err;
+    if (!tryReadJsonFile(path, doc, &err))
+        fatal("json: %s", err.c_str());
+    return doc;
+}
+
+bool
+tryReadJsonFile(const std::string &path, Json &out, std::string *err)
+{
     std::ifstream in(path);
-    if (!in)
-        fatal("json: cannot open '%s' for reading", path.c_str());
+    if (!in) {
+        if (err)
+            *err = "cannot open '" + path + "' for reading";
+        return false;
+    }
     std::ostringstream buf;
     buf << in.rdbuf();
     Json doc;
-    std::string err;
-    if (!Json::parse(buf.str(), doc, &err))
-        fatal("json: parse of '%s' failed: %s", path.c_str(),
-              err.c_str());
-    return doc;
+    std::string parseErr;
+    if (!Json::parse(buf.str(), doc, &parseErr)) {
+        if (err)
+            *err = "parse of '" + path + "' failed: " + parseErr;
+        return false;
+    }
+    out = std::move(doc);
+    return true;
 }
 
 } // namespace killi

@@ -109,6 +109,15 @@ void writeJsonFile(const std::string &path, const Json &doc);
 /** Read and parse a JSON file; fatal() on I/O or parse failure. */
 Json readJsonFile(const std::string &path);
 
+/**
+ * Non-fatal variant of readJsonFile() for long-lived processes (the
+ * serving daemon must answer a bad file or frame with an error
+ * reply, never exit): returns false and fills @p err on I/O or parse
+ * failure, leaving @p out untouched.
+ */
+bool tryReadJsonFile(const std::string &path, Json &out,
+                     std::string *err = nullptr);
+
 } // namespace killi
 
 #endif // KILLI_COMMON_JSON_HH

@@ -1,5 +1,6 @@
 #include "common/stats.hh"
 
+#include <algorithm>
 #include <iomanip>
 
 #include "common/log.hh"
@@ -22,6 +23,34 @@ Distribution::initBuckets(double lo, double hi, std::size_t nbuckets)
     bucketCounts.assign(nbuckets, 0);
     underflowCount = 0;
     overflowCount = 0;
+}
+
+double
+Distribution::quantile(double p) const
+{
+    if (samples == 0 || bucketCounts.empty())
+        return std::numeric_limits<double>::quiet_NaN();
+    if (p <= 0.0)
+        return std::max(minVal, bucketLo);
+    if (p >= 1.0)
+        return std::min(maxVal, bucketHigh());
+
+    // Rank of the requested quantile among all recorded samples
+    // (underflow + buckets + overflow, in value order).
+    const double rank = p * double(samples);
+    double seen = double(underflowCount);
+    if (rank <= seen)
+        return bucketLo;
+    for (std::size_t k = 0; k < bucketCounts.size(); ++k) {
+        const double inBucket = double(bucketCounts[k]);
+        if (rank <= seen + inBucket) {
+            const double frac =
+                inBucket > 0 ? (rank - seen) / inBucket : 0.0;
+            return bucketLo + bucketWidth * (double(k) + frac);
+        }
+        seen += inBucket;
+    }
+    return bucketHigh(); // the quantile falls in the overflow mass
 }
 
 void

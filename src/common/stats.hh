@@ -115,6 +115,18 @@ class Distribution
     std::uint64_t underflow() const { return underflowCount; }
     std::uint64_t overflow() const { return overflowCount; }
 
+    /**
+     * Approximate p-quantile (p in [0, 1]) reconstructed from the
+     * histogram, with linear interpolation inside the covering
+     * bucket; resolution is the bucket width. Underflow samples are
+     * treated as sitting at bucketLow() and overflow samples at
+     * bucketHigh(), so the estimate is clamped to the configured
+     * range (like the serving daemon's p99 latency, where anything
+     * beyond the top bucket reads as "at least bucketHigh()").
+     * NaN when the distribution is empty or has no buckets.
+     */
+    double quantile(double p) const;
+
     void
     reset()
     {

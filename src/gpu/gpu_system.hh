@@ -138,6 +138,10 @@ class GpuSystem
      *  before run()). */
     const StatTimeseries &timeseries() const { return series; }
 
+    /** Mutable access, for installing a progress tap
+     *  (StatTimeseries::setOnSample) before run(). */
+    StatTimeseries &timeseries() { return series; }
+
     L2Cache &l2() { return *l2Cache; }
     EventQueue &eventQueue() { return eq; }
 

@@ -138,7 +138,8 @@ ExperimentRunner::run(const std::vector<Job> &jobs)
     std::atomic<bool> stop{false};
 
     const auto execute = [&](std::size_t index) {
-        if (stop.load(std::memory_order_relaxed)) {
+        if (stop.load(std::memory_order_relaxed) ||
+            (opt.cancel && opt.cancel->cancelled())) {
             campaign.jobs[index].name = jobs[index].name;
             return; // remains Skipped
         }

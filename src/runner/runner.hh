@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/json.hh"
+#include "runner/thread_pool.hh"
 
 namespace killi
 {
@@ -42,8 +43,19 @@ struct RunnerOptions
     /** Abort the campaign on the first job that exhausts its
      *  retries; queued jobs are recorded as Skipped. */
     bool failFast = false;
-    /** Per-job progress lines on stderr. */
+    /** Per-job progress lines, routed through the thread-safe
+     *  logger (warn/inform) so concurrent workers never interleave
+     *  characters mid-line. */
     bool verbose = true;
+    /**
+     * Optional cooperative cancellation (not owned; may be null).
+     * Once cancelled, jobs that have not started are recorded as
+     * Skipped — in-flight jobs finish normally, mirroring the
+     * serving daemon's drain semantics. The token is polled between
+     * jobs only; a job body wanting finer-grained cancellation can
+     * capture the same token itself.
+     */
+    const CancelToken *cancel = nullptr;
 };
 
 enum class JobOutcome

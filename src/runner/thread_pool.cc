@@ -24,14 +24,17 @@ ThreadPool::~ThreadPool()
         t.join();
 }
 
-void
+bool
 ThreadPool::submit(std::function<void()> task)
 {
     {
         std::unique_lock<std::mutex> lock(mtx);
+        if (drained.load(std::memory_order_relaxed))
+            return false;
         queue.push_back(std::move(task));
     }
     workAvailable.notify_one();
+    return true;
 }
 
 void
@@ -39,6 +42,16 @@ ThreadPool::wait()
 {
     std::unique_lock<std::mutex> lock(mtx);
     allIdle.wait(lock, [this] { return queue.empty() && active == 0; });
+}
+
+void
+ThreadPool::drain()
+{
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        drained.store(true, std::memory_order_relaxed);
+    }
+    wait();
 }
 
 unsigned

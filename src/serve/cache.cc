@@ -1,0 +1,100 @@
+#include "serve/cache.hh"
+
+#include <algorithm>
+
+#include "common/hash.hh"
+#include "common/log.hh"
+
+namespace killi::serve
+{
+
+ResultCache::ResultCache(std::size_t maxEntries)
+    : capacity(std::max<std::size_t>(1, maxEntries))
+{
+}
+
+std::string
+ResultCache::hashKey(const std::string &canonicalKey)
+{
+    return sha256Hex(canonicalKey);
+}
+
+bool
+ResultCache::lookup(const std::string &canonicalKey,
+                    std::string &resultText, std::string *hashOut)
+{
+    const std::string hash = hashKey(canonicalKey);
+    if (hashOut)
+        *hashOut = hash;
+    std::lock_guard<std::mutex> lock(mtx);
+    const auto it = index.find(hash);
+    if (it == index.end()) {
+        ++missCount;
+        return false;
+    }
+    // A 256-bit collision is not a realistic event; a mismatch here
+    // means the canonicalization itself is broken.
+    if (it->second->canonicalKey != canonicalKey) {
+        panic("ResultCache: content-hash collision for key '%s'",
+              canonicalKey.c_str());
+    }
+    lru.splice(lru.begin(), lru, it->second);
+    resultText = it->second->resultText;
+    ++hitCount;
+    return true;
+}
+
+std::string
+ResultCache::insert(const std::string &canonicalKey,
+                    std::string resultText)
+{
+    std::string hash = hashKey(canonicalKey);
+    std::lock_guard<std::mutex> lock(mtx);
+    const auto it = index.find(hash);
+    if (it != index.end()) {
+        // Concurrent submits of the same uncached point both
+        // compute it; results are deterministic, keep the newest.
+        it->second->resultText = std::move(resultText);
+        lru.splice(lru.begin(), lru, it->second);
+        return hash;
+    }
+    lru.push_front(Entry{hash, canonicalKey, std::move(resultText)});
+    index.emplace(hash, lru.begin());
+    ++insertCount;
+    while (lru.size() > capacity) {
+        index.erase(lru.back().hash);
+        lru.pop_back();
+        ++evictCount;
+    }
+    return hash;
+}
+
+ResultCache::Stats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    Stats s;
+    s.hits = hitCount;
+    s.misses = missCount;
+    s.insertions = insertCount;
+    s.evictions = evictCount;
+    s.entries = lru.size();
+    s.maxEntries = capacity;
+    return s;
+}
+
+Json
+ResultCache::Stats::toJson() const
+{
+    Json doc = Json::object();
+    doc.set("hits", Json::number(hits));
+    doc.set("misses", Json::number(misses));
+    doc.set("insertions", Json::number(insertions));
+    doc.set("evictions", Json::number(evictions));
+    doc.set("entries", Json::number(std::uint64_t(entries)));
+    doc.set("max_entries", Json::number(std::uint64_t(maxEntries)));
+    doc.set("hit_rate", Json::number(hitRate()));
+    return doc;
+}
+
+} // namespace killi::serve

@@ -1,0 +1,168 @@
+#include "serve/client/client.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace killi::serve
+{
+
+namespace
+{
+
+void
+fillErr(std::string *err, const std::string &what)
+{
+    if (err)
+        *err = what;
+}
+
+} // namespace
+
+Client::~Client()
+{
+    close();
+}
+
+void
+Client::close()
+{
+    if (sock >= 0) {
+        ::close(sock);
+        sock = -1;
+    }
+}
+
+bool
+Client::connectUnix(const std::string &path, std::string *err)
+{
+    close();
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        fillErr(err, "socket path too long: " + path);
+        return false;
+    }
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    sock = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (sock < 0) {
+        fillErr(err, std::string("socket: ") + std::strerror(errno));
+        return false;
+    }
+    if (::connect(sock, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        fillErr(err,
+                "connect " + path + ": " + std::strerror(errno));
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::connectTcp(std::uint16_t port, std::string *err)
+{
+    close();
+    sock = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (sock < 0) {
+        fillErr(err, std::string("socket: ") + std::strerror(errno));
+        return false;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(sock, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        fillErr(err, "connect 127.0.0.1:" + std::to_string(port) +
+                         ": " + std::strerror(errno));
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::send(const Json &frame, std::string *err)
+{
+    if (sock < 0) {
+        fillErr(err, "not connected");
+        return false;
+    }
+    const std::string bytes = encodeFrame(frame);
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n = ::send(sock, bytes.data() + off,
+                                 bytes.size() - off, MSG_NOSIGNAL);
+        if (n > 0) {
+            off += std::size_t(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        fillErr(err, std::string("send: ") + std::strerror(errno));
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::recv(Json &frame, std::string *err)
+{
+    if (sock < 0) {
+        fillErr(err, "not connected");
+        return false;
+    }
+    char buf[65536];
+    while (true) {
+        switch (decoder.next(frame)) {
+          case FrameDecoder::Status::Frame:
+            return true;
+          case FrameDecoder::Status::Error:
+            fillErr(err, "protocol error: " + decoder.error());
+            return false;
+          case FrameDecoder::Status::NeedMore:
+            break;
+        }
+        const ssize_t n = ::recv(sock, buf, sizeof(buf), 0);
+        if (n > 0) {
+            decoder.feed(buf, std::size_t(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        fillErr(err, n == 0 ? "connection closed"
+                            : std::string("recv: ") +
+                                  std::strerror(errno));
+        return false;
+    }
+}
+
+bool
+Client::submit(const Json &request, Json &terminal,
+               const std::function<void(const Json &)> &onFrame,
+               std::string *err)
+{
+    if (!send(request, err))
+        return false;
+    while (true) {
+        Json frame;
+        if (!recv(frame, err))
+            return false;
+        const std::string &type = frame.at("type").asString();
+        if (type == "result" || type == "error") {
+            terminal = std::move(frame);
+            return true;
+        }
+        if (onFrame)
+            onFrame(frame);
+    }
+}
+
+} // namespace killi::serve

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * kcli: command-line client for kserved.
+ *
+ *     kcli submit [socket=…] [scale=…] [workloads=…] …  run a sweep
+ *     kcli status id=N                                  query a job
+ *     kcli cancel id=N                                  cancel a job
+ *     kcli drain                                        graceful stop
+ *     kcli stats                                        server stats
+ *     kcli ping                                         liveness
+ *
+ * Every command takes socket=PATH (Unix socket, default
+ * kserved.sock) or port=N (TCP on 127.0.0.1). `submit` mirrors the
+ * sweep knobs of the bench binaries and writes the result document
+ * to json= (stdout when empty), so existing tooling
+ * (tools/extract_sweep_results.py, plot scripts) consumes kcli
+ * output unchanged.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "common/options.hh"
+#include "serve/client/client.hh"
+
+using namespace killi;
+using namespace killi::serve;
+
+namespace
+{
+
+void
+declareEndpoint(Options &opts)
+{
+    opts.add("socket", "kserved.sock",
+             "kserved unix socket path (empty switches to TCP)");
+    opts.add<unsigned>("port", 0u,
+                       "kserved TCP port on 127.0.0.1 when socket= "
+                       "is empty")
+        .range(0u, 65535u);
+}
+
+void
+connectTo(const Options &opts, Client &client)
+{
+    const std::string sock = opts.get<std::string>("socket");
+    std::string err;
+    bool ok;
+    if (!sock.empty()) {
+        ok = client.connectUnix(sock, &err);
+    } else {
+        const unsigned port = opts.get<unsigned>("port");
+        if (port == 0)
+            fatal("kcli: socket= is empty and no port= given");
+        ok = client.connectTcp(std::uint16_t(port), &err);
+    }
+    if (!ok)
+        fatal("kcli: %s", err.c_str());
+}
+
+int
+runSubmit(Options &opts)
+{
+    Client client;
+    connectTo(opts, client);
+
+    Json options = Json::object();
+    options.set("scale",
+                Json::number(opts.get<double>("scale")));
+    options.set("warmup",
+                Json::number(std::uint64_t(
+                    opts.get<unsigned>("warmup"))));
+    options.set("voltage",
+                Json::number(opts.get<double>("voltage")));
+    options.set("seed",
+                Json::number(opts.get<std::uint64_t>("seed")));
+    options.set("stats_interval",
+                Json::number(
+                    opts.get<std::uint64_t>("stats-interval")));
+    const std::string workloads =
+        opts.get<std::string>("workloads");
+    if (!workloads.empty())
+        options.set("workloads", Json::string(workloads));
+    const std::string schemes = opts.get<std::string>("schemes");
+    if (!schemes.empty())
+        options.set("schemes", Json::string(schemes));
+
+    Json req = Json::object();
+    req.set("type", Json::string("submit"));
+    req.set("options", std::move(options));
+    req.set("priority",
+            Json::number(opts.get<std::int64_t>("priority")));
+    req.set("stream", Json::boolean(opts.get<bool>("stream")));
+
+    Json terminal;
+    std::string err;
+    const bool ok = client.submit(
+        req, terminal,
+        [](const Json &frame) {
+            const std::string &type = frame.at("type").asString();
+            if (type == "submitted") {
+                inform("submitted id=%llu cached=%s key=%s",
+                       (unsigned long long)frame.at("id").asDouble(),
+                       frame.at("cached").asBool() ? "yes" : "no",
+                       frame.at("key").asString().c_str());
+            } else if (type == "progress") {
+                if (frame.at("point_done").asBool()) {
+                    inform("progress %llu/%llu: %s done",
+                           (unsigned long long)frame.at("done")
+                               .asDouble(),
+                           (unsigned long long)frame.at("total")
+                               .asDouble(),
+                           frame.at("point").asString().c_str());
+                } else {
+                    inform("running %s: tick=%llu insts=%llu",
+                           frame.at("point").asString().c_str(),
+                           (unsigned long long)frame.at("tick")
+                               .asDouble(),
+                           (unsigned long long)frame
+                               .at("instructions")
+                               .asDouble());
+                }
+            }
+        },
+        &err);
+    if (!ok)
+        fatal("kcli: %s", err.c_str());
+
+    if (terminal.at("type").asString() == "error") {
+        warn("kcli: request rejected: %s",
+             terminal.at("error").asString().c_str());
+        return 1;
+    }
+    const std::string &outcome = terminal.at("outcome").asString();
+    if (outcome != "done") {
+        warn("kcli: job %s: %s", outcome.c_str(),
+             terminal.contains("error")
+                 ? terminal.at("error").asString().c_str()
+                 : "");
+        return 1;
+    }
+    const Json &result = terminal.at("result");
+    const std::string jsonPath = opts.get<std::string>("json");
+    if (!jsonPath.empty()) {
+        writeJsonFile(jsonPath, result);
+        inform("wrote %s%s", jsonPath.c_str(),
+               terminal.at("cached").asBool() ? " (cache hit)" : "");
+    } else {
+        result.dump(std::cout, 2);
+        std::cout << "\n";
+    }
+    return 0;
+}
+
+int
+runIdCommand(Options &opts, const std::string &cmd)
+{
+    Client client;
+    connectTo(opts, client);
+    Json req = Json::object();
+    req.set("type", Json::string(cmd));
+    req.set("id", Json::number(opts.get<std::uint64_t>("id")));
+    std::string err;
+    Json reply;
+    if (!client.send(req, &err) || !client.recv(reply, &err))
+        fatal("kcli: %s", err.c_str());
+    if (reply.at("type").asString() == "error") {
+        warn("kcli: %s", reply.at("error").asString().c_str());
+        return 1;
+    }
+    if (cmd == "status") {
+        if (!reply.at("known").asBool()) {
+            inform("job %llu: unknown",
+                   (unsigned long long)reply.at("id").asDouble());
+            return 1;
+        }
+        inform("job %llu: %s",
+               (unsigned long long)reply.at("id").asDouble(),
+               reply.at("state").asString().c_str());
+    } else {
+        inform("job %llu: cancel %s",
+               (unsigned long long)reply.at("id").asDouble(),
+               reply.at("cancelled").asBool() ? "requested"
+                                              : "not possible");
+        if (!reply.at("cancelled").asBool())
+            return 1;
+    }
+    return 0;
+}
+
+int
+runSimple(Options &opts, const std::string &cmd)
+{
+    Client client;
+    connectTo(opts, client);
+    Json req = Json::object();
+    req.set("type", Json::string(cmd));
+    std::string err;
+    Json reply;
+    if (!client.send(req, &err) || !client.recv(reply, &err))
+        fatal("kcli: %s", err.c_str());
+    const std::string &type = reply.at("type").asString();
+    if (type == "error") {
+        warn("kcli: %s", reply.at("error").asString().c_str());
+        return 1;
+    }
+    if (cmd == "stats") {
+        reply.at("stats").dump(std::cout, 2);
+        std::cout << "\n";
+    } else if (cmd == "drain") {
+        inform("kserved: %s", type.c_str());
+    } else {
+        inform("pong (build %s)",
+               reply.at("build").asString().c_str());
+    }
+    return 0;
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: kcli <submit|status|cancel|drain|stats|ping> "
+        "[key=value ...]\n"
+        "       kcli <command> --help   for per-command knobs\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    const std::string cmd = argv[1];
+    if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+        usage();
+        return 0;
+    }
+
+    Options opts("kcli " + cmd,
+                 "kserved client command \"" + cmd + "\"");
+    declareEndpoint(opts);
+    if (cmd == "submit") {
+        opts.add<double>("scale", 1.0, "workload length multiplier")
+            .range(0.001, 1000.0);
+        opts.add<unsigned>("warmup", 2u,
+                           "warmup passes excluded from stats")
+            .range(0u, 16u);
+        opts.add<double>("voltage", 0.625, "normalized L2 supply")
+            .range(0.5, 1.0);
+        opts.add<std::uint64_t>("seed", std::uint64_t{42},
+                                "fault-map die seed");
+        opts.add("workloads", "",
+                 "comma-separated workload subset (default: all)");
+        opts.add("schemes", "",
+                 "comma-separated scheme subset (default: all)");
+        opts.add<std::uint64_t>(
+            "stats-interval", std::uint64_t{0},
+            "cycles between periodic progress snapshots");
+        opts.add<std::int64_t>("priority", std::int64_t{0},
+                               "scheduling priority (higher runs "
+                               "first)")
+            .range(-1000, 1000);
+        opts.add<bool>("stream", true,
+                       "stream progress frames while the job runs");
+        opts.add("json", "",
+                 "result document path (empty prints to stdout)");
+    } else if (cmd == "status" || cmd == "cancel") {
+        opts.add<std::uint64_t>("id", std::uint64_t{0},
+                                "job id from the submitted frame");
+    } else if (cmd != "drain" && cmd != "stats" && cmd != "ping") {
+        usage();
+        return 2;
+    }
+    // Shift past the subcommand so key=value parsing starts after it.
+    opts.parse(argc - 1, argv + 1);
+
+    if (cmd == "submit")
+        return runSubmit(opts);
+    if (cmd == "status" || cmd == "cancel")
+        return runIdCommand(opts, cmd);
+    return runSimple(opts, cmd);
+}

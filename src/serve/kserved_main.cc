@@ -1,0 +1,96 @@
+/**
+ * @file
+ * kserved: long-lived experiment-serving daemon. Listens on a
+ * Unix-domain socket (or a 127.0.0.1 TCP port), schedules sweep
+ * requests on a cancellable priority scheduler, and answers repeated
+ * requests from the content-addressed result cache. SIGINT/SIGTERM
+ * trigger a graceful drain: in-flight sweeps finish, queued ones are
+ * cancelled, every reply is flushed, the socket is unlinked, and the
+ * process exits 0. See SERVING.md for the protocol.
+ */
+
+#include <csignal>
+
+#include "common/build_info.hh"
+#include "common/log.hh"
+#include "common/options.hh"
+#include "serve/server.hh"
+
+using namespace killi;
+using namespace killi::serve;
+
+namespace
+{
+
+Server *gServer = nullptr;
+
+void
+onSignal(int)
+{
+    // requestDrain() is async-signal-safe: an atomic store plus a
+    // write() on the wake pipe.
+    if (gServer)
+        gServer->requestDrain();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts("kserved",
+                 "experiment-serving daemon: schedules sweep "
+                 "requests, streams progress, caches results by "
+                 "content address");
+    auto &sockPath =
+        opts.add("socket", "kserved.sock",
+                 "unix socket path (empty switches to TCP)");
+    auto &port = opts.add<unsigned>(
+        "port", 0u,
+        "TCP port on 127.0.0.1 when socket= is empty (0 = "
+        "ephemeral, printed at startup)");
+    port.range(0u, 65535u);
+    auto &threads =
+        opts.add<unsigned>("threads", 0u,
+                           "scheduler worker threads (0 = all "
+                           "hardware threads)")
+            .range(0u, 1024u);
+    auto &maxQueue =
+        opts.add<unsigned>("max-queue", 64u,
+                           "ready-queue bound; submits beyond it "
+                           "are rejected with queue_full")
+            .range(1u, 65536u);
+    auto &cacheEntries =
+        opts.add<unsigned>("cache-entries", 1024u,
+                           "result-cache capacity (LRU evicted)")
+            .range(1u, 1u << 20);
+    opts.parse(argc, argv);
+
+    ServerOptions sopt;
+    sopt.socketPath = sockPath.value();
+    sopt.port = std::uint16_t(port.value());
+    sopt.threads = threads;
+    sopt.maxQueue = maxQueue;
+    sopt.cacheEntries = cacheEntries;
+
+    Server server(sopt);
+    std::string err;
+    if (!server.start(&err))
+        fatal("kserved: %s", err.c_str());
+
+    gServer = &server;
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    if (!sopt.socketPath.empty()) {
+        inform("kserved %s: listening on %s", buildId(),
+               sopt.socketPath.c_str());
+    } else {
+        inform("kserved %s: listening on 127.0.0.1:%u", buildId(),
+               unsigned(server.boundPort()));
+    }
+
+    server.waitDone();
+    inform("kserved: drained, exiting");
+    return 0;
+}

@@ -1,0 +1,88 @@
+#include "serve/protocol.hh"
+
+namespace killi::serve
+{
+
+std::string
+encodeFramePayload(const std::string &payload)
+{
+    std::string out;
+    out.reserve(4 + payload.size());
+    const std::uint32_t len = std::uint32_t(payload.size());
+    out.push_back(char(len >> 24));
+    out.push_back(char(len >> 16));
+    out.push_back(char(len >> 8));
+    out.push_back(char(len));
+    out += payload;
+    return out;
+}
+
+std::string
+encodeFrame(const Json &doc)
+{
+    return encodeFramePayload(doc.toString(0));
+}
+
+void
+FrameDecoder::feed(const void *data, std::size_t len)
+{
+    if (failed())
+        return; // stream already dead; don't grow the buffer
+    buf.append(static_cast<const char *>(data), len);
+}
+
+FrameDecoder::Status
+FrameDecoder::fail(std::string what)
+{
+    if (err.empty())
+        err = std::move(what);
+    buf.clear();
+    return Status::Error;
+}
+
+FrameDecoder::Status
+FrameDecoder::next(Json &out)
+{
+    if (failed())
+        return Status::Error;
+    if (buf.size() < 4)
+        return Status::NeedMore;
+    const auto b = [this](std::size_t i) {
+        return std::uint32_t(std::uint8_t(buf[i]));
+    };
+    const std::uint32_t len =
+        b(0) << 24 | b(1) << 16 | b(2) << 8 | b(3);
+    if (len > kMaxFrameBytes) {
+        return fail("frame length " + std::to_string(len) +
+                    " exceeds limit " +
+                    std::to_string(kMaxFrameBytes));
+    }
+    if (buf.size() < 4 + std::size_t(len))
+        return Status::NeedMore;
+    const std::string payload = buf.substr(4, len);
+    std::string parseErr;
+    Json doc;
+    if (!Json::parse(payload, doc, &parseErr))
+        return fail("malformed frame payload: " + parseErr);
+    if (doc.kind() != Json::Kind::Object ||
+        !doc.contains("type") ||
+        doc.at("type").kind() != Json::Kind::String) {
+        return fail("frame payload is not an object with a string "
+                    "\"type\" member");
+    }
+    buf.erase(0, 4 + std::size_t(len));
+    out = std::move(doc);
+    return Status::Frame;
+}
+
+Json
+errorReply(const std::string &code, const std::string &message)
+{
+    Json doc = Json::object();
+    doc.set("type", Json::string("error"));
+    doc.set("code", Json::string(code));
+    doc.set("error", Json::string(message));
+    return doc;
+}
+
+} // namespace killi::serve

@@ -1,0 +1,901 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "bench/sweep.hh"
+#include "common/build_info.hh"
+#include "common/log.hh"
+#include "gpu/workload.hh"
+
+namespace killi::serve
+{
+
+namespace
+{
+
+std::vector<std::string>
+splitList(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(list);
+    std::string token;
+    while (std::getline(ss, token, ','))
+        if (!token.empty())
+            out.push_back(token);
+    return out;
+}
+
+long long
+steadyMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+bool
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 &&
+           ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/** Extract a numeric member constrained to [lo, hi]. */
+bool
+numberIn(const Json &value, const char *key, double lo, double hi,
+         double &out, std::string &err)
+{
+    if (!value.isNumber()) {
+        err = std::string("\"") + key + "\" must be a number";
+        return false;
+    }
+    const double d = value.asDouble();
+    if (!(d >= lo && d <= hi)) {
+        std::ostringstream os;
+        os << "\"" << key << "\" must be in [" << lo << ", " << hi
+           << "]";
+        err = os.str();
+        return false;
+    }
+    out = d;
+    return true;
+}
+
+/** Extract a non-negative integral member bounded by @p hi. */
+bool
+uintIn(const Json &value, const char *key, std::uint64_t hi,
+       std::uint64_t &out, std::string &err)
+{
+    if (!value.isNumber()) {
+        err = std::string("\"") + key + "\" must be a number";
+        return false;
+    }
+    const double d = value.asDouble();
+    if (!(d >= 0) || d != std::floor(d) || d > double(hi)) {
+        std::ostringstream os;
+        os << "\"" << key << "\" must be an integer in [0, " << hi
+           << "]";
+        err = os.str();
+        return false;
+    }
+    out = std::uint64_t(d);
+    return true;
+}
+
+/** Accept either a comma-separated string or an array of strings. */
+bool
+nameList(const Json &value, const char *key,
+         std::vector<std::string> &out, std::string &err)
+{
+    if (value.kind() == Json::Kind::String) {
+        out = splitList(value.asString());
+        return true;
+    }
+    if (value.kind() == Json::Kind::Array) {
+        out.clear();
+        for (std::size_t i = 0; i < value.size(); ++i) {
+            if (value.at(i).kind() != Json::Kind::String) {
+                err = std::string("\"") + key +
+                      "\" array members must be strings";
+                return false;
+            }
+            out.push_back(value.at(i).asString());
+        }
+        return true;
+    }
+    err = std::string("\"") + key +
+          "\" must be a comma-separated string or an array of "
+          "strings";
+    return false;
+}
+
+bool
+validateNames(const std::vector<std::string> &got,
+              const std::vector<std::string> &known, const char *what,
+              std::string &err)
+{
+    for (const std::string &name : got) {
+        if (std::find(known.begin(), known.end(), name) ==
+            known.end()) {
+            std::string all;
+            for (const std::string &k : known)
+                all += (all.empty() ? "" : ", ") + k;
+            err = std::string("unknown ") + what + " '" + name +
+                  "' (known: " + all + ")";
+            return false;
+        }
+    }
+    return true;
+}
+
+/** A validated submit request. */
+struct SubmitRequest
+{
+    SweepOptions sopt;
+    int priority = 0;
+    bool stream = true;
+};
+
+/**
+ * Validate and resolve a submit frame. Strict like the Options CLI
+ * layer — unknown keys, bad types, and out-of-range values are all
+ * rejected — but via error returns, never fatal(): the daemon must
+ * answer a bad request with an error frame and keep serving. Ranges
+ * mirror declareSweepOptions(). Workload/scheme subsets are resolved
+ * to explicit full lists so that "all by default" and "all by name"
+ * canonicalize (and cache) identically.
+ */
+bool
+parseSubmit(const Json &req, SubmitRequest &out, std::string &err)
+{
+    out.sopt = SweepOptions{};
+    out.sopt.warmupPasses = 2;
+    for (const auto &[key, value] : req.members()) {
+        if (key == "type")
+            continue;
+        if (key == "priority") {
+            double d = 0;
+            if (!numberIn(value, "priority", -1000, 1000, d, err))
+                return false;
+            out.priority = int(d);
+        } else if (key == "stream") {
+            if (value.kind() != Json::Kind::Bool) {
+                err = "\"stream\" must be a boolean";
+                return false;
+            }
+            out.stream = value.asBool();
+        } else if (key == "options") {
+            if (value.kind() != Json::Kind::Object) {
+                err = "\"options\" must be an object";
+                return false;
+            }
+            for (const auto &[opt, v] : value.members()) {
+                std::uint64_t u = 0;
+                if (opt == "scale") {
+                    if (!numberIn(v, "scale", 0.001, 1000.0,
+                                  out.sopt.scale, err))
+                        return false;
+                } else if (opt == "warmup") {
+                    if (!uintIn(v, "warmup", 16, u, err))
+                        return false;
+                    out.sopt.warmupPasses = unsigned(u);
+                } else if (opt == "voltage") {
+                    if (!numberIn(v, "voltage", 0.5, 1.0,
+                                  out.sopt.voltage, err))
+                        return false;
+                } else if (opt == "seed") {
+                    if (!uintIn(v, "seed",
+                                std::uint64_t(1) << 53, u, err))
+                        return false;
+                    out.sopt.seed = u;
+                } else if (opt == "stats_interval") {
+                    if (!uintIn(v, "stats_interval",
+                                std::uint64_t(1) << 53, u, err))
+                        return false;
+                    out.sopt.statsInterval = Cycle(u);
+                } else if (opt == "retries") {
+                    if (!uintIn(v, "retries", 10, u, err))
+                        return false;
+                    out.sopt.retries = unsigned(u);
+                } else if (opt == "workloads") {
+                    if (!nameList(v, "workloads",
+                                  out.sopt.workloads, err))
+                        return false;
+                } else if (opt == "schemes") {
+                    if (!nameList(v, "schemes", out.sopt.schemes,
+                                  err))
+                        return false;
+                } else {
+                    err = "unknown option \"" + opt + "\"";
+                    return false;
+                }
+            }
+        } else {
+            err = "unknown submit member \"" + key + "\"";
+            return false;
+        }
+    }
+
+    // runEvaluationSweep() fatal()s on unknown names — validate
+    // up-front so a typo comes back as an error frame instead of
+    // taking the daemon down.
+    if (!validateNames(out.sopt.workloads, workloadNames(),
+                       "workload", err))
+        return false;
+    if (!validateNames(out.sopt.schemes, sweepSchemeNames(), "scheme",
+                       err))
+        return false;
+    if (out.sopt.workloads.empty())
+        out.sopt.workloads = workloadNames();
+    if (out.sopt.schemes.empty())
+        out.sopt.schemes = sweepSchemeNames();
+
+    // Fixed server-side execution policy: one worker per job, no
+    // file side effects (results travel on the wire, not to disk).
+    out.sopt.jobs = 1;
+    out.sopt.jsonPath.clear();
+    out.sopt.trace.clear();
+    out.sopt.timeseriesPath.clear();
+    return true;
+}
+
+Json
+stringArray(const std::vector<std::string> &names)
+{
+    Json arr = Json::array();
+    for (const std::string &name : names)
+        arr.push(Json::string(name));
+    return arr;
+}
+
+/**
+ * The canonical cache key: compact JSON of every result-affecting
+ * knob (the bit-identity contract says jobs/priority/streaming do
+ * not belong here) plus the build id, so results never survive a
+ * rebuild. See SERVING.md, "Cache key".
+ */
+std::string
+canonicalKeyFor(const SweepOptions &sopt)
+{
+    Json key = Json::object();
+    key.set("experiment", Json::string("sweep"));
+    key.set("scale", Json::number(sopt.scale));
+    key.set("warmup", Json::number(std::uint64_t(sopt.warmupPasses)));
+    key.set("voltage", Json::number(sopt.voltage));
+    key.set("seed", Json::number(sopt.seed));
+    key.set("stats_interval",
+            Json::number(std::uint64_t(sopt.statsInterval)));
+    key.set("workloads", stringArray(sopt.workloads));
+    key.set("schemes", stringArray(sopt.schemes));
+    key.set("build", Json::string(buildId()));
+    return key.toString(0);
+}
+
+Json
+resolvedOptionsJson(const SweepOptions &sopt)
+{
+    Json doc = Json::object();
+    doc.set("scale", Json::number(sopt.scale));
+    doc.set("warmup", Json::number(std::uint64_t(sopt.warmupPasses)));
+    doc.set("voltage", Json::number(sopt.voltage));
+    doc.set("seed", Json::number(sopt.seed));
+    doc.set("stats_interval",
+            Json::number(std::uint64_t(sopt.statsInterval)));
+    doc.set("workloads", stringArray(sopt.workloads));
+    doc.set("schemes", stringArray(sopt.schemes));
+    doc.set("build", Json::string(buildId()));
+    return doc;
+}
+
+/**
+ * The terminal frame for a computed/cached result is spliced
+ * together as text so the "result" member is the *stored bytes* —
+ * a cache hit is byte-identical to the original reply by
+ * construction, never re-encoded.
+ */
+std::string
+resultFrameText(std::uint64_t id, bool cached, const std::string &hash,
+                const std::string &resultText)
+{
+    std::string out = "{\"type\":\"result\",\"id\":";
+    out += std::to_string(id);
+    out += ",\"cached\":";
+    out += cached ? "true" : "false";
+    out += ",\"key\":\"";
+    out += hash;
+    out += "\",\"outcome\":\"done\",\"result\":";
+    out += resultText;
+    out += "}";
+    return out;
+}
+
+Json
+terminalFrame(std::uint64_t id, const std::string &hash,
+              const char *outcome, const std::string &error)
+{
+    Json doc = Json::object();
+    doc.set("type", Json::string("result"));
+    doc.set("id", Json::number(id));
+    doc.set("cached", Json::boolean(false));
+    doc.set("key", Json::string(hash));
+    doc.set("outcome", Json::string(outcome));
+    doc.set("error", Json::string(error));
+    return doc;
+}
+
+} // namespace
+
+Server::Server(ServerOptions options)
+    : opt(std::move(options)),
+      scheduler(opt.threads, opt.maxQueue),
+      cache(opt.cacheEntries)
+{
+    // 10ms resolution out to 30s; p99 of anything slower clamps to
+    // the top bucket, which is the right reading for "slow".
+    latency.initBuckets(0.0, 30.0, 3000);
+}
+
+Server::~Server()
+{
+    stop();
+    for (int fd : {wakeFds[0], wakeFds[1]})
+        if (fd >= 0)
+            ::close(fd);
+}
+
+bool
+Server::start(std::string *err)
+{
+    const auto fail = [&](const std::string &what) {
+        if (err)
+            *err = what + ": " + std::strerror(errno);
+        if (listenFd >= 0) {
+            ::close(listenFd);
+            listenFd = -1;
+        }
+        return false;
+    };
+
+    if (::pipe(wakeFds) != 0)
+        return fail("pipe");
+    setNonBlocking(wakeFds[0]);
+    setNonBlocking(wakeFds[1]);
+
+    if (!opt.socketPath.empty()) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (opt.socketPath.size() >= sizeof(addr.sun_path)) {
+            if (err)
+                *err = "socket path too long: " + opt.socketPath;
+            return false;
+        }
+        std::strncpy(addr.sun_path, opt.socketPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (listenFd < 0)
+            return fail("socket");
+        ::unlink(opt.socketPath.c_str()); // stale socket from a crash
+        if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0)
+            return fail("bind " + opt.socketPath);
+    } else {
+        listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (listenFd < 0)
+            return fail("socket");
+        const int one = 1;
+        ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(opt.port);
+        if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0)
+            return fail("bind 127.0.0.1:" + std::to_string(opt.port));
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        if (::getsockname(listenFd,
+                          reinterpret_cast<sockaddr *>(&bound),
+                          &len) != 0)
+            return fail("getsockname");
+        portBound = ntohs(bound.sin_port);
+    }
+    if (::listen(listenFd, 128) != 0)
+        return fail("listen");
+    setNonBlocking(listenFd);
+
+    started.store(true);
+    ioThread = std::thread(&Server::ioLoop, this);
+    return true;
+}
+
+void
+Server::wake()
+{
+    if (wakeFds[1] >= 0) {
+        const char c = 0;
+        // Non-blocking; a full pipe already guarantees a wakeup.
+        [[maybe_unused]] ssize_t r = ::write(wakeFds[1], &c, 1);
+    }
+}
+
+void
+Server::requestDrain()
+{
+    drainFlag.store(true, std::memory_order_relaxed);
+    wake();
+}
+
+void
+Server::waitDone()
+{
+    if (ioThread.joinable())
+        ioThread.join();
+}
+
+void
+Server::stop()
+{
+    requestDrain();
+    waitDone();
+}
+
+void
+Server::acceptClients(std::vector<std::shared_ptr<Connection>> &conns)
+{
+    while (true) {
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0)
+            break;
+        setNonBlocking(fd);
+        auto conn = std::make_shared<Connection>();
+        conn->fd = fd;
+        conns.push_back(std::move(conn));
+        {
+            std::lock_guard<std::mutex> lock(statsMtx);
+            ++connectionCount;
+        }
+    }
+}
+
+void
+Server::closeConnection(const std::shared_ptr<Connection> &conn)
+{
+    if (conn->fd < 0)
+        return;
+    conn->closed.store(true, std::memory_order_relaxed);
+    // Orphaned jobs would burn a worker computing a result nobody
+    // will read; cancel them (queued ones go away immediately,
+    // running ones wind down at the next sweep point).
+    std::vector<std::uint64_t> orphans;
+    {
+        std::lock_guard<std::mutex> lock(jobsMtx);
+        for (const auto &[id, rec] : jobs)
+            if (rec.conn == conn)
+                orphans.push_back(id);
+    }
+    for (const std::uint64_t id : orphans)
+        scheduler.cancel(id);
+    ::close(conn->fd);
+    conn->fd = -1;
+}
+
+void
+Server::readFromClient(const std::shared_ptr<Connection> &conn)
+{
+    char buf[65536];
+    while (true) {
+        const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+            conn->decoder.feed(buf, std::size_t(n));
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            break;
+        if (n < 0 && errno == EINTR)
+            continue;
+        // EOF or hard error: drop the connection.
+        closeConnection(conn);
+        return;
+    }
+
+    Json frame;
+    FrameDecoder::Status st;
+    while ((st = conn->decoder.next(frame)) ==
+           FrameDecoder::Status::Frame)
+        handleFrame(conn, frame);
+    if (st == FrameDecoder::Status::Error) {
+        {
+            std::lock_guard<std::mutex> lock(statsMtx);
+            ++protocolErrorCount;
+        }
+        conn->enqueue(
+            encodeFrame(errorReply("protocol", conn->decoder.error())));
+        std::lock_guard<std::mutex> lock(conn->mtx);
+        conn->closeAfterFlush = true;
+    }
+}
+
+void
+Server::flushToClient(const std::shared_ptr<Connection> &conn)
+{
+    bool close = false;
+    {
+        std::lock_guard<std::mutex> lock(conn->mtx);
+        while (!conn->outbuf.empty()) {
+            const ssize_t n =
+                ::send(conn->fd, conn->outbuf.data(),
+                       conn->outbuf.size(), MSG_NOSIGNAL);
+            if (n > 0) {
+                conn->outbuf.erase(0, std::size_t(n));
+                continue;
+            }
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+                break;
+            if (n < 0 && errno == EINTR)
+                continue;
+            close = true; // peer vanished mid-write
+            break;
+        }
+        if (conn->outbuf.empty() && conn->closeAfterFlush)
+            close = true;
+    }
+    if (close)
+        closeConnection(conn);
+}
+
+void
+Server::ioLoop()
+{
+    std::vector<std::shared_ptr<Connection>> conns;
+    bool draining = false;
+
+    while (true) {
+        if (!draining && drainFlag.load(std::memory_order_relaxed)) {
+            draining = true;
+            inform("kserved: draining (in-flight jobs finish, queued "
+                   "jobs cancelled)");
+            scheduler.beginDrain();
+        }
+
+        std::vector<pollfd> fds;
+        fds.push_back({wakeFds[0], POLLIN, 0});
+        if (!draining)
+            fds.push_back({listenFd, POLLIN, 0});
+        const std::size_t connBase = fds.size();
+        for (const auto &conn : conns) {
+            short events = POLLIN;
+            if (conn->pendingOut())
+                events |= POLLOUT;
+            fds.push_back({conn->fd, events, 0});
+        }
+
+        // While draining poll with a timeout so in-flight completion
+        // (signalled via the wake pipe, but belt and braces) is
+        // always noticed.
+        const int rv =
+            ::poll(fds.data(), nfds_t(fds.size()), draining ? 50 : -1);
+        if (rv < 0 && errno != EINTR) {
+            warn("kserved: poll: %s", std::strerror(errno));
+            break;
+        }
+
+        if (fds[0].revents & POLLIN) {
+            char sink[256];
+            while (::read(wakeFds[0], sink, sizeof(sink)) > 0) {
+            }
+        }
+        if (!draining && (fds[connBase - 1].revents & POLLIN))
+            acceptClients(conns);
+
+        for (std::size_t i = 0; i < conns.size(); ++i) {
+            const auto &conn = conns[i];
+            const short revents = fds[connBase + i].revents;
+            if (conn->fd >= 0 &&
+                (revents & (POLLIN | POLLERR | POLLHUP)))
+                readFromClient(conn);
+            if (conn->fd >= 0 &&
+                ((revents & POLLOUT) || conn->pendingOut()))
+                flushToClient(conn);
+        }
+        conns.erase(std::remove_if(conns.begin(), conns.end(),
+                                   [](const auto &c) {
+                                       return c->fd < 0;
+                                   }),
+                    conns.end());
+
+        if (draining && scheduler.idle()) {
+            bool flushed = true;
+            for (const auto &conn : conns)
+                if (conn->pendingOut())
+                    flushed = false;
+            if (flushed)
+                break;
+        }
+    }
+
+    for (const auto &conn : conns)
+        closeConnection(conn);
+    ::close(listenFd);
+    listenFd = -1;
+    if (!opt.socketPath.empty())
+        ::unlink(opt.socketPath.c_str());
+}
+
+void
+Server::handleFrame(const std::shared_ptr<Connection> &conn,
+                    const Json &req)
+{
+    const std::string &type = req.at("type").asString();
+
+    if (type == "ping") {
+        Json doc = Json::object();
+        doc.set("type", Json::string("pong"));
+        doc.set("build", Json::string(buildId()));
+        conn->enqueue(encodeFrame(doc));
+        return;
+    }
+
+    if (type == "stats") {
+        Json doc = Json::object();
+        doc.set("type", Json::string("stats_reply"));
+        doc.set("stats", statsJson());
+        conn->enqueue(encodeFrame(doc));
+        return;
+    }
+
+    if (type == "drain") {
+        requestDrain();
+        Json doc = Json::object();
+        doc.set("type", Json::string("draining"));
+        conn->enqueue(encodeFrame(doc));
+        return;
+    }
+
+    if (type == "status" || type == "cancel") {
+        if (!req.contains("id") || !req.at("id").isNumber() ||
+            req.at("id").asDouble() < 0 ||
+            req.at("id").asDouble() !=
+                std::floor(req.at("id").asDouble())) {
+            conn->enqueue(encodeFrame(errorReply(
+                "bad_request",
+                "\"" + type +
+                    "\" needs a non-negative integer \"id\"")));
+            return;
+        }
+        const std::uint64_t id =
+            std::uint64_t(req.at("id").asDouble());
+        Json doc = Json::object();
+        if (type == "status") {
+            bool known = false;
+            const JobState st = scheduler.state(id, &known);
+            doc.set("type", Json::string("status_reply"));
+            doc.set("id", Json::number(id));
+            doc.set("known", Json::boolean(known));
+            if (known)
+                doc.set("state", Json::string(jobStateName(st)));
+        } else {
+            doc.set("type", Json::string("cancel_reply"));
+            doc.set("id", Json::number(id));
+            doc.set("cancelled",
+                    Json::boolean(scheduler.cancel(id)));
+        }
+        conn->enqueue(encodeFrame(doc));
+        return;
+    }
+
+    if (type == "submit") {
+        handleSubmit(conn, req);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(statsMtx);
+        ++protocolErrorCount;
+    }
+    conn->enqueue(encodeFrame(
+        errorReply("unknown_type", "unknown frame type \"" + type +
+                                       "\"")));
+}
+
+void
+Server::handleSubmit(const std::shared_ptr<Connection> &conn,
+                     const Json &req)
+{
+    SubmitRequest sub;
+    std::string verr;
+    if (!parseSubmit(req, sub, verr)) {
+        conn->enqueue(encodeFrame(errorReply("bad_request", verr)));
+        return;
+    }
+
+    const std::string canonical = canonicalKeyFor(sub.sopt);
+    const std::uint64_t id =
+        nextJobId.fetch_add(1, std::memory_order_relaxed);
+
+    std::string hash;
+    std::string cachedText;
+    const bool hit = cache.lookup(canonical, cachedText, &hash);
+
+    Json submitted = Json::object();
+    submitted.set("type", Json::string("submitted"));
+    submitted.set("id", Json::number(id));
+    submitted.set("key", Json::string(hash));
+    submitted.set("cached", Json::boolean(hit));
+    conn->enqueue(encodeFrame(submitted));
+
+    if (hit) {
+        {
+            std::lock_guard<std::mutex> lock(statsMtx);
+            ++cacheHitCount;
+            latency.sample(0.0);
+        }
+        conn->enqueue(encodeFramePayload(
+            resultFrameText(id, true, hash, cachedText)));
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(jobsMtx);
+        jobs.emplace(id, JobRecord{conn, canonical, hash,
+                                   std::chrono::steady_clock::now()});
+    }
+
+    const SweepOptions sopt = sub.sopt;
+    const bool stream = sub.stream;
+    auto work = [this, sopt, id, conn,
+                 stream](const CancelToken &cancel) -> std::string {
+        SweepOptions ropt = sopt;
+        ropt.cancel = &cancel;
+        if (stream) {
+            // Periodic snapshots throttled to ~10/s per job; point
+            // completions always go out.
+            auto lastMs = std::make_shared<std::atomic<long long>>(
+                -1000000);
+            ropt.onProgress = [this, id, conn,
+                               lastMs](const SweepProgress &p) {
+                if (conn->closed.load(std::memory_order_relaxed))
+                    return;
+                if (!p.pointDone) {
+                    const long long now = steadyMs();
+                    if (now - lastMs->load() < 100)
+                        return;
+                    lastMs->store(now);
+                }
+                Json doc = Json::object();
+                doc.set("type", Json::string("progress"));
+                doc.set("id", Json::number(id));
+                doc.set("point", Json::string(p.point));
+                doc.set("tick", Json::number(std::uint64_t(p.tick)));
+                doc.set("instructions",
+                        Json::number(p.instructions));
+                doc.set("point_done", Json::boolean(p.pointDone));
+                doc.set("done",
+                        Json::number(std::uint64_t(p.pointsDone)));
+                doc.set("total",
+                        Json::number(std::uint64_t(p.pointsTotal)));
+                conn->enqueue(encodeFrame(doc));
+                wake();
+            };
+        }
+        const SweepResult res = runEvaluationSweep(ropt);
+        if (cancel.cancelled())
+            return "";
+        Json doc = Json::object();
+        doc.set("bench", Json::string("kserved"));
+        doc.set("options", resolvedOptionsJson(sopt));
+        const Json body = sweepToJson(sopt, res);
+        for (const auto &[key, value] : body.members())
+            doc.set(key, value);
+        return doc.toString(0);
+    };
+
+    std::string errCode;
+    const bool admitted = scheduler.submit(
+        id, sub.priority, std::move(work),
+        [this](std::uint64_t jid, JobState st,
+               const std::string &text, const std::string &jerr) {
+            finishJob(jid, st, text, jerr);
+        },
+        &errCode);
+    if (!admitted) {
+        {
+            std::lock_guard<std::mutex> lock(jobsMtx);
+            jobs.erase(id);
+        }
+        {
+            std::lock_guard<std::mutex> lock(statsMtx);
+            ++rejectedCount;
+        }
+        // The client already holds a "submitted" frame for this id;
+        // the rejection is its terminal result (the backpressure
+        // reply).
+        conn->enqueue(
+            encodeFrame(terminalFrame(id, hash, "rejected", errCode)));
+    }
+}
+
+void
+Server::finishJob(std::uint64_t id, JobState state,
+                  const std::string &resultText,
+                  const std::string &error)
+{
+    JobRecord rec;
+    {
+        std::lock_guard<std::mutex> lock(jobsMtx);
+        const auto it = jobs.find(id);
+        if (it == jobs.end())
+            return;
+        rec = it->second;
+        jobs.erase(it);
+    }
+    const double seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - rec.start)
+            .count();
+    {
+        std::lock_guard<std::mutex> lock(statsMtx);
+        latency.sample(seconds);
+        switch (state) {
+          case JobState::Done: ++doneCount; break;
+          case JobState::Failed: ++failedCount; break;
+          case JobState::Cancelled: ++cancelledCount; break;
+          default: break;
+        }
+    }
+    if (state == JobState::Done) {
+        cache.insert(rec.canonicalKey, resultText);
+        rec.conn->enqueue(encodeFramePayload(
+            resultFrameText(id, false, rec.hash, resultText)));
+    } else {
+        rec.conn->enqueue(encodeFrame(terminalFrame(
+            id, rec.hash,
+            state == JobState::Failed ? "failed" : "cancelled",
+            error)));
+    }
+    wake();
+}
+
+Json
+Server::statsJson()
+{
+    Json doc = Json::object();
+    doc.set("build", Json::string(buildId()));
+    doc.set("draining",
+            Json::boolean(drainFlag.load(std::memory_order_relaxed)));
+    doc.set("scheduler", scheduler.stats().toJson());
+    doc.set("cache", cache.stats().toJson());
+    std::lock_guard<std::mutex> lock(statsMtx);
+    Json lat = Json::object();
+    lat.set("count", Json::number(latency.count()));
+    lat.set("mean_s", Json::number(latency.mean()));
+    lat.set("p50_s", Json::number(latency.quantile(0.5)));
+    lat.set("p99_s", Json::number(latency.quantile(0.99)));
+    doc.set("latency", lat);
+    Json out = Json::object();
+    out.set("cache_hits", Json::number(cacheHitCount));
+    out.set("done", Json::number(doneCount));
+    out.set("failed", Json::number(failedCount));
+    out.set("cancelled", Json::number(cancelledCount));
+    out.set("rejected", Json::number(rejectedCount));
+    out.set("protocol_errors", Json::number(protocolErrorCount));
+    out.set("connections", Json::number(connectionCount));
+    doc.set("outcomes", out);
+    return doc;
+}
+
+} // namespace killi::serve

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * kserved: the experiment-serving daemon. A single poll()-driven I/O
+ * thread owns the listening socket and every client connection;
+ * experiment sweeps run on the JobScheduler's worker threads and
+ * communicate back to the I/O thread only by appending encoded
+ * frames to a connection's outbox and tickling the wake pipe.
+ *
+ * Request lifecycle (see SERVING.md for the full protocol grammar):
+ * a "submit" frame is validated, canonicalized into a cache key, and
+ * answered either straight from the content-addressed ResultCache
+ * (submitted + result{cached:true}, byte-identical to the original
+ * reply) or by scheduling a sweep job (submitted, then streamed
+ * "progress" frames while it runs, then exactly one terminal
+ * "result" frame with outcome done/failed/cancelled/rejected).
+ *
+ * Graceful drain — SIGINT/SIGTERM via requestDrain(), or a client
+ * "drain" frame — stops accepting connections and submits, cancels
+ * everything still queued (outcome "cancelled", error "draining"),
+ * lets in-flight sweeps finish, flushes every outbox, and only then
+ * exits the I/O loop (unlinking the Unix socket).
+ */
+
+#ifndef KILLI_SERVE_SERVER_HH
+#define KILLI_SERVE_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/stats.hh"
+#include "serve/cache.hh"
+#include "serve/protocol.hh"
+#include "serve/scheduler.hh"
+
+namespace killi::serve
+{
+
+struct ServerOptions
+{
+    /** Unix-domain socket path; preferred. Any stale file at the
+     *  path is unlinked before binding. Empty selects TCP. */
+    std::string socketPath;
+    /** TCP port on 127.0.0.1 when socketPath is empty (0 binds an
+     *  ephemeral port — read it back with boundPort()). */
+    std::uint16_t port = 0;
+    /** Scheduler worker threads (0 = all hardware threads). */
+    unsigned threads = 0;
+    /** Ready-queue bound; submits beyond it are rejected. */
+    std::size_t maxQueue = 64;
+    /** Result-cache capacity (entries). */
+    std::size_t cacheEntries = 1024;
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerOptions opt);
+
+    /** Drains and joins; safe if start() was never called. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind, listen, and launch the I/O thread. Returns false and
+     *  fills @p err on socket errors. Call at most once. */
+    bool start(std::string *err);
+
+    /**
+     * Begin a graceful drain. Async-signal-safe (an atomic store
+     * plus a write() to the wake pipe), so kserved calls this
+     * straight from its SIGINT/SIGTERM handler. Idempotent.
+     */
+    void requestDrain();
+
+    /** Block until the I/O loop has fully drained and exited. */
+    void waitDone();
+
+    /** requestDrain() + waitDone(), for tests and embedders. */
+    void stop();
+
+    /** Resolved TCP port (valid after start() in TCP mode). */
+    std::uint16_t boundPort() const { return portBound; }
+
+    const std::string &socketPath() const { return opt.socketPath; }
+
+    /** The stats_reply body: scheduler depth, cache hit rate,
+     *  per-outcome counters, and p50/p99 submit-to-finish latency. */
+    Json statsJson();
+
+  private:
+    /**
+     * One client connection. The I/O thread owns fd, decoder, and
+     * all socket reads/writes; scheduler workers only append to the
+     * outbox (under mtx) and never touch the socket, so a closed
+     * connection simply drops late frames instead of racing on fd
+     * reuse.
+     */
+    struct Connection
+    {
+        int fd = -1;
+        FrameDecoder decoder;
+        std::mutex mtx;
+        std::string outbuf;
+        bool closeAfterFlush = false;
+        std::atomic<bool> closed{false};
+
+        void
+        enqueue(const std::string &bytes)
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            if (!closed.load(std::memory_order_relaxed))
+                outbuf += bytes;
+        }
+
+        bool
+        pendingOut()
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            return !outbuf.empty();
+        }
+    };
+
+    /** Book-keeping for one admitted (non-cached) job. */
+    struct JobRecord
+    {
+        std::shared_ptr<Connection> conn;
+        std::string canonicalKey;
+        std::string hash;
+        std::chrono::steady_clock::time_point start;
+    };
+
+    void ioLoop();
+    void wake();
+    void acceptClients(std::vector<std::shared_ptr<Connection>> &conns);
+    void readFromClient(const std::shared_ptr<Connection> &conn);
+    void flushToClient(const std::shared_ptr<Connection> &conn);
+    void closeConnection(const std::shared_ptr<Connection> &conn);
+    void handleFrame(const std::shared_ptr<Connection> &conn,
+                     const Json &req);
+    void handleSubmit(const std::shared_ptr<Connection> &conn,
+                      const Json &req);
+    void finishJob(std::uint64_t id, JobState state,
+                   const std::string &resultText,
+                   const std::string &error);
+
+    ServerOptions opt;
+    JobScheduler scheduler;
+    ResultCache cache;
+
+    std::thread ioThread;
+    int listenFd = -1;
+    int wakeFds[2] = {-1, -1};
+    std::uint16_t portBound = 0;
+    std::atomic<bool> started{false};
+    std::atomic<bool> drainFlag{false};
+
+    std::mutex jobsMtx;
+    std::map<std::uint64_t, JobRecord> jobs;
+    std::atomic<std::uint64_t> nextJobId{1};
+
+    std::mutex statsMtx;
+    Distribution latency; //!< submit-to-finish seconds
+    std::uint64_t cacheHitCount = 0;
+    std::uint64_t doneCount = 0;
+    std::uint64_t failedCount = 0;
+    std::uint64_t cancelledCount = 0;
+    std::uint64_t rejectedCount = 0;
+    std::uint64_t protocolErrorCount = 0;
+    std::uint64_t connectionCount = 0;
+};
+
+} // namespace killi::serve
+
+#endif // KILLI_SERVE_SERVER_HH

@@ -28,12 +28,21 @@ StatTimeseries::sample(Tick now)
     row.reserve(sources.size());
     for (const Source &fn : sources)
         row.push_back(fn ? fn() : 0.0);
+    if (onSample)
+        onSample(now, row);
     if (!ticks.empty() && ticks.back() == now) {
         rows.back() = std::move(row);
         return;
     }
     ticks.push_back(now);
     rows.push_back(std::move(row));
+}
+
+void
+StatTimeseries::setOnSample(
+    std::function<void(Tick, const std::vector<double> &)> fn)
+{
+    onSample = std::move(fn);
 }
 
 void

@@ -52,6 +52,25 @@ class StatTimeseries
      *  the last periodic one). */
     void sample(Tick now);
 
+    /**
+     * Install an observer invoked after every sample() with the tick
+     * and the freshly polled row (column order matches registration
+     * order; use columnNames() to map). This is the serving daemon's
+     * progress tap: a long-running sweep point streams periodic
+     * snapshots to the submitting client without touching the
+     * accumulated series. The callback runs on the sampling thread —
+     * for runner workers that is *not* the main thread, so it must
+     * be thread-safe with respect to its own captures. Null clears.
+     */
+    void setOnSample(
+        std::function<void(Tick, const std::vector<double> &)> fn);
+
+    /** Registered column names (without the leading "tick"). */
+    const std::vector<std::string> &columnNames() const
+    {
+        return names;
+    }
+
     /** Drop accumulated rows (e.g. after a warmup pass); sources and
      *  interval are kept. */
     void clearSamples();
@@ -75,6 +94,7 @@ class StatTimeseries
     std::vector<Source> sources;
     std::vector<Tick> ticks;
     std::vector<std::vector<double>> rows;
+    std::function<void(Tick, const std::vector<double> &)> onSample;
 };
 
 } // namespace killi

@@ -17,6 +17,7 @@
 
 #include "common/bitvec.hh"
 #include "common/config.hh"
+#include "common/hash.hh"
 #include "common/json.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
@@ -760,4 +761,113 @@ TEST(LogTest, SetLogLevelIsThreadSafe)
     b.join();
     setLogLevel(prev);
     SUCCEED();
+}
+
+// ---------------------------------------------------------------
+// SHA-256 (common/hash.hh) — FIPS 180-4 vectors
+// ---------------------------------------------------------------
+
+TEST(HashTest, Sha256KnownVectors)
+{
+    EXPECT_EQ(sha256Hex(""),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934c"
+              "a495991b7852b855");
+    EXPECT_EQ(sha256Hex("abc"),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9c"
+              "b410ff61f20015ad");
+    EXPECT_EQ(
+        sha256Hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmno"
+                  "mnopnopq"),
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd4"
+        "19db06c1");
+}
+
+TEST(HashTest, Sha256MultiBlockAndDeterminism)
+{
+    // 'a' x 1000 crosses many 64-byte blocks and exercises padding.
+    const std::string thousand(1000, 'a');
+    const std::string h = sha256Hex(thousand);
+    EXPECT_EQ(h.size(), 64u);
+    EXPECT_EQ(h, sha256Hex(thousand));
+    EXPECT_NE(h, sha256Hex(std::string(999, 'a')));
+}
+
+// ---------------------------------------------------------------
+// tryReadJsonFile — the daemon's non-fatal config/request reader
+// ---------------------------------------------------------------
+
+TEST(JsonFileTest, TryReadMissingFileFailsSoftly)
+{
+    Json out = Json::string("untouched");
+    std::string err;
+    EXPECT_FALSE(
+        tryReadJsonFile("definitely/not/a/file.json", out, &err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_EQ(out.asString(), "untouched"); // out left alone
+}
+
+TEST(JsonFileTest, TryReadMalformedFileFailsSoftly)
+{
+    const std::string path = "common_test_malformed.json";
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        std::fputs("{\"broken\": ", f);
+        std::fclose(f);
+    }
+    Json out;
+    std::string err;
+    EXPECT_FALSE(tryReadJsonFile(path, out, &err));
+    EXPECT_FALSE(err.empty());
+    std::remove(path.c_str());
+}
+
+TEST(JsonFileTest, TryReadRoundTripsAGoodFile)
+{
+    const std::string path = "common_test_good.json";
+    Json doc = Json::object();
+    doc.set("answer", Json::number(std::int64_t(42)));
+    writeJsonFile(path, doc);
+    Json out;
+    ASSERT_TRUE(tryReadJsonFile(path, out));
+    EXPECT_EQ(out.at("answer").asInt(), 42);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------
+// Distribution::quantile — the daemon's latency percentiles
+// ---------------------------------------------------------------
+
+TEST(StatsTest, QuantileIsNanWithoutSamplesOrBuckets)
+{
+    Distribution bucketless;
+    bucketless.sample(1.0);
+    EXPECT_TRUE(std::isnan(bucketless.quantile(0.5)));
+
+    Distribution empty;
+    empty.initBuckets(0.0, 10.0, 10);
+    EXPECT_TRUE(std::isnan(empty.quantile(0.5)));
+}
+
+TEST(StatsTest, QuantileInterpolatesUniformFill)
+{
+    Distribution d;
+    d.initBuckets(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        d.sample(double(i) + 0.5); // one sample per bucket
+    const double p50 = d.quantile(0.5);
+    EXPECT_NEAR(p50, 50.0, 1.5);
+    const double p99 = d.quantile(0.99);
+    EXPECT_NEAR(p99, 99.0, 1.5);
+    EXPECT_LE(d.quantile(0.0), d.quantile(1.0));
+}
+
+TEST(StatsTest, QuantileClampsToConfiguredRange)
+{
+    Distribution d;
+    d.initBuckets(0.0, 10.0, 10);
+    d.sample(-5.0);  // underflow: treated as sitting at bucketLow
+    d.sample(500.0); // overflow: treated as sitting at bucketHigh
+    EXPECT_GE(d.quantile(0.01), 0.0);
+    EXPECT_LE(d.quantile(0.99), 10.0);
 }

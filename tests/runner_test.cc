@@ -91,6 +91,33 @@ TEST(ThreadPool, SingleThreadPoolStillWorks)
     EXPECT_EQ(done.load(), 10);
 }
 
+TEST(ThreadPool, DrainClosesIntakeButFinishesAcceptedWork)
+{
+    ThreadPool pool(2);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 20; ++i)
+        EXPECT_TRUE(pool.submit([&] { ++done; }));
+    EXPECT_FALSE(pool.draining());
+    pool.drain();
+    EXPECT_TRUE(pool.draining());
+    EXPECT_EQ(done.load(), 20); // everything accepted ran
+    // The intake is closed: late work is refused and dropped.
+    EXPECT_FALSE(pool.submit([&] { ++done; }));
+    pool.wait();
+    EXPECT_EQ(done.load(), 20);
+}
+
+TEST(CancelToken, StickyUntilReset)
+{
+    CancelToken token;
+    EXPECT_FALSE(token.cancelled());
+    token.cancel();
+    token.cancel(); // idempotent
+    EXPECT_TRUE(token.cancelled());
+    token.reset();
+    EXPECT_FALSE(token.cancelled());
+}
+
 // ---------------------------------------------------------------
 // ExperimentRunner
 // ---------------------------------------------------------------
@@ -194,6 +221,45 @@ TEST(ExperimentRunner, FailFastSkipsQueuedJobs)
     EXPECT_EQ(report.jobs[2].outcome, JobOutcome::Skipped);
     EXPECT_EQ(report.skipped(), 2u);
     EXPECT_EQ(laterRan, 0);
+}
+
+TEST(ExperimentRunner, CancelledTokenSkipsQueuedJobs)
+{
+    // The first job trips the shared token mid-campaign: with one
+    // inline worker, every job queued behind it must be reported
+    // Skipped without its body ever running.
+    CancelToken token;
+    int laterRan = 0;
+    const std::vector<Job> jobs{
+        {"first", [&] { token.cancel(); }},
+        {"second", [&] { laterRan = 1; }},
+        {"third", [&] { laterRan = 1; }}};
+
+    RunnerOptions opt = quiet(1);
+    opt.cancel = &token;
+    ExperimentRunner runner(opt);
+    const CampaignReport report = runner.run(jobs);
+
+    EXPECT_EQ(report.jobs[0].outcome, JobOutcome::Done);
+    EXPECT_EQ(report.jobs[1].outcome, JobOutcome::Skipped);
+    EXPECT_EQ(report.jobs[2].outcome, JobOutcome::Skipped);
+    EXPECT_EQ(report.jobs[1].name, "second");
+    EXPECT_EQ(report.skipped(), 2u);
+    EXPECT_EQ(laterRan, 0);
+}
+
+TEST(ExperimentRunner, PreCancelledTokenSkipsEverything)
+{
+    CancelToken token;
+    token.cancel();
+    int ran = 0;
+    const std::vector<Job> jobs{{"only", [&] { ran = 1; }}};
+    RunnerOptions opt = quiet(4);
+    opt.cancel = &token;
+    const CampaignReport report = ExperimentRunner(opt).run(jobs);
+    EXPECT_EQ(report.jobs[0].outcome, JobOutcome::Skipped);
+    EXPECT_EQ(report.skipped(), 1u);
+    EXPECT_EQ(ran, 0);
 }
 
 TEST(ExperimentRunner, CampaignReportSerializes)

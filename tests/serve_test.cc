@@ -1,0 +1,650 @@
+/**
+ * @file
+ * Tests for the serving subsystem (src/serve): JobScheduler
+ * semantics under deterministic blocking jobs, the content-addressed
+ * ResultCache, and loopback integration against a real in-process
+ * Server — including the PR's acceptance criteria: daemon results
+ * bit-identical to a direct in-process sweep (cold and cached), a
+ * 200-request concurrent barrage with a bounded queue, and clean
+ * drain semantics over both TCP and Unix sockets.
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/sweep.hh"
+#include "common/hash.hh"
+#include "common/log.hh"
+#include "serve/cache.hh"
+#include "serve/client/client.hh"
+#include "serve/scheduler.hh"
+#include "serve/server.hh"
+
+using namespace killi;
+using namespace killi::serve;
+
+namespace
+{
+
+/** A terminal notification captured by a test. */
+struct Finish
+{
+    std::uint64_t id = 0;
+    JobState state = JobState::Queued;
+    std::string result;
+    std::string error;
+};
+
+/** Thread-safe collector for JobFinish callbacks. */
+class FinishLog
+{
+  public:
+    JobFinish
+    sink()
+    {
+        return [this](std::uint64_t id, JobState st,
+                      const std::string &res, const std::string &err) {
+            std::lock_guard<std::mutex> lock(mtx);
+            entries.push_back({id, st, res, err});
+            cv.notify_all();
+        };
+    }
+
+    /** Block until @p n terminal notifications have arrived. */
+    bool
+    waitForCount(std::size_t n)
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        return cv.wait_for(lock, std::chrono::seconds(30),
+                           [&] { return entries.size() >= n; });
+    }
+
+    std::vector<Finish>
+    all() const
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        return entries;
+    }
+
+    Finish
+    forId(std::uint64_t id) const
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        for (const Finish &f : entries)
+            if (f.id == id)
+                return f;
+        ADD_FAILURE() << "no finish recorded for job " << id;
+        return {};
+    }
+
+  private:
+    mutable std::mutex mtx;
+    std::condition_variable cv;
+    std::vector<Finish> entries;
+};
+
+/** A latch the test opens to release blocked job bodies. */
+struct Gate
+{
+    std::promise<void> promise;
+    std::shared_future<void> future{promise.get_future().share()};
+
+    void
+    open()
+    {
+        promise.set_value();
+    }
+};
+
+/** A job body that blocks until the test opens the gate. */
+JobWork
+blockOn(const std::shared_ptr<Gate> &gate)
+{
+    return [gate](const CancelToken &) {
+        gate->future.wait();
+        return std::string("blocked-done");
+    };
+}
+
+/** The fast smoke sweep the CI golden pins (scale 0.02, seed 42). */
+Json
+smokeSubmit(bool stream)
+{
+    Json options = Json::object();
+    options.set("scale", Json::number(0.02));
+    options.set("warmup", Json::number(std::uint64_t{0}));
+    options.set("seed", Json::number(std::uint64_t{42}));
+    options.set("workloads", Json::string("xsbench,spmv"));
+    options.set("schemes", Json::string("DECTED,Killi 1:256"));
+    Json req = Json::object();
+    req.set("type", Json::string("submit"));
+    req.set("options", std::move(options));
+    req.set("stream", Json::boolean(stream));
+    return req;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// JobScheduler
+// ---------------------------------------------------------------
+
+TEST(JobScheduler, RunsJobAndDeliversResultText)
+{
+    JobScheduler sched(2, 16);
+    FinishLog log;
+    ASSERT_TRUE(sched.submit(
+        1, 0, [](const CancelToken &) { return std::string("r1"); },
+        log.sink(), nullptr));
+    // Wait for completion before draining: drain() cancels jobs
+    // still sitting in the ready queue.
+    ASSERT_TRUE(log.waitForCount(1));
+    sched.drain();
+    const Finish f = log.forId(1);
+    EXPECT_EQ(f.state, JobState::Done);
+    EXPECT_EQ(f.result, "r1");
+    EXPECT_TRUE(sched.idle());
+}
+
+TEST(JobScheduler, FailedJobCarriesExceptionText)
+{
+    JobScheduler sched(1, 16);
+    FinishLog log;
+    ASSERT_TRUE(sched.submit(
+        7, 0,
+        [](const CancelToken &) -> std::string {
+            throw std::runtime_error("boom");
+        },
+        log.sink(), nullptr));
+    ASSERT_TRUE(log.waitForCount(1));
+    sched.drain();
+    const Finish f = log.forId(7);
+    EXPECT_EQ(f.state, JobState::Failed);
+    EXPECT_EQ(f.error, "boom");
+}
+
+TEST(JobScheduler, HigherPriorityRunsFirst)
+{
+    JobScheduler sched(1, 16);
+    FinishLog log;
+    auto gate = std::make_shared<Gate>();
+    std::vector<std::uint64_t> order;
+    std::mutex orderMtx;
+    const auto record = [&](std::uint64_t id) {
+        return [&, id](const CancelToken &) {
+            std::lock_guard<std::mutex> lock(orderMtx);
+            order.push_back(id);
+            return std::string();
+        };
+    };
+    // Occupy the single worker, then queue low before high.
+    ASSERT_TRUE(sched.submit(1, 0, blockOn(gate), log.sink(), nullptr));
+    ASSERT_TRUE(sched.submit(2, -5, record(2), log.sink(), nullptr));
+    ASSERT_TRUE(sched.submit(3, 5, record(3), log.sink(), nullptr));
+    ASSERT_TRUE(sched.submit(4, 0, record(4), log.sink(), nullptr));
+    gate->open();
+    ASSERT_TRUE(log.waitForCount(4));
+    sched.drain();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 3u); // priority 5
+    EXPECT_EQ(order[1], 4u); // priority 0
+    EXPECT_EQ(order[2], 2u); // priority -5
+}
+
+TEST(JobScheduler, CancelQueuedJobNeverRuns)
+{
+    JobScheduler sched(1, 16);
+    FinishLog log;
+    auto gate = std::make_shared<Gate>();
+    std::atomic<bool> ran{false};
+    ASSERT_TRUE(sched.submit(1, 0, blockOn(gate), log.sink(), nullptr));
+    while (sched.stats().running == 0)
+        std::this_thread::yield();
+    ASSERT_TRUE(sched.submit(
+        2, 0,
+        [&](const CancelToken &) {
+            ran = true;
+            return std::string();
+        },
+        log.sink(), nullptr));
+    EXPECT_TRUE(sched.cancel(2));
+    // The terminal notification for a queued cancel fires before
+    // cancel() returns.
+    const Finish f = log.forId(2);
+    EXPECT_EQ(f.state, JobState::Cancelled);
+    EXPECT_EQ(f.error, "cancelled");
+    gate->open();
+    sched.drain();
+    EXPECT_FALSE(ran.load());
+    EXPECT_FALSE(sched.cancel(2)); // already finished
+}
+
+TEST(JobScheduler, CancelRunningTripsToken)
+{
+    JobScheduler sched(1, 16);
+    FinishLog log;
+    std::atomic<bool> started{false};
+    ASSERT_TRUE(sched.submit(
+        1, 0,
+        [&](const CancelToken &cancel) {
+            started = true;
+            while (!cancel.cancelled())
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            return std::string("partial");
+        },
+        log.sink(), nullptr));
+    while (!started.load())
+        std::this_thread::yield();
+    EXPECT_TRUE(sched.cancel(1));
+    sched.drain();
+    const Finish f = log.forId(1);
+    EXPECT_EQ(f.state, JobState::Cancelled);
+    EXPECT_EQ(f.result, ""); // partial result is discarded
+}
+
+TEST(JobScheduler, BoundedQueueRejectsWithQueueFull)
+{
+    JobScheduler sched(1, 1);
+    FinishLog log;
+    auto gate = std::make_shared<Gate>();
+    ASSERT_TRUE(sched.submit(1, 0, blockOn(gate), log.sink(), nullptr));
+    // Worker may briefly hold job 1 in the ready queue; wait until
+    // it is actually running so the bound applies to job 2 alone.
+    while (sched.stats().running == 0)
+        std::this_thread::yield();
+    ASSERT_TRUE(sched.submit(2, 0, blockOn(gate), log.sink(), nullptr));
+    std::string code;
+    EXPECT_FALSE(sched.submit(3, 0, blockOn(gate), log.sink(), &code));
+    EXPECT_EQ(code, "queue_full");
+    EXPECT_EQ(sched.stats().rejected, 1u);
+    gate->open();
+    ASSERT_TRUE(log.waitForCount(2));
+    sched.drain();
+}
+
+TEST(JobScheduler, DrainCancelsQueuedAndRejectsNewSubmits)
+{
+    JobScheduler sched(1, 16);
+    FinishLog log;
+    auto gate = std::make_shared<Gate>();
+    ASSERT_TRUE(sched.submit(1, 0, blockOn(gate), log.sink(), nullptr));
+    while (sched.stats().running == 0)
+        std::this_thread::yield();
+    ASSERT_TRUE(sched.submit(2, 0, blockOn(gate), log.sink(), nullptr));
+    sched.beginDrain();
+    EXPECT_TRUE(sched.draining());
+    // Queued job 2 was cancelled with the drain code...
+    const Finish f = log.forId(2);
+    EXPECT_EQ(f.state, JobState::Cancelled);
+    EXPECT_EQ(f.error, "draining");
+    // ...new submits bounce...
+    std::string code;
+    EXPECT_FALSE(sched.submit(3, 0, blockOn(gate), log.sink(), &code));
+    EXPECT_EQ(code, "draining");
+    // ...and the in-flight job still finishes normally.
+    gate->open();
+    sched.drain();
+    EXPECT_EQ(log.forId(1).state, JobState::Done);
+}
+
+TEST(JobScheduler, StateTracksLifecycle)
+{
+    JobScheduler sched(1, 16);
+    FinishLog log;
+    auto gate = std::make_shared<Gate>();
+    ASSERT_TRUE(sched.submit(1, 0, blockOn(gate), log.sink(), nullptr));
+    bool found = false;
+    sched.state(1, &found);
+    EXPECT_TRUE(found);
+    sched.state(99, &found);
+    EXPECT_FALSE(found);
+    gate->open();
+    ASSERT_TRUE(log.waitForCount(1));
+    sched.drain();
+    EXPECT_EQ(sched.state(1, &found), JobState::Done);
+    EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------
+// ResultCache
+// ---------------------------------------------------------------
+
+TEST(ResultCache, HitReturnsStoredBytesVerbatim)
+{
+    ResultCache cache(8);
+    const std::string key = "{\"experiment\":\"sweep\",\"seed\":1}";
+    const std::string text = "{\"workloads\":[1,2,3]}";
+    std::string out, hash;
+    EXPECT_FALSE(cache.lookup(key, out, &hash));
+    EXPECT_EQ(hash, sha256Hex(key));
+    EXPECT_EQ(cache.insert(key, text), hash);
+    ASSERT_TRUE(cache.lookup(key, out));
+    EXPECT_EQ(out, text);
+    const ResultCache::Stats s = cache.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.insertions, 1u);
+    EXPECT_DOUBLE_EQ(s.hitRate(), 0.5);
+}
+
+TEST(ResultCache, LruEvictsOldestBeyondCapacity)
+{
+    ResultCache cache(2);
+    cache.insert("a", "ra");
+    cache.insert("b", "rb");
+    std::string out;
+    ASSERT_TRUE(cache.lookup("a", out)); // refresh a; b is now LRU
+    cache.insert("c", "rc");             // evicts b
+    EXPECT_TRUE(cache.lookup("a", out));
+    EXPECT_FALSE(cache.lookup("b", out));
+    EXPECT_TRUE(cache.lookup("c", out));
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+// ---------------------------------------------------------------
+// Server loopback integration
+// ---------------------------------------------------------------
+
+namespace
+{
+
+/** Boot a TCP server on an ephemeral port and connect a client. */
+struct Loopback
+{
+    Server server;
+    Client client;
+
+    explicit Loopback(unsigned threads = 2, std::size_t maxQueue = 8)
+        : server([&] {
+              ServerOptions so;
+              so.port = 0;
+              so.threads = threads;
+              so.maxQueue = maxQueue;
+              return so;
+          }())
+    {
+        std::string err;
+        if (!server.start(&err))
+            ADD_FAILURE() << "server.start: " << err;
+        if (!client.connectTcp(server.boundPort(), &err))
+            ADD_FAILURE() << "connect: " << err;
+    }
+};
+
+} // namespace
+
+TEST(ServeIntegration, ResultMatchesDirectRunAndCacheHitIsIdentical)
+{
+    // The same point computed directly, in-process.
+    SweepOptions direct;
+    direct.scale = 0.02;
+    direct.warmupPasses = 0;
+    direct.seed = 42;
+    direct.workloads = {"xsbench", "spmv"};
+    direct.schemes = {"DECTED", "Killi 1:256"};
+    direct.jobs = 1;
+    const SweepResult res = runEvaluationSweep(direct);
+    const std::string directWorkloads =
+        sweepToJson(direct, res).at("workloads").toString(0);
+
+    Loopback lo;
+    ScopedLogCapture quiet; // swallow the daemon's progress lines
+
+    Json cold;
+    std::string err;
+    ASSERT_TRUE(lo.client.submit(smokeSubmit(false), cold, {}, &err))
+        << err;
+    ASSERT_EQ(cold.at("type").asString(), "result");
+    ASSERT_EQ(cold.at("outcome").asString(), "done");
+    EXPECT_FALSE(cold.at("cached").asBool());
+
+    // (a) The daemon's deterministic subset is bit-identical to the
+    // direct run (same serializer, equal trees, equal bytes).
+    EXPECT_EQ(cold.at("result").at("workloads").toString(0),
+              directWorkloads);
+
+    // (b) The second submit is answered from the cache, and its
+    // result document is the stored bytes of the first reply.
+    Json cached;
+    ASSERT_TRUE(
+        lo.client.submit(smokeSubmit(false), cached, {}, &err))
+        << err;
+    ASSERT_EQ(cached.at("outcome").asString(), "done");
+    EXPECT_TRUE(cached.at("cached").asBool());
+    EXPECT_EQ(cached.at("key").asString(), cold.at("key").asString());
+    EXPECT_EQ(cached.at("result").toString(0),
+              cold.at("result").toString(0));
+
+    lo.server.stop();
+}
+
+TEST(ServeIntegration, SubmittedPrecedesResultAndCarriesKey)
+{
+    Loopback lo;
+    ScopedLogCapture quiet;
+    ASSERT_TRUE(lo.client.send(smokeSubmit(false)));
+    Json frame;
+    ASSERT_TRUE(lo.client.recv(frame));
+    EXPECT_EQ(frame.at("type").asString(), "submitted");
+    const std::string key = frame.at("key").asString();
+    EXPECT_EQ(key.size(), 64u); // sha256 hex
+    ASSERT_TRUE(lo.client.recv(frame));
+    EXPECT_EQ(frame.at("type").asString(), "result");
+    EXPECT_EQ(frame.at("key").asString(), key);
+    lo.server.stop();
+}
+
+TEST(ServeIntegration, CancelRunningJobYieldsCancelledOutcome)
+{
+    Loopback lo(1);
+    ScopedLogCapture quiet;
+
+    // A multi-point sweep with progress streaming: after the first
+    // progress frame the job is mid-campaign, and the cancel token
+    // is polled between the remaining points.
+    Json req = smokeSubmit(true);
+    Json options = Json::object();
+    options.set("scale", Json::number(0.05));
+    options.set("warmup", Json::number(std::uint64_t{0}));
+    options.set("seed", Json::number(std::uint64_t{42}));
+    options.set("workloads", Json::string("xsbench,spmv"));
+    options.set("schemes", Json::string("DECTED,Killi 1:256"));
+    options.set("stats_interval", Json::number(std::uint64_t{2000}));
+    req.set("options", std::move(options));
+
+    ASSERT_TRUE(lo.client.send(req));
+    Json frame;
+    ASSERT_TRUE(lo.client.recv(frame));
+    ASSERT_EQ(frame.at("type").asString(), "submitted");
+    const std::uint64_t id =
+        std::uint64_t(frame.at("id").asDouble());
+
+    ASSERT_TRUE(lo.client.recv(frame));
+    ASSERT_EQ(frame.at("type").asString(), "progress");
+
+    Json cancel = Json::object();
+    cancel.set("type", Json::string("cancel"));
+    cancel.set("id", Json::number(id));
+    ASSERT_TRUE(lo.client.send(cancel));
+
+    bool sawCancelReply = false;
+    while (true) {
+        ASSERT_TRUE(lo.client.recv(frame));
+        const std::string &type = frame.at("type").asString();
+        if (type == "cancel_reply") {
+            EXPECT_TRUE(frame.at("cancelled").asBool());
+            sawCancelReply = true;
+        } else if (type == "result") {
+            break;
+        }
+    }
+    EXPECT_TRUE(sawCancelReply);
+    EXPECT_EQ(frame.at("outcome").asString(), "cancelled");
+    lo.server.stop();
+}
+
+TEST(ServeIntegration, BadRequestGetsErrorAndServerKeepsServing)
+{
+    Loopback lo;
+    Json req = Json::object();
+    req.set("type", Json::string("submit"));
+    Json options = Json::object();
+    options.set("workloads", Json::string("not_a_workload"));
+    req.set("options", std::move(options));
+    ASSERT_TRUE(lo.client.send(req));
+    Json frame;
+    ASSERT_TRUE(lo.client.recv(frame));
+    EXPECT_EQ(frame.at("type").asString(), "error");
+    EXPECT_EQ(frame.at("code").asString(), "bad_request");
+
+    Json ping = Json::object();
+    ping.set("type", Json::string("ping"));
+    ASSERT_TRUE(lo.client.send(ping));
+    ASSERT_TRUE(lo.client.recv(frame));
+    EXPECT_EQ(frame.at("type").asString(), "pong");
+    lo.server.stop();
+}
+
+TEST(ServeIntegration, DrainRequestAcksFlushesAndCloses)
+{
+    ServerOptions so;
+    so.socketPath = "serve_test_drain.sock";
+    so.threads = 1;
+    Server server(so);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    Client client;
+    ASSERT_TRUE(client.connectUnix(so.socketPath, &err)) << err;
+    Json drain = Json::object();
+    drain.set("type", Json::string("drain"));
+    ASSERT_TRUE(client.send(drain));
+    Json frame;
+    ASSERT_TRUE(client.recv(frame));
+    EXPECT_EQ(frame.at("type").asString(), "draining");
+    // With nothing in flight the daemon flushes and closes.
+    EXPECT_FALSE(client.recv(frame));
+    server.waitDone();
+    EXPECT_NE(::access(so.socketPath.c_str(), F_OK), 0)
+        << "socket not unlinked after drain";
+}
+
+TEST(ServeIntegration, Barrage200RequestsBoundedQueueCleanDrain)
+{
+    constexpr unsigned kClients = 8;
+    constexpr unsigned kPerClient = 25;
+    constexpr std::size_t kMaxQueue = 8;
+
+    ServerOptions so;
+    so.port = 0;
+    so.threads = 2;
+    so.maxQueue = kMaxQueue;
+    Server server(so);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+    ScopedLogCapture quiet;
+
+    // Every request is the same tiny point, pipelined without
+    // waiting: the daemon must bound its queue (rejecting the
+    // overflow) and answer everything else, increasingly from the
+    // cache once the first computation lands.
+    Json req = Json::object();
+    req.set("type", Json::string("submit"));
+    Json options = Json::object();
+    options.set("scale", Json::number(0.002));
+    options.set("warmup", Json::number(std::uint64_t{0}));
+    options.set("seed", Json::number(std::uint64_t{42}));
+    options.set("workloads", Json::string("spmv"));
+    options.set("schemes", Json::string("DECTED"));
+    req.set("options", std::move(options));
+    req.set("stream", Json::boolean(false));
+
+    std::atomic<unsigned> done{0}, rejected{0}, other{0};
+    std::vector<std::thread> threads;
+    for (unsigned c = 0; c < kClients; ++c) {
+        threads.emplace_back([&] {
+            Client client;
+            std::string cerr;
+            ASSERT_TRUE(client.connectTcp(server.boundPort(), &cerr))
+                << cerr;
+            for (unsigned i = 0; i < kPerClient; ++i)
+                ASSERT_TRUE(client.send(req, &cerr)) << cerr;
+            unsigned terminals = 0;
+            while (terminals < kPerClient) {
+                Json frame;
+                ASSERT_TRUE(client.recv(frame, &cerr)) << cerr;
+                if (frame.at("type").asString() != "result")
+                    continue;
+                ++terminals;
+                const std::string &outcome =
+                    frame.at("outcome").asString();
+                if (outcome == "done")
+                    ++done;
+                else if (outcome == "rejected")
+                    ++rejected;
+                else
+                    ++other;
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    EXPECT_EQ(done + rejected + other, kClients * kPerClient);
+    EXPECT_EQ(other.load(), 0u);
+    EXPECT_GE(done.load(), 1u);
+
+    // The queue stayed bounded throughout.
+    Client statsClient;
+    ASSERT_TRUE(statsClient.connectTcp(server.boundPort(), &err))
+        << err;
+    Json statsReq = Json::object();
+    statsReq.set("type", Json::string("stats"));
+    ASSERT_TRUE(statsClient.send(statsReq));
+    Json reply;
+    ASSERT_TRUE(statsClient.recv(reply));
+    const Json &stats = reply.at("stats");
+    EXPECT_LE(stats.at("scheduler").at("peak_queued").asInt(),
+              std::int64_t(kMaxQueue));
+    const Json &outcomes = stats.at("outcomes");
+    EXPECT_EQ(std::uint64_t(outcomes.at("done").asDouble()) +
+                  std::uint64_t(
+                      outcomes.at("cache_hits").asDouble()),
+              std::uint64_t(done.load()));
+    EXPECT_EQ(std::uint64_t(outcomes.at("rejected").asDouble()),
+              std::uint64_t(rejected.load()));
+    // Every submit consulted the cache (hits depend on timing: a
+    // pipelined submit only hits once the first computation lands).
+    EXPECT_GE(stats.at("cache").at("misses").asInt(), 1);
+
+    server.stop(); // clean drain with clients gone
+}
+
+TEST(ServeIntegration, StatsExposeLatencyQuantiles)
+{
+    Loopback lo;
+    ScopedLogCapture quiet;
+    Json terminal;
+    std::string err;
+    ASSERT_TRUE(
+        lo.client.submit(smokeSubmit(false), terminal, {}, &err))
+        << err;
+    Json statsReq = Json::object();
+    statsReq.set("type", Json::string("stats"));
+    ASSERT_TRUE(lo.client.send(statsReq));
+    Json reply;
+    ASSERT_TRUE(lo.client.recv(reply));
+    const Json &lat = reply.at("stats").at("latency");
+    EXPECT_EQ(lat.at("count").asInt(), 1);
+    EXPECT_GE(lat.at("p99_s").asDouble(), lat.at("p50_s").asDouble());
+    lo.server.stop();
+}

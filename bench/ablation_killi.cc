@@ -17,12 +17,14 @@
  */
 
 #include <iostream>
+#include <memory>
 
 #include "bench/sweep.hh"
 #include "common/log.hh"
 #include "common/table.hh"
 #include "fault/fault_map.hh"
-#include "fault/voltage_model.hh"
+#include "fault/fault_model.hh"
+#include "fault/scenario_spec.hh"
 #include "killi/killi.hh"
 #include "runner/runner.hh"
 
@@ -159,11 +161,15 @@ main(int argc, char **argv)
         for (std::size_t vi = 0; vi < list.size(); ++vi) {
             jobs.push_back(
                 {wlName + "/" + list[vi].name, [&, wi, vi, wlName] {
-                     const VoltageModel model;
                      GpuParams gp;
-                     FaultMap faults(gp.l2Geom.numLines(), 720,
-                                     model, seed);
-                     faults.setVoltage(voltage);
+                     ScenarioSpec spec;
+                     spec.seed = seed;
+                     spec.voltage = voltage;
+                     const std::unique_ptr<FaultModel> model =
+                         FaultModel::fromScenario(spec);
+                     const std::unique_ptr<FaultMap> faultsPtr =
+                         model->buildMap(gp.l2Geom.numLines(), 720);
+                     FaultMap &faults = *faultsPtr;
                      const auto wl = makeWorkload(wlName, scale);
                      KilliProtection prot(faults, list[vi].params);
                      GpuSystem sys(gp, prot, *wl);

@@ -61,8 +61,9 @@ runRemote(const SweepOptions &opt, const std::string &socketPath,
     options.set("scale", Json::number(opt.scale));
     options.set("warmup",
                 Json::number(std::uint64_t(opt.warmupPasses)));
-    options.set("voltage", Json::number(opt.voltage));
-    options.set("seed", Json::number(opt.seed));
+    // The resolved scenario already folds in any voltage=/seed=
+    // overrides, so it is the complete fault configuration.
+    options.set("scenario", opt.scenario.toJson());
     options.set("stats_interval",
                 Json::number(std::uint64_t(opt.statsInterval)));
     options.set("workloads", Json::string(joinList(opt.workloads)));

@@ -300,6 +300,7 @@ main(int argc, char **argv)
     if (!skipE2e.value()) {
         SweepOptions sw;
         sw.scale = scale.value();
+        sw.scenario.seed = seed.value();
         sw.seed = seed.value();
         sw.jobs = 1;
         sw.workloads = {workload.value()};

@@ -11,12 +11,14 @@
  */
 
 #include <iostream>
+#include <memory>
 
 #include "baselines/precharacterized.hh"
 #include "bench/report.hh"
 #include "common/table.hh"
 #include "fault/fault_map.hh"
-#include "fault/voltage_model.hh"
+#include "fault/fault_model.hh"
+#include "fault/scenario_spec.hh"
 #include "gpu/gpu_system.hh"
 #include "killi/killi.hh"
 
@@ -45,8 +47,6 @@ main(int argc, char **argv)
     declareJsonOption(opts, "softerror_resilience");
     opts.parse(argc, argv);
 
-    const VoltageModel model;
-
     std::cout << "=== Soft-error resilience at " << voltage.value()
               << "xVDD (adjacent-pair fraction " << burst.value()
               << ") ===\n\n";
@@ -63,8 +63,14 @@ main(int argc, char **argv)
             gp.l2.softErrorRatePerBitCycle = rate;
             gp.l2.softErrorBurstFraction = burst;
             gp.l2.maintenanceInterval = scrubber ? 50000 : 0;
-            FaultMap faults(gp.l2Geom.numLines(), 720, model, seed);
-            faults.setVoltage(voltage);
+            ScenarioSpec spec;
+            spec.seed = seed;
+            spec.voltage = voltage;
+            const std::unique_ptr<FaultModel> model =
+                FaultModel::fromScenario(spec);
+            const std::unique_ptr<FaultMap> faultsPtr =
+                model->buildMap(gp.l2Geom.numLines(), 720);
+            FaultMap &faults = *faultsPtr;
 
             std::unique_ptr<ProtectionScheme> prot;
             std::size_t disabledEnd = 0;

@@ -12,6 +12,7 @@
 #include "baselines/precharacterized.hh"
 #include "common/log.hh"
 #include "fault/fault_map.hh"
+#include "fault/fault_model.hh"
 #include "fault/voltage_model.hh"
 #include "killi/killi.hh"
 #include "trace/trace.hh"
@@ -113,11 +114,18 @@ RunResult
 runPoint(const SweepOptions &opt, const std::string &wlName,
          const SchemeSpec *scheme, Json *seriesOut)
 {
-    const VoltageModel model;
+    // The scenario is the single source of truth for the fault
+    // population: the model samples the die (deterministic in the
+    // scenario's seed) and activates its first operating point, so
+    // every point sees the identical die. The default iid scenario
+    // reproduces the historical direct construction bit-identically.
+    const std::unique_ptr<FaultModel> model =
+        FaultModel::fromScenario(opt.scenario);
     GpuParams gp;
     gp.statsInterval = opt.statsInterval;
-    FaultMap faults(gp.l2Geom.numLines(), 720, model, opt.seed);
-    faults.setVoltage(opt.voltage);
+    const std::unique_ptr<FaultMap> faultsPtr =
+        model->buildMap(gp.l2Geom.numLines(), 720);
+    FaultMap &faults = *faultsPtr;
     const auto wl = makeWorkload(wlName, opt.scale);
 
     TraceSink sink;
@@ -190,10 +198,18 @@ declareSweepOptions(Options &opts, const std::string &benchName,
     opts.add<unsigned>("warmup", 2u,
                        "warmup passes excluded from stats")
         .range(0u, 16u);
+    opts.add("scenario", "",
+             "fault scenario: path to a killi-scenario-v1 JSON file "
+             "or inline JSON (see SCENARIOS.md); empty runs the "
+             "default iid scenario");
     opts.add<double>("voltage", 0.625, "normalized L2 supply")
-        .range(0.5, 1.0);
+        .range(0.5, 1.0)
+        .deprecate("fold into scenario= (still honored as an "
+                   "override of the scenario's voltage)");
     opts.add<std::uint64_t>("seed", std::uint64_t{42},
-                            "fault-map die seed");
+                            "fault-map die seed")
+        .deprecate("fold into scenario= (still honored as an "
+                   "override of the scenario's seed)");
     opts.add("workloads", "",
              "comma-separated workload subset (default: all ten)");
     opts.add("schemes", "",
@@ -230,8 +246,24 @@ sweepOptions(const Options &opts)
     SweepOptions opt;
     opt.scale = opts.get<double>("scale");
     opt.warmupPasses = opts.get<unsigned>("warmup");
-    opt.voltage = opts.get<double>("voltage");
-    opt.seed = opts.get<std::uint64_t>("seed");
+    // Scenario-first resolution: scenario= (file or inline JSON)
+    // supplies the spec; the deprecated voltage=/seed= spellings
+    // still override its fields when explicitly set, so existing
+    // invocations keep their meaning.
+    const std::string scenarioText =
+        opts.get<std::string>("scenario");
+    if (!scenarioText.empty())
+        opt.scenario = ScenarioSpec::fromString(scenarioText);
+    if (opts.has("voltage"))
+        opt.scenario.voltage = opts.get<double>("voltage");
+    if (opts.has("seed"))
+        opt.scenario.seed = opts.get<std::uint64_t>("seed");
+    // Mirrors for reporting; droop scenarios start at their
+    // schedule's first operating point.
+    opt.voltage = FaultModel::fromScenario(opt.scenario)
+                      ->voltageSchedule()
+                      .front();
+    opt.seed = opt.scenario.seed;
     opt.jobs = opts.get<unsigned>("jobs");
     opt.retries = opts.get<unsigned>("retries");
     opt.jsonPath = opts.get<std::string>("json");
@@ -402,6 +434,7 @@ sweepToJson(const SweepOptions &opt, const SweepResult &result)
     sweepObj.set("voltage", Json::number(opt.voltage));
     sweepObj.set("seed", Json::number(std::uint64_t(opt.seed)));
     sweepObj.set("jobs", Json::number(std::int64_t(opt.jobs)));
+    sweepObj.set("scenario", opt.scenario.toJson());
 
     Json workloadArray = Json::array();
     for (const WorkloadSweep &sweep : result.workloads) {

@@ -26,6 +26,7 @@
 
 #include "common/json.hh"
 #include "common/options.hh"
+#include "fault/scenario_spec.hh"
 #include "gpu/gpu_system.hh"
 #include "runner/runner.hh"
 
@@ -52,6 +53,16 @@ struct SweepOptions
 {
     double scale = 1.0;
     unsigned warmupPasses = 2;
+    /**
+     * The fault scenario every sweep point instantiates through
+     * FaultModel::fromScenario(). The default spec reproduces the
+     * historical iid behaviour bit-identically. voltage/seed below
+     * are read-side mirrors of scenario.voltage/scenario.seed kept
+     * for reporting; sweepOptions() and kserved keep them in sync,
+     * and code constructing SweepOptions programmatically should set
+     * the scenario (or use the mirrors' defaults).
+     */
+    ScenarioSpec scenario;
     double voltage = 0.625;
     std::uint64_t seed = 42;
     /** Worker threads for the campaign (0 = all hardware threads). */

@@ -8,12 +8,14 @@
  */
 
 #include <iostream>
+#include <memory>
 
 #include "analysis/mbist.hh"
 #include "bench/report.hh"
 #include "common/table.hh"
 #include "fault/fault_map.hh"
-#include "fault/voltage_model.hh"
+#include "fault/fault_model.hh"
+#include "fault/scenario_spec.hh"
 #include "gpu/gpu_system.hh"
 #include "killi/killi.hh"
 
@@ -55,10 +57,15 @@ main(int argc, char **argv)
     amort.print(std::cout);
 
     // Killi's alternative: one cold training pass, measured.
-    const VoltageModel model;
     GpuParams gp;
-    FaultMap faults(gp.l2Geom.numLines(), 720, model, 42);
-    faults.setVoltage(0.625);
+    ScenarioSpec spec;
+    spec.seed = 42;
+    spec.voltage = 0.625;
+    const std::unique_ptr<FaultModel> model =
+        FaultModel::fromScenario(spec);
+    const std::unique_ptr<FaultMap> faultsPtr =
+        model->buildMap(gp.l2Geom.numLines(), 720);
+    FaultMap &faults = *faultsPtr;
     const auto wl = makeWorkload("xsbench", scale);
 
     FaultFreeProtection baseProt;

@@ -9,12 +9,14 @@
  */
 
 #include <iostream>
+#include <memory>
 
 #include "baselines/precharacterized.hh"
 #include "common/options.hh"
 #include "common/table.hh"
 #include "fault/fault_map.hh"
-#include "fault/voltage_model.hh"
+#include "fault/fault_model.hh"
+#include "fault/scenario_spec.hh"
 #include "gpu/gpu_system.hh"
 #include "killi/killi.hh"
 
@@ -85,10 +87,15 @@ main(int argc, char **argv)
             .range(1, 100000000);
     opts.parse(argc, argv);
 
-    const VoltageModel model;
     GpuParams gp;
-    FaultMap faults(gp.l2Geom.numLines(), 720, model, /*seed=*/4);
-    faults.setVoltage(voltage);
+    ScenarioSpec spec;
+    spec.seed = 4;
+    spec.voltage = voltage;
+    const std::unique_ptr<FaultModel> model =
+        FaultModel::fromScenario(spec);
+    const std::unique_ptr<FaultMap> faultsPtr =
+        model->buildMap(gp.l2Geom.numLines(), 720);
+    FaultMap &faults = *faultsPtr;
 
     const PipelineWorkload wl(ops);
 

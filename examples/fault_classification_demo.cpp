@@ -9,11 +9,13 @@
  */
 
 #include <iostream>
+#include <memory>
 
 #include "cache/protection.hh"
 #include "common/options.hh"
 #include "fault/fault_map.hh"
-#include "fault/voltage_model.hh"
+#include "fault/fault_model.hh"
+#include "fault/scenario_spec.hh"
 #include "killi/killi.hh"
 
 using namespace killi;
@@ -57,10 +59,15 @@ main(int argc, char **argv)
                  "Guided tour of Killi's Table 2 DFH state machine");
     opts.parse(argc, argv); // no knobs; accepts --help
 
-    const VoltageModel model;
     const CacheGeometry geom{16 * 1024, 16, 64, 2};
-    FaultMap faults(geom.numLines(), 720, model, /*seed=*/3);
-    faults.setVoltage(1.0); // plant everything explicitly
+    ScenarioSpec spec;
+    spec.seed = 3;
+    spec.voltage = 1.0; // plant everything explicitly
+    const std::unique_ptr<FaultModel> model =
+        FaultModel::fromScenario(spec);
+    const std::unique_ptr<FaultMap> faultsPtr =
+        model->buildMap(geom.numLines(), 720);
+    FaultMap &faults = *faultsPtr;
 
     DemoHost host;
     KilliProtection killi(faults, KilliParams{});

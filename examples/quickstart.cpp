@@ -8,10 +8,12 @@
  */
 
 #include <iostream>
+#include <memory>
 
 #include "common/options.hh"
 #include "fault/fault_map.hh"
-#include "fault/voltage_model.hh"
+#include "fault/fault_model.hh"
+#include "fault/scenario_spec.hh"
 #include "gpu/gpu_system.hh"
 #include "killi/killi.hh"
 
@@ -39,10 +41,16 @@ main(int argc, char **argv)
     GpuParams gp;
 
     // 2. A die's persistent LV fault population, activated for the
-    //    chosen operating point.
-    const VoltageModel model;
-    FaultMap faults(gp.l2Geom.numLines(), 720, model, /*seed=*/1);
-    faults.setVoltage(voltage);
+    //    chosen operating point. The scenario spec is the same
+    //    replayable payload kcheck and kserved consume (SCENARIOS.md).
+    ScenarioSpec spec;
+    spec.seed = 1;
+    spec.voltage = voltage;
+    const std::unique_ptr<FaultModel> model =
+        FaultModel::fromScenario(spec);
+    const std::unique_ptr<FaultMap> faultsPtr =
+        model->buildMap(gp.l2Geom.numLines(), 720);
+    FaultMap &faults = *faultsPtr;
     const auto hist = faults.histogram(516);
     std::cout << "Fault population of the L2 at " << voltage.value()
               << "xVDD:\n  " << hist.zero << " fault-free lines, "

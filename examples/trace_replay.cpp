@@ -11,10 +11,12 @@
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "common/options.hh"
 #include "fault/fault_map.hh"
-#include "fault/voltage_model.hh"
+#include "fault/fault_model.hh"
+#include "fault/scenario_spec.hh"
 #include "gpu/gpu_system.hh"
 #include "gpu/trace_workload.hh"
 #include "killi/killi.hh"
@@ -63,10 +65,14 @@ main(int argc, char **argv)
               << "\n\n";
 
     // 3. The same trace through Killi at the LV operating point.
-    const VoltageModel model;
-    FaultMap faults(gp.l2Geom.numLines(), 720, model, 1);
-    faults.setVoltage(0.625);
-    KilliProtection killi(faults, KilliParams{});
+    ScenarioSpec spec;
+    spec.seed = 1;
+    spec.voltage = 0.625;
+    const std::unique_ptr<FaultModel> model =
+        FaultModel::fromScenario(spec);
+    const std::unique_ptr<FaultMap> faultsPtr =
+        model->buildMap(gp.l2Geom.numLines(), 720);
+    KilliProtection killi(*faultsPtr, KilliParams{});
     GpuSystem sysC(gp, killi, *replay);
     const RunResult c = sysC.run();
     std::cout << "trace under " << killi.name() << " @0.625xVDD: "

@@ -11,6 +11,7 @@
  */
 
 #include <iostream>
+#include <memory>
 
 #include "analysis/area.hh"
 #include "analysis/coverage.hh"
@@ -18,7 +19,8 @@
 #include "common/options.hh"
 #include "common/table.hh"
 #include "fault/fault_map.hh"
-#include "fault/voltage_model.hh"
+#include "fault/fault_model.hh"
+#include "fault/scenario_spec.hh"
 #include "gpu/gpu_system.hh"
 #include "killi/killi.hh"
 
@@ -41,10 +43,19 @@ main(int argc, char **argv)
             .range(0.001, 1000.0);
     opts.parse(argc, argv);
 
-    const VoltageModel model;
     const CoverageModel coverage;
     GpuParams gp;
-    FaultMap faults(gp.l2Geom.numLines(), 720, model, seed);
+    // Built at nominal voltage; the sweep below only ever lowers V,
+    // so the iid model's monotone declaration holds.
+    ScenarioSpec spec;
+    spec.seed = seed;
+    spec.voltage = 1.0;
+    const std::unique_ptr<FaultModel> fmodel =
+        FaultModel::fromScenario(spec);
+    const std::unique_ptr<FaultMap> faultsPtr =
+        fmodel->buildMap(gp.l2Geom.numLines(), 720);
+    FaultMap &faults = *faultsPtr;
+    const VoltageModel &model = fmodel->voltageModel();
     const auto wl = makeWorkload("xsbench", scale);
     const auto eccRatio = static_cast<std::size_t>(ratio.value());
 

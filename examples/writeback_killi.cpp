@@ -13,11 +13,13 @@
  */
 
 #include <iostream>
+#include <memory>
 
 #include "common/options.hh"
 #include "common/table.hh"
 #include "fault/fault_map.hh"
-#include "fault/voltage_model.hh"
+#include "fault/fault_model.hh"
+#include "fault/scenario_spec.hh"
 #include "gpu/gpu_system.hh"
 #include "killi/killi.hh"
 
@@ -41,7 +43,6 @@ main(int argc, char **argv)
             .choices({16, 32, 64, 128, 256});
     opts.parse(argc, argv);
 
-    const VoltageModel model;
     const auto wl = makeWorkload(wlName, 0.5);
 
     TextTable table;
@@ -52,8 +53,14 @@ main(int argc, char **argv)
                          bool invertedWrite) {
         GpuParams gp;
         gp.l2.writePolicy = policy;
-        FaultMap faults(gp.l2Geom.numLines(), 720, model, 11);
-        faults.setVoltage(voltage);
+        ScenarioSpec spec;
+        spec.seed = 11;
+        spec.voltage = voltage;
+        const std::unique_ptr<FaultModel> model =
+            FaultModel::fromScenario(spec);
+        const std::unique_ptr<FaultMap> faultsPtr =
+            model->buildMap(gp.l2Geom.numLines(), 720);
+        FaultMap &faults = *faultsPtr;
 
         KilliParams kp;
         kp.ratio = static_cast<std::size_t>(ratio.value());

@@ -10,7 +10,8 @@
 #include "ecc/codec_factory.hh"
 #include "ecc/parity.hh"
 #include "fault/fault_map.hh"
-#include "fault/voltage_model.hh"
+#include "fault/fault_model.hh"
+#include "fault/scenario_spec.hh"
 #include "killi/killi.hh"
 #include "sim/golden.hh"
 
@@ -28,6 +29,23 @@ constexpr std::size_t kMapBits = 720;
 /** Die seed for the sampled (background) fault population; both
  *  harnesses must construct identical maps. */
 constexpr std::uint64_t kDieSeed = 1;
+
+/**
+ * The fault-model spec backing a harness map. With no background
+ * model the scenario degrades to an iid spec at 1.0xVDD where no
+ * sampled cell is active — bit-identical to the planted-faults-only
+ * maps every pre-existing corpus seed was checked against.
+ */
+ScenarioSpec
+harnessSpec(const Scenario &sc)
+{
+    if (sc.faultModel)
+        return *sc.faultModel;
+    ScenarioSpec spec;
+    spec.seed = kDieSeed;
+    spec.voltage = 1.0;
+    return spec;
+}
 
 std::string
 fmt(const char *f, ...)
@@ -54,7 +72,9 @@ class SchemeHarness : public L2Backdoor
                   CheckResult &out, std::size_t maxViolations)
         : scenario(sc), isKilli(killiScheme), result(out),
           cap(maxViolations),
-          faults(sc.numLines, kMapBits, model, kDieSeed),
+          fmodel(FaultModel::fromScenario(harnessSpec(sc))),
+          faultsOwned(fmodel->buildMap(sc.numLines, kMapBits)),
+          faults(*faultsOwned),
           fineLayout(kDataBits, sc.params.segments,
                      sc.params.interleavedParity),
           foldedLayout(kDataBits, sc.params.groups,
@@ -62,7 +82,10 @@ class SchemeHarness : public L2Backdoor
           secded(makeCode(CodeKind::Secded, kDataBits)),
           strong(makeCode(CodeKind::Dected, kDataBits))
     {
-        faults.setVoltage(1.0); // planted faults only
+        // buildMap() already parked the map at the spec's operating
+        // point (1.0xVDD when no background model, i.e. planted
+        // faults only); planted cells sit on top of whatever the
+        // model sampled and are active at any voltage.
         for (const PlantedFault &f : sc.faults)
             faults.plantFault(f.line, f.bit, f.stuck);
 
@@ -720,8 +743,12 @@ class SchemeHarness : public L2Backdoor
     Tick tick = 0;
     TraceSink *trace = nullptr;
 
-    const VoltageModel model;
-    FaultMap faults;
+    // The model owns the voltage curve the map dereferences, so it
+    // must outlive the map; the reference keeps ~200 call sites
+    // below reading naturally.
+    const std::unique_ptr<FaultModel> fmodel;
+    const std::unique_ptr<FaultMap> faultsOwned;
+    FaultMap &faults;
     GoldenMemory golden;
     SegmentedParity fineLayout;
     SegmentedParity foldedLayout;

@@ -174,6 +174,45 @@ Scenario::generate(std::uint64_t seed)
             op.kind = OpKind::Scrub;
         s.trace.push_back(op);
     }
+
+    // Background fault model, drawn after everything else: the
+    // knobs/faults/trace of every pre-existing seed consumed exactly
+    // the prefix of the stream read above, so appending draws here
+    // keeps their replays bit-identical. ~30% of cases layer a
+    // correlated population under the planted faults, cycling the
+    // scenario classes.
+    if (rng.bernoulli(0.3)) {
+        ScenarioSpec spec;
+        spec.seed = rng.next64();
+        // Light-to-moderate background densities; the planted faults
+        // above remain the aimed stress.
+        spec.voltage = 0.60 + 0.025 * double(rng.below(3));
+        const char *models[] = {"clustered", "burst", "droop"};
+        spec.model = models[rng.below(3)];
+        std::string shape = spec.model;
+        if (spec.model == "droop") {
+            const char *bases[] = {"iid", "clustered", "burst"};
+            spec.droop.base = bases[rng.below(3)];
+            const std::size_t steps = 2 + rng.below(3);
+            for (std::size_t i = 0; i < steps; ++i) {
+                spec.droop.schedule.push_back(
+                    0.575 + 0.025 * double(rng.below(5)));
+            }
+            shape = spec.droop.base;
+        }
+        if (shape == "clustered") {
+            spec.cluster.rowFrac = 0.05;
+            spec.cluster.rowBoost = rng.bernoulli(0.5) ? 8.0 : 32.0;
+            spec.cluster.colFrac = 0.02;
+            spec.cluster.colBoost = rng.bernoulli(0.5) ? 4.0 : 16.0;
+            spec.cluster.clusterRate = 0.004;
+            spec.cluster.clusterP = 0.5;
+        } else if (shape == "burst") {
+            spec.burst.burstRate = rng.bernoulli(0.5) ? 0.02 : 0.05;
+            spec.burst.pWithin = 0.75;
+        }
+        s.faultModel = spec;
+    }
     return s;
 }
 
@@ -228,6 +267,8 @@ Scenario::toJson() const
         traceArr.push(std::move(entry));
     }
     doc.set("trace", std::move(traceArr));
+    if (faultModel)
+        doc.set("fault_model", faultModel->toJson());
     return doc;
 }
 
@@ -292,6 +333,9 @@ Scenario::fromJson(const Json &doc)
             fatal("scenario: transient bit %u out of range", op.bit);
         s.trace.push_back(op);
     }
+
+    if (doc.contains("fault_model"))
+        s.faultModel = ScenarioSpec::fromJson(doc.at("fault_model"));
     return s;
 }
 
@@ -310,7 +354,8 @@ Scenario::summary() const
     return "seed=" + std::to_string(seed) +
         " ratio=1:" + std::to_string(params.ratio) + knobs +
         " faults=" + std::to_string(faults.size()) +
-        " ops=" + std::to_string(trace.size());
+        " ops=" + std::to_string(trace.size()) +
+        (faultModel ? " model=" + faultModel->model : "");
 }
 
 } // namespace killi::check

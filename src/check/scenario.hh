@@ -20,11 +20,13 @@
 #define KILLI_CHECK_SCENARIO_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "cache/geometry.hh"
 #include "common/json.hh"
+#include "fault/scenario_spec.hh"
 #include "killi/killi.hh"
 
 namespace killi::check
@@ -78,6 +80,17 @@ struct Scenario
     KilliParams params;
     std::vector<PlantedFault> faults;
     std::vector<TraceOp> trace;
+    /**
+     * Optional background fault model (killi-scenario-v1 spec, see
+     * SCENARIOS.md): when present, the checker builds the fault map
+     * through FaultModel::fromScenario() at the spec's operating
+     * point and plants `faults` on top, so correlated populations
+     * (clustered rows/columns, bursts, droop regimes) flow through
+     * the differential properties too. Absent reproduces the
+     * planted-faults-only behaviour of every pre-existing seed
+     * bit-identically.
+     */
+    std::optional<ScenarioSpec> faultModel;
 
     /** Host-cache shape implied by numLines. */
     CacheGeometry geometry() const;

@@ -86,6 +86,18 @@ shrinkWith(const Scenario &failing,
                 return accepts(candidate);
             });
 
+        // Pass 2a: drop the background fault model — a violation that
+        // reproduces on a planted-only map implicates the DFH/ECC
+        // logic directly rather than the sampled population.
+        if (best.faultModel && evaluations < maxEvals) {
+            Scenario candidate = best;
+            candidate.faultModel.reset();
+            if (accepts(candidate)) {
+                best = std::move(candidate);
+                progress = true;
+            }
+        }
+
         // Pass 2: remove planted faults.
         if (!best.faults.empty()) {
             progress |= chunkRemoval(

@@ -164,9 +164,38 @@ FaultMap::FaultMap(std::size_t num_lines, std::size_t line_bits,
     setVoltage(1.0);
 }
 
+FaultMap::FaultMap(std::vector<std::vector<FaultCell>> population,
+                   std::size_t line_bits, const VoltageModel &model,
+                   double freq_ghz)
+    : bitsPerLine(line_bits), freqGHz(freq_ghz), vModel(&model),
+      lines(std::move(population))
+{
+    if (line_bits > 0xFFFF)
+        fatal("FaultMap: line width %zu exceeds 16-bit positions",
+              line_bits);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::vector<FaultCell> &cells = lines[i];
+        for (std::size_t j = 0; j < cells.size(); ++j) {
+            if (cells[j].bit >= line_bits)
+                fatal("FaultMap: population line %zu cell %u outside "
+                      "%zu-bit line", i, cells[j].bit, line_bits);
+            if (j > 0 && cells[j].bit <= cells[j - 1].bit)
+                fatal("FaultMap: population line %zu not sorted "
+                      "strictly by bit at position %zu", i, j);
+        }
+    }
+    active.resize(lines.size());
+    transientFlips.resize(lines.size());
+    setVoltage(1.0);
+}
+
 void
 FaultMap::setVoltage(double vNorm)
 {
+    if (monotoneDeclared && vNorm > currentV)
+        fatal("FaultMap::setVoltage: raising %.4g -> %.4g violates "
+              "the declared monotone voltage regime (only droop-"
+              "scheduled models may raise V)", currentV, vNorm);
     currentV = vNorm;
     const double p = vModel->pCell(vNorm, freqGHz);
     for (std::size_t i = 0; i < lines.size(); ++i) {

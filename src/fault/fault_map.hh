@@ -62,6 +62,14 @@ class FaultMap
 {
   public:
     /**
+     * Direct iid construction.
+     *
+     * @deprecated New code should build maps through
+     * FaultModel::fromScenario() (fault_model.hh), which covers the
+     * correlated scenario classes too; these constructors remain as
+     * the iid model's sampling shim (IidStuckAt delegates here, and
+     * tests/scenario_spec_test.cc pins the bit-identity).
+     *
      * @param num_lines number of physical lines in the array
      * @param line_bits LV-vulnerable bits per line (data + any
      *                  co-located metadata such as stored parity or
@@ -81,6 +89,17 @@ class FaultMap
              const VoltageModel &model, std::uint64_t seed,
              double freq_ghz, FaultSampling sampling);
 
+    /**
+     * Adopt an externally sampled potential-fault population (the
+     * correlated FaultModel classes build these). Each line's cells
+     * must be sorted strictly ascending by bit with positions inside
+     * [0, line_bits); violations are fatal(). The map starts at
+     * 1.0 x VDD like the sampling constructors.
+     */
+    FaultMap(std::vector<std::vector<FaultCell>> population,
+             std::size_t line_bits, const VoltageModel &model,
+             double freq_ghz = 1.0);
+
     std::size_t numLines() const { return lines.size(); }
     std::size_t lineBits() const { return bitsPerLine; }
     double voltage() const { return currentV; }
@@ -89,9 +108,25 @@ class FaultMap
     /**
      * Activate the fault population for operating voltage @p vNorm.
      * Mirrors a DVFS transition; callers (e.g.\ Killi) must reset
-     * their learned state, as the paper requires.
+     * their learned state, as the paper requires. If the owning
+     * model declared monotonicity, raising the voltage is fatal()
+     * (see declareMonotoneVoltage()).
      */
     void setVoltage(double vNorm);
+
+    /**
+     * Declare whether this map lives in a monotone voltage regime.
+     * Under the DAC'17 superset invariant voltage only ever steps
+     * down after construction, and a raise is a caller bug —
+     * setVoltage() rejects it once monotonicity is declared. Models
+     * with a droop schedule (FaultModel::monotoneVoltage() == false)
+     * leave it undeclared so raising V is legal. Direct-constructed
+     * maps default to undeclared for compatibility.
+     */
+    void declareMonotoneVoltage(bool monotone)
+    {
+        monotoneDeclared = monotone;
+    }
 
     /** Active faulty cells of @p line at the current voltage. */
     const std::vector<FaultCell> &lineFaults(std::size_t line) const
@@ -183,6 +218,7 @@ class FaultMap
     std::size_t bitsPerLine;
     double freqGHz;
     double currentV = 1.0;
+    bool monotoneDeclared = false;
     const VoltageModel *vModel;
 
     /** Potential faults per line, sorted ascending by bit (the

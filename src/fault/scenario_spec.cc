@@ -1,0 +1,412 @@
+#include "fault/scenario_spec.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.hh"
+#include "common/options.hh"
+#include "fault/voltage_model.hh"
+
+namespace killi
+{
+
+namespace
+{
+
+constexpr const char *kFormat = "killi-scenario-v1";
+
+bool
+knownModel(const std::string &name)
+{
+    return name == "iid" || name == "clustered" || name == "burst" ||
+           name == "droop";
+}
+
+/** Accumulates the first parse error; subsequent checks no-op. */
+struct ParseCtx
+{
+    bool ok = true;
+    std::string err;
+
+    void
+    fail(const std::string &message)
+    {
+        if (ok) {
+            ok = false;
+            err = "scenario: " + message;
+        }
+    }
+};
+
+double
+getNumber(ParseCtx &ctx, const Json &obj, const char *key, double dflt,
+          double lo, double hi)
+{
+    if (!ctx.ok || !obj.contains(key))
+        return dflt;
+    const Json &v = obj.at(key);
+    if (!v.isNumber()) {
+        ctx.fail(std::string(key) + " must be a number");
+        return dflt;
+    }
+    const double d = v.asDouble();
+    if (!std::isfinite(d) || d < lo || d > hi) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "%s = %g out of range [%g, %g]", key, d, lo, hi);
+        ctx.fail(buf);
+        return dflt;
+    }
+    return d;
+}
+
+unsigned
+getUnsigned(ParseCtx &ctx, const Json &obj, const char *key,
+            unsigned dflt, unsigned lo, unsigned hi)
+{
+    if (!ctx.ok || !obj.contains(key))
+        return dflt;
+    const Json &v = obj.at(key);
+    if (v.kind() != Json::Kind::Int) {
+        ctx.fail(std::string(key) + " must be an integer");
+        return dflt;
+    }
+    const std::int64_t i = v.asInt();
+    if (i < std::int64_t(lo) || i > std::int64_t(hi)) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "%s = %lld out of range [%u, %u]", key,
+                      static_cast<long long>(i), lo, hi);
+        ctx.fail(buf);
+        return dflt;
+    }
+    return static_cast<unsigned>(i);
+}
+
+void
+rejectUnknownKeys(ParseCtx &ctx, const Json &obj,
+                  const std::vector<std::string> &allowed,
+                  const char *where)
+{
+    if (!ctx.ok)
+        return;
+    for (const auto &[key, value] : obj.members()) {
+        (void)value;
+        bool known = false;
+        for (const std::string &name : allowed)
+            known |= key == name;
+        if (!known) {
+            ctx.fail("unknown " + std::string(where) + " key '" + key +
+                     "'");
+            return;
+        }
+    }
+}
+
+void
+parseClusterParams(ParseCtx &ctx, const Json &params, ClusterParams &out)
+{
+    out.rowFrac =
+        getNumber(ctx, params, "row_frac", out.rowFrac, 0.0, 1.0);
+    out.rowBoost =
+        getNumber(ctx, params, "row_boost", out.rowBoost, 1.0, 1e6);
+    out.colFrac =
+        getNumber(ctx, params, "col_frac", out.colFrac, 0.0, 1.0);
+    out.colBoost =
+        getNumber(ctx, params, "col_boost", out.colBoost, 1.0, 1e6);
+    out.clusterRate = getNumber(ctx, params, "cluster_rate",
+                                out.clusterRate, 0.0, 16.0);
+    out.clusterLines = getUnsigned(ctx, params, "cluster_lines",
+                                   out.clusterLines, 1, 1024);
+    out.clusterBits = getUnsigned(ctx, params, "cluster_bits",
+                                  out.clusterBits, 1, 0xFFFF);
+    out.clusterP =
+        getNumber(ctx, params, "cluster_p", out.clusterP, 0.0, 1.0);
+    out.clusterVmax =
+        getNumber(ctx, params, "cluster_vmax", out.clusterVmax,
+                  VoltageModel::minVoltage(), 1.0);
+}
+
+void
+parseBurstParams(ParseCtx &ctx, const Json &params, BurstParams &out)
+{
+    out.burstRate = getNumber(ctx, params, "burst_rate", out.burstRate,
+                              0.0, 16.0);
+    out.lenMinBytes = getUnsigned(ctx, params, "len_min_bytes",
+                                  out.lenMinBytes, 1, 64);
+    out.lenMaxBytes = getUnsigned(ctx, params, "len_max_bytes",
+                                  out.lenMaxBytes, 1, 64);
+    out.pWithin =
+        getNumber(ctx, params, "p_within", out.pWithin, 0.0, 1.0);
+    out.burstVmax = getNumber(ctx, params, "burst_vmax", out.burstVmax,
+                              VoltageModel::minVoltage(), 1.0);
+    if (ctx.ok && out.lenMinBytes > out.lenMaxBytes)
+        ctx.fail("len_min_bytes exceeds len_max_bytes");
+}
+
+std::vector<std::string>
+clusterKeys()
+{
+    return {"row_frac",     "row_boost",     "col_frac",
+            "col_boost",    "cluster_rate",  "cluster_lines",
+            "cluster_bits", "cluster_p",     "cluster_vmax"};
+}
+
+std::vector<std::string>
+burstKeys()
+{
+    return {"burst_rate", "len_min_bytes", "len_max_bytes", "p_within",
+            "burst_vmax"};
+}
+
+Json
+clusterJson(const ClusterParams &c)
+{
+    Json p = Json::object();
+    p.set("row_frac", Json::number(c.rowFrac));
+    p.set("row_boost", Json::number(c.rowBoost));
+    p.set("col_frac", Json::number(c.colFrac));
+    p.set("col_boost", Json::number(c.colBoost));
+    p.set("cluster_rate", Json::number(c.clusterRate));
+    p.set("cluster_lines", Json::number(std::uint64_t(c.clusterLines)));
+    p.set("cluster_bits", Json::number(std::uint64_t(c.clusterBits)));
+    p.set("cluster_p", Json::number(c.clusterP));
+    p.set("cluster_vmax", Json::number(c.clusterVmax));
+    return p;
+}
+
+Json
+burstJson(const BurstParams &b)
+{
+    Json p = Json::object();
+    p.set("burst_rate", Json::number(b.burstRate));
+    p.set("len_min_bytes", Json::number(std::uint64_t(b.lenMinBytes)));
+    p.set("len_max_bytes", Json::number(std::uint64_t(b.lenMaxBytes)));
+    p.set("p_within", Json::number(b.pWithin));
+    p.set("burst_vmax", Json::number(b.burstVmax));
+    return p;
+}
+
+} // namespace
+
+Json
+ScenarioSpec::toJson() const
+{
+    Json doc = Json::object();
+    doc.set("format", Json::string(kFormat));
+    doc.set("model", Json::string(model));
+    doc.set("seed", Json::string(std::to_string(seed)));
+    doc.set("voltage", Json::number(voltage));
+    doc.set("freq_ghz", Json::number(freqGHz));
+    if (model == "clustered") {
+        doc.set("params", clusterJson(cluster));
+    } else if (model == "burst") {
+        doc.set("params", burstJson(burst));
+    } else if (model == "droop") {
+        Json p = Json::object();
+        p.set("base", Json::string(droop.base));
+        Json sched = Json::array();
+        for (const double v : droop.schedule)
+            sched.push(Json::number(v));
+        p.set("schedule", sched);
+        if (droop.base == "clustered") {
+            const Json baseParams = clusterJson(cluster);
+            for (const auto &[key, value] : baseParams.members())
+                p.set(key, value);
+        } else if (droop.base == "burst") {
+            const Json baseParams = burstJson(burst);
+            for (const auto &[key, value] : baseParams.members())
+                p.set(key, value);
+        }
+        doc.set("params", p);
+    }
+    return doc;
+}
+
+bool
+ScenarioSpec::tryFromJson(const Json &doc, ScenarioSpec &out,
+                          std::string *err)
+{
+    ParseCtx ctx;
+    ScenarioSpec spec;
+    if (doc.kind() != Json::Kind::Object) {
+        ctx.fail("document must be a JSON object");
+    } else {
+        rejectUnknownKeys(
+            ctx, doc,
+            {"format", "model", "seed", "voltage", "freq_ghz", "params"},
+            "scenario");
+    }
+
+    if (ctx.ok && doc.contains("format")) {
+        const Json &fmt = doc.at("format");
+        if (fmt.kind() != Json::Kind::String ||
+            fmt.asString() != kFormat) {
+            ctx.fail("unsupported format (expected \"" +
+                     std::string(kFormat) + "\")");
+        }
+    }
+
+    if (ctx.ok && doc.contains("model")) {
+        const Json &m = doc.at("model");
+        if (m.kind() != Json::Kind::String || !knownModel(m.asString()))
+            ctx.fail("model must be one of iid|clustered|burst|droop");
+        else
+            spec.model = m.asString();
+    }
+
+    if (ctx.ok && doc.contains("seed")) {
+        const Json &s = doc.at("seed");
+        if (s.kind() == Json::Kind::String) {
+            std::uint64_t parsed = 0;
+            if (!tryParseUint(s.asString(), parsed))
+                ctx.fail("seed string is not a decimal uint64");
+            else
+                spec.seed = parsed;
+        } else if (s.kind() == Json::Kind::Int && s.asInt() >= 0) {
+            spec.seed = static_cast<std::uint64_t>(s.asInt());
+        } else {
+            ctx.fail("seed must be a decimal string or a non-negative "
+                     "integer");
+        }
+    }
+
+    spec.voltage = getNumber(ctx, doc, "voltage", spec.voltage,
+                             VoltageModel::minVoltage(), 1.0);
+    spec.freqGHz =
+        getNumber(ctx, doc, "freq_ghz", spec.freqGHz, 0.1, 4.0);
+
+    const Json empty = Json::object();
+    const Json &params =
+        (ctx.ok && doc.contains("params")) ? doc.at("params") : empty;
+    if (ctx.ok && params.kind() != Json::Kind::Object)
+        ctx.fail("params must be an object");
+
+    if (ctx.ok) {
+        if (spec.model == "iid") {
+            rejectUnknownKeys(ctx, params, {}, "iid params");
+        } else if (spec.model == "clustered") {
+            rejectUnknownKeys(ctx, params, clusterKeys(),
+                              "clustered params");
+            parseClusterParams(ctx, params, spec.cluster);
+        } else if (spec.model == "burst") {
+            rejectUnknownKeys(ctx, params, burstKeys(), "burst params");
+            parseBurstParams(ctx, params, spec.burst);
+        } else if (spec.model == "droop") {
+            if (params.contains("base")) {
+                const Json &base = params.at("base");
+                if (base.kind() != Json::Kind::String ||
+                    (base.asString() != "iid" &&
+                     base.asString() != "clustered" &&
+                     base.asString() != "burst")) {
+                    ctx.fail(
+                        "droop base must be one of iid|clustered|burst");
+                } else {
+                    spec.droop.base = base.asString();
+                }
+            }
+            std::vector<std::string> allowed = {"base", "schedule"};
+            if (spec.droop.base == "clustered") {
+                for (auto &key : clusterKeys())
+                    allowed.push_back(key);
+                parseClusterParams(ctx, params, spec.cluster);
+            } else if (spec.droop.base == "burst") {
+                for (auto &key : burstKeys())
+                    allowed.push_back(key);
+                parseBurstParams(ctx, params, spec.burst);
+            }
+            rejectUnknownKeys(ctx, params, allowed, "droop params");
+            if (ctx.ok && params.contains("schedule")) {
+                const Json &sched = params.at("schedule");
+                if (sched.kind() != Json::Kind::Array) {
+                    ctx.fail("schedule must be an array of voltages");
+                } else if (sched.size() > 64) {
+                    ctx.fail("schedule longer than 64 steps");
+                } else {
+                    for (std::size_t i = 0;
+                         ctx.ok && i < sched.size(); ++i) {
+                        const Json &v = sched.at(i);
+                        const double d =
+                            v.isNumber() ? v.asDouble() : -1.0;
+                        if (d < VoltageModel::minVoltage() || d > 1.0) {
+                            ctx.fail("schedule voltage out of range "
+                                     "[0.45, 1.0]");
+                        } else {
+                            spec.droop.schedule.push_back(d);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    if (!ctx.ok) {
+        if (err)
+            *err = ctx.err;
+        return false;
+    }
+    out = spec;
+    return true;
+}
+
+ScenarioSpec
+ScenarioSpec::fromJson(const Json &doc)
+{
+    ScenarioSpec spec;
+    std::string err;
+    if (!tryFromJson(doc, spec, &err))
+        fatal("%s", err.c_str());
+    return spec;
+}
+
+bool
+ScenarioSpec::tryFromString(const std::string &fileOrInline,
+                            ScenarioSpec &out, std::string *err)
+{
+    Json doc;
+    if (!fileOrInline.empty() && fileOrInline.front() == '{') {
+        std::string parseErr;
+        if (!Json::parse(fileOrInline, doc, &parseErr)) {
+            if (err)
+                *err = "scenario: inline JSON: " + parseErr;
+            return false;
+        }
+    } else {
+        std::string readErr;
+        if (!tryReadJsonFile(fileOrInline, doc, &readErr)) {
+            if (err)
+                *err = "scenario: " + readErr;
+            return false;
+        }
+    }
+    return tryFromJson(doc, out, err);
+}
+
+ScenarioSpec
+ScenarioSpec::fromString(const std::string &fileOrInline)
+{
+    ScenarioSpec spec;
+    std::string err;
+    if (!tryFromString(fileOrInline, spec, &err))
+        fatal("%s", err.c_str());
+    return spec;
+}
+
+std::string
+ScenarioSpec::summary() const
+{
+    char buf[160];
+    if (model == "droop") {
+        std::snprintf(buf, sizeof(buf),
+                      "droop(%s) %zu steps v=%.4g seed=%llu",
+                      droop.base.c_str(), droop.schedule.size(), voltage,
+                      static_cast<unsigned long long>(seed));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%s v=%.4g seed=%llu",
+                      model.c_str(), voltage,
+                      static_cast<unsigned long long>(seed));
+    }
+    return buf;
+}
+
+} // namespace killi

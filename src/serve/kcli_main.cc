@@ -23,6 +23,7 @@
 #include "common/json.hh"
 #include "common/log.hh"
 #include "common/options.hh"
+#include "fault/scenario_spec.hh"
 #include "serve/client/client.hh"
 
 using namespace killi;
@@ -72,10 +73,20 @@ runSubmit(Options &opts)
     options.set("warmup",
                 Json::number(std::uint64_t(
                     opts.get<unsigned>("warmup"))));
-    options.set("voltage",
-                Json::number(opts.get<double>("voltage")));
-    options.set("seed",
-                Json::number(opts.get<std::uint64_t>("seed")));
+    // The scenario is resolved client-side (the daemon never reads
+    // client file paths) and shipped as a canonical object. The
+    // deprecated voltage=/seed= spellings travel as overrides of the
+    // scenario's fields, so they are sent only when explicitly set.
+    const std::string scenario = opts.get<std::string>("scenario");
+    if (!scenario.empty())
+        options.set("scenario",
+                    ScenarioSpec::fromString(scenario).toJson());
+    if (opts.has("voltage"))
+        options.set("voltage",
+                    Json::number(opts.get<double>("voltage")));
+    if (opts.has("seed"))
+        options.set("seed",
+                    Json::number(opts.get<std::uint64_t>("seed")));
     options.set("stats_interval",
                 Json::number(
                     opts.get<std::uint64_t>("stats-interval")));
@@ -252,10 +263,18 @@ main(int argc, char **argv)
         opts.add<unsigned>("warmup", 2u,
                            "warmup passes excluded from stats")
             .range(0u, 16u);
+        opts.add("scenario", "",
+                 "fault scenario: path to a killi-scenario-v1 JSON "
+                 "file or inline JSON (resolved locally, submitted "
+                 "canonically; see SCENARIOS.md)");
         opts.add<double>("voltage", 0.625, "normalized L2 supply")
-            .range(0.5, 1.0);
+            .range(0.5, 1.0)
+            .deprecate("fold into scenario= (still honored as an "
+                       "override of the scenario's voltage)");
         opts.add<std::uint64_t>("seed", std::uint64_t{42},
-                                "fault-map die seed");
+                                "fault-map die seed")
+            .deprecate("fold into scenario= (still honored as an "
+                       "override of the scenario's seed)");
         opts.add("workloads", "",
                  "comma-separated workload subset (default: all)");
         opts.add("schemes", "",

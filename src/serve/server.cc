@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <cmath>
 #include <cstring>
+#include <optional>
 #include <sstream>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "bench/sweep.hh"
 #include "common/build_info.hh"
 #include "common/log.hh"
+#include "fault/fault_model.hh"
 #include "gpu/workload.hh"
 
 namespace killi::serve
@@ -164,6 +166,14 @@ parseSubmit(const Json &req, SubmitRequest &out, std::string &err)
 {
     out.sopt = SweepOptions{};
     out.sopt.warmupPasses = 2;
+    // Collected first, resolved after the loop: the scenario and the
+    // voltage/seed overrides may arrive in any member order, but
+    // resolution must be deterministic (scenario first, overrides on
+    // top — the same rule as sweepOptions()).
+    bool haveScenario = false;
+    ScenarioSpec scenario;
+    std::optional<double> voltageOverride;
+    std::optional<std::uint64_t> seedOverride;
     for (const auto &[key, value] : req.members()) {
         if (key == "type")
             continue;
@@ -194,14 +204,41 @@ parseSubmit(const Json &req, SubmitRequest &out, std::string &err)
                         return false;
                     out.sopt.warmupPasses = unsigned(u);
                 } else if (opt == "voltage") {
-                    if (!numberIn(v, "voltage", 0.5, 1.0,
-                                  out.sopt.voltage, err))
+                    double d = 0.625;
+                    if (!numberIn(v, "voltage", 0.5, 1.0, d, err))
                         return false;
+                    voltageOverride = d;
                 } else if (opt == "seed") {
                     if (!uintIn(v, "seed",
                                 std::uint64_t(1) << 53, u, err))
                         return false;
-                    out.sopt.seed = u;
+                    seedOverride = u;
+                } else if (opt == "scenario") {
+                    // Object or inline-JSON string; file paths are a
+                    // client-side concern (kcli resolves them before
+                    // submitting).
+                    std::string specErr;
+                    if (v.kind() == Json::Kind::Object) {
+                        if (!ScenarioSpec::tryFromJson(v, scenario,
+                                                       &specErr)) {
+                            err = specErr;
+                            return false;
+                        }
+                    } else if (v.kind() == Json::Kind::String &&
+                               !v.asString().empty() &&
+                               v.asString().front() == '{') {
+                        if (!ScenarioSpec::tryFromString(
+                                v.asString(), scenario, &specErr)) {
+                            err = specErr;
+                            return false;
+                        }
+                    } else {
+                        err = "\"scenario\" must be a scenario object "
+                              "or an inline-JSON string (resolve file "
+                              "paths client-side)";
+                        return false;
+                    }
+                    haveScenario = true;
                 } else if (opt == "stats_interval") {
                     if (!uintIn(v, "stats_interval",
                                 std::uint64_t(1) << 53, u, err))
@@ -229,6 +266,20 @@ parseSubmit(const Json &req, SubmitRequest &out, std::string &err)
             return false;
         }
     }
+
+    // Scenario-first resolution, with the mirror fields kept in sync
+    // for reporting and the cache key (droop scenarios start at
+    // their schedule's first operating point).
+    if (haveScenario)
+        out.sopt.scenario = scenario;
+    if (voltageOverride)
+        out.sopt.scenario.voltage = *voltageOverride;
+    if (seedOverride)
+        out.sopt.scenario.seed = *seedOverride;
+    out.sopt.voltage = FaultModel::fromScenario(out.sopt.scenario)
+                           ->voltageSchedule()
+                           .front();
+    out.sopt.seed = out.sopt.scenario.seed;
 
     // runEvaluationSweep() fatal()s on unknown names — validate
     // up-front so a typo comes back as an error frame instead of
@@ -279,6 +330,7 @@ canonicalKeyFor(const SweepOptions &sopt)
     key.set("seed", Json::number(sopt.seed));
     key.set("stats_interval",
             Json::number(std::uint64_t(sopt.statsInterval)));
+    key.set("scenario", sopt.scenario.toJson());
     key.set("workloads", stringArray(sopt.workloads));
     key.set("schemes", stringArray(sopt.schemes));
     key.set("build", Json::string(buildId()));
@@ -295,6 +347,7 @@ resolvedOptionsJson(const SweepOptions &sopt)
     doc.set("seed", Json::number(sopt.seed));
     doc.set("stats_interval",
             Json::number(std::uint64_t(sopt.statsInterval)));
+    doc.set("scenario", sopt.scenario.toJson());
     doc.set("workloads", stringArray(sopt.workloads));
     doc.set("schemes", stringArray(sopt.schemes));
     doc.set("build", Json::string(buildId()));

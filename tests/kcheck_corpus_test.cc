@@ -42,6 +42,7 @@ TEST(KcheckCorpus, HasOneSeedPerExtension)
     ASSERT_GE(files.size(), 6u);
     bool dected = false, invertedWrite = false, writeback = false,
          smallRatio = false, interleaveOff = false;
+    bool clustered = false, burst = false, droop = false;
     for (const auto &path : files) {
         const Scenario s =
             Scenario::fromJson(readJsonFile(path.string()));
@@ -50,6 +51,11 @@ TEST(KcheckCorpus, HasOneSeedPerExtension)
         writeback |= s.params.writebackMode;
         smallRatio |= s.params.ratio < 256;
         interleaveOff |= !s.params.interleavedParity;
+        if (s.faultModel) {
+            clustered |= s.faultModel->model == "clustered";
+            burst |= s.faultModel->model == "burst";
+            droop |= s.faultModel->model == "droop";
+        }
     }
     EXPECT_TRUE(dected) << "no corpus seed covers dected_stable";
     EXPECT_TRUE(invertedWrite)
@@ -58,6 +64,12 @@ TEST(KcheckCorpus, HasOneSeedPerExtension)
     EXPECT_TRUE(smallRatio) << "no corpus seed covers ratio < 256";
     EXPECT_TRUE(interleaveOff)
         << "no corpus seed covers interleaved_parity=false";
+    EXPECT_TRUE(clustered)
+        << "no corpus seed carries a clustered background model";
+    EXPECT_TRUE(burst)
+        << "no corpus seed carries a burst background model";
+    EXPECT_TRUE(droop)
+        << "no corpus seed carries a droop background model";
 }
 
 TEST(KcheckCorpus, AllSeedsReplayWithoutViolations)

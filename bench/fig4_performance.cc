@@ -21,6 +21,8 @@
 #include "bench/sweep.hh"
 #include "common/log.hh"
 #include "common/table.hh"
+#include "replay/recording.hh"
+#include "replay/session.hh"
 #include "serve/client/client.hh"
 
 using namespace killi;
@@ -174,11 +176,40 @@ main(int argc, char **argv)
                            "kserved TCP port on 127.0.0.1 "
                            "(alternative to server=)")
             .range(0u, 65535u);
+    auto &recordPath =
+        opts.add("record", "",
+                 "capture the sweep into a killi-recording-v1 file "
+                 "(forces jobs=1; see TESTING.md)");
+    auto &replayPath =
+        opts.add("replay", "",
+                 "re-run a record= file and verify bit-identity "
+                 "instead of sweeping; exit 1 on divergence");
+    auto &reference = opts.add<bool>(
+        "reference", false,
+        "record mode: run the reference (non-bit-sliced) hot paths");
+    auto &perturb = opts.add<std::uint64_t>(
+        "perturb-decode", std::uint64_t{0},
+        "record mode: flip one syndrome bit on the Nth SECDED "
+        "evaluation (bisector fault injection; 0 disables)");
     opts.parse(argc, argv);
+
+    if (!replayPath.value().empty()) {
+        const replay::Recording rec =
+            replay::Recording::loadFile(replayPath.value());
+        std::cout << rec.summary() << "\n";
+        const replay::SweepSession s = replay::replaySweep(rec);
+        std::cout << s.divergence.describe() << "\n";
+        return s.verified ? 0 : 1;
+    }
+
     const SweepOptions opt = sweepOptions(opts);
 
-    if (!server.value().empty() || serverPort.value() != 0)
+    if (!server.value().empty() || serverPort.value() != 0) {
+        if (!recordPath.value().empty())
+            fatal("fig4_performance: record= runs locally; drop "
+                  "server=");
         return runRemote(opt, server.value(), serverPort);
+    }
 
     std::cout << "=== Figure 4: normalized GPU kernel execution time "
                  "(baseline = fault-free @ 1.0xVDD) ===\n"
@@ -186,7 +217,21 @@ main(int argc, char **argv)
               << opt.scale << ", warmup=" << opt.warmupPasses
               << ", jobs=" << opt.jobs << "\n\n";
 
-    const SweepResult res = runEvaluationSweep(opt);
+    SweepResult res;
+    if (!recordPath.value().empty()) {
+        replay::RunMode mode;
+        mode.reference = reference.value();
+        mode.perturbDecode = perturb.value();
+        replay::SweepSession s = replay::recordSweep(opt, mode);
+        s.recording.writeFile(recordPath.value());
+        inform("wrote recording %s (replay with fig4_performance "
+               "replay=%s)",
+               recordPath.value().c_str(),
+               recordPath.value().c_str());
+        res = std::move(s.result);
+    } else {
+        res = runEvaluationSweep(opt);
+    }
     const auto &sweeps = res.workloads;
 
     TextTable table;

@@ -171,7 +171,7 @@ runPoint(const SweepOptions &opt, const std::string &wlName,
             });
     }
     const RunResult result = sys.run(opt.warmupPasses);
-    if (!opt.trace.empty()) {
+    if (!opt.trace.empty() && opt.traceFiles) {
         const std::string path = opt.traceDir + "/" +
             pointFileStem(wlName, scheme) + ".trace.json";
         writeJsonFile(path, sink.chromeTraceJson());
@@ -365,7 +365,7 @@ runEvaluationSweep(const SweepOptions &opt)
     // Jobs append trace files concurrently; create the directory
     // once, up front, instead of racing create_directories in every
     // worker.
-    if (!opt.trace.empty())
+    if (!opt.trace.empty() && opt.traceFiles)
         std::filesystem::create_directories(opt.traceDir);
 
     // Point-completion progress: wrap each job so the observer sees

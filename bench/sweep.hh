@@ -81,6 +81,10 @@ struct SweepOptions
     /** Directory receiving one Chrome trace_event file per traced
      *  sweep point (load them in Perfetto / chrome://tracing). */
     std::string traceDir = "results/trace";
+    /** Write the per-point Chrome trace files above. Record/replay
+     *  sessions trace with this off: the events still flow to the
+     *  ReplayProbe, but nothing touches the filesystem. */
+    bool traceFiles = true;
     /** Cycles between periodic stat snapshots (0 disables the
      *  timeseries machinery). */
     Cycle statsInterval = 0;

@@ -84,6 +84,7 @@ L2Cache::sampleUpsets(std::size_t lineId, Line &line)
     const double window =
         double(now - line.upsetCheckedAt) * double(line.data.size());
     line.upsetCheckedAt = now;
+    const RngStreamScope stream("transient");
     const unsigned events =
         upsetRng.poisson(window * p.softErrorRatePerBitCycle);
     for (unsigned e = 0; e < events; ++e) {

@@ -94,6 +94,7 @@ Scenario::geometry() const
 Scenario
 Scenario::generate(std::uint64_t seed)
 {
+    const RngStreamScope stream("kcheck.gen");
     Rng rng(seed);
     Scenario s;
     s.seed = seed;

@@ -24,4 +24,31 @@ setHotpathReferenceMode(bool on)
     referenceMode.store(on, std::memory_order_relaxed);
 }
 
+namespace detail
+{
+std::atomic<std::uint64_t> perturbDecodeCountdown{0};
+} // namespace detail
+
+void
+setHotpathPerturbDecode(std::uint64_t nth)
+{
+    detail::perturbDecodeCountdown.store(nth,
+                                         std::memory_order_relaxed);
+}
+
+bool
+hotpathPerturbDecodeFire()
+{
+    // CAS loop so concurrent decodes never underflow the countdown;
+    // exactly one caller observes the 1 -> 0 transition and fires.
+    std::uint64_t count = detail::perturbDecodeCountdown.load(
+        std::memory_order_relaxed);
+    while (count != 0) {
+        if (detail::perturbDecodeCountdown.compare_exchange_weak(
+                count, count - 1, std::memory_order_relaxed))
+            return count == 1;
+    }
+    return false;
+}
+
 } // namespace killi

@@ -16,6 +16,9 @@
 #ifndef KILLI_COMMON_HOTPATH_HH
 #define KILLI_COMMON_HOTPATH_HH
 
+#include <atomic>
+#include <cstdint>
+
 namespace killi
 {
 
@@ -24,6 +27,35 @@ bool hotpathReferenceMode();
 
 /** Flip the construction-time default (bench/tests only). */
 void setHotpathReferenceMode(bool on);
+
+namespace detail
+{
+extern std::atomic<std::uint64_t> perturbDecodeCountdown;
+} // namespace detail
+
+/**
+ * Arm a one-shot decode perturbation: the @p nth SECDED syndrome
+ * evaluation after this call — a sliced decode() or an omniscient
+ * probe(), whichever the running code path reaches — XORs bit 0
+ * into its syndrome (0 disarms). Test/CI-only fault injection for
+ * the record-replay bisector: two otherwise identical runs, one
+ * armed, diverge at an exactly known decode, and `krr bisect` must
+ * find it. The hot path pays one relaxed load and a never-taken
+ * branch while disarmed.
+ */
+void setHotpathPerturbDecode(std::uint64_t nth);
+
+/** True while a perturbation is armed (inline: the decode hot path
+ *  gates on this before touching the slow fire path). */
+inline bool
+hotpathPerturbDecodePending()
+{
+    return detail::perturbDecodeCountdown.load(
+               std::memory_order_relaxed) != 0;
+}
+
+/** Count down one armed decode; true exactly on the firing one. */
+bool hotpathPerturbDecodeFire();
 
 } // namespace killi
 

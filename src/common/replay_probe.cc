@@ -1,0 +1,9 @@
+#include "common/replay_probe.hh"
+
+namespace killi::detail
+{
+
+thread_local ReplayProbe *tlsReplayProbe = nullptr;
+thread_local const char *tlsRngStream = "?";
+
+} // namespace killi::detail

@@ -13,6 +13,8 @@
 #include <cmath>
 #include <cstdint>
 
+#include "common/replay_probe.hh"
+
 namespace killi
 {
 
@@ -38,7 +40,16 @@ class Rng
         }
     }
 
-    /** Next 64 uniformly random bits. */
+    /**
+     * Next 64 uniformly random bits.
+     *
+     * Single choke point for every draw this class makes (uniform,
+     * below, range, bernoulli, poisson, fork all route through
+     * here), which is what makes record-replay complete: an
+     * installed ReplayProbe observes — or, when injecting, replaces
+     * — every random bit the run consumes. Unprobed runs pay one
+     * thread-local load and a never-taken branch.
+     */
     std::uint64_t
     next64()
     {
@@ -50,6 +61,8 @@ class Rng
         state[0] ^= state[3];
         state[2] ^= t;
         state[3] = rotl(state[3], 45);
+        if (ReplayProbe *probe = replayProbe()) [[unlikely]]
+            return probe->filterRngDraw(result);
         return result;
     }
 

@@ -183,7 +183,13 @@ Secded::decode(BitVec &data, BitVec &check) const
     // the syndrome is its low h bits, and the overall mismatch is
     // the parity of the whole diff word (the recomputed overall bit
     // already folds in the data parity and the h syndrome bits).
-    const std::uint64_t diff = slicer.applyWord(data) ^ check.word(0);
+    std::uint64_t diff = slicer.applyWord(data) ^ check.word(0);
+    // Bisector fault injection (see hotpath.hh): while disarmed this
+    // is one relaxed load and a never-taken branch.
+    if (hotpathPerturbDecodePending()) [[unlikely]] {
+        if (hotpathPerturbDecodeFire())
+            diff ^= 1;
+    }
     RawSyndrome raw;
     raw.syndrome = std::uint32_t(diff & ((std::uint64_t{1} << h) - 1));
     raw.overallMismatch = (std::popcount(diff) & 1) != 0;
@@ -224,6 +230,20 @@ Secded::probe(const std::vector<std::size_t> &errorPositions) const
             // Overall parity bit: affects only the extended parity.
         } else {
             fatal("Secded::probe: position %zu out of codeword", pos);
+        }
+    }
+    // Bisector fault injection (see hotpath.hh). probe() is the
+    // simulated hot path — the schemes evaluate syndromes from the
+    // fault pattern, never from data words — so the countdown must
+    // be armed here as well as in decode(). Matching decode()'s
+    // `diff ^= 1`, the flip toggles both syndrome bit 0 and the
+    // overall parity: on a clean line that reads as a believed
+    // single error, which the omniscient comparison then reports as
+    // a miscorrection.
+    if (hotpathPerturbDecodePending()) [[unlikely]] {
+        if (hotpathPerturbDecodeFire()) {
+            raw.syndrome ^= 1;
+            raw.overallMismatch = !raw.overallMismatch;
         }
     }
 

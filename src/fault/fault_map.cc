@@ -95,6 +95,7 @@ FaultMap::FaultMap(std::size_t num_lines, std::size_t line_bits,
         model.pCell(VoltageModel::minVoltage(), freq_ghz);
     const double pReadShare = 0.45;
 
+    const RngStreamScope stream("faultmap");
     Rng rng(seed);
     lines.resize(num_lines);
     if (sampling == FaultSampling::PerBit || pMax >= 1.0) {

@@ -84,6 +84,7 @@ ClusteredRowColumn::samplePopulation(std::size_t num_lines,
         vm.pCell(VoltageModel::minVoltage(), sp.freqGHz);
     const double pCluster = vm.pCell(c.clusterVmax, sp.freqGHz);
 
+    const RngStreamScope stream("faultmap");
     Rng rng(sp.seed);
     std::vector<std::vector<FaultCell>> population(num_lines);
 
@@ -162,6 +163,7 @@ BurstMixture::samplePopulation(std::size_t num_lines,
     const double pBurst = vm.pCell(b.burstVmax, sp.freqGHz);
     const std::size_t lineBytes = (line_bits + 7) / 8;
 
+    const RngStreamScope stream("faultmap");
     Rng rng(sp.seed);
     std::vector<std::vector<FaultCell>> population(num_lines);
     for (std::size_t lineId = 0; lineId < num_lines; ++lineId) {

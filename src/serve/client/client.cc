@@ -1,10 +1,12 @@
 #include "serve/client/client.hh"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -129,6 +131,63 @@ Client::recv(Json &frame, std::string *err)
             return false;
           case FrameDecoder::Status::NeedMore:
             break;
+        }
+        const ssize_t n = ::recv(sock, buf, sizeof(buf), 0);
+        if (n > 0) {
+            decoder.feed(buf, std::size_t(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        fillErr(err, n == 0 ? "connection closed"
+                            : std::string("recv: ") +
+                                  std::strerror(errno));
+        return false;
+    }
+}
+
+bool
+Client::recvWithin(Json &frame, int timeoutMs, std::string *err)
+{
+    if (sock < 0) {
+        fillErr(err, "not connected");
+        return false;
+    }
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeoutMs);
+    char buf[65536];
+    while (true) {
+        switch (decoder.next(frame)) {
+          case FrameDecoder::Status::Frame:
+            return true;
+          case FrameDecoder::Status::Error:
+            fillErr(err, "protocol error: " + decoder.error());
+            return false;
+          case FrameDecoder::Status::NeedMore:
+            break;
+        }
+        const auto left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - std::chrono::steady_clock::now())
+                .count();
+        if (left <= 0) {
+            fillErr(err, "timeout after " +
+                             std::to_string(timeoutMs) + "ms");
+            return false;
+        }
+        struct pollfd pfd{sock, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, int(left));
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            fillErr(err, std::string("poll: ") +
+                             std::strerror(errno));
+            return false;
+        }
+        if (ready == 0) {
+            fillErr(err, "timeout after " +
+                             std::to_string(timeoutMs) + "ms");
+            return false;
         }
         const ssize_t n = ::recv(sock, buf, sizeof(buf), 0);
         if (n > 0) {

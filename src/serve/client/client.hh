@@ -54,6 +54,16 @@ class Client
     bool recv(Json &frame, std::string *err = nullptr);
 
     /**
+     * recv() bounded by a deadline: false with err
+     * "timeout after <ms>ms" when no complete frame arrives within
+     * @p timeoutMs. A frame already buffered returns immediately.
+     * Tests (and impatient tools) use this so a silent daemon is a
+     * diagnosed failure instead of a hang.
+     */
+    bool recvWithin(Json &frame, int timeoutMs,
+                    std::string *err = nullptr);
+
+    /**
      * Submit an experiment and wait for its terminal frame.
      *
      * @param request a full "submit" frame (see SERVING.md)

@@ -18,6 +18,7 @@
  */
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 
 #include "common/json.hh"
@@ -67,6 +68,11 @@ runSubmit(Options &opts)
     Client client;
     connectTo(opts, client);
 
+    const std::string recordPath = opts.get<std::string>("record");
+    const std::string replayPath = opts.get<std::string>("replay");
+    if (!recordPath.empty() && !replayPath.empty())
+        fatal("kcli: record= and replay= are mutually exclusive");
+
     Json options = Json::object();
     options.set("scale",
                 Json::number(opts.get<double>("scale")));
@@ -100,7 +106,16 @@ runSubmit(Options &opts)
 
     Json req = Json::object();
     req.set("type", Json::string("submit"));
-    req.set("options", std::move(options));
+    if (!replayPath.empty()) {
+        // Like scenario files, the recording is resolved client-side
+        // and shipped inline; a replay job takes every option from
+        // its meta, so the sweep knobs are not sent.
+        req.set("replay", readJsonFile(replayPath));
+    } else {
+        req.set("options", std::move(options));
+        if (!recordPath.empty())
+            req.set("record", Json::boolean(true));
+    }
     req.set("priority",
             Json::number(opts.get<std::int64_t>("priority")));
     req.set("stream", Json::boolean(opts.get<bool>("stream")));
@@ -153,16 +168,52 @@ runSubmit(Options &opts)
         return 1;
     }
     const Json &result = terminal.at("result");
+
+    int exitCode = 0;
+    Json output = result;
+    if (!recordPath.empty()) {
+        if (!result.contains("recording"))
+            fatal("kcli: record= was requested but the result "
+                  "carries no recording (old server?)");
+        // The recording is written compact on its own (it is large);
+        // the sweep document keeps flowing to json=/stdout without
+        // it.
+        std::ofstream out(recordPath, std::ios::binary);
+        if (!out)
+            fatal("kcli: cannot write %s", recordPath.c_str());
+        out << result.at("recording").toString(0) << "\n";
+        inform("wrote recording %s (replay with kcli submit "
+               "replay=%s)",
+               recordPath.c_str(), recordPath.c_str());
+        Json trimmed = Json::object();
+        for (const auto &[key, value] : result.members())
+            if (key != "recording")
+                trimmed.set(key, value);
+        output = std::move(trimmed);
+    }
+    if (!replayPath.empty()) {
+        const Json &rj = result.at("replay");
+        if (rj.at("verified").asBool()) {
+            inform("replay verified: bit-identical to %s",
+                   replayPath.c_str());
+        } else {
+            warn("kcli: replay DIVERGED from %s: %s",
+                 replayPath.c_str(),
+                 rj.at("divergence").toString(0).c_str());
+            exitCode = 1;
+        }
+    }
+
     const std::string jsonPath = opts.get<std::string>("json");
     if (!jsonPath.empty()) {
-        writeJsonFile(jsonPath, result);
+        writeJsonFile(jsonPath, output);
         inform("wrote %s%s", jsonPath.c_str(),
                terminal.at("cached").asBool() ? " (cache hit)" : "");
     } else {
-        result.dump(std::cout, 2);
+        output.dump(std::cout, 2);
         std::cout << "\n";
     }
-    return 0;
+    return exitCode;
 }
 
 int
@@ -290,6 +341,13 @@ main(int argc, char **argv)
                        "stream progress frames while the job runs");
         opts.add("json", "",
                  "result document path (empty prints to stdout)");
+        opts.add("record", "",
+                 "capture the job into a killi-recording-v1 file at "
+                 "this local path (bypasses the result cache)");
+        opts.add("replay", "",
+                 "verify a previous record= file: re-run it on the "
+                 "server and exit 1 unless bit-identical (other "
+                 "sweep knobs are taken from the recording)");
     } else if (cmd == "status" || cmd == "cancel") {
         opts.add<std::uint64_t>("id", std::uint64_t{0},
                                 "job id from the submitted frame");

@@ -21,6 +21,8 @@
 #include "common/log.hh"
 #include "fault/fault_model.hh"
 #include "gpu/workload.hh"
+#include "replay/recording.hh"
+#include "replay/session.hh"
 
 namespace killi::serve
 {
@@ -150,6 +152,12 @@ struct SubmitRequest
     SweepOptions sopt;
     int priority = 0;
     bool stream = true;
+    /** Capture the run into a recording returned with the result. */
+    bool record = false;
+    /** Replay job: the inline killi-recording-v1 to verify against.
+     *  Shared so the job's work lambda holds the (large) streams
+     *  without copying them. */
+    std::shared_ptr<replay::Recording> replayRec;
 };
 
 /**
@@ -171,13 +179,38 @@ parseSubmit(const Json &req, SubmitRequest &out, std::string &err)
     // resolution must be deterministic (scenario first, overrides on
     // top — the same rule as sweepOptions()).
     bool haveScenario = false;
+    bool haveOptions = false;
     ScenarioSpec scenario;
     std::optional<double> voltageOverride;
     std::optional<std::uint64_t> seedOverride;
     for (const auto &[key, value] : req.members()) {
         if (key == "type")
             continue;
-        if (key == "priority") {
+        if (key == "record") {
+            if (value.kind() != Json::Kind::Bool) {
+                err = "\"record\" must be a boolean";
+                return false;
+            }
+            out.record = value.asBool();
+        } else if (key == "replay") {
+            if (value.kind() != Json::Kind::Object) {
+                err = "\"replay\" must be an inline "
+                      "killi-recording-v1 object";
+                return false;
+            }
+            auto rec = std::make_shared<replay::Recording>();
+            std::string rerr;
+            if (!replay::Recording::tryFromJson(value, *rec, &rerr)) {
+                err = "\"replay\": " + rerr;
+                return false;
+            }
+            if (!replay::trySweepOptionsFromMeta(*rec, out.sopt,
+                                                 &rerr)) {
+                err = "\"replay\": " + rerr;
+                return false;
+            }
+            out.replayRec = std::move(rec);
+        } else if (key == "priority") {
             double d = 0;
             if (!numberIn(value, "priority", -1000, 1000, d, err))
                 return false;
@@ -193,6 +226,7 @@ parseSubmit(const Json &req, SubmitRequest &out, std::string &err)
                 err = "\"options\" must be an object";
                 return false;
             }
+            haveOptions = true;
             for (const auto &[opt, v] : value.members()) {
                 std::uint64_t u = 0;
                 if (opt == "scale") {
@@ -265,6 +299,22 @@ parseSubmit(const Json &req, SubmitRequest &out, std::string &err)
             err = "unknown submit member \"" + key + "\"";
             return false;
         }
+    }
+
+    // A replay job re-derives everything from the recording's meta;
+    // options given alongside would be silently ignored, so they are
+    // rejected instead (priority/stream/record stay meaningful).
+    if (out.replayRec) {
+        if (out.record) {
+            err = "\"record\" and \"replay\" are mutually exclusive";
+            return false;
+        }
+        if (haveOptions) {
+            err = "\"replay\" jobs take their options from the "
+                  "recording; drop \"options\"";
+            return false;
+        }
+        return true;
     }
 
     // Scenario-first resolution, with the mirror fields kept in sync
@@ -780,9 +830,16 @@ Server::handleSubmit(const std::shared_ptr<Connection> &conn,
     const std::uint64_t id =
         nextJobId.fetch_add(1, std::memory_order_relaxed);
 
+    // Record/replay jobs bypass the cache entirely — neither lookup
+    // (a cached result has no recording / no verification verdict)
+    // nor, later, insert (finishJob honours JobRecord::noCache).
+    const bool bypassCache = sub.record || sub.replayRec != nullptr;
     std::string hash;
     std::string cachedText;
-    const bool hit = cache.lookup(canonical, cachedText, &hash);
+    const bool hit =
+        !bypassCache && cache.lookup(canonical, cachedText, &hash);
+    if (bypassCache)
+        hash = ResultCache::hashKey(canonical);
 
     Json submitted = Json::object();
     submitted.set("type", Json::string("submitted"));
@@ -804,14 +861,18 @@ Server::handleSubmit(const std::shared_ptr<Connection> &conn,
 
     {
         std::lock_guard<std::mutex> lock(jobsMtx);
-        jobs.emplace(id, JobRecord{conn, canonical, hash,
-                                   std::chrono::steady_clock::now()});
+        jobs.emplace(id,
+                     JobRecord{conn, canonical, hash,
+                               std::chrono::steady_clock::now(),
+                               bypassCache});
     }
 
     const SweepOptions sopt = sub.sopt;
     const bool stream = sub.stream;
-    auto work = [this, sopt, id, conn,
-                 stream](const CancelToken &cancel) -> std::string {
+    auto work = [this, sopt, id, conn, stream, record = sub.record,
+                 replayRec =
+                     sub.replayRec](const CancelToken &cancel)
+        -> std::string {
         SweepOptions ropt = sopt;
         ropt.cancel = &cancel;
         if (stream) {
@@ -845,15 +906,41 @@ Server::handleSubmit(const std::shared_ptr<Connection> &conn,
                 wake();
             };
         }
-        const SweepResult res = runEvaluationSweep(ropt);
-        if (cancel.cancelled())
-            return "";
         Json doc = Json::object();
         doc.set("bench", Json::string("kserved"));
         doc.set("options", resolvedOptionsJson(sopt));
-        const Json body = sweepToJson(sopt, res);
-        for (const auto &[key, value] : body.members())
-            doc.set(key, value);
+        if (replayRec) {
+            // Re-run from the recording and attach the verification
+            // verdict; the sweep body itself is the replayed run's.
+            const replay::SweepSession s =
+                replay::replaySweep(*replayRec, &ropt);
+            if (cancel.cancelled())
+                return "";
+            const Json body = sweepToJson(sopt, s.result);
+            for (const auto &[key, value] : body.members())
+                doc.set(key, value);
+            Json rj = Json::object();
+            rj.set("verified", Json::boolean(s.verified));
+            rj.set("divergence", s.divergence.toJson());
+            doc.set("replay", std::move(rj));
+        } else if (record) {
+            // Capture the run; the recording travels inline in the
+            // result document (the daemon writes no files).
+            const replay::SweepSession s = replay::recordSweep(ropt);
+            if (cancel.cancelled())
+                return "";
+            const Json body = sweepToJson(sopt, s.result);
+            for (const auto &[key, value] : body.members())
+                doc.set(key, value);
+            doc.set("recording", s.recording.toJson());
+        } else {
+            const SweepResult res = runEvaluationSweep(ropt);
+            if (cancel.cancelled())
+                return "";
+            const Json body = sweepToJson(sopt, res);
+            for (const auto &[key, value] : body.members())
+                doc.set(key, value);
+        }
         return doc.toString(0);
     };
 
@@ -911,7 +998,8 @@ Server::finishJob(std::uint64_t id, JobState state,
         }
     }
     if (state == JobState::Done) {
-        cache.insert(rec.canonicalKey, resultText);
+        if (!rec.noCache)
+            cache.insert(rec.canonicalKey, resultText);
         rec.conn->enqueue(encodeFramePayload(
             resultFrameText(id, false, rec.hash, resultText)));
     } else {

@@ -136,6 +136,11 @@ class Server
         std::string canonicalKey;
         std::string hash;
         std::chrono::steady_clock::time_point start;
+        /** Record/replay jobs bypass the result cache entirely: a
+         *  recorded result carries its (run-specific) recording and a
+         *  replayed one its verification verdict, neither of which a
+         *  plain submit of the same point should ever be served. */
+        bool noCache = false;
     };
 
     void ioLoop();

@@ -1,6 +1,7 @@
 #include "sim/event_queue.hh"
 
 #include "common/log.hh"
+#include "common/replay_probe.hh"
 
 namespace killi
 {
@@ -47,6 +48,31 @@ EventQueue::run(Tick limit)
         // may schedule further events safely.
         Event ev = heap.top();
         heap.pop();
+        // The determinism contract (see the header): pops are
+        // strictly increasing in (when, priority, seq). Checked
+        // unconditionally — assert() is dead under the default
+        // RelWithDebInfo NDEBUG build, and a violation here would be
+        // a silent nondeterminism source that record-replay would
+        // then faithfully reproduce instead of exposing. Three
+        // integer compares per event, branch never taken.
+        if (executed > 0 &&
+            (ev.when < lastPop.when ||
+             (ev.when == lastPop.when &&
+              (ev.priority < lastPop.priority ||
+               (ev.priority == lastPop.priority &&
+                ev.seq <= lastPop.seq))))) {
+            panic("EventQueue: pop order violated: (%llu, %d, %llu) "
+                  "after (%llu, %d, %llu)",
+                  static_cast<unsigned long long>(ev.when),
+                  ev.priority,
+                  static_cast<unsigned long long>(ev.seq),
+                  static_cast<unsigned long long>(lastPop.when),
+                  lastPop.priority,
+                  static_cast<unsigned long long>(lastPop.seq));
+        }
+        lastPop = {ev.when, ev.priority, ev.seq};
+        if (ReplayProbe *probe = replayProbe()) [[unlikely]]
+            probe->onEventPop(ev.when, ev.priority, ev.seq);
         now = ev.when;
         ++executed;
         ev.cb();

@@ -2,7 +2,17 @@
  * @file
  * A minimal discrete-event simulation kernel in the style of gem5's
  * event queue: events are (tick, priority, insertion-order)-ordered
- * callbacks. Deterministic: ties break by insertion order.
+ * callbacks.
+ *
+ * Determinism contract: events pop in strictly increasing
+ * (when, priority, seq) lexicographic order — same-tick events run
+ * in ascending priority, and same-tick same-priority events run in
+ * insertion (seq) order, *regardless of heap internals*. The
+ * comparator orders all three fields and seq is unique per event,
+ * so the heap never has equal elements to permute; run() enforces
+ * the contract with an always-on check (it is the foundation the
+ * record-replay layer in src/replay verifies runs against). An
+ * installed ReplayProbe (common/replay_probe.hh) observes every pop.
  */
 
 #ifndef KILLI_SIM_EVENT_QUEUE_HH
@@ -85,9 +95,19 @@ class EventQueue
         }
     };
 
+    /** The last popped (when, priority, seq), for the pop-order
+     *  determinism check in run(). */
+    struct PopOrder
+    {
+        Tick when = 0;
+        int priority = 0;
+        std::uint64_t seq = 0;
+    };
+
     Tick now = 0;
     std::uint64_t seqCounter = 0;
     std::uint64_t executed = 0;
+    PopOrder lastPop;
     std::priority_queue<Event, std::vector<Event>, Later> heap;
     Tick periodicInterval = 0;
     Tick nextPeriodic = 0;

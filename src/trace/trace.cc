@@ -1,12 +1,68 @@
 #include "trace/trace.hh"
 
 #include <algorithm>
+#include <cstring>
+
+#include "common/replay_probe.hh"
 
 namespace killi
 {
 
 namespace
 {
+
+/** FNV-1a over arbitrary bytes (trace-record digests for replay). */
+std::uint64_t
+fnv1a(std::uint64_t hash, const void *data, std::size_t len)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+/**
+ * Fold one trace record — name, category, and every argument's key,
+ * kind, and raw value bits — into a 64-bit digest for the replay
+ * probe. TraceArg cannot cross into common/replay_probe.hh (trace
+ * depends on common, not vice versa), so the fold happens here and
+ * only the digest travels.
+ */
+std::uint64_t
+traceRecordDigest(TraceCat cat, const char *name,
+                  const std::initializer_list<TraceArg> &args)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    const std::uint32_t catBits = std::uint32_t(cat);
+    hash = fnv1a(hash, &catBits, sizeof(catBits));
+    hash = fnv1a(hash, name, std::strlen(name));
+    for (const TraceArg &arg : args) {
+        hash = fnv1a(hash, arg.key, std::strlen(arg.key));
+        const auto kind = std::uint8_t(arg.kind);
+        hash = fnv1a(hash, &kind, sizeof(kind));
+        switch (arg.kind) {
+          case TraceArg::Kind::U64:
+            hash = fnv1a(hash, &arg.u, sizeof(arg.u));
+            break;
+          case TraceArg::Kind::I64:
+            hash = fnv1a(hash, &arg.i, sizeof(arg.i));
+            break;
+          case TraceArg::Kind::F64:
+            hash = fnv1a(hash, &arg.f, sizeof(arg.f));
+            break;
+          case TraceArg::Kind::Bool:
+            hash = fnv1a(hash, &arg.b, sizeof(arg.b));
+            break;
+          case TraceArg::Kind::Str:
+            if (arg.s)
+                hash = fnv1a(hash, arg.s, std::strlen(arg.s));
+            break;
+        }
+    }
+    return hash;
+}
 
 /** Sink identity generator (thread-local cache invalidation). */
 std::atomic<std::uint64_t> gSinkIds{1};
@@ -149,6 +205,10 @@ void
 TraceSink::record(Tick tick, TraceCat cat, const char *name,
                   std::initializer_list<TraceArg> args)
 {
+    if (ReplayProbe *probe = replayProbe()) [[unlikely]] {
+        probe->onTraceRecord(tick, std::uint32_t(cat), name,
+                             traceRecordDigest(cat, name, args));
+    }
     Ring &ring = ringForThisThread();
     TraceEvent ev;
     ev.tick = tick;

@@ -378,6 +378,56 @@ TEST(StatsTest, EmptyDistributionHasNoExtrema)
     EXPECT_TRUE(std::isnan(d.min()));
 }
 
+TEST(StatsTest, QuantileEdgeCases)
+{
+    // Empty (and bucketless) distributions have no quantiles.
+    Distribution none;
+    EXPECT_TRUE(std::isnan(none.quantile(0.5)));
+    Distribution noBuckets;
+    noBuckets.sample(3.0);
+    EXPECT_TRUE(std::isnan(noBuckets.quantile(0.5)));
+
+    // A single sample answers every p with (a bucket-resolution
+    // estimate of) itself; p=0 and p=1 clamp to the true extrema
+    // when they sit inside the bucket range.
+    Distribution one;
+    one.initBuckets(0.0, 10.0, 10);
+    one.sample(4.5);
+    EXPECT_DOUBLE_EQ(one.quantile(0.0), 4.5);
+    EXPECT_DOUBLE_EQ(one.quantile(1.0), 4.5);
+    const double mid = one.quantile(0.5);
+    EXPECT_GE(mid, 4.0);
+    EXPECT_LE(mid, 5.0);
+
+    // p outside [0, 1] behaves as the clamped endpoint.
+    EXPECT_DOUBLE_EQ(one.quantile(-3.0), one.quantile(0.0));
+    EXPECT_DOUBLE_EQ(one.quantile(7.0), one.quantile(1.0));
+
+    // Out-of-range extrema clamp to the configured bucket span:
+    // "beyond the top bucket" reads as "at least bucketHigh()".
+    Distribution wide;
+    wide.initBuckets(0.0, 10.0, 10);
+    wide.sample(-5.0);
+    wide.sample(5.0);
+    wide.sample(25.0);
+    EXPECT_DOUBLE_EQ(wide.quantile(0.0), 0.0);   // max(min, lo)
+    EXPECT_DOUBLE_EQ(wide.quantile(1.0), 10.0);  // min(max, hi)
+    EXPECT_DOUBLE_EQ(wide.quantile(0.99), 10.0); // overflow mass
+
+    // NaN samples must not corrupt the histogram: the negated
+    // range comparison routes them to overflow, so quantiles keep
+    // answering from the finite mass.
+    Distribution withNan;
+    withNan.initBuckets(0.0, 10.0, 10);
+    withNan.sample(2.5);
+    withNan.sample(std::numeric_limits<double>::quiet_NaN());
+    EXPECT_EQ(withNan.count(), 2u);
+    const double q = withNan.quantile(0.25);
+    EXPECT_GE(q, 2.0);
+    EXPECT_LE(q, 3.0);
+    EXPECT_DOUBLE_EQ(withNan.quantile(0.99), 10.0);
+}
+
 TEST(StatsTest, NegativeSamplesKeepTrueExtrema)
 {
     // Before the NaN fix min/max started at 0.0, so an all-negative

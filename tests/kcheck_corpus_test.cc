@@ -17,6 +17,8 @@
 #include "check/checker.hh"
 #include "check/scenario.hh"
 #include "common/json.hh"
+#include "replay/recording.hh"
+#include "replay/session.hh"
 
 namespace killi::check
 {
@@ -97,6 +99,40 @@ TEST(KcheckCorpus, ReplayIsDeterministic)
         Scenario::fromJson(readJsonFile(files.front().string()));
     EXPECT_EQ(runScenario(s).toJson().toString(),
               runScenario(s).toJson().toString());
+}
+
+TEST(KcheckCorpus, CommittedRecordingsReplayBitIdentical)
+{
+    // tests/corpus/recordings/ holds killi-recording-v1 captures of
+    // the background fault-model corpus classes (clustered, burst,
+    // droop), made with `kcheck replay=<seed> record=<file>`. They
+    // pin the RNG draw stream and the result digest across commits:
+    // any change to fault sampling or the checker's verdicts — even
+    // one that keeps the corpus violation-free — shows up here as a
+    // precise (stream, index) divergence, not a silent drift.
+    std::vector<std::filesystem::path> recs;
+    const auto dir =
+        std::filesystem::path(KCHECK_CORPUS_DIR) / "recordings";
+    ASSERT_TRUE(std::filesystem::is_directory(dir))
+        << dir << " missing";
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir)) {
+        if (entry.path().extension() == ".json")
+            recs.push_back(entry.path());
+    }
+    std::sort(recs.begin(), recs.end());
+    ASSERT_GE(recs.size(), 3u)
+        << "expected recordings for clustered/burst/droop";
+    for (const auto &path : recs) {
+        const replay::Recording rec =
+            replay::Recording::loadFile(path.string());
+        EXPECT_EQ(rec.tool, "kcheck") << path.filename().string();
+        const replay::CheckSession s = replay::replayScenario(rec);
+        EXPECT_TRUE(s.verified)
+            << path.filename().string() << ": "
+            << s.divergence.describe();
+        EXPECT_TRUE(s.result.ok()) << path.filename().string();
+    }
 }
 
 } // namespace

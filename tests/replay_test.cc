@@ -1,0 +1,499 @@
+/**
+ * @file
+ * Deterministic record-replay and divergence bisection (src/replay).
+ *
+ * Covers the PR's acceptance criteria end to end: a fig4 sweep
+ * point, a kserved job (over a loopback server), and a kcheck
+ * scenario each record and replay bit-identically on the same
+ * build; tampered recordings are flagged at their first divergent
+ * stream entry; and the bisector, fed two runs that differ by one
+ * seeded SECDED decode perturbation at a *known* (tick, seq),
+ * reports exactly that site in O(log n) digest probes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/sweep.hh"
+#include "check/checker.hh"
+#include "check/scenario.hh"
+#include "common/bitvec.hh"
+#include "common/hotpath.hh"
+#include "common/log.hh"
+#include "common/replay_probe.hh"
+#include "common/rng.hh"
+#include "ecc/secded.hh"
+#include "replay/bisect.hh"
+#include "replay/recording.hh"
+#include "replay/session.hh"
+#include "serve/client/client.hh"
+#include "serve/server.hh"
+#include "sim/event_queue.hh"
+
+namespace killi::replay
+{
+namespace
+{
+
+/** The cheapest interesting sweep point: one workload, one scheme. */
+SweepOptions
+tinySweep()
+{
+    SweepOptions opt;
+    opt.scale = 0.01;
+    opt.warmupPasses = 0;
+    opt.workloads = {"stream"};
+    opt.schemes = {"Killi 1:256"};
+    opt.jobs = 1;
+    return opt;
+}
+
+// ---------------------------------------------------------------
+// RngSegmentBuilder
+// ---------------------------------------------------------------
+
+TEST(RngSegmentBuilder, SplitsOnStreamLabelAndPopChanges)
+{
+    RngSegmentBuilder builder;
+    PendingSegment seg;
+    EXPECT_FALSE(builder.feed("faultmap", 0, 11, seg));
+    EXPECT_FALSE(builder.feed("faultmap", 0, 22, seg));
+    // Stream change closes the faultmap segment.
+    ASSERT_TRUE(builder.feed("?", 0, 33, seg));
+    EXPECT_EQ(seg.stream, "faultmap");
+    EXPECT_EQ(seg.pop, 0u);
+    EXPECT_EQ(seg.count, 2u);
+    std::uint64_t expect = textDigest("faultmap");
+    expect = rollDigest(expect, 11);
+    expect = rollDigest(expect, 22);
+    EXPECT_EQ(seg.digest, expect);
+    // Pop change closes the next one.
+    ASSERT_TRUE(builder.feed("?", 1, 44, seg));
+    EXPECT_EQ(seg.stream, "?");
+    EXPECT_EQ(seg.pop, 0u);
+    EXPECT_EQ(seg.count, 1u);
+    // Flush emits the in-flight tail exactly once.
+    ASSERT_TRUE(builder.flush(seg));
+    EXPECT_EQ(seg.pop, 1u);
+    EXPECT_EQ(seg.count, 1u);
+    EXPECT_FALSE(builder.flush(seg));
+}
+
+// ---------------------------------------------------------------
+// Directed mini-simulation harness
+// ---------------------------------------------------------------
+
+/**
+ * A deterministic toy run with a fully known schedule: eight events
+ * at ticks 10..80, each performing one SECDED decode of a clean
+ * codeword and one RNG draw — plus one *extra* draw whenever the
+ * decode reports anything but NoError. Arming the hot-path decode
+ * perturbation at evaluation N therefore changes the draw count of
+ * exactly pop N, i.e. the injected divergence site is (tick, seq)
+ * of the Nth event, known a priori.
+ */
+constexpr int kHarnessEvents = 8;
+
+std::string
+runHarness(ReplayProbe *probe, std::uint64_t perturbNth)
+{
+    const ScopedReplayProbe scope(probe);
+    EventQueue q;
+    const Secded code(64);
+    Rng rng(7);
+    std::string log;
+    setHotpathPerturbDecode(perturbNth);
+    for (int i = 0; i < kHarnessEvents; ++i) {
+        q.schedule(Tick(10 * (i + 1)), [&] {
+            BitVec data(64);
+            BitVec check = code.encode(data);
+            const DecodeResult r = code.decode(data, check);
+            rng.next64();
+            if (r.status != DecodeStatus::NoError)
+                rng.next64();
+            log += r.status == DecodeStatus::NoError ? '.' : 'X';
+        });
+    }
+    q.run();
+    setHotpathPerturbDecode(0);
+    return log;
+}
+
+Recording
+recordHarness(std::uint64_t perturbNth)
+{
+    Recorder recorder("test");
+    recorder.recording().perturbDecode = perturbNth;
+    const std::string result = runHarness(&recorder, perturbNth);
+    recorder.finish(result);
+    return std::move(recorder.recording());
+}
+
+TEST(ReplayHarness, CleanRunRecordsOneSegmentPerPop)
+{
+    const Recording rec = recordHarness(0);
+    EXPECT_EQ(rec.pops.size(), std::size_t(kHarnessEvents));
+    ASSERT_EQ(rec.rng.size(), std::size_t(kHarnessEvents));
+    for (int i = 0; i < kHarnessEvents; ++i) {
+        EXPECT_EQ(rec.pops[i].when, Tick(10 * (i + 1)));
+        EXPECT_EQ(rec.rng[i].pop, std::uint64_t(i + 1));
+        EXPECT_EQ(rec.rng[i].count, 1u);
+    }
+    EXPECT_FALSE(rec.resultDigest.empty());
+}
+
+TEST(ReplayHarness, ReplayerVerifiesCleanReRun)
+{
+    const Recording rec = recordHarness(0);
+    Replayer rep(rec);
+    const std::string result = runHarness(&rep, 0);
+    rep.finish(result);
+    EXPECT_TRUE(rep.ok()) << rep.divergence().describe();
+}
+
+TEST(ReplayHarness, ReplayerFlagsSeededDecodeAtExactTickSeq)
+{
+    // The 4th SECDED evaluation happens inside the 4th event, at
+    // tick 40 — the replayer must name exactly that site.
+    const Recording rec = recordHarness(0);
+    Replayer rep(rec);
+    const std::string result = runHarness(&rep, 4);
+    rep.finish(result);
+    ASSERT_FALSE(rep.ok());
+    const Divergence &div = rep.divergence();
+    EXPECT_EQ(div.stream, "rng");
+    EXPECT_EQ(div.tick, Tick(40));
+    EXPECT_EQ(div.seq, rec.pops[3].seq);
+}
+
+TEST(ReplayBisect, PinpointsSeededDecodeDivergence)
+{
+    const Recording a = recordHarness(0);
+    const Recording b = recordHarness(4);
+    const BisectReport rep = bisectRecordings(a, b);
+    ASSERT_TRUE(rep.diverged);
+    EXPECT_EQ(rep.stream, "rng");
+    EXPECT_EQ(rep.index, 3u); // segments for pops 1..8; pop 4 differs
+    EXPECT_EQ(rep.tick, Tick(40));
+    EXPECT_EQ(rep.seq, a.pops[3].seq);
+    // 3 streams, <= ~log2(n)+1 digest probes each.
+    EXPECT_LE(rep.probes, 12u);
+}
+
+TEST(ReplayBisect, IdenticalRecordingsAreClean)
+{
+    const Recording a = recordHarness(0);
+    const Recording b = recordHarness(0);
+    const BisectReport rep = bisectRecordings(a, b);
+    EXPECT_FALSE(rep.diverged) << rep.summary();
+}
+
+TEST(ReplayBisect, ProbeCountStaysLogarithmic)
+{
+    // Two synthetic pop streams of 4096 entries differing only at
+    // index 2500: the bisector must land exactly there in O(log n)
+    // probes, not scan linearly.
+    Recording a, b;
+    a.tool = b.tool = "test";
+    for (std::uint64_t i = 0; i < 4096; ++i) {
+        EventPop p;
+        p.when = Tick(i);
+        p.seq = i;
+        a.pops.push_back(p);
+        if (i == 2500)
+            p.priority = 1;
+        b.pops.push_back(p);
+    }
+    a.resultDigest = b.resultDigest = "same";
+    const BisectReport rep = bisectRecordings(a, b);
+    ASSERT_TRUE(rep.diverged);
+    EXPECT_EQ(rep.stream, "pop");
+    EXPECT_EQ(rep.index, 2500u);
+    EXPECT_LE(rep.probes, 3 * 13u);
+}
+
+TEST(ReplayBisect, ResultOnlyDivergenceFallsBackToResultStream)
+{
+    Recording a = recordHarness(0);
+    Recording b = recordHarness(0);
+    b.resultDigest[0] = b.resultDigest[0] == '0' ? '1' : '0';
+    const BisectReport rep = bisectRecordings(a, b);
+    ASSERT_TRUE(rep.diverged);
+    EXPECT_EQ(rep.stream, "result");
+}
+
+// ---------------------------------------------------------------
+// ScopedLogClock under replay
+// ---------------------------------------------------------------
+
+TEST(ReplayHarness, ScopedLogClockTimestampsAreReplayDeterministic)
+{
+    // Log timestamps come from the simulated clock, so a replayed
+    // run must emit byte-identical "@<tick>" prefixes — wall time
+    // never leaks in.
+    const auto loggedRun = [](ReplayProbe *probe) {
+        ScopedLogCapture capture;
+        const ScopedReplayProbe scope(probe);
+        EventQueue q;
+        const ScopedLogClock clock([&q] { return q.curTick(); });
+        Rng rng(3);
+        for (int i = 0; i < 3; ++i) {
+            q.schedule(Tick(5 * (i + 1)), [&] {
+                rng.next64();
+                inform("harness event");
+            });
+        }
+        q.run();
+        return capture.messages();
+    };
+
+    Recorder recorder("test");
+    const auto recorded = loggedRun(&recorder);
+    recorder.finish("logclock");
+
+    Replayer rep(recorder.recording());
+    const auto replayed = loggedRun(&rep);
+    rep.finish("logclock");
+
+    EXPECT_TRUE(rep.ok()) << rep.divergence().describe();
+    ASSERT_EQ(recorded.size(), 3u);
+    EXPECT_NE(recorded[0].find("@5"), std::string::npos)
+        << recorded[0];
+    EXPECT_EQ(recorded, replayed);
+}
+
+// ---------------------------------------------------------------
+// Recording file format
+// ---------------------------------------------------------------
+
+TEST(RecordingFormat, FileRoundTripPreservesStreams)
+{
+    const Recording rec = recordHarness(0);
+    const std::string path = "replay_test_roundtrip.krr.json";
+    rec.writeFile(path);
+    const Recording back = Recording::loadFile(path);
+    std::remove(path.c_str());
+
+    EXPECT_EQ(back.tool, rec.tool);
+    EXPECT_EQ(back.resultDigest, rec.resultDigest);
+    ASSERT_EQ(back.rng.size(), rec.rng.size());
+    ASSERT_EQ(back.pops.size(), rec.pops.size());
+    for (std::size_t i = 0; i < rec.rng.size(); ++i) {
+        // Digests exceed 2^53; the string encoding must preserve
+        // them exactly through the double-backed JSON layer.
+        EXPECT_EQ(back.rng[i].digest, rec.rng[i].digest);
+        EXPECT_EQ(back.rng[i].count, rec.rng[i].count);
+        EXPECT_EQ(back.rng[i].pop, rec.rng[i].pop);
+    }
+    for (std::size_t i = 0; i < rec.pops.size(); ++i) {
+        EXPECT_EQ(back.pops[i].when, rec.pops[i].when);
+        EXPECT_EQ(back.pops[i].seq, rec.pops[i].seq);
+    }
+    const BisectReport rep = bisectRecordings(rec, back);
+    EXPECT_FALSE(rep.diverged) << rep.summary();
+}
+
+TEST(RecordingFormat, RejectsMalformedDocuments)
+{
+    Recording out;
+    std::string err;
+    EXPECT_FALSE(
+        Recording::tryFromJson(Json::string("nope"), out, &err));
+    EXPECT_FALSE(err.empty());
+    Json doc = recordHarness(0).toJson();
+    doc.set("format", Json::string("killi-recording-v2"));
+    EXPECT_FALSE(Recording::tryFromJson(doc, out, &err));
+    EXPECT_NE(err.find(kRecordingFormat), std::string::npos) << err;
+}
+
+// ---------------------------------------------------------------
+// Sweep record/replay (the fig4 acceptance point)
+// ---------------------------------------------------------------
+
+TEST(ReplaySweep, RecordThenReplayIsBitIdentical)
+{
+    const SweepSession recorded = recordSweep(tinySweep());
+    EXPECT_FALSE(recorded.recording.rng.empty());
+    EXPECT_FALSE(recorded.recording.pops.empty());
+    EXPECT_EQ(recorded.recording.marks.size(), 2u); // 2 sweep points
+
+    const SweepSession replayed = replaySweep(recorded.recording);
+    EXPECT_TRUE(replayed.verified)
+        << replayed.divergence.describe();
+    EXPECT_EQ(replayed.resultText, recorded.resultText);
+}
+
+TEST(ReplaySweep, TamperedRngSegmentIsFlaggedAsFaultMapDivergence)
+{
+    const SweepSession recorded = recordSweep(tinySweep());
+    Recording tampered = recorded.recording;
+    ASSERT_FALSE(tampered.rng.empty());
+    tampered.rng[0].digest ^= 1;
+
+    const SweepSession replayed = replaySweep(tampered);
+    ASSERT_FALSE(replayed.verified);
+    EXPECT_EQ(replayed.divergence.stream, "rng");
+    EXPECT_EQ(replayed.divergence.index, 0u);
+    // The first segment is the fault-map construction stream.
+    EXPECT_EQ(replayed.divergence.rngStream, "faultmap");
+}
+
+TEST(ReplaySweep, CrossModeBisectPinpointsFaultMapSampling)
+{
+    // Reference mode swaps the fault map to per-bit sampling — a
+    // genuinely different draw stream from the very first segment.
+    // The honest bisect verdict is therefore "diverged at fault-map
+    // construction", not a later in-sim site.
+    RunMode sliced;
+    RunMode reference;
+    reference.reference = true;
+    const SweepSession a = recordSweep(tinySweep(), sliced);
+    const SweepSession b = recordSweep(tinySweep(), reference);
+    ASSERT_FALSE(a.recording.rng.empty());
+    ASSERT_TRUE(b.recording.referenceMode);
+    const BisectReport rep =
+        bisectRecordings(a.recording, b.recording);
+    ASSERT_TRUE(rep.diverged);
+    EXPECT_EQ(rep.stream, "rng");
+    EXPECT_EQ(rep.index, 0u);
+    EXPECT_NE(rep.a.find("faultmap"), std::string::npos) << rep.a;
+}
+
+// ---------------------------------------------------------------
+// kcheck scenario record/replay
+// ---------------------------------------------------------------
+
+TEST(ReplayScenario, RecordThenReplayIsBitIdentical)
+{
+    const check::Scenario sc = check::Scenario::generate(1234);
+    const CheckSession recorded = recordScenario(sc);
+    EXPECT_FALSE(recorded.recording.rng.empty());
+    EXPECT_EQ(recorded.recording.tool, "kcheck");
+
+    const CheckSession replayed = replayScenario(recorded.recording);
+    EXPECT_TRUE(replayed.verified)
+        << replayed.divergence.describe();
+    EXPECT_EQ(replayed.resultText, recorded.resultText);
+}
+
+TEST(ReplayScenario, TamperedResultDigestIsFlagged)
+{
+    const check::Scenario sc = check::Scenario::generate(99);
+    const CheckSession recorded = recordScenario(sc);
+    Recording tampered = recorded.recording;
+    tampered.resultDigest[0] =
+        tampered.resultDigest[0] == '0' ? '1' : '0';
+    const CheckSession replayed = replayScenario(tampered);
+    ASSERT_FALSE(replayed.verified);
+    EXPECT_EQ(replayed.divergence.stream, "result");
+}
+
+// ---------------------------------------------------------------
+// kserved record/replay jobs
+// ---------------------------------------------------------------
+
+Json
+tinySubmit()
+{
+    Json options = Json::object();
+    options.set("scale", Json::number(0.002));
+    options.set("warmup", Json::number(std::uint64_t{0}));
+    options.set("seed", Json::number(std::uint64_t{42}));
+    options.set("workloads", Json::string("spmv"));
+    options.set("schemes", Json::string("DECTED"));
+    Json req = Json::object();
+    req.set("type", Json::string("submit"));
+    req.set("options", std::move(options));
+    req.set("stream", Json::boolean(false));
+    return req;
+}
+
+TEST(ReplayServe, RecordedJobReplaysBitIdenticalAndBypassesCache)
+{
+    serve::ServerOptions so;
+    so.port = 0;
+    so.threads = 2;
+    serve::Server server(so);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+    serve::Client client;
+    ASSERT_TRUE(client.connectTcp(server.boundPort(), &err)) << err;
+    ScopedLogCapture quiet;
+
+    // Plain submit populates the cache...
+    Json plain;
+    ASSERT_TRUE(client.submit(tinySubmit(), plain, {}, &err)) << err;
+    ASSERT_EQ(plain.at("outcome").asString(), "done");
+
+    // ...but a record job for the same point must bypass it (no
+    // cached:true, and a recording in the result).
+    Json recReq = tinySubmit();
+    recReq.set("record", Json::boolean(true));
+    Json recorded;
+    ASSERT_TRUE(client.submit(recReq, recorded, {}, &err)) << err;
+    ASSERT_EQ(recorded.at("outcome").asString(), "done");
+    EXPECT_FALSE(recorded.at("cached").asBool());
+    ASSERT_TRUE(recorded.at("result").contains("recording"));
+
+    // The recorded job's sweep body matches the plain run.
+    EXPECT_EQ(
+        recorded.at("result").at("workloads").toString(0),
+        plain.at("result").at("workloads").toString(0));
+
+    // A replay job re-runs from the recording alone, bit-identical.
+    Json repReq = Json::object();
+    repReq.set("type", Json::string("submit"));
+    repReq.set("replay", recorded.at("result").at("recording"));
+    repReq.set("stream", Json::boolean(false));
+    Json replayed;
+    ASSERT_TRUE(client.submit(repReq, replayed, {}, &err)) << err;
+    ASSERT_EQ(replayed.at("outcome").asString(), "done");
+    EXPECT_FALSE(replayed.at("cached").asBool());
+    const Json &verdict = replayed.at("result").at("replay");
+    EXPECT_TRUE(verdict.at("verified").asBool())
+        << verdict.toString(0);
+
+    // The record/replay jobs never polluted the cache: a plain
+    // submit still hits the original entry, whose stored bytes
+    // carry no recording.
+    Json again;
+    ASSERT_TRUE(client.submit(tinySubmit(), again, {}, &err)) << err;
+    EXPECT_TRUE(again.at("cached").asBool());
+    EXPECT_FALSE(again.at("result").contains("recording"));
+    EXPECT_EQ(again.at("result").toString(0),
+              plain.at("result").toString(0));
+
+    server.stop();
+}
+
+TEST(ReplayServe, ReplayJobRejectsOptionsAlongside)
+{
+    serve::ServerOptions so;
+    so.port = 0;
+    so.threads = 1;
+    serve::Server server(so);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+    serve::Client client;
+    ASSERT_TRUE(client.connectTcp(server.boundPort(), &err)) << err;
+
+    const Recording rec = recordHarness(0);
+    Json req = Json::object();
+    req.set("type", Json::string("submit"));
+    req.set("replay", rec.toJson());
+    req.set("options", Json::object());
+    ASSERT_TRUE(client.send(req));
+    Json frame;
+    ASSERT_TRUE(client.recvWithin(frame, 30000, &err)) << err;
+    EXPECT_EQ(frame.at("type").asString(), "error");
+    EXPECT_EQ(frame.at("code").asString(), "bad_request");
+    server.stop();
+}
+
+} // namespace
+} // namespace killi::replay

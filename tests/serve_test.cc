@@ -10,7 +10,9 @@
  */
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <thread>
@@ -113,6 +115,29 @@ blockOn(const std::shared_ptr<Gate> &gate)
     };
 }
 
+/**
+ * Poll @p pred until it holds or the deadline passes. Every former
+ * raw `while (!pred) yield()` spin in this file goes through here so
+ * a daemon that never reaches the awaited state is a diagnosed
+ * failure (@p what names it) instead of a test that hangs until the
+ * harness kills it.
+ */
+::testing::AssertionResult
+waitUntil(const std::function<bool()> &pred, const char *what,
+          std::chrono::milliseconds deadline =
+              std::chrono::seconds(30))
+{
+    const auto until = std::chrono::steady_clock::now() + deadline;
+    while (std::chrono::steady_clock::now() < until) {
+        if (pred())
+            return ::testing::AssertionSuccess();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return ::testing::AssertionFailure()
+           << "timed out after " << deadline.count()
+           << "ms waiting for " << what;
+}
+
 /** The fast smoke sweep the CI golden pins (scale 0.02, seed 42). */
 Json
 smokeSubmit(bool stream)
@@ -205,8 +230,8 @@ TEST(JobScheduler, CancelQueuedJobNeverRuns)
     auto gate = std::make_shared<Gate>();
     std::atomic<bool> ran{false};
     ASSERT_TRUE(sched.submit(1, 0, blockOn(gate), log.sink(), nullptr));
-    while (sched.stats().running == 0)
-        std::this_thread::yield();
+    ASSERT_TRUE(waitUntil([&] { return sched.stats().running > 0; },
+                          "job 1 to start running"));
     ASSERT_TRUE(sched.submit(
         2, 0,
         [&](const CancelToken &) {
@@ -235,14 +260,22 @@ TEST(JobScheduler, CancelRunningTripsToken)
         1, 0,
         [&](const CancelToken &cancel) {
             started = true;
-            while (!cancel.cancelled())
+            // Bounded: if the token never trips, the job returns a
+            // sentinel and the state assertion below diagnoses it,
+            // instead of wedging the worker (and drain()) forever.
+            const auto deadline = std::chrono::steady_clock::now() +
+                                  std::chrono::seconds(30);
+            while (!cancel.cancelled() &&
+                   std::chrono::steady_clock::now() < deadline)
                 std::this_thread::sleep_for(
                     std::chrono::milliseconds(1));
-            return std::string("partial");
+            return std::string(cancel.cancelled()
+                                   ? "partial"
+                                   : "never-cancelled");
         },
         log.sink(), nullptr));
-    while (!started.load())
-        std::this_thread::yield();
+    ASSERT_TRUE(waitUntil([&] { return started.load(); },
+                          "job 1 to enter its body"));
     EXPECT_TRUE(sched.cancel(1));
     sched.drain();
     const Finish f = log.forId(1);
@@ -258,8 +291,8 @@ TEST(JobScheduler, BoundedQueueRejectsWithQueueFull)
     ASSERT_TRUE(sched.submit(1, 0, blockOn(gate), log.sink(), nullptr));
     // Worker may briefly hold job 1 in the ready queue; wait until
     // it is actually running so the bound applies to job 2 alone.
-    while (sched.stats().running == 0)
-        std::this_thread::yield();
+    ASSERT_TRUE(waitUntil([&] { return sched.stats().running > 0; },
+                          "job 1 to start running"));
     ASSERT_TRUE(sched.submit(2, 0, blockOn(gate), log.sink(), nullptr));
     std::string code;
     EXPECT_FALSE(sched.submit(3, 0, blockOn(gate), log.sink(), &code));
@@ -276,8 +309,8 @@ TEST(JobScheduler, DrainCancelsQueuedAndRejectsNewSubmits)
     FinishLog log;
     auto gate = std::make_shared<Gate>();
     ASSERT_TRUE(sched.submit(1, 0, blockOn(gate), log.sink(), nullptr));
-    while (sched.stats().running == 0)
-        std::this_thread::yield();
+    ASSERT_TRUE(waitUntil([&] { return sched.stats().running > 0; },
+                          "job 1 to start running"));
     ASSERT_TRUE(sched.submit(2, 0, blockOn(gate), log.sink(), nullptr));
     sched.beginDrain();
     EXPECT_TRUE(sched.draining());
@@ -461,14 +494,21 @@ TEST(ServeIntegration, CancelRunningJobYieldsCancelledOutcome)
     options.set("stats_interval", Json::number(std::uint64_t{2000}));
     req.set("options", std::move(options));
 
+    // Every receive below is deadline-bounded: a daemon that stops
+    // answering mid-cancel fails the test with the frame it was
+    // waiting for, instead of hanging on a blocking recv().
+    constexpr int kRecvMs = 30000;
+    std::string rerr;
     ASSERT_TRUE(lo.client.send(req));
     Json frame;
-    ASSERT_TRUE(lo.client.recv(frame));
+    ASSERT_TRUE(lo.client.recvWithin(frame, kRecvMs, &rerr))
+        << "waiting for submitted: " << rerr;
     ASSERT_EQ(frame.at("type").asString(), "submitted");
     const std::uint64_t id =
         std::uint64_t(frame.at("id").asDouble());
 
-    ASSERT_TRUE(lo.client.recv(frame));
+    ASSERT_TRUE(lo.client.recvWithin(frame, kRecvMs, &rerr))
+        << "waiting for first progress: " << rerr;
     ASSERT_EQ(frame.at("type").asString(), "progress");
 
     Json cancel = Json::object();
@@ -477,8 +517,15 @@ TEST(ServeIntegration, CancelRunningJobYieldsCancelledOutcome)
     ASSERT_TRUE(lo.client.send(cancel));
 
     bool sawCancelReply = false;
-    while (true) {
-        ASSERT_TRUE(lo.client.recv(frame));
+    // Progress frames already in flight may precede the cancel
+    // reply; the terminal result must arrive within the deadline
+    // regardless, and the frame budget catches a daemon that streams
+    // forever instead of honouring the cancel.
+    for (int frames = 0;; ++frames) {
+        ASSERT_LT(frames, 10000)
+            << "no terminal result after " << frames << " frames";
+        ASSERT_TRUE(lo.client.recvWithin(frame, kRecvMs, &rerr))
+            << "waiting for cancel_reply/result: " << rerr;
         const std::string &type = frame.at("type").asString();
         if (type == "cancel_reply") {
             EXPECT_TRUE(frame.at("cancelled").asBool());
@@ -578,10 +625,16 @@ TEST(ServeIntegration, Barrage200RequestsBoundedQueueCleanDrain)
                 << cerr;
             for (unsigned i = 0; i < kPerClient; ++i)
                 ASSERT_TRUE(client.send(req, &cerr)) << cerr;
+            // Bounded drain: every pipelined submit owes exactly one
+            // terminal frame; a daemon that drops one turns into a
+            // diagnosed timeout here, not a hung client thread that
+            // the harness eventually kills with no context.
             unsigned terminals = 0;
             while (terminals < kPerClient) {
                 Json frame;
-                ASSERT_TRUE(client.recv(frame, &cerr)) << cerr;
+                ASSERT_TRUE(client.recvWithin(frame, 60000, &cerr))
+                    << "after " << terminals << "/" << kPerClient
+                    << " terminals: " << cerr;
                 if (frame.at("type").asString() != "result")
                     continue;
                 ++terminals;

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "sim/dram.hh"
@@ -35,6 +36,66 @@ TEST(EventQueueTest, TiesBreakByPriorityThenInsertion)
     eq.schedule(5, [&] { order.push_back(3); }, 0);
     eq.run();
     EXPECT_EQ(order, (std::vector<int>{2, 1, 3}));
+}
+
+TEST(EventQueueTest, PopOrderIsTotalOverWhenPrioritySeq)
+{
+    // The determinism contract (DESIGN.md): pops are strictly
+    // increasing in (when, priority, seq), regardless of heap
+    // internals or insertion order. Insert a deterministic shuffle
+    // of (tick, priority) pairs and check the exact total order.
+    EventQueue eq;
+    struct Popped
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+    };
+    std::vector<Popped> pops;
+    std::uint64_t seq = 0;
+    // A fixed LCG shuffles insertion without platform randomness.
+    std::uint64_t lcg = 12345;
+    for (int i = 0; i < 64; ++i) {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        const Tick when = Tick(10 + (lcg >> 33) % 4);  // 4 tick bins
+        const int priority = int((lcg >> 13) % 3) - 1; // -1, 0, 1
+        const std::uint64_t mySeq = seq++;
+        eq.schedule(when, [&pops, &eq, when, priority, mySeq] {
+            EXPECT_EQ(eq.curTick(), when);
+            pops.push_back({when, priority, mySeq});
+        }, priority);
+    }
+    eq.run();
+    ASSERT_EQ(pops.size(), 64u);
+    for (std::size_t i = 1; i < pops.size(); ++i) {
+        const Popped &a = pops[i - 1];
+        const Popped &b = pops[i];
+        const bool increasing =
+            a.when != b.when
+                ? a.when < b.when
+                : a.priority != b.priority ? a.priority < b.priority
+                                           : a.seq < b.seq;
+        EXPECT_TRUE(increasing)
+            << "pop " << i << ": (" << a.when << "," << a.priority
+            << "," << a.seq << ") then (" << b.when << ","
+            << b.priority << "," << b.seq << ")";
+    }
+}
+
+TEST(EventQueueTest, SameTickScheduleDuringPopRunsAfterPeers)
+{
+    // An event scheduled *during* a same-tick pop gets a larger seq
+    // than every already-queued peer, so it runs after them — the
+    // property replay recordings depend on for stable pop logs.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] {
+        order.push_back(1);
+        eq.schedule(5, [&] { order.push_back(3); });
+    });
+    eq.schedule(5, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
 TEST(EventQueueTest, CallbacksMayScheduleMore)

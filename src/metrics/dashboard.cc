@@ -1,0 +1,426 @@
+#include "metrics/dashboard.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <initializer_list>
+#include <limits>
+#include <sstream>
+
+namespace killi::metrics
+{
+
+namespace
+{
+
+const Json *
+findFamily(const Json &doc, const std::string &name)
+{
+    if (!doc.contains("families"))
+        return nullptr;
+    const Json &fams = doc.at("families");
+    for (std::size_t i = 0; i < fams.size(); ++i) {
+        const Json &f = fams.at(i);
+        if (f.contains("name") && f.at("name").asString() == name)
+            return &f;
+    }
+    return nullptr;
+}
+
+/** Sum of "value" across a family's instruments (counters/gauges);
+ *  0 when the family is absent. */
+double
+familyValue(const Json &doc, const std::string &name)
+{
+    const Json *fam = findFamily(doc, name);
+    if (!fam || !fam->contains("metrics"))
+        return 0.0;
+    const Json &metrics = fam->at("metrics");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+        const Json &m = metrics.at(i);
+        if (m.contains("value") && !m.at("value").isNull())
+            sum += m.at("value").asDouble();
+    }
+    return sum;
+}
+
+/** The "value" of the instrument whose label `key` equals `val`; 0
+ *  when absent. */
+double
+labeledValue(const Json &doc, const std::string &name,
+             const std::string &key, const std::string &val)
+{
+    const Json *fam = findFamily(doc, name);
+    if (!fam || !fam->contains("metrics"))
+        return 0.0;
+    const Json &metrics = fam->at("metrics");
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+        const Json &m = metrics.at(i);
+        if (!m.contains("labels"))
+            continue;
+        const Json &labels = m.at("labels");
+        if (labels.contains(key) &&
+            labels.at(key).asString() == val && m.contains("value") &&
+            !m.at("value").isNull())
+            return m.at("value").asDouble();
+    }
+    return 0.0;
+}
+
+Json
+copyNumber(const Json &m, const std::string &member)
+{
+    if (m.contains(member) && !m.at(member).isNull())
+        return Json::number(m.at(member).asDouble());
+    return Json::null();
+}
+
+/** Summarize one instrument of a histogram family as
+ *  {count, mean_s, p50_s, p90_s, p99_s, max_s}; zeros/nulls when the
+ *  family (or the labeled instrument) is absent. */
+Json
+histoSummary(const Json &doc, const std::string &name,
+             const std::string &labelKey = "",
+             const std::string &labelVal = "")
+{
+    Json out = Json::object();
+    const Json *found = nullptr;
+    const Json *fam = findFamily(doc, name);
+    if (fam && fam->contains("metrics")) {
+        const Json &metrics = fam->at("metrics");
+        for (std::size_t i = 0; i < metrics.size() && !found; ++i) {
+            const Json &m = metrics.at(i);
+            if (labelKey.empty()) {
+                found = &m;
+                break;
+            }
+            if (m.contains("labels") &&
+                m.at("labels").contains(labelKey) &&
+                m.at("labels").at(labelKey).asString() == labelVal)
+                found = &m;
+        }
+    }
+    if (!found) {
+        out.set("count", Json::number(std::int64_t(0)));
+        out.set("mean_s", Json::null());
+        out.set("p50_s", Json::null());
+        out.set("p90_s", Json::null());
+        out.set("p99_s", Json::null());
+        out.set("max_s", Json::null());
+        return out;
+    }
+    out.set("count", Json::number(std::int64_t(
+                         found->contains("count")
+                             ? found->at("count").asInt()
+                             : 0)));
+    out.set("mean_s", copyNumber(*found, "mean"));
+    out.set("p50_s", copyNumber(*found, "p50"));
+    out.set("p90_s", copyNumber(*found, "p90"));
+    out.set("p99_s", copyNumber(*found, "p99"));
+    out.set("max_s", copyNumber(*found, "max"));
+    return out;
+}
+
+double
+numOrNan(const Json &obj, const std::string &member)
+{
+    if (!obj.contains(member) || obj.at(member).isNull())
+        return std::numeric_limits<double>::quiet_NaN();
+    return obj.at(member).asDouble();
+}
+
+std::string
+fmt(double v, const char *pattern = "%.3g")
+{
+    if (std::isnan(v))
+        return "-";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), pattern, v);
+    return buf;
+}
+
+std::string
+fmtMs(double seconds)
+{
+    if (std::isnan(seconds))
+        return "-";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1fms", seconds * 1e3);
+    return buf;
+}
+
+} // namespace
+
+Json
+ktopSnapshot(const Json &metricsJson)
+{
+    Json out = Json::object();
+    out.set("uptime_s",
+            Json::number(
+                familyValue(metricsJson, "kserved_uptime_seconds")));
+
+    Json jobs = Json::object();
+    std::uint64_t jobTotal = 0;
+    for (const char *outcome :
+         {"done", "failed", "cancelled", "rejected"}) {
+        const auto n = std::uint64_t(
+            labeledValue(metricsJson, "kserved_jobs_total", "outcome",
+                         outcome));
+        jobs.set(outcome, Json::number(n));
+        jobTotal += n;
+    }
+    jobs.set("total", Json::number(jobTotal));
+    out.set("jobs", std::move(jobs));
+
+    Json cache = Json::object();
+    const auto hits = std::uint64_t(
+        familyValue(metricsJson, "kserved_cache_hits_total"));
+    const auto misses = std::uint64_t(
+        familyValue(metricsJson, "kserved_cache_misses_total"));
+    cache.set("hits", Json::number(hits));
+    cache.set("misses", Json::number(misses));
+    cache.set("evictions",
+              Json::number(std::uint64_t(familyValue(
+                  metricsJson, "kserved_cache_evictions_total"))));
+    cache.set("insertions",
+              Json::number(std::uint64_t(familyValue(
+                  metricsJson, "kserved_cache_insertions_total"))));
+    cache.set("bytes", Json::number(std::uint64_t(familyValue(
+                           metricsJson, "kserved_cache_bytes"))));
+    cache.set("hit_rate",
+              Json::number(hits + misses
+                               ? double(hits) / double(hits + misses)
+                               : 0.0));
+    out.set("cache", std::move(cache));
+
+    Json sched = Json::object();
+    sched.set("queued", Json::number(std::int64_t(familyValue(
+                            metricsJson, "kserved_queue_depth"))));
+    sched.set("running",
+              Json::number(std::int64_t(familyValue(
+                  metricsJson, "kserved_jobs_running"))));
+    sched.set("peak_queued",
+              Json::number(std::int64_t(familyValue(
+                  metricsJson, "kserved_queue_peak_depth"))));
+    sched.set("submitted",
+              Json::number(std::uint64_t(familyValue(
+                  metricsJson, "kserved_admissions_total"))));
+    sched.set("rejected",
+              Json::number(std::uint64_t(familyValue(
+                  metricsJson, "kserved_rejections_total"))));
+    sched.set("cancelled",
+              Json::number(std::uint64_t(familyValue(
+                  metricsJson, "kserved_cancellations_total"))));
+    out.set("scheduler", std::move(sched));
+
+    Json server = Json::object();
+    server.set("connections_total",
+               Json::number(std::uint64_t(familyValue(
+                   metricsJson, "kserved_connections_total"))));
+    server.set("connections_active",
+               Json::number(std::int64_t(familyValue(
+                   metricsJson, "kserved_connections_active"))));
+    server.set("frames_received",
+               Json::number(std::uint64_t(familyValue(
+                   metricsJson, "kserved_frames_received_total"))));
+    server.set("frames_sent",
+               Json::number(std::uint64_t(familyValue(
+                   metricsJson, "kserved_frames_sent_total"))));
+    server.set("protocol_errors",
+               Json::number(std::uint64_t(familyValue(
+                   metricsJson, "kserved_protocol_errors_total"))));
+    server.set("outbox_bytes",
+               Json::number(std::uint64_t(familyValue(
+                   metricsJson, "kserved_outbox_bytes_total"))));
+    out.set("server", std::move(server));
+
+    out.set("latency",
+            histoSummary(metricsJson, "kserved_job_seconds"));
+
+    Json stages = Json::object();
+    for (const char *stage : {"decode", "queue", "setup", "run",
+                              "serialize", "reply"}) {
+        stages.set(stage,
+                   histoSummary(metricsJson,
+                                "kserved_job_stage_seconds", "stage",
+                                stage));
+    }
+    out.set("stages", std::move(stages));
+
+    Json trace = Json::object();
+    trace.set("dropped_records",
+              Json::number(std::uint64_t(familyValue(
+                  metricsJson, "ktrace_dropped_records_total"))));
+    out.set("trace", std::move(trace));
+    return out;
+}
+
+std::string
+sparkline(const std::vector<double> &vals, std::size_t width)
+{
+    static const char *kBlocks[] = {" ", "▁", "▂", "▃",
+                                    "▄", "▅", "▆", "▇", "█"};
+    if (vals.empty())
+        return "";
+    const std::size_t start =
+        vals.size() > width ? vals.size() - width : 0;
+    double top = 0.0;
+    for (std::size_t i = start; i < vals.size(); ++i) {
+        if (!std::isnan(vals[i]))
+            top = std::max(top, vals[i]);
+    }
+    std::string out;
+    for (std::size_t i = start; i < vals.size(); ++i) {
+        if (std::isnan(vals[i])) {
+            out += ' ';
+            continue;
+        }
+        const int level =
+            top > 0 ? int(std::lround(vals[i] / top * 8.0)) : 0;
+        out += kBlocks[std::clamp(level, 0, 8)];
+    }
+    return out;
+}
+
+void
+KtopModel::push(std::vector<double> &hist, double v)
+{
+    hist.push_back(v);
+    if (hist.size() > historyLen)
+        hist.erase(hist.begin());
+}
+
+std::string
+KtopModel::render(const Json &snapshot, double dtSeconds)
+{
+    const Json &cur = snapshot;
+    const double dt = dtSeconds > 0 ? dtSeconds : 1.0;
+
+    auto delta = [&](std::initializer_list<const char *> path) {
+        double curV = 0, prevV = 0;
+        const Json *c = &cur, *p = hasPrev ? &prev : nullptr;
+        for (const char *k : path) {
+            c = c && c->contains(k) ? &c->at(k) : nullptr;
+            p = p && p->contains(k) ? &p->at(k) : nullptr;
+        }
+        if (c && !c->isNull())
+            curV = c->asDouble();
+        if (p && !p->isNull())
+            prevV = p->asDouble();
+        return std::max(0.0, curV - prevV);
+    };
+
+    const double jobRate = delta({"jobs", "total"}) / dt;
+    const double hitDelta = delta({"cache", "hits"});
+    const double missDelta = delta({"cache", "misses"});
+    const double tickHitRate =
+        hitDelta + missDelta ? hitDelta / (hitDelta + missDelta)
+                             : std::numeric_limits<double>::quiet_NaN();
+
+    const Json &latency = cur.at("latency");
+    const Json &sched = cur.at("scheduler");
+    const Json &cache = cur.at("cache");
+    const Json &jobs = cur.at("jobs");
+    const Json &server = cur.at("server");
+
+    push(jobRateHist, jobRate);
+    push(p50Hist, numOrNan(latency, "p50_s"));
+    push(queueHist, numOrNan(sched, "queued"));
+    push(hitRateHist, tickHitRate);
+
+    std::ostringstream os;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "ktop — kserved up %.0fs   jobs %.1f/s   queue "
+                  "%ld (peak %ld)   running %ld\n",
+                  numOrNan(cur, "uptime_s"), jobRate,
+                  long(numOrNan(sched, "queued")),
+                  long(numOrNan(sched, "peak_queued")),
+                  long(numOrNan(sched, "running")));
+    os << line;
+    os << '\n';
+
+    std::snprintf(
+        line, sizeof(line),
+        "jobs     done %-8lu failed %-6lu cancelled %-6lu "
+        "rejected %-6lu\n",
+        static_cast<unsigned long>(numOrNan(jobs, "done")),
+        static_cast<unsigned long>(numOrNan(jobs, "failed")),
+        static_cast<unsigned long>(numOrNan(jobs, "cancelled")),
+        static_cast<unsigned long>(numOrNan(jobs, "rejected")));
+    os << line;
+
+    std::snprintf(
+        line, sizeof(line),
+        "cache    hit %-5s (%lu/%lu)  evict %-6lu bytes %-10lu\n",
+        fmt(numOrNan(cache, "hit_rate") * 100, "%.0f%%").c_str(),
+        static_cast<unsigned long>(numOrNan(cache, "hits")),
+        static_cast<unsigned long>(numOrNan(cache, "hits") +
+                                   numOrNan(cache, "misses")),
+        static_cast<unsigned long>(numOrNan(cache, "evictions")),
+        static_cast<unsigned long>(numOrNan(cache, "bytes")));
+    os << line;
+
+    std::snprintf(
+        line, sizeof(line),
+        "latency  n %-8lu mean %-9s p50 %-9s p90 %-9s p99 %-9s "
+        "max %s\n",
+        static_cast<unsigned long>(numOrNan(latency, "count")),
+        fmtMs(numOrNan(latency, "mean_s")).c_str(),
+        fmtMs(numOrNan(latency, "p50_s")).c_str(),
+        fmtMs(numOrNan(latency, "p90_s")).c_str(),
+        fmtMs(numOrNan(latency, "p99_s")).c_str(),
+        fmtMs(numOrNan(latency, "max_s")).c_str());
+    os << line;
+
+    std::snprintf(
+        line, sizeof(line),
+        "wire     conns %lu (%ld active)  frames %lu in / %lu out  "
+        "proto-errs %lu\n",
+        static_cast<unsigned long>(
+            numOrNan(server, "connections_total")),
+        long(numOrNan(server, "connections_active")),
+        static_cast<unsigned long>(
+            numOrNan(server, "frames_received")),
+        static_cast<unsigned long>(numOrNan(server, "frames_sent")),
+        static_cast<unsigned long>(
+            numOrNan(server, "protocol_errors")));
+    os << line;
+    os << '\n';
+
+    os << "stage      count   mean      p99\n";
+    const Json &stages = cur.at("stages");
+    for (const char *stage : {"decode", "queue", "setup", "run",
+                              "serialize", "reply"}) {
+        const Json &s = stages.at(stage);
+        std::snprintf(line, sizeof(line), "%-9s %6lu   %-9s %-9s\n",
+                      stage,
+                      static_cast<unsigned long>(
+                          numOrNan(s, "count")),
+                      fmtMs(numOrNan(s, "mean_s")).c_str(),
+                      fmtMs(numOrNan(s, "p99_s")).c_str());
+        os << line;
+    }
+    os << '\n';
+
+    os << "jobs/s   " << sparkline(jobRateHist) << '\n';
+    os << "p50      " << sparkline(p50Hist) << '\n';
+    os << "queue    " << sparkline(queueHist) << '\n';
+    os << "hit rate " << sparkline(hitRateHist) << '\n';
+
+    const double dropped =
+        numOrNan(cur.at("trace"), "dropped_records");
+    if (dropped > 0) {
+        std::snprintf(line, sizeof(line),
+                      "\n! ktrace dropped %lu records\n",
+                      static_cast<unsigned long>(dropped));
+        os << line;
+    }
+
+    prev = cur;
+    hasPrev = true;
+    return os.str();
+}
+
+} // namespace killi::metrics

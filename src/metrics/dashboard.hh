@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The ktop dashboard model: everything the `ktop` CLI tool computes,
+ * kept out of the binary so tests can drive it. Two pieces:
+ *
+ *  - ktopSnapshot() flattens a MetricsRegistry::toJson() document
+ *    (as returned by the `metrics` protocol frame) into the compact,
+ *    stable summary object `ktop --once --json` prints — jobs,
+ *    cache, scheduler, server, latency, stage latencies, trace
+ *    drops. The shape is pinned by a golden test; scripts may rely
+ *    on it.
+ *
+ *  - KtopModel folds successive snapshots into the live terminal
+ *    dashboard: rates from counter deltas, sparklines from bounded
+ *    history. Rendering is pure string building (no terminal I/O),
+ *    so it is unit-testable; the binary just repaints.
+ */
+
+#ifndef KILLI_METRICS_DASHBOARD_HH
+#define KILLI_METRICS_DASHBOARD_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace killi::metrics
+{
+
+/**
+ * Flatten a metrics document ({"families":[...]}) into the ktop
+ * summary object:
+ *
+ * {"uptime_s", "jobs":{done,failed,cancelled,rejected,total},
+ *  "cache":{hits,misses,evictions,insertions,bytes,hit_rate},
+ *  "scheduler":{queued,running,peak_queued,submitted,rejected,
+ *               cancelled},
+ *  "server":{connections_total,connections_active,frames_received,
+ *            frames_sent,protocol_errors,outbox_bytes},
+ *  "latency":{count,mean_s,p50_s,p90_s,p99_s,max_s},
+ *  "stages":{decode:{count,mean_s,p99_s}, ...},
+ *  "trace":{dropped_records}}
+ *
+ * Families absent from the input render as zeros (empty histograms
+ * as nulls), so the shape is stable regardless of daemon state.
+ */
+Json ktopSnapshot(const Json &metricsJson);
+
+/** Unicode block-element sparkline of `vals` (empty string for no
+ *  samples). Scaled to the max value; NaNs render as spaces. */
+std::string sparkline(const std::vector<double> &vals,
+                      std::size_t width = 32);
+
+/**
+ * Live-dashboard state machine. Feed render() one snapshot per poll
+ * tick; it returns the full dashboard text (no escape codes — the
+ * caller clears the screen).
+ */
+class KtopModel
+{
+  public:
+    explicit KtopModel(std::size_t historyLen = 32)
+        : historyLen(historyLen)
+    {
+    }
+
+    std::string render(const Json &snapshot, double dtSeconds);
+
+  private:
+    void push(std::vector<double> &hist, double v);
+
+    std::size_t historyLen;
+    Json prev;
+    bool hasPrev = false;
+    std::vector<double> jobRateHist;
+    std::vector<double> p50Hist;
+    std::vector<double> queueHist;
+    std::vector<double> hitRateHist;
+};
+
+} // namespace killi::metrics
+
+#endif // KILLI_METRICS_DASHBOARD_HH

@@ -26,6 +26,7 @@
 #include <unordered_map>
 
 #include "common/json.hh"
+#include "metrics/metrics.hh"
 
 namespace killi::serve
 {
@@ -33,7 +34,14 @@ namespace killi::serve
 class ResultCache
 {
   public:
-    explicit ResultCache(std::size_t maxEntries = 1024);
+    /**
+     * @param reg optional metrics registry; when set, the cache
+     *        registers hit/miss/insertion/eviction counters,
+     *        entry/byte gauges, and a kserved_cache_hit_seconds
+     *        lookup-latency histogram. Must outlive the cache.
+     */
+    explicit ResultCache(std::size_t maxEntries = 1024,
+                         metrics::MetricsRegistry *reg = nullptr);
 
     /** SHA-256 hex of @p canonicalKey — the content address carried
      *  in submitted/result frames as "key". */
@@ -64,6 +72,8 @@ class ResultCache
         std::uint64_t evictions = 0;
         std::size_t entries = 0;
         std::size_t maxEntries = 0;
+        /** Result-text payload bytes currently resident. */
+        std::uint64_t bytes = 0;
 
         double
         hitRate() const
@@ -94,6 +104,9 @@ class ResultCache
     std::uint64_t missCount = 0;
     std::uint64_t insertCount = 0;
     std::uint64_t evictCount = 0;
+    std::uint64_t bytesStored = 0;
+    /** kserved_cache_hit_seconds; null without a registry. */
+    metrics::Histogram *hitLatency = nullptr;
 };
 
 } // namespace killi::serve

@@ -3,11 +3,18 @@
  * kcli: command-line client for kserved.
  *
  *     kcli submit [socket=…] [scale=…] [workloads=…] …  run a sweep
- *     kcli status id=N                                  query a job
+ *     kcli status id=N [json=1]                         query a job
  *     kcli cancel id=N                                  cancel a job
  *     kcli drain                                        graceful stop
- *     kcli stats                                        server stats
+ *     kcli stats [json=1]                               server stats
  *     kcli ping                                         liveness
+ *
+ * `status` and `stats` print aligned tables by default; json=1
+ * switches to the raw reply JSON. `submit timings=1` prints the
+ * per-stage span table (decode/queue/setup/run/serialize/reply)
+ * from the result frame on stderr. Live operational metrics are the
+ * ktop tool's job (or GET /metrics when kserved runs with
+ * metrics-port=).
  *
  * Every command takes socket=PATH (Unix socket, default
  * kserved.sock) or port=N (TCP on 127.0.0.1). `submit` mirrors the
@@ -24,6 +31,7 @@
 #include "common/json.hh"
 #include "common/log.hh"
 #include "common/options.hh"
+#include "common/table.hh"
 #include "fault/scenario_spec.hh"
 #include "serve/client/client.hh"
 
@@ -42,6 +50,51 @@ declareEndpoint(Options &opts)
                        "kserved TCP port on 127.0.0.1 when socket= "
                        "is empty")
         .range(0u, 65535u);
+}
+
+/** Render one JSON scalar the way the table output wants it. */
+std::string
+scalarCell(const Json &value)
+{
+    switch (value.kind()) {
+    case Json::Kind::Bool:
+        return value.asBool() ? "true" : "false";
+    case Json::Kind::String:
+        return value.asString();
+    case Json::Kind::Null:
+        return "-";
+    default:
+        return value.toString(0);
+    }
+}
+
+/**
+ * The per-stage span table shipped on the result frame (stderr, so
+ * json=/stdout result documents stay clean).
+ */
+void
+printTimings(const Json &terminal)
+{
+    if (!terminal.contains("spans")) {
+        warn("kcli: timings=1 but the result carries no spans "
+             "(old server?)");
+        return;
+    }
+    const Json &spans = terminal.at("spans");
+    const double total = spans.at("total_s").asDouble();
+    TextTable table;
+    table.header({"stage", "ms", "share"});
+    for (const char *stage :
+         {"decode", "queue", "setup", "run", "serialize", "reply"}) {
+        const double s =
+            spans.at(std::string(stage) + "_s").asDouble();
+        table.row({stage, TextTable::num(s * 1e3, 3),
+                   total > 0
+                       ? TextTable::num(100.0 * s / total, 1) + "%"
+                       : "-"});
+    }
+    table.row({"total", TextTable::num(total * 1e3, 3), "100.0%"});
+    table.print(std::cerr);
 }
 
 void
@@ -168,6 +221,8 @@ runSubmit(Options &opts)
         return 1;
     }
     const Json &result = terminal.at("result");
+    if (opts.get<bool>("timings"))
+        printTimings(terminal);
 
     int exitCode = 0;
     Json output = result;
@@ -233,14 +288,21 @@ runIdCommand(Options &opts, const std::string &cmd)
         return 1;
     }
     if (cmd == "status") {
-        if (!reply.at("known").asBool()) {
-            inform("job %llu: unknown",
-                   (unsigned long long)reply.at("id").asDouble());
-            return 1;
+        const bool known = reply.at("known").asBool();
+        if (opts.get<bool>("json")) {
+            reply.dump(std::cout, 2);
+            std::cout << "\n";
+            return known ? 0 : 1;
         }
-        inform("job %llu: %s",
-               (unsigned long long)reply.at("id").asDouble(),
-               reply.at("state").asString().c_str());
+        TextTable table;
+        table.header({"field", "value"});
+        table.row({"id", scalarCell(reply.at("id"))});
+        table.row({"known", known ? "yes" : "no"});
+        table.row(
+            {"state",
+             known ? reply.at("state").asString() : "unknown"});
+        table.print(std::cout);
+        return known ? 0 : 1;
     } else {
         inform("job %llu: cancel %s",
                (unsigned long long)reply.at("id").asDouble(),
@@ -269,8 +331,27 @@ runSimple(Options &opts, const std::string &cmd)
         return 1;
     }
     if (cmd == "stats") {
-        reply.at("stats").dump(std::cout, 2);
-        std::cout << "\n";
+        const Json &stats = reply.at("stats");
+        if (opts.get<bool>("json")) {
+            stats.dump(std::cout, 2);
+            std::cout << "\n";
+            return 0;
+        }
+        // One section/field/value table per nested object; scalar
+        // top-level members (build, draining) become a "server"
+        // section up front.
+        TextTable table;
+        table.header({"section", "field", "value"});
+        for (const auto &[key, value] : stats.members())
+            if (value.kind() != Json::Kind::Object)
+                table.row({"server", key, scalarCell(value)});
+        for (const auto &[key, value] : stats.members()) {
+            if (value.kind() != Json::Kind::Object)
+                continue;
+            for (const auto &[field, scalar] : value.members())
+                table.row({key, field, scalarCell(scalar)});
+        }
+        table.print(std::cout);
     } else if (cmd == "drain") {
         inform("kserved: %s", type.c_str());
     } else {
@@ -341,6 +422,10 @@ main(int argc, char **argv)
                        "stream progress frames while the job runs");
         opts.add("json", "",
                  "result document path (empty prints to stdout)");
+        opts.add<bool>("timings", false,
+                       "print the per-stage span table (decode/"
+                       "queue/setup/run/serialize/reply) from the "
+                       "result frame on stderr");
         opts.add("record", "",
                  "capture the job into a killi-recording-v1 file at "
                  "this local path (bypasses the result cache)");
@@ -351,6 +436,14 @@ main(int argc, char **argv)
     } else if (cmd == "status" || cmd == "cancel") {
         opts.add<std::uint64_t>("id", std::uint64_t{0},
                                 "job id from the submitted frame");
+        if (cmd == "status")
+            opts.add<bool>("json", false,
+                           "print the raw status_reply JSON instead "
+                           "of the table");
+    } else if (cmd == "stats") {
+        opts.add<bool>("json", false,
+                       "print the raw stats_reply JSON instead of "
+                       "the table");
     } else if (cmd != "drain" && cmd != "stats" && cmd != "ping") {
         usage();
         return 2;

@@ -64,6 +64,18 @@ main(int argc, char **argv)
         opts.add<unsigned>("cache-entries", 1024u,
                            "result-cache capacity (LRU evicted)")
             .range(1u, 1u << 20);
+    auto &metricsPort = opts.add<unsigned>(
+        "metrics-port", 0u,
+        "serve plain-HTTP GET /metrics (Prometheus text) on "
+        "127.0.0.1 at this port when set (0 = ephemeral, printed "
+        "at startup; omit to disable the listener entirely)");
+    metricsPort.range(0u, 65535u);
+    auto &slowJobMs =
+        opts.add<std::uint64_t>(
+                "slow-job-ms", std::uint64_t{60000},
+                "log a structured warn() with the stage breakdown "
+                "for jobs slower than this (0 disables)")
+            .range(std::uint64_t{0}, std::uint64_t{86400000});
     opts.parse(argc, argv);
 
     ServerOptions sopt;
@@ -72,6 +84,9 @@ main(int argc, char **argv)
     sopt.threads = threads;
     sopt.maxQueue = maxQueue;
     sopt.cacheEntries = cacheEntries;
+    sopt.metricsHttp = opts.has("metrics-port");
+    sopt.metricsPort = std::uint16_t(metricsPort.value());
+    sopt.slowJobSeconds = double(slowJobMs.value()) / 1000.0;
 
     Server server(sopt);
     std::string err;
@@ -88,6 +103,10 @@ main(int argc, char **argv)
     } else {
         inform("kserved %s: listening on 127.0.0.1:%u", buildId(),
                unsigned(server.boundPort()));
+    }
+    if (sopt.metricsHttp) {
+        inform("kserved: metrics on http://127.0.0.1:%u/metrics",
+               unsigned(server.metricsBoundPort()));
     }
 
     server.waitDone();

@@ -36,10 +36,59 @@ SchedulerStats::toJson() const
     return doc;
 }
 
-JobScheduler::JobScheduler(unsigned threads, std::size_t maxQueue)
+JobScheduler::JobScheduler(unsigned threads, std::size_t maxQueue,
+                           metrics::MetricsRegistry *reg)
     : maxQueue(std::max<std::size_t>(1, maxQueue)),
       pool(threads == 0 ? ThreadPool::defaultThreads() : threads)
 {
+    if (!reg)
+        return;
+    // Depth/running/peak are pulled at scrape time from the
+    // scheduler's own accounting (no double bookkeeping); the
+    // callbacks take this->mtx, which is safe because the scheduler
+    // never touches the registry after construction.
+    reg->gaugeFn("kserved_queue_depth", "Jobs waiting in the ready queue",
+                 {}, [this] {
+                     std::unique_lock<std::mutex> lock(mtx);
+                     return double(ready.size());
+                 });
+    reg->gaugeFn("kserved_jobs_running",
+                 "Jobs currently executing on scheduler workers", {},
+                 [this] {
+                     std::unique_lock<std::mutex> lock(mtx);
+                     return double(runningCount);
+                 });
+    reg->gaugeFn("kserved_queue_peak_depth",
+                 "High-water mark of the ready queue", {}, [this] {
+                     std::unique_lock<std::mutex> lock(mtx);
+                     return double(peakQueued);
+                 });
+    reg->counterFn("kserved_admissions_total",
+                   "Jobs admitted to the ready queue", {}, [this] {
+                       std::unique_lock<std::mutex> lock(mtx);
+                       return submittedCount;
+                   });
+    reg->counterFn("kserved_rejections_total",
+                   "Submits refused by admission control (queue full "
+                   "or draining)",
+                   {}, [this] {
+                       std::unique_lock<std::mutex> lock(mtx);
+                       return rejectedCount;
+                   });
+    reg->counterFn("kserved_cancellations_total",
+                   "Jobs that ended cancelled (client cancel, "
+                   "connection loss, or drain)",
+                   {}, [this] {
+                       std::unique_lock<std::mutex> lock(mtx);
+                       return cancelledCount;
+                   });
+    static const char *kPrio[3] = {"low", "normal", "high"};
+    for (int k = 0; k < 3; ++k) {
+        waitHist[k] = &reg->histogram(
+            "kserved_queue_wait_seconds",
+            "Admission-to-execution wait, by priority band",
+            {{"priority", kPrio[k]}});
+    }
 }
 
 JobScheduler::~JobScheduler()
@@ -70,6 +119,8 @@ JobScheduler::submit(std::uint64_t id, int priority, JobWork work,
         entry->work = std::move(work);
         entry->onFinish = std::move(onFinish);
         entry->queueKey = {-priority, nextSeq++};
+        entry->priority = priority;
+        entry->enqueued = std::chrono::steady_clock::now();
         ready.emplace(entry->queueKey, entry);
         active.emplace(id, entry);
         ++submittedCount;
@@ -94,6 +145,16 @@ JobScheduler::runNext()
         ready.erase(ready.begin());
         entry->state = JobState::Running;
         ++runningCount;
+    }
+
+    const int band = entry->priority < 0 ? 0
+                     : entry->priority > 0 ? 2
+                                           : 1;
+    if (waitHist[band]) {
+        waitHist[band]->observe(
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - entry->enqueued)
+                .count());
     }
 
     std::string result;

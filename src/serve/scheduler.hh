@@ -25,6 +25,7 @@
 #ifndef KILLI_SERVE_SCHEDULER_HH
 #define KILLI_SERVE_SCHEDULER_HH
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -34,6 +35,7 @@
 #include <string>
 
 #include "common/json.hh"
+#include "metrics/metrics.hh"
 #include "runner/thread_pool.hh"
 
 namespace killi::serve
@@ -94,8 +96,14 @@ class JobScheduler
      * @param threads pool workers (0 = ThreadPool::defaultThreads())
      * @param maxQueue ready-queue bound; submits beyond it are
      *        rejected with "queue_full"
+     * @param reg optional metrics registry; when set, the scheduler
+     *        registers queue-depth/running gauges, admission and
+     *        outcome counters, and per-priority
+     *        kserved_queue_wait_seconds histograms (see SERVING.md,
+     *        "Metrics & ktop"). Must outlive the scheduler.
      */
-    JobScheduler(unsigned threads, std::size_t maxQueue);
+    JobScheduler(unsigned threads, std::size_t maxQueue,
+                 metrics::MetricsRegistry *reg = nullptr);
 
     /** Drains (cancelling queued jobs) and joins the workers. */
     ~JobScheduler();
@@ -155,6 +163,8 @@ class JobScheduler
         /** Ready-queue key: priority negated so map order is
          *  highest-first, then submission sequence. */
         std::pair<int, std::uint64_t> queueKey{0, 0};
+        int priority = 0;
+        std::chrono::steady_clock::time_point enqueued;
     };
 
     void runNext();
@@ -183,6 +193,10 @@ class JobScheduler
     std::uint64_t failedCount = 0;
     std::uint64_t cancelledCount = 0;
     bool drainRequested = false;
+
+    /** kserved_queue_wait_seconds{priority=low|normal|high}; null
+     *  without a registry. */
+    metrics::Histogram *waitHist[3] = {nullptr, nullptr, nullptr};
 
     ThreadPool pool;
 };

@@ -23,6 +23,7 @@
 #include "gpu/workload.hh"
 #include "replay/recording.hh"
 #include "replay/session.hh"
+#include "trace/trace.hh"
 
 namespace killi::serve
 {
@@ -412,7 +413,8 @@ resolvedOptionsJson(const SweepOptions &sopt)
  */
 std::string
 resultFrameText(std::uint64_t id, bool cached, const std::string &hash,
-                const std::string &resultText)
+                const std::string &resultText,
+                const std::string &spansText = "")
 {
     std::string out = "{\"type\":\"result\",\"id\":";
     out += std::to_string(id);
@@ -422,9 +424,29 @@ resultFrameText(std::uint64_t id, bool cached, const std::string &hash,
     out += hash;
     out += "\",\"outcome\":\"done\",\"result\":";
     out += resultText;
+    // Spans ride as a frame-level sibling, never inside "result":
+    // the "result" member is the cached bytes and must stay
+    // byte-identical between the cold run and every later hit.
+    if (!spansText.empty()) {
+        out += ",\"spans\":";
+        out += spansText;
+    }
     out += "}";
     return out;
 }
+
+double
+sinceSeconds(std::chrono::steady_clock::time_point t0,
+             std::chrono::steady_clock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/** kserved_job_stage_seconds label values, indexed like
+ *  Server::mStageSeconds. */
+constexpr const char *kStageNames[6] = {"decode",    "queue", "setup",
+                                        "run",       "serialize",
+                                        "reply"};
 
 Json
 terminalFrame(std::uint64_t id, const std::string &hash,
@@ -444,12 +466,86 @@ terminalFrame(std::uint64_t id, const std::string &hash,
 
 Server::Server(ServerOptions options)
     : opt(std::move(options)),
-      scheduler(opt.threads, opt.maxQueue),
-      cache(opt.cacheEntries)
+      scheduler(opt.threads, opt.maxQueue, &registry),
+      cache(opt.cacheEntries, &registry),
+      bootTime(std::chrono::steady_clock::now())
 {
-    // 10ms resolution out to 30s; p99 of anything slower clamps to
-    // the top bucket, which is the right reading for "slow".
-    latency.initBuckets(0.0, 30.0, 3000);
+    registerServerMetrics();
+}
+
+Json
+Server::JobSpans::toJson(double totalSeconds) const
+{
+    Json doc = Json::object();
+    doc.set("decode_s", Json::number(decode));
+    doc.set("queue_s", Json::number(queue));
+    doc.set("setup_s", Json::number(setup));
+    doc.set("run_s", Json::number(run));
+    doc.set("serialize_s", Json::number(serialize));
+    doc.set("reply_s", Json::number(reply));
+    doc.set("total_s", Json::number(totalSeconds));
+    return doc;
+}
+
+void
+Server::registerServerMetrics()
+{
+    mConnections = &registry.counter("kserved_connections_total",
+                                     "Client connections accepted");
+    mFramesIn = &registry.counter("kserved_frames_received_total",
+                                  "Protocol frames decoded from clients");
+    mFramesOut = &registry.counter("kserved_frames_sent_total",
+                                   "Protocol frames enqueued to clients");
+    mProtocolErrors =
+        &registry.counter("kserved_protocol_errors_total",
+                          "Malformed frames and unknown frame types");
+    mOutboxBytes =
+        &registry.counter("kserved_outbox_bytes_total",
+                          "Encoded reply bytes enqueued to outboxes");
+    mHttpRequests =
+        &registry.counter("kserved_http_requests_total",
+                          "Requests served by the /metrics listener");
+    mSlowJobs = &registry.counter(
+        "kserved_slow_jobs_total",
+        "Jobs that exceeded the slow-job threshold");
+    mJobsDone = &registry.counter("kserved_jobs_total",
+                                  "Finished jobs by terminal outcome",
+                                  {{"outcome", "done"}});
+    mJobsFailed = &registry.counter("kserved_jobs_total",
+                                    "Finished jobs by terminal outcome",
+                                    {{"outcome", "failed"}});
+    mJobsCancelled =
+        &registry.counter("kserved_jobs_total",
+                          "Finished jobs by terminal outcome",
+                          {{"outcome", "cancelled"}});
+    mJobsRejected =
+        &registry.counter("kserved_jobs_total",
+                          "Finished jobs by terminal outcome",
+                          {{"outcome", "rejected"}});
+    mJobSeconds = &registry.histogram(
+        "kserved_job_seconds",
+        "End-to-end submit-to-finish latency (cache hits observe 0)");
+    for (std::size_t k = 0; k < 6; ++k) {
+        mStageSeconds[k] = &registry.histogram(
+            "kserved_job_stage_seconds",
+            "Per-stage job lifecycle latency",
+            {{"stage", kStageNames[k]}});
+    }
+    registry.gaugeFn("kserved_connections_active",
+                     "Client connections currently open", {}, [this] {
+                         return double(activeConns.load(
+                             std::memory_order_relaxed));
+                     });
+    registry.gaugeFn("kserved_uptime_seconds",
+                     "Seconds since the daemon booted", {}, [this] {
+                         return sinceSeconds(
+                             bootTime,
+                             std::chrono::steady_clock::now());
+                     });
+    registry.counterFn("ktrace_dropped_records_total",
+                       "Trace records lost to ring-buffer wraparound "
+                       "(process-wide)",
+                       {}, [] { return traceDroppedRecordsTotal(); });
 }
 
 Server::~Server()
@@ -469,6 +565,10 @@ Server::start(std::string *err)
         if (listenFd >= 0) {
             ::close(listenFd);
             listenFd = -1;
+        }
+        if (metricsFd >= 0) {
+            ::close(metricsFd);
+            metricsFd = -1;
         }
         return false;
     };
@@ -521,6 +621,33 @@ Server::start(std::string *err)
         return fail("listen");
     setNonBlocking(listenFd);
 
+    if (opt.metricsHttp) {
+        metricsFd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (metricsFd < 0)
+            return fail("metrics socket");
+        const int one = 1;
+        ::setsockopt(metricsFd, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(opt.metricsPort);
+        if (::bind(metricsFd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0)
+            return fail("bind metrics 127.0.0.1:" +
+                        std::to_string(opt.metricsPort));
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        if (::getsockname(metricsFd,
+                          reinterpret_cast<sockaddr *>(&bound),
+                          &len) != 0)
+            return fail("getsockname metrics");
+        metricsPortBound = ntohs(bound.sin_port);
+        if (::listen(metricsFd, 16) != 0)
+            return fail("listen metrics");
+        setNonBlocking(metricsFd);
+    }
+
     started.store(true);
     ioThread = std::thread(&Server::ioLoop, this);
     return true;
@@ -568,10 +695,8 @@ Server::acceptClients(std::vector<std::shared_ptr<Connection>> &conns)
         auto conn = std::make_shared<Connection>();
         conn->fd = fd;
         conns.push_back(std::move(conn));
-        {
-            std::lock_guard<std::mutex> lock(statsMtx);
-            ++connectionCount;
-        }
+        mConnections->inc();
+        activeConns.fetch_add(1, std::memory_order_relaxed);
     }
 }
 
@@ -595,6 +720,16 @@ Server::closeConnection(const std::shared_ptr<Connection> &conn)
         scheduler.cancel(id);
     ::close(conn->fd);
     conn->fd = -1;
+    activeConns.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void
+Server::enqueueFrame(const std::shared_ptr<Connection> &conn,
+                     const std::string &bytes)
+{
+    mFramesOut->inc();
+    mOutboxBytes->inc(bytes.size());
+    conn->enqueue(bytes);
 }
 
 void
@@ -619,15 +754,14 @@ Server::readFromClient(const std::shared_ptr<Connection> &conn)
     Json frame;
     FrameDecoder::Status st;
     while ((st = conn->decoder.next(frame)) ==
-           FrameDecoder::Status::Frame)
+           FrameDecoder::Status::Frame) {
+        mFramesIn->inc();
         handleFrame(conn, frame);
+    }
     if (st == FrameDecoder::Status::Error) {
-        {
-            std::lock_guard<std::mutex> lock(statsMtx);
-            ++protocolErrorCount;
-        }
-        conn->enqueue(
-            encodeFrame(errorReply("protocol", conn->decoder.error())));
+        mProtocolErrors->inc();
+        enqueueFrame(conn, encodeFrame(errorReply(
+                               "protocol", conn->decoder.error())));
         std::lock_guard<std::mutex> lock(conn->mtx);
         conn->closeAfterFlush = true;
     }
@@ -665,6 +799,7 @@ void
 Server::ioLoop()
 {
     std::vector<std::shared_ptr<Connection>> conns;
+    std::vector<HttpConn> httpConns;
     bool draining = false;
 
     while (true) {
@@ -673,6 +808,11 @@ Server::ioLoop()
             inform("kserved: draining (in-flight jobs finish, queued "
                    "jobs cancelled)");
             scheduler.beginDrain();
+            // The metrics plane shuts with the intake: a scrape of a
+            // half-drained daemon is not a state worth serving.
+            for (HttpConn &hc : httpConns)
+                ::close(hc.fd);
+            httpConns.clear();
         }
 
         std::vector<pollfd> fds;
@@ -685,6 +825,16 @@ Server::ioLoop()
             if (conn->pendingOut())
                 events |= POLLOUT;
             fds.push_back({conn->fd, events, 0});
+        }
+        const std::size_t httpBase = fds.size();
+        const bool pollMetrics = !draining && metricsFd >= 0;
+        if (pollMetrics)
+            fds.push_back({metricsFd, POLLIN, 0});
+        for (const HttpConn &hc : httpConns) {
+            short events = POLLIN;
+            if (!hc.out.empty())
+                events |= POLLOUT;
+            fds.push_back({hc.fd, events, 0});
         }
 
         // While draining poll with a timeout so in-flight completion
@@ -721,6 +871,26 @@ Server::ioLoop()
                                    }),
                     conns.end());
 
+        if (pollMetrics) {
+            if (fds[httpBase].revents & POLLIN)
+                acceptMetricsClients(httpConns);
+            const std::size_t hcBase = httpBase + 1;
+            std::size_t live = 0;
+            for (std::size_t i = 0; i < httpConns.size(); ++i) {
+                // acceptMetricsClients may have grown the list past
+                // what this poll round covered; new conns get 0
+                // revents and are serviced next round.
+                const short revents = hcBase + i < fds.size()
+                                          ? fds[hcBase + i].revents
+                                          : 0;
+                if (serviceMetricsConn(httpConns[i], revents))
+                    httpConns[live++] = std::move(httpConns[i]);
+                else
+                    ::close(httpConns[i].fd);
+            }
+            httpConns.resize(live);
+        }
+
         if (draining && scheduler.idle()) {
             bool flushed = true;
             for (const auto &conn : conns)
@@ -733,10 +903,97 @@ Server::ioLoop()
 
     for (const auto &conn : conns)
         closeConnection(conn);
+    for (const HttpConn &hc : httpConns)
+        ::close(hc.fd);
     ::close(listenFd);
     listenFd = -1;
+    if (metricsFd >= 0) {
+        ::close(metricsFd);
+        metricsFd = -1;
+    }
     if (!opt.socketPath.empty())
         ::unlink(opt.socketPath.c_str());
+}
+
+void
+Server::acceptMetricsClients(std::vector<HttpConn> &conns)
+{
+    while (true) {
+        const int fd = ::accept(metricsFd, nullptr, nullptr);
+        if (fd < 0)
+            break;
+        setNonBlocking(fd);
+        HttpConn hc;
+        hc.fd = fd;
+        conns.push_back(std::move(hc));
+    }
+}
+
+bool
+Server::serviceMetricsConn(HttpConn &conn, short revents)
+{
+    if (revents & (POLLERR | POLLHUP | POLLNVAL))
+        return false;
+
+    if (revents & POLLIN) {
+        char buf[4096];
+        while (true) {
+            const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+            if (n > 0) {
+                conn.in.append(buf, std::size_t(n));
+                continue;
+            }
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+                break;
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false; // EOF or hard error
+        }
+        if (conn.out.empty()) {
+            if (conn.in.size() > 8192)
+                return false; // not a plausible scrape request
+            const auto headerEnd = conn.in.find("\r\n\r\n");
+            if (headerEnd != std::string::npos) {
+                mHttpRequests->inc();
+                const auto lineEnd = conn.in.find("\r\n");
+                const std::string line = conn.in.substr(0, lineEnd);
+                std::string status = "404 Not Found";
+                std::string body = "not found\n";
+                if (line.rfind("GET ", 0) != 0) {
+                    status = "405 Method Not Allowed";
+                    body = "only GET is supported\n";
+                } else if (line.rfind("GET /metrics ", 0) == 0 ||
+                           line.rfind("GET /metrics?", 0) == 0) {
+                    status = "200 OK";
+                    body = registry.prometheusText();
+                }
+                conn.out = "HTTP/1.0 " + status +
+                           "\r\nContent-Type: text/plain; "
+                           "version=0.0.4; charset=utf-8\r\n"
+                           "Content-Length: " +
+                           std::to_string(body.size()) +
+                           "\r\nConnection: close\r\n\r\n" +
+                           body;
+            }
+        }
+    }
+
+    while (!conn.out.empty()) {
+        const ssize_t n = ::send(conn.fd, conn.out.data(),
+                                 conn.out.size(), MSG_NOSIGNAL);
+        if (n > 0) {
+            conn.out.erase(0, std::size_t(n));
+            if (conn.out.empty())
+                return false; // answered; close (Connection: close)
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            break;
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
 }
 
 void
@@ -749,7 +1006,7 @@ Server::handleFrame(const std::shared_ptr<Connection> &conn,
         Json doc = Json::object();
         doc.set("type", Json::string("pong"));
         doc.set("build", Json::string(buildId()));
-        conn->enqueue(encodeFrame(doc));
+        enqueueFrame(conn, encodeFrame(doc));
         return;
     }
 
@@ -757,7 +1014,19 @@ Server::handleFrame(const std::shared_ptr<Connection> &conn,
         Json doc = Json::object();
         doc.set("type", Json::string("stats_reply"));
         doc.set("stats", statsJson());
-        conn->enqueue(encodeFrame(doc));
+        enqueueFrame(conn, encodeFrame(doc));
+        return;
+    }
+
+    if (type == "metrics") {
+        // Both views come from the same registry walk a scrape
+        // would take, so the frame and GET /metrics always agree.
+        Json doc = Json::object();
+        doc.set("type", Json::string("metrics_reply"));
+        doc.set("build", Json::string(buildId()));
+        doc.set("metrics", registry.toJson());
+        doc.set("text", Json::string(registry.prometheusText()));
+        enqueueFrame(conn, encodeFrame(doc));
         return;
     }
 
@@ -765,7 +1034,7 @@ Server::handleFrame(const std::shared_ptr<Connection> &conn,
         requestDrain();
         Json doc = Json::object();
         doc.set("type", Json::string("draining"));
-        conn->enqueue(encodeFrame(doc));
+        enqueueFrame(conn, encodeFrame(doc));
         return;
     }
 
@@ -774,10 +1043,11 @@ Server::handleFrame(const std::shared_ptr<Connection> &conn,
             req.at("id").asDouble() < 0 ||
             req.at("id").asDouble() !=
                 std::floor(req.at("id").asDouble())) {
-            conn->enqueue(encodeFrame(errorReply(
-                "bad_request",
-                "\"" + type +
-                    "\" needs a non-negative integer \"id\"")));
+            enqueueFrame(conn, encodeFrame(errorReply(
+                                   "bad_request",
+                                   "\"" + type +
+                                       "\" needs a non-negative "
+                                       "integer \"id\"")));
             return;
         }
         const std::uint64_t id =
@@ -797,7 +1067,7 @@ Server::handleFrame(const std::shared_ptr<Connection> &conn,
             doc.set("cancelled",
                     Json::boolean(scheduler.cancel(id)));
         }
-        conn->enqueue(encodeFrame(doc));
+        enqueueFrame(conn, encodeFrame(doc));
         return;
     }
 
@@ -806,27 +1076,30 @@ Server::handleFrame(const std::shared_ptr<Connection> &conn,
         return;
     }
 
-    {
-        std::lock_guard<std::mutex> lock(statsMtx);
-        ++protocolErrorCount;
-    }
-    conn->enqueue(encodeFrame(
-        errorReply("unknown_type", "unknown frame type \"" + type +
-                                       "\"")));
+    mProtocolErrors->inc();
+    enqueueFrame(conn, encodeFrame(errorReply(
+                           "unknown_type",
+                           "unknown frame type \"" + type + "\"")));
 }
 
 void
 Server::handleSubmit(const std::shared_ptr<Connection> &conn,
                      const Json &req)
 {
+    auto spans = std::make_shared<JobSpans>();
+    spans->submit = std::chrono::steady_clock::now();
+
     SubmitRequest sub;
     std::string verr;
     if (!parseSubmit(req, sub, verr)) {
-        conn->enqueue(encodeFrame(errorReply("bad_request", verr)));
+        enqueueFrame(conn,
+                     encodeFrame(errorReply("bad_request", verr)));
         return;
     }
 
     const std::string canonical = canonicalKeyFor(sub.sopt);
+    spans->decode = sinceSeconds(spans->submit,
+                                 std::chrono::steady_clock::now());
     const std::uint64_t id =
         nextJobId.fetch_add(1, std::memory_order_relaxed);
 
@@ -846,33 +1119,42 @@ Server::handleSubmit(const std::shared_ptr<Connection> &conn,
     submitted.set("id", Json::number(id));
     submitted.set("key", Json::string(hash));
     submitted.set("cached", Json::boolean(hit));
-    conn->enqueue(encodeFrame(submitted));
+    enqueueFrame(conn, encodeFrame(submitted));
 
     if (hit) {
-        {
-            std::lock_guard<std::mutex> lock(statsMtx);
-            ++cacheHitCount;
-            latency.sample(0.0);
-        }
-        conn->enqueue(encodeFramePayload(
-            resultFrameText(id, true, hash, cachedText)));
+        // Hits keep the historical latency convention (0 s) and
+        // observe only the decode stage — there is no queue/run/
+        // serialize for a spliced reply.
+        mJobSeconds->observe(0.0);
+        mStageSeconds[0]->observe(spans->decode);
+        spans->reply = sinceSeconds(
+            spans->submit, std::chrono::steady_clock::now()) -
+            spans->decode;
+        const std::string spansText =
+            spans->toJson(spans->decode + spans->reply).toString(0);
+        enqueueFrame(conn,
+                     encodeFramePayload(resultFrameText(
+                         id, true, hash, cachedText, spansText)));
         return;
     }
 
     {
         std::lock_guard<std::mutex> lock(jobsMtx);
-        jobs.emplace(id,
-                     JobRecord{conn, canonical, hash,
-                               std::chrono::steady_clock::now(),
-                               bypassCache});
+        jobs.emplace(id, JobRecord{conn, canonical, hash,
+                                   spans->submit, bypassCache,
+                                   spans});
     }
 
     const SweepOptions sopt = sub.sopt;
     const bool stream = sub.stream;
-    auto work = [this, sopt, id, conn, stream, record = sub.record,
+    auto work = [this, sopt, id, conn, stream, spans,
+                 record = sub.record,
                  replayRec =
                      sub.replayRec](const CancelToken &cancel)
         -> std::string {
+        const auto workStart = std::chrono::steady_clock::now();
+        spans->queue = sinceSeconds(spans->submit, workStart) -
+                       spans->decode;
         SweepOptions ropt = sopt;
         ropt.cancel = &cancel;
         if (stream) {
@@ -902,18 +1184,22 @@ Server::handleSubmit(const std::shared_ptr<Connection> &conn,
                         Json::number(std::uint64_t(p.pointsDone)));
                 doc.set("total",
                         Json::number(std::uint64_t(p.pointsTotal)));
-                conn->enqueue(encodeFrame(doc));
+                enqueueFrame(conn, encodeFrame(doc));
                 wake();
             };
         }
         Json doc = Json::object();
         doc.set("bench", Json::string("kserved"));
         doc.set("options", resolvedOptionsJson(sopt));
+        const auto preRun = std::chrono::steady_clock::now();
+        spans->setup = sinceSeconds(workStart, preRun);
+        std::chrono::steady_clock::time_point postRun;
         if (replayRec) {
             // Re-run from the recording and attach the verification
             // verdict; the sweep body itself is the replayed run's.
             const replay::SweepSession s =
                 replay::replaySweep(*replayRec, &ropt);
+            postRun = std::chrono::steady_clock::now();
             if (cancel.cancelled())
                 return "";
             const Json body = sweepToJson(sopt, s.result);
@@ -927,6 +1213,7 @@ Server::handleSubmit(const std::shared_ptr<Connection> &conn,
             // Capture the run; the recording travels inline in the
             // result document (the daemon writes no files).
             const replay::SweepSession s = replay::recordSweep(ropt);
+            postRun = std::chrono::steady_clock::now();
             if (cancel.cancelled())
                 return "";
             const Json body = sweepToJson(sopt, s.result);
@@ -935,13 +1222,18 @@ Server::handleSubmit(const std::shared_ptr<Connection> &conn,
             doc.set("recording", s.recording.toJson());
         } else {
             const SweepResult res = runEvaluationSweep(ropt);
+            postRun = std::chrono::steady_clock::now();
             if (cancel.cancelled())
                 return "";
             const Json body = sweepToJson(sopt, res);
             for (const auto &[key, value] : body.members())
                 doc.set(key, value);
         }
-        return doc.toString(0);
+        spans->run = sinceSeconds(preRun, postRun);
+        std::string text = doc.toString(0);
+        spans->serializeEnd = std::chrono::steady_clock::now();
+        spans->serialize = sinceSeconds(postRun, spans->serializeEnd);
+        return text;
     };
 
     std::string errCode;
@@ -957,15 +1249,12 @@ Server::handleSubmit(const std::shared_ptr<Connection> &conn,
             std::lock_guard<std::mutex> lock(jobsMtx);
             jobs.erase(id);
         }
-        {
-            std::lock_guard<std::mutex> lock(statsMtx);
-            ++rejectedCount;
-        }
+        mJobsRejected->inc();
         // The client already holds a "submitted" frame for this id;
         // the rejection is its terminal result (the backpressure
         // reply).
-        conn->enqueue(
-            encodeFrame(terminalFrame(id, hash, "rejected", errCode)));
+        enqueueFrame(conn, encodeFrame(terminalFrame(
+                               id, hash, "rejected", errCode)));
     }
 }
 
@@ -983,30 +1272,56 @@ Server::finishJob(std::uint64_t id, JobState state,
         rec = it->second;
         jobs.erase(it);
     }
-    const double seconds =
-        std::chrono::duration<double>(
-            std::chrono::steady_clock::now() - rec.start)
-            .count();
-    {
-        std::lock_guard<std::mutex> lock(statsMtx);
-        latency.sample(seconds);
-        switch (state) {
-          case JobState::Done: ++doneCount; break;
-          case JobState::Failed: ++failedCount; break;
-          case JobState::Cancelled: ++cancelledCount; break;
-          default: break;
-        }
+    const auto finish = std::chrono::steady_clock::now();
+    const double seconds = sinceSeconds(rec.start, finish);
+    mJobSeconds->observe(seconds);
+    switch (state) {
+      case JobState::Done: mJobsDone->inc(); break;
+      case JobState::Failed: mJobsFailed->inc(); break;
+      case JobState::Cancelled: mJobsCancelled->inc(); break;
+      default: break;
     }
+
+    std::string spansText;
+    if (rec.spans && state == JobState::Done) {
+        // Reply is the remainder of the submit-to-finish interval,
+        // so the six stages tile it exactly.
+        rec.spans->reply =
+            sinceSeconds(rec.spans->serializeEnd, finish);
+        const double stages[6] = {
+            rec.spans->decode, rec.spans->queue, rec.spans->setup,
+            rec.spans->run,    rec.spans->serialize,
+            rec.spans->reply};
+        for (std::size_t k = 0; k < 6; ++k)
+            mStageSeconds[k]->observe(stages[k]);
+        spansText = rec.spans->toJson(seconds).toString(0);
+    }
+
+    if (opt.slowJobSeconds > 0 && seconds >= opt.slowJobSeconds) {
+        mSlowJobs->inc();
+        const JobSpans empty{};
+        const JobSpans &sp = rec.spans ? *rec.spans : empty;
+        warn("kserved: slow job id=%llu outcome=%s total=%.3fs "
+             "decode=%.3fs queue=%.3fs setup=%.3fs run=%.3fs "
+             "serialize=%.3fs reply=%.3fs key=%s",
+             static_cast<unsigned long long>(id), jobStateName(state),
+             seconds, sp.decode, sp.queue, sp.setup, sp.run,
+             sp.serialize, sp.reply, rec.hash.c_str());
+    }
+
     if (state == JobState::Done) {
         if (!rec.noCache)
             cache.insert(rec.canonicalKey, resultText);
-        rec.conn->enqueue(encodeFramePayload(
-            resultFrameText(id, false, rec.hash, resultText)));
+        enqueueFrame(rec.conn,
+                     encodeFramePayload(resultFrameText(
+                         id, false, rec.hash, resultText, spansText)));
     } else {
-        rec.conn->enqueue(encodeFrame(terminalFrame(
-            id, rec.hash,
-            state == JobState::Failed ? "failed" : "cancelled",
-            error)));
+        enqueueFrame(rec.conn,
+                     encodeFrame(terminalFrame(
+                         id, rec.hash,
+                         state == JobState::Failed ? "failed"
+                                                   : "cancelled",
+                         error)));
     }
     wake();
 }
@@ -1020,21 +1335,24 @@ Server::statsJson()
             Json::boolean(drainFlag.load(std::memory_order_relaxed)));
     doc.set("scheduler", scheduler.stats().toJson());
     doc.set("cache", cache.stats().toJson());
-    std::lock_guard<std::mutex> lock(statsMtx);
+    // Same members as ever, now read from the bounded histogram
+    // (O(1) memory however long the daemon lives) and the registry
+    // counters.
     Json lat = Json::object();
-    lat.set("count", Json::number(latency.count()));
-    lat.set("mean_s", Json::number(latency.mean()));
-    lat.set("p50_s", Json::number(latency.quantile(0.5)));
-    lat.set("p99_s", Json::number(latency.quantile(0.99)));
+    lat.set("count", Json::number(mJobSeconds->count()));
+    lat.set("mean_s", Json::number(mJobSeconds->mean()));
+    lat.set("p50_s", Json::number(mJobSeconds->quantile(0.5)));
+    lat.set("p99_s", Json::number(mJobSeconds->quantile(0.99)));
     doc.set("latency", lat);
     Json out = Json::object();
-    out.set("cache_hits", Json::number(cacheHitCount));
-    out.set("done", Json::number(doneCount));
-    out.set("failed", Json::number(failedCount));
-    out.set("cancelled", Json::number(cancelledCount));
-    out.set("rejected", Json::number(rejectedCount));
-    out.set("protocol_errors", Json::number(protocolErrorCount));
-    out.set("connections", Json::number(connectionCount));
+    out.set("cache_hits", Json::number(cache.stats().hits));
+    out.set("done", Json::number(mJobsDone->value()));
+    out.set("failed", Json::number(mJobsFailed->value()));
+    out.set("cancelled", Json::number(mJobsCancelled->value()));
+    out.set("rejected", Json::number(mJobsRejected->value()));
+    out.set("protocol_errors",
+            Json::number(mProtocolErrors->value()));
+    out.set("connections", Json::number(mConnections->value()));
     doc.set("outcomes", out);
     return doc;
 }

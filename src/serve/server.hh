@@ -35,7 +35,7 @@
 #include <vector>
 
 #include "common/json.hh"
-#include "common/stats.hh"
+#include "metrics/metrics.hh"
 #include "serve/cache.hh"
 #include "serve/protocol.hh"
 #include "serve/scheduler.hh"
@@ -57,6 +57,14 @@ struct ServerOptions
     std::size_t maxQueue = 64;
     /** Result-cache capacity (entries). */
     std::size_t cacheEntries = 1024;
+    /** Serve plain-HTTP GET /metrics (Prometheus text) on
+     *  127.0.0.1:metricsPort (0 binds an ephemeral port — read it
+     *  back with metricsBoundPort()). */
+    bool metricsHttp = false;
+    std::uint16_t metricsPort = 0;
+    /** Jobs slower than this get a structured warn() line with their
+     *  stage breakdown and cache key; 0 disables. */
+    double slowJobSeconds = 0.0;
 };
 
 class Server
@@ -90,11 +98,19 @@ class Server
     /** Resolved TCP port (valid after start() in TCP mode). */
     std::uint16_t boundPort() const { return portBound; }
 
+    /** Resolved /metrics HTTP port (valid after start() when
+     *  metricsHttp is on). */
+    std::uint16_t metricsBoundPort() const { return metricsPortBound; }
+
     const std::string &socketPath() const { return opt.socketPath; }
 
     /** The stats_reply body: scheduler depth, cache hit rate,
      *  per-outcome counters, and p50/p99 submit-to-finish latency. */
     Json statsJson();
+
+    /** The operational metrics plane (also served via the `metrics`
+     *  frame and GET /metrics). */
+    metrics::MetricsRegistry &metrics() { return registry; }
 
   private:
     /**
@@ -129,6 +145,33 @@ class Server
         }
     };
 
+    /**
+     * Per-job lifecycle span durations (seconds). The six stages
+     * tile the submit-to-reply interval: decode (frame parse +
+     * validation + canonicalization, I/O thread), queue (admission
+     * to execution start), setup (work-lambda preamble), run (the
+     * sweep), serialize (result document to text), reply (result
+     * delivery, computed as the remainder at finish time) — so the
+     * stage sum equals the end-to-end latency by construction.
+     * Written by the I/O thread (decode) before admission and by the
+     * one worker thread that runs the job after; never concurrently.
+     */
+    struct JobSpans
+    {
+        std::chrono::steady_clock::time_point submit;
+        /** End of the serialize stage (reply = finish − this). */
+        std::chrono::steady_clock::time_point serializeEnd;
+        double decode = 0;
+        double queue = 0;
+        double setup = 0;
+        double run = 0;
+        double serialize = 0;
+        double reply = 0;
+
+        /** {"decode_s":..., ..., "total_s":...} */
+        Json toJson(double totalSeconds) const;
+    };
+
     /** Book-keeping for one admitted (non-cached) job. */
     struct JobRecord
     {
@@ -141,6 +184,15 @@ class Server
          *  replayed one its verification verdict, neither of which a
          *  plain submit of the same point should ever be served. */
         bool noCache = false;
+        std::shared_ptr<JobSpans> spans;
+    };
+
+    /** One /metrics HTTP client (I/O-thread-only; no locking). */
+    struct HttpConn
+    {
+        int fd = -1;
+        std::string in;
+        std::string out;
     };
 
     void ioLoop();
@@ -149,6 +201,10 @@ class Server
     void readFromClient(const std::shared_ptr<Connection> &conn);
     void flushToClient(const std::shared_ptr<Connection> &conn);
     void closeConnection(const std::shared_ptr<Connection> &conn);
+    /** Counted outbox append: every protocol frame leaves through
+     *  here so frames-sent/outbox-bytes stay exact. */
+    void enqueueFrame(const std::shared_ptr<Connection> &conn,
+                      const std::string &bytes);
     void handleFrame(const std::shared_ptr<Connection> &conn,
                      const Json &req);
     void handleSubmit(const std::shared_ptr<Connection> &conn,
@@ -156,15 +212,25 @@ class Server
     void finishJob(std::uint64_t id, JobState state,
                    const std::string &resultText,
                    const std::string &error);
+    void acceptMetricsClients(std::vector<HttpConn> &conns);
+    /** Read/answer one /metrics client; returns false once the
+     *  connection should be dropped. */
+    bool serviceMetricsConn(HttpConn &conn, short revents);
+    void registerServerMetrics();
 
     ServerOptions opt;
+    /** Declared before scheduler/cache: both register callback
+     *  instruments into it at construction. */
+    metrics::MetricsRegistry registry;
     JobScheduler scheduler;
     ResultCache cache;
 
     std::thread ioThread;
     int listenFd = -1;
+    int metricsFd = -1;
     int wakeFds[2] = {-1, -1};
     std::uint16_t portBound = 0;
+    std::uint16_t metricsPortBound = 0;
     std::atomic<bool> started{false};
     std::atomic<bool> drainFlag{false};
 
@@ -172,15 +238,28 @@ class Server
     std::map<std::uint64_t, JobRecord> jobs;
     std::atomic<std::uint64_t> nextJobId{1};
 
-    std::mutex statsMtx;
-    Distribution latency; //!< submit-to-finish seconds
-    std::uint64_t cacheHitCount = 0;
-    std::uint64_t doneCount = 0;
-    std::uint64_t failedCount = 0;
-    std::uint64_t cancelledCount = 0;
-    std::uint64_t rejectedCount = 0;
-    std::uint64_t protocolErrorCount = 0;
-    std::uint64_t connectionCount = 0;
+    std::chrono::steady_clock::time_point bootTime;
+    std::atomic<std::int64_t> activeConns{0};
+
+    // Server-plane instruments (registered in registerServerMetrics;
+    // never null after construction).
+    metrics::Counter *mConnections = nullptr;
+    metrics::Counter *mFramesIn = nullptr;
+    metrics::Counter *mFramesOut = nullptr;
+    metrics::Counter *mProtocolErrors = nullptr;
+    metrics::Counter *mOutboxBytes = nullptr;
+    metrics::Counter *mHttpRequests = nullptr;
+    metrics::Counter *mSlowJobs = nullptr;
+    metrics::Counter *mJobsDone = nullptr;
+    metrics::Counter *mJobsFailed = nullptr;
+    metrics::Counter *mJobsCancelled = nullptr;
+    metrics::Counter *mJobsRejected = nullptr;
+    /** End-to-end submit-to-finish latency (cache hits observe 0 s,
+     *  same convention as the stats_reply ever had). */
+    metrics::Histogram *mJobSeconds = nullptr;
+    /** kserved_job_stage_seconds{stage=...}, indexed like
+     *  kStageNames. */
+    metrics::Histogram *mStageSeconds[6] = {};
 };
 
 } // namespace killi::serve

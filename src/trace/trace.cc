@@ -1,8 +1,10 @@
 #include "trace/trace.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 
+#include "common/log.hh"
 #include "common/replay_probe.hh"
 
 namespace killi
@@ -66,6 +68,10 @@ traceRecordDigest(TraceCat cat, const char *name,
 
 /** Sink identity generator (thread-local cache invalidation). */
 std::atomic<std::uint64_t> gSinkIds{1};
+
+/** Process-wide wraparound losses across every sink; see
+ *  traceDroppedRecordsTotal(). */
+std::atomic<std::uint64_t> gDroppedRecords{0};
 
 /** One-slot per-thread cache: the ring this thread last recorded
  *  into, keyed by sink identity. The common case — one sink per
@@ -224,6 +230,21 @@ TraceSink::record(Tick tick, TraceCat cat, const char *name,
     if (ring.buf.size() < capacity) {
         ring.buf.push_back(ev);
     } else {
+        // Wraparound: the overwritten slot's event is lost. Account
+        // the loss by the *overwritten* event's category — that is
+        // the record that no longer exists.
+        const TraceEvent &victim = ring.buf[ring.written % capacity];
+        const auto catBits = std::uint32_t(victim.cat);
+        ring.droppedByCat[std::countr_zero(catBits) & 7]++;
+        gDroppedRecords.fetch_add(1, std::memory_order_relaxed);
+        if (!dropWarned.load(std::memory_order_relaxed) &&
+            !dropWarned.exchange(true, std::memory_order_relaxed)) {
+            warn("ktrace: ring buffer full (capacity %zu/thread); "
+                 "oldest events are being dropped — see "
+                 "TraceSink::stats() / ktrace_dropped_records_total "
+                 "for counts",
+                 capacity);
+        }
         ring.buf[ring.written % capacity] = ev;
     }
     ++ring.written;
@@ -261,6 +282,48 @@ TraceSink::retained() const
     return kept;
 }
 
+TraceSinkStats
+TraceSink::stats() const
+{
+    std::lock_guard<std::mutex> lock(registry);
+    TraceSinkStats out;
+    out.threads = rings.size();
+    for (const Ring &ring : rings) {
+        out.recorded += ring.written;
+        out.retained += ring.buf.size();
+        if (ring.written > ring.buf.size())
+            out.dropped += ring.written - ring.buf.size();
+        for (std::size_t k = 0; k < out.droppedByCat.size(); ++k)
+            out.droppedByCat[k] += ring.droppedByCat[k];
+    }
+    return out;
+}
+
+Json
+TraceSinkStats::toJson() const
+{
+    Json doc = Json::object();
+    doc.set("recorded", Json::number(recorded));
+    doc.set("dropped", Json::number(dropped));
+    doc.set("retained", Json::number(retained));
+    doc.set("threads", Json::number(threads));
+    Json byCat = Json::object();
+    for (std::size_t k = 0; k < droppedByCat.size(); ++k) {
+        if (droppedByCat[k]) {
+            byCat.set(traceCatName(TraceCat(1u << k)),
+                      Json::number(droppedByCat[k]));
+        }
+    }
+    doc.set("dropped_by_cat", std::move(byCat));
+    return doc;
+}
+
+std::uint64_t
+traceDroppedRecordsTotal()
+{
+    return gDroppedRecords.load(std::memory_order_relaxed);
+}
+
 std::vector<TraceEvent>
 TraceSink::events() const
 {
@@ -293,6 +356,7 @@ TraceSink::clear()
     for (Ring &ring : rings) {
         ring.buf.clear();
         ring.written = 0;
+        ring.droppedByCat = {};
     }
     // seqCounter is deliberately NOT reset: it is only a (tick, seq)
     // tie-break, and staying monotonic keeps record order unique

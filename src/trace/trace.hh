@@ -33,6 +33,7 @@
 #ifndef KILLI_TRACE_TRACE_HH
 #define KILLI_TRACE_TRACE_HH
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
@@ -221,6 +222,33 @@ struct TraceEvent
     Json toChromeJson() const;
 };
 
+/**
+ * Point-in-time accounting snapshot of one sink (see
+ * TraceSink::stats()). droppedByCat is indexed by category bit
+ * position (bit k of the TraceCat mask).
+ */
+struct TraceSinkStats
+{
+    std::uint64_t recorded = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t retained = 0;
+    std::uint64_t threads = 0;
+    std::array<std::uint64_t, 8> droppedByCat{};
+
+    /** {"recorded","dropped","retained","threads",
+     *   "dropped_by_cat":{<name>:n, ...}} — only categories that
+     *  actually dropped appear in dropped_by_cat. */
+    Json toJson() const;
+};
+
+/**
+ * Process-wide total of trace records lost to ring wraparound,
+ * summed across every TraceSink that ever existed. Monotone and safe
+ * to read concurrently with recording — this is the value kmetrics
+ * exposes as ktrace_dropped_records_total.
+ */
+std::uint64_t traceDroppedRecordsTotal();
+
 class TraceSink
 {
   public:
@@ -260,6 +288,9 @@ class TraceSink
     std::uint64_t dropped() const;
     /** Events currently retained. */
     std::uint64_t retained() const;
+    /** Everything above plus per-category drop counts, in one
+     *  snapshot. */
+    TraceSinkStats stats() const;
 
     /** Merged snapshot of every thread's ring, (tick, seq)-ordered. */
     std::vector<TraceEvent> events() const;
@@ -285,6 +316,9 @@ class TraceSink
         std::thread::id owner;
         unsigned tid = 0;
         std::uint64_t written = 0; //!< total records into this ring
+        /** Overwritten events by category bit position; owner-thread
+         *  writes only (same quiesce rule as buf/written). */
+        std::array<std::uint64_t, 8> droppedByCat{};
         std::vector<TraceEvent> buf;
     };
 
@@ -294,6 +328,8 @@ class TraceSink
     const std::size_t capacity;
     std::atomic<std::uint32_t> runtimeMask{kAllTraceCats};
     std::atomic<std::uint64_t> seqCounter{0};
+    /** One-shot latch for the first-drop warn(). */
+    std::atomic<bool> dropWarned{false};
     mutable std::mutex registry;
     std::deque<Ring> rings; //!< deque: stable addresses on growth
 };

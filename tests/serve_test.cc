@@ -15,6 +15,9 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <netinet/in.h>
+#include <sstream>
+#include <sys/socket.h>
 #include <thread>
 #include <unistd.h>
 #include <vector>
@@ -24,6 +27,7 @@
 #include "bench/sweep.hh"
 #include "common/hash.hh"
 #include "common/log.hh"
+#include "metrics/dashboard.hh"
 #include "serve/cache.hh"
 #include "serve/client/client.hh"
 #include "serve/scheduler.hh"
@@ -699,5 +703,252 @@ TEST(ServeIntegration, StatsExposeLatencyQuantiles)
     const Json &lat = reply.at("stats").at("latency");
     EXPECT_EQ(lat.at("count").asInt(), 1);
     EXPECT_GE(lat.at("p99_s").asDouble(), lat.at("p50_s").asDouble());
+    lo.server.stop();
+}
+
+// ---------------------------------------------------------------
+// Metrics plane
+// ---------------------------------------------------------------
+
+namespace
+{
+
+/** Blocking GET http://127.0.0.1:port/path; returns the body. */
+std::string
+httpGet(std::uint16_t port, const std::string &path,
+        std::string *statusLine = nullptr)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return "";
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return "";
+    }
+    const std::string req =
+        "GET " + path + " HTTP/1.0\r\n\r\n";
+    (void)!::write(fd, req.data(), req.size());
+    std::string response;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::read(fd, buf, sizeof(buf))) > 0)
+        response.append(buf, std::size_t(n));
+    ::close(fd);
+    const auto headerEnd = response.find("\r\n\r\n");
+    if (headerEnd == std::string::npos)
+        return "";
+    if (statusLine)
+        *statusLine = response.substr(0, response.find("\r\n"));
+    return response.substr(headerEnd + 4);
+}
+
+/** Fetch the daemon's `metrics` frame reply. */
+Json
+metricsFrame(Client &client)
+{
+    Json req = Json::object();
+    req.set("type", Json::string("metrics"));
+    EXPECT_TRUE(client.send(req));
+    Json reply;
+    EXPECT_TRUE(client.recvWithin(reply, 10000));
+    EXPECT_EQ(reply.at("type").asString(), "metrics_reply");
+    return reply;
+}
+
+/**
+ * Drop exposition lines the act of scraping itself perturbs —
+ * wall-clock uptime, and the wire counters the `metrics` frame and
+ * the HTTP request bump (frames, outbox bytes, http requests) — so
+ * two scrapes of an otherwise quiescent daemon compare
+ * byte-identically on everything that matters.
+ */
+std::string
+stripScrapePerturbed(const std::string &text)
+{
+    static const char *kVolatile[] = {
+        "kserved_uptime_seconds",      "kserved_frames_received_total",
+        "kserved_frames_sent_total",   "kserved_outbox_bytes_total",
+        "kserved_http_requests_total",
+    };
+    std::string out;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        bool skip = false;
+        for (const char *name : kVolatile)
+            skip = skip || line.find(name) != std::string::npos;
+        if (skip)
+            continue;
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(ServeMetrics, FrameAndHttpScrapeExposeIdenticalFamilies)
+{
+    ServerOptions so;
+    so.port = 0;
+    so.threads = 1;
+    so.metricsHttp = true;
+    so.metricsPort = 0;
+    Server server(so);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+    ASSERT_NE(server.metricsBoundPort(), 0);
+    Client client;
+    ASSERT_TRUE(client.connectTcp(server.boundPort(), &err)) << err;
+    ScopedLogCapture quiet;
+
+    Json terminal;
+    ASSERT_TRUE(client.submit(smokeSubmit(false), terminal, {}, &err))
+        << err;
+    ASSERT_EQ(terminal.at("outcome").asString(), "done");
+
+    // The terminal frame can reach us a hair before the worker
+    // finishes its scheduler bookkeeping; wait for true quiescence
+    // so the two scrapes see identical gauge values.
+    ASSERT_TRUE(waitUntil(
+        [&] {
+            Json req = Json::object();
+            req.set("type", Json::string("stats"));
+            Json reply;
+            return client.send(req) &&
+                   client.recvWithin(reply, 10000) &&
+                   reply.at("stats")
+                           .at("scheduler")
+                           .at("running")
+                           .asInt() == 0;
+        },
+        "scheduler to go idle"));
+
+    const Json reply = metricsFrame(client);
+    const std::string fromFrame = reply.at("text").asString();
+    std::string status;
+    const std::string fromHttp =
+        httpGet(server.metricsBoundPort(), "/metrics", &status);
+    EXPECT_NE(status.find("200"), std::string::npos) << status;
+
+    // The daemon is quiescent between the two scrapes: modulo the
+    // wall-clock uptime gauge and the wire counters the scrapes
+    // themselves bump, the expositions are byte-identical.
+    EXPECT_EQ(stripScrapePerturbed(fromFrame),
+              stripScrapePerturbed(fromHttp));
+
+    // The structured JSON covers the same families as the text.
+    const Json &families = reply.at("metrics").at("families");
+    ASSERT_GT(families.size(), 0u);
+    for (std::size_t i = 0; i < families.size(); ++i) {
+        const std::string &name =
+            families.at(i).at("name").asString();
+        EXPECT_NE(fromFrame.find("# TYPE " + name + " "),
+                  std::string::npos)
+            << name;
+    }
+
+    // Unknown paths 404, non-GET 405.
+    httpGet(server.metricsBoundPort(), "/nope", &status);
+    EXPECT_NE(status.find("404"), std::string::npos) << status;
+
+    server.stop();
+}
+
+TEST(ServeMetrics, SpanStagesSumToEndToEndLatency)
+{
+    Loopback lo;
+    ScopedLogCapture quiet;
+    Json terminal;
+    std::string err;
+    ASSERT_TRUE(
+        lo.client.submit(smokeSubmit(false), terminal, {}, &err))
+        << err;
+    ASSERT_EQ(terminal.at("outcome").asString(), "done");
+    ASSERT_TRUE(terminal.contains("spans"));
+    const Json &spans = terminal.at("spans");
+    const double total = spans.at("total_s").asDouble();
+    ASSERT_GT(total, 0.0);
+    double sum = 0.0;
+    for (const char *stage : {"decode_s", "queue_s", "setup_s",
+                              "run_s", "serialize_s", "reply_s"})
+        sum += spans.at(stage).asDouble();
+    // Acceptance criterion: the six stages tile the end-to-end
+    // latency (within 5%; by construction it is exact modulo fp).
+    EXPECT_NEAR(sum, total, 0.05 * total);
+    // The run stage dominates a cold sweep.
+    EXPECT_GT(spans.at("run_s").asDouble(), 0.5 * total);
+    lo.server.stop();
+}
+
+TEST(ServeMetrics, CacheHitCountsHitAndSkipsRunStage)
+{
+    Loopback lo;
+    ScopedLogCapture quiet;
+    Json cold, hit;
+    std::string err;
+    ASSERT_TRUE(lo.client.submit(smokeSubmit(false), cold, {}, &err))
+        << err;
+    ASSERT_TRUE(lo.client.submit(smokeSubmit(false), hit, {}, &err))
+        << err;
+    ASSERT_TRUE(hit.at("cached").asBool());
+
+    // The cached reply still carries spans (decode + reply only; no
+    // run stage ever happened).
+    ASSERT_TRUE(hit.contains("spans"));
+    EXPECT_EQ(hit.at("spans").at("run_s").asDouble(), 0.0);
+    EXPECT_GT(hit.at("spans").at("total_s").asDouble(), 0.0);
+
+    const Json metricsDoc =
+        metricsFrame(lo.client).at("metrics");
+    const Json snap = metrics::ktopSnapshot(metricsDoc);
+    EXPECT_EQ(snap.at("cache").at("hits").asInt(), 1);
+    EXPECT_EQ(snap.at("cache").at("misses").asInt(), 1);
+    // Only the cold submit was admitted and ran.
+    EXPECT_EQ(snap.at("scheduler").at("submitted").asInt(), 1);
+    EXPECT_EQ(snap.at("jobs").at("done").asInt(), 1);
+    EXPECT_EQ(snap.at("stages").at("run").at("count").asInt(), 1);
+    // Both submits observed decode; the hit observed 0 s end-to-end
+    // (the historical convention), so latency count is 2.
+    EXPECT_EQ(snap.at("stages").at("decode").at("count").asInt(), 2);
+    EXPECT_EQ(snap.at("latency").at("count").asInt(), 2);
+    lo.server.stop();
+}
+
+TEST(ServeMetrics, StatsReplyKeepsBackwardCompatibleMembers)
+{
+    Loopback lo;
+    ScopedLogCapture quiet;
+    Json terminal;
+    std::string err;
+    ASSERT_TRUE(
+        lo.client.submit(smokeSubmit(false), terminal, {}, &err))
+        << err;
+    Json req = Json::object();
+    req.set("type", Json::string("stats"));
+    ASSERT_TRUE(lo.client.send(req));
+    Json reply;
+    ASSERT_TRUE(lo.client.recvWithin(reply, 10000));
+    const Json &stats = reply.at("stats");
+    // The pre-kmetrics member surface, now sourced from the
+    // registry: scripts depending on these keys keep working.
+    for (const char *key :
+         {"build", "draining", "scheduler", "cache", "latency",
+          "outcomes"})
+        EXPECT_TRUE(stats.contains(key)) << key;
+    const Json &lat = stats.at("latency");
+    for (const char *key : {"count", "mean_s", "p50_s", "p99_s"})
+        EXPECT_TRUE(lat.contains(key)) << key;
+    const Json &out = stats.at("outcomes");
+    for (const char *key :
+         {"cache_hits", "done", "failed", "cancelled", "rejected",
+          "protocol_errors", "connections"})
+        EXPECT_TRUE(out.contains(key)) << key;
+    EXPECT_EQ(out.at("done").asInt(), 1);
     lo.server.stop();
 }

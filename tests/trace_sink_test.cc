@@ -7,6 +7,7 @@
  * and trace determinism across repeated runs.
  */
 
+#include <bit>
 #include <cmath>
 #include <sstream>
 #include <string_view>
@@ -17,6 +18,7 @@
 
 #include "check/checker.hh"
 #include "check/scenario.hh"
+#include "common/log.hh"
 #include "sim/event_queue.hh"
 #include "trace/timeseries.hh"
 #include "trace/trace.hh"
@@ -378,4 +380,81 @@ TEST(EventQueuePeriodic, IntervalZeroUninstalls)
     eq.schedule(25, [] {});
     EXPECT_TRUE(eq.run());
     EXPECT_EQ(fired, 0);
+}
+
+// ---- drop accounting (kmetrics satellite) --------------------------
+
+TEST(TraceSink, StatsAttributeDropsToTheOverwrittenCategory)
+{
+    TraceSink sink(4);
+    // 6 Sim events then 2 Ecc: the ring holds the newest 4, so the
+    // first 4 overwritten victims are all Sim events.
+    recordN(sink, 6, TraceCat::Sim);
+    recordN(sink, 2, TraceCat::Ecc);
+
+    const TraceSinkStats stats = sink.stats();
+    EXPECT_EQ(stats.recorded, 8u);
+    EXPECT_EQ(stats.retained, 4u);
+    EXPECT_EQ(stats.dropped, 4u);
+    std::uint64_t byCatTotal = 0;
+    for (const std::uint64_t n : stats.droppedByCat)
+        byCatTotal += n;
+    EXPECT_EQ(byCatTotal, stats.dropped)
+        << "per-category drops must sum to the total";
+    // All victims were Sim records.
+    EXPECT_EQ(stats.droppedByCat[std::countr_zero(
+                  std::uint32_t(TraceCat::Sim))],
+              4u);
+
+    const Json doc = stats.toJson();
+    EXPECT_EQ(doc.at("dropped").asInt(), 4);
+    EXPECT_EQ(doc.at("dropped_by_cat").at("sim").asInt(), 4);
+    // Categories that never dropped are omitted.
+    EXPECT_FALSE(doc.at("dropped_by_cat").contains("ecc"));
+}
+
+TEST(TraceSink, DroppedRecordsFeedTheProcessWideTotal)
+{
+    const std::uint64_t before = traceDroppedRecordsTotal();
+    TraceSink sink(2);
+    recordN(sink, 10);
+    EXPECT_EQ(traceDroppedRecordsTotal(), before + 8u);
+}
+
+TEST(TraceSink, FirstDropWarnsOnceAndOnlyOnce)
+{
+    ScopedLogCapture capture;
+    TraceSink sink(4);
+    recordN(sink, 4);
+    EXPECT_FALSE(capture.contains("ring buffer full"))
+        << "no drop yet, no warning";
+    recordN(sink, 10);
+    EXPECT_TRUE(capture.contains("ring buffer full"));
+
+    std::size_t warnings = 0;
+    for (const std::string &line : capture.messages())
+        if (line.find("ring buffer full") != std::string::npos)
+            ++warnings;
+    EXPECT_EQ(warnings, 1u) << "the warn() must be one-shot";
+
+    // Further drops stay silent but keep counting.
+    recordN(sink, 10);
+    warnings = 0;
+    for (const std::string &line : capture.messages())
+        if (line.find("ring buffer full") != std::string::npos)
+            ++warnings;
+    EXPECT_EQ(warnings, 1u);
+    // 24 recorded into a 4-slot ring.
+    EXPECT_EQ(sink.stats().dropped, 20u);
+}
+
+TEST(TraceSink, ClearResetsPerCategoryDropCounts)
+{
+    TraceSink sink(2);
+    recordN(sink, 6, TraceCat::L2);
+    ASSERT_GT(sink.stats().dropped, 0u);
+    sink.clear();
+    const TraceSinkStats stats = sink.stats();
+    for (const std::uint64_t n : stats.droppedByCat)
+        EXPECT_EQ(n, 0u);
 }

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * ktop: live terminal dashboard for a running kserved.
+ *
+ *     ktop [socket=… | port=…] [interval-ms=1000]   live dashboard
+ *     ktop --once                                   one dashboard frame
+ *     ktop --once --json                            snapshot as JSON
+ *
+ * Each tick sends one `metrics` protocol frame over a fresh
+ * connection (so a wedged dashboard never pins a daemon connection),
+ * flattens the reply with ktopSnapshot(), and repaints via KtopModel.
+ * `--once --json` prints the stable snapshot object and exits —
+ * that's the scriptable spelling, pinned by a golden test and used by
+ * CI's metrics checker. Ctrl-C exits the live view.
+ */
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "common/options.hh"
+#include "metrics/dashboard.hh"
+#include "serve/client/client.hh"
+
+using namespace killi;
+using namespace killi::serve;
+
+namespace
+{
+
+volatile std::sig_atomic_t gStop = 0;
+
+void
+onSignal(int)
+{
+    gStop = 1;
+}
+
+/** One metrics round trip on a fresh connection. */
+bool
+fetchMetrics(const Options &opts, Json &metricsJson, std::string *err)
+{
+    Client client;
+    const std::string sock = opts.get<std::string>("socket");
+    bool ok;
+    if (!sock.empty()) {
+        ok = client.connectUnix(sock, err);
+    } else {
+        const unsigned port = opts.get<unsigned>("port");
+        if (port == 0) {
+            if (err)
+                *err = "socket= is empty and no port= given";
+            return false;
+        }
+        ok = client.connectTcp(std::uint16_t(port), err);
+    }
+    if (!ok)
+        return false;
+    Json req = Json::object();
+    req.set("type", Json::string("metrics"));
+    Json reply;
+    if (!client.send(req, err) ||
+        !client.recvWithin(reply, 5000, err))
+        return false;
+    if (reply.at("type").asString() != "metrics_reply") {
+        if (err)
+            *err = "unexpected reply type '" +
+                   reply.at("type").asString() + "'";
+        return false;
+    }
+    metricsJson = reply.at("metrics");
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts("ktop",
+                 "live terminal dashboard over kserved's metrics "
+                 "frame (see SERVING.md, \"Metrics & ktop\")");
+    opts.add("socket", "kserved.sock",
+             "kserved unix socket path (empty switches to TCP)");
+    opts.add<unsigned>("port", 0u,
+                       "kserved TCP port on 127.0.0.1 when socket= "
+                       "is empty")
+        .range(0u, 65535u);
+    opts.add<unsigned>("interval-ms", 1000u,
+                       "refresh interval of the live view")
+        .range(100u, 60000u);
+    opts.add<bool>("once", false,
+                   "print one frame and exit (no screen clearing)");
+    opts.add<bool>("json", false,
+                   "with once=1: print the snapshot JSON instead of "
+                   "the dashboard");
+    // Accept the conventional --once/--json flag spellings; Options
+    // already treats "--flag" as "flag=1".
+    opts.parse(argc, argv);
+
+    const bool once = opts.get<bool>("once");
+    const bool json = opts.get<bool>("json");
+    if (json && !once)
+        fatal("ktop: json=1 requires once=1");
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    metrics::KtopModel model;
+    const double intervalS =
+        double(opts.get<unsigned>("interval-ms")) / 1000.0;
+    bool first = true;
+    while (!gStop) {
+        Json metricsJson;
+        std::string err;
+        if (!fetchMetrics(opts, metricsJson, &err))
+            fatal("ktop: %s", err.c_str());
+        const Json snapshot = metrics::ktopSnapshot(metricsJson);
+        if (json) {
+            snapshot.dump(std::cout, 2);
+            std::cout << "\n";
+            return 0;
+        }
+        const std::string frame =
+            model.render(snapshot, first ? 0.0 : intervalS);
+        if (once) {
+            std::cout << frame;
+            return 0;
+        }
+        // Clear + home; the frame repaints the whole dashboard.
+        std::fputs("\033[H\033[2J", stdout);
+        std::fputs(frame.c_str(), stdout);
+        std::fflush(stdout);
+        first = false;
+        // Sleep in small slices so Ctrl-C exits promptly.
+        for (int waited = 0;
+             !gStop &&
+             waited < int(opts.get<unsigned>("interval-ms"));
+             waited += 50) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+        }
+    }
+    std::fputs("\n", stdout);
+    return 0;
+}

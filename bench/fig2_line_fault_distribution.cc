@@ -16,6 +16,7 @@
 #include "fault/fault_map.hh"
 #include "fault/fault_model.hh"
 #include "fault/scenario_spec.hh"
+#include "fault/sweep_engine.hh"
 
 using namespace killi;
 
@@ -34,9 +35,10 @@ main(int argc, char **argv)
     declareJsonOption(opts, "fig2_line_fault_distribution");
     opts.parse(argc, argv);
 
-    // The figure tabulates ascending voltage, but a monotone fault
-    // map may only be stepped downward, so collect the operating
-    // points, visit them high-to-low, and emit the rows reversed.
+    // The figure tabulates ascending voltage; the sweep engine
+    // visits the points high-to-low (one fault map, stepped
+    // incrementally) and the callback's point index slots each row
+    // back into ascending order.
     std::vector<double> points;
     for (double v = 0.50; v <= 0.7001; v += 0.025)
         points.push_back(v);
@@ -46,9 +48,6 @@ main(int argc, char **argv)
     spec.voltage = points.back();
     const std::unique_ptr<FaultModel> fmodel =
         FaultModel::fromScenario(spec);
-    const std::unique_ptr<FaultMap> mapPtr =
-        fmodel->buildMap(32768, 720);
-    FaultMap &map = *mapPtr;
     const VoltageModel &model = fmodel->voltageModel();
     const auto bits = static_cast<std::size_t>(lineBits.value());
 
@@ -57,24 +56,23 @@ main(int argc, char **argv)
     TextTable table;
     table.header({"V/VDD", "zero(model)", "one(model)", "2+(model)",
                   "zero(die)", "one(die)", "2+(die)"});
-    std::vector<std::vector<std::string>> rows;
-    for (auto it = points.rbegin(); it != points.rend(); ++it) {
-        const double v = *it;
-        map.setVoltage(v);
-        const auto hist = map.histogram(bits);
-        const double n = double(map.numLines());
-        rows.push_back({TextTable::num(v, 3),
-                        TextTable::num(
-                            100 * model.pLineFaults(bits, 0, v), 3),
-                        TextTable::num(
-                            100 * model.pLineFaults(bits, 1, v), 3),
-                        TextTable::num(
-                            100 * model.pLineAtLeast(bits, 2, v), 3),
-                        TextTable::num(100 * hist.zero / n, 3),
-                        TextTable::num(100 * hist.one / n, 3),
-                        TextTable::num(100 * hist.twoPlus / n, 3)});
-    }
-    std::reverse(rows.begin(), rows.end());
+    std::vector<std::vector<std::string>> rows(points.size());
+    runVoltageSweep(
+        *fmodel, 32768, 720, points,
+        [&](std::size_t idx, double v, FaultMap &map) {
+            const auto hist = map.histogram(bits);
+            const double n = double(map.numLines());
+            rows[idx] = {TextTable::num(v, 3),
+                         TextTable::num(
+                             100 * model.pLineFaults(bits, 0, v), 3),
+                         TextTable::num(
+                             100 * model.pLineFaults(bits, 1, v), 3),
+                         TextTable::num(
+                             100 * model.pLineAtLeast(bits, 2, v), 3),
+                         TextTable::num(100 * hist.zero / n, 3),
+                         TextTable::num(100 * hist.one / n, 3),
+                         TextTable::num(100 * hist.twoPlus / n, 3)};
+        });
     for (const auto &row : rows)
         table.row(row);
     table.print(std::cout);

@@ -28,6 +28,9 @@
 #include "ecc/parity.hh"
 #include "ecc/secded.hh"
 #include "fault/fault_map.hh"
+#include "fault/fault_model.hh"
+#include "fault/scenario_spec.hh"
+#include "fault/sweep_engine.hh"
 #include "fault/voltage_model.hh"
 
 using namespace killi;
@@ -214,6 +217,50 @@ faultMapConstruction(std::size_t numLines)
     return r;
 }
 
+/**
+ * Fault-map construction for a full 21-point voltage sweep, cold vs
+ * incremental. The cold side builds each point's map from scratch —
+ * what every per-point consumer (sweep jobs, kserved submissions)
+ * did before the sweep engine: sample the population, then filter it
+ * at the point voltage. The incremental side is one
+ * runVoltageSweep(): a single population, stepped point-to-point by
+ * threshold deltas. Both sides read each point's active set so the
+ * per-point results are comparable work products, and the stepped
+ * sets are bit-identical to the cold ones by the engine's contract
+ * (pinned in fault_test, asserted under KILLI_CHECK_INVARIANTS).
+ */
+MicroResult
+sweepFaultMapConstruction(std::size_t numLines)
+{
+    ScenarioSpec spec;
+    spec.voltage = 0.70;
+    const std::unique_ptr<FaultModel> model =
+        FaultModel::fromScenario(spec);
+    std::vector<double> points;
+    for (double v = 0.70; v >= 0.4999; v -= 0.01)
+        points.push_back(v);
+    MicroResult r{"sweep_faultmap_construction"};
+    r.referenceNs = timeNs(
+        [&] {
+            for (const double v : points) {
+                const std::unique_ptr<FaultMap> map =
+                    model->buildMapAt(numLines, 720, v);
+                gSink = gSink ^ map->countFaults(0, 720);
+            }
+        },
+        1, 3);
+    r.optimizedNs = timeNs(
+        [&] {
+            runVoltageSweep(*model, numLines, 720, points,
+                            [](std::size_t, double, FaultMap &map) {
+                                gSink = gSink ^
+                                        map.countFaults(0, 720);
+                            });
+        },
+        1, 3);
+    return r;
+}
+
 /** Wall-clock one single-point sweep (jobs=1, trace off). */
 double
 sweepMillis(const SweepOptions &opt)
@@ -271,6 +318,7 @@ main(int argc, char **argv)
     micros.push_back(dectedEncode(iters.value()));
     micros.push_back(olscEncode(iters.value() / 10 + 1));
     micros.push_back(faultMapConstruction(mapLines.value()));
+    micros.push_back(sweepFaultMapConstruction(mapLines.value()));
 
     // The CI floor metric: one SECDED encode plus one clean decode,
     // the per-access codec work of an installMetadata + probeLine

@@ -45,6 +45,7 @@
 #include "common/table.hh"
 #include "fault/fault_model.hh"
 #include "fault/scenario_spec.hh"
+#include "fault/sweep_engine.hh"
 #include "killi/killi.hh"
 
 using namespace killi;
@@ -367,57 +368,67 @@ main(int argc, char **argv)
     for (const auto &[name, spec] : specs) {
         const std::unique_ptr<FaultModel> model =
             FaultModel::fromScenario(spec);
-        const std::unique_ptr<FaultMap> map =
-            model->buildMap(numLines, kMapBits);
 
+        // The sweep engine owns the map during the schedule (droop
+        // classes refuse the incremental path and re-activate cold
+        // per point, in schedule order); mapKeep is declared before
+        // the schemes so the map outlives the references they hold.
+        std::unique_ptr<FaultMap> mapKeep;
         Host host(numLines);
-        KilliProtection prot(*map, kp);
-        prot.attach(host, geom);
-        const std::unique_ptr<PrecharacterizedScheme> secded =
-            makeSecdedLine(*map);
-        secded->attach(host, geom);
-        const std::unique_ptr<PrecharacterizedScheme> dected =
-            makeDectedLine(*map);
-        dected->attach(host, geom);
+        std::unique_ptr<KilliProtection> prot;
+        std::unique_ptr<PrecharacterizedScheme> secded;
+        std::unique_ptr<PrecharacterizedScheme> dected;
 
         Json points = Json::array();
         const std::vector<double> schedule = model->voltageSchedule();
-        for (std::size_t step = 0; step < schedule.size(); ++step) {
-            if (step > 0) {
-                // Droop: the supply moves mid-run. The baselines
-                // re-run their MBIST pass at the new operating point
-                // (their published deployment model); Killi keeps
-                // its DFH state and must re-learn what changed.
-                map->setVoltage(schedule[step]);
-                secded->reset();
-                dected->reset();
-                // One scrub pass per operating point (footnote 7):
-                // lines disabled at the previous voltage get a fresh
-                // chance to reclassify at this one. Lines with real
-                // multi-bit populations re-disable on first use.
-                prot.onMaintenance();
-            }
-            const StepCounters ctr = workout(
-                prot, host, data, passes.value(), maxIters.value());
-            const StepReport rep =
-                measure(*map, prot, *secded, *dected, data,
-                        schedule[step], ctr);
-            table.row({name, TextTable::num(schedule[step], 3),
-                       std::to_string(rep.truth[0]),
-                       std::to_string(rep.truth[1]),
-                       std::to_string(rep.truth[2]),
-                       std::to_string(rep.dfh[0]),
-                       std::to_string(rep.dfh[1]),
-                       std::to_string(rep.dfh[2]),
-                       std::to_string(rep.dfh[3]),
-                       std::to_string(rep.usableKilli),
-                       std::to_string(rep.usableSecded),
-                       std::to_string(rep.usableDected),
-                       std::to_string(rep.reclaimed),
-                       std::to_string(rep.atRisk),
-                       std::to_string(rep.ctr.sdc)});
-            points.push(rep.toJson());
-        }
+        runVoltageSweep(
+            *model, numLines, kMapBits, schedule,
+            [&](std::size_t /*step*/, double v, FaultMap &map) {
+                if (!prot) {
+                    prot = std::make_unique<KilliProtection>(map, kp);
+                    prot->attach(host, geom);
+                    secded = makeSecdedLine(map);
+                    secded->attach(host, geom);
+                    dected = makeDectedLine(map);
+                    dected->attach(host, geom);
+                } else {
+                    // Droop: the supply moved mid-run (the engine
+                    // already re-activated the map). The baselines
+                    // re-run their MBIST pass at the new operating
+                    // point (their published deployment model);
+                    // Killi keeps its DFH state and must re-learn
+                    // what changed.
+                    secded->reset();
+                    dected->reset();
+                    // One scrub pass per operating point (footnote
+                    // 7): lines disabled at the previous voltage get
+                    // a fresh chance to reclassify at this one.
+                    // Lines with real multi-bit populations
+                    // re-disable on first use.
+                    prot->onMaintenance();
+                }
+                const StepCounters ctr =
+                    workout(*prot, host, data, passes.value(),
+                            maxIters.value());
+                const StepReport rep = measure(
+                    map, *prot, *secded, *dected, data, v, ctr);
+                table.row({name, TextTable::num(v, 3),
+                           std::to_string(rep.truth[0]),
+                           std::to_string(rep.truth[1]),
+                           std::to_string(rep.truth[2]),
+                           std::to_string(rep.dfh[0]),
+                           std::to_string(rep.dfh[1]),
+                           std::to_string(rep.dfh[2]),
+                           std::to_string(rep.dfh[3]),
+                           std::to_string(rep.usableKilli),
+                           std::to_string(rep.usableSecded),
+                           std::to_string(rep.usableDected),
+                           std::to_string(rep.reclaimed),
+                           std::to_string(rep.atRisk),
+                           std::to_string(rep.ctr.sdc)});
+                points.push(rep.toJson());
+            },
+            &mapKeep);
 
         Json entry = Json::object();
         entry.set("name", Json::string(name));

@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <sstream>
 
 #include "analysis/area.hh"
@@ -123,8 +124,17 @@ runPoint(const SweepOptions &opt, const std::string &wlName,
         FaultModel::fromScenario(opt.scenario);
     GpuParams gp;
     gp.statsInterval = opt.statsInterval;
-    const std::unique_ptr<FaultMap> faultsPtr =
-        model->buildMap(gp.l2Geom.numLines(), 720);
+    std::unique_ptr<FaultMap> faultsPtr;
+    if (opt.warmFaultSource) {
+        // A warm population (another job of the same die already
+        // sampled it) is adopted instead of resampled; buildMapFrom
+        // is bit-identical to buildMap by construction.
+        if (const auto pop = opt.warmFaultSource(
+                *model, gp.l2Geom.numLines(), 720))
+            faultsPtr = model->buildMapFrom(*pop, 720);
+    }
+    if (!faultsPtr)
+        faultsPtr = model->buildMap(gp.l2Geom.numLines(), 720);
     FaultMap &faults = *faultsPtr;
     const auto wl = makeWorkload(wlName, opt.scale);
 
@@ -223,6 +233,10 @@ declareSweepOptions(Options &opts, const std::string &benchName,
                        "extra attempts before a failed sweep point "
                        "is skipped")
         .range(0u, 10u);
+    opts.add<bool>("share-die", false,
+                   "synthesize the fault population once and adopt "
+                   "it for every sweep point (bit-identical to "
+                   "per-point sampling; see EXPERIMENTS.md)");
     opts.add("json", "results/" + benchName + ".json",
              "machine-readable results path (empty string disables)");
     opts.add("trace", "",
@@ -266,6 +280,7 @@ sweepOptions(const Options &opts)
     opt.seed = opt.scenario.seed;
     opt.jobs = opts.get<unsigned>("jobs");
     opt.retries = opts.get<unsigned>("retries");
+    opt.shareDie = opts.get<bool>("share-die");
     opt.jsonPath = opts.get<std::string>("json");
     opt.workloads = splitList(opts.get<std::string>("workloads"));
     if (opt.workloads.empty())
@@ -297,8 +312,48 @@ sweepSchemeNames()
 }
 
 SweepResult
-runEvaluationSweep(const SweepOptions &opt)
+runEvaluationSweep(const SweepOptions &optIn)
 {
+    // Campaign-local copy so a share-die campaign can install its
+    // single-flight population source without mutating the caller's
+    // options.
+    SweepOptions opt = optIn;
+    if (opt.shareDie && !opt.warmFaultSource) {
+        // Every point of this campaign instantiates the same
+        // scenario on the same geometry, so their die populations
+        // are identical by construction: sample once (first caller,
+        // under the lock) and adopt everywhere else. Bit-identity of
+        // adoption vs sampling is FaultModel::buildMapFrom()'s
+        // contract, pinned in fault_test and CI's perf-smoke diff.
+        struct SharedDie
+        {
+            std::mutex mtx;
+            std::size_t numLines = 0;
+            std::size_t lineBits = 0;
+            std::shared_ptr<const std::vector<std::vector<FaultCell>>>
+                pop;
+        };
+        auto shared = std::make_shared<SharedDie>();
+        opt.warmFaultSource =
+            [shared](const FaultModel &model, std::size_t numLines,
+                     std::size_t lineBits)
+            -> std::shared_ptr<
+                const std::vector<std::vector<FaultCell>>> {
+            std::lock_guard<std::mutex> lock(shared->mtx);
+            if (!shared->pop) {
+                shared->numLines = numLines;
+                shared->lineBits = lineBits;
+                shared->pop = std::make_shared<
+                    const std::vector<std::vector<FaultCell>>>(
+                    model.buildMap(numLines, lineBits)->population());
+            }
+            if (numLines != shared->numLines ||
+                lineBits != shared->lineBits)
+                return nullptr; // geometry mismatch: sample cold
+            return shared->pop;
+        };
+    }
+
     // Resolve the scheme columns (validated against the subset knob).
     std::vector<SchemeSpec> specs = schemeSpecs();
     if (!opt.schemes.empty()) {

@@ -26,12 +26,15 @@
 
 #include "common/json.hh"
 #include "common/options.hh"
+#include "fault/fault_map.hh"
 #include "fault/scenario_spec.hh"
 #include "gpu/gpu_system.hh"
 #include "runner/runner.hh"
 
 namespace killi
 {
+
+class FaultModel;
 
 /**
  * One progress observation from a running campaign: either a
@@ -91,6 +94,17 @@ struct SweepOptions
     /** Path of the combined stat-timeseries JSON, written when
      *  statsInterval > 0; empty disables. */
     std::string timeseriesPath;
+    /**
+     * Synthesize the die population once and adopt it for every
+     * sweep point (all points of one campaign share scenario and
+     * geometry, so their populations are identical by construction).
+     * Results are bit-identical to per-point sampling — CI's
+     * perf-smoke diffs the two via extract_sweep_results.py. Ignored
+     * when an embedder already installed warmFaultSource, and
+     * stripped by record/replay sessions for the same RNG-stream
+     * reason warmFaultSource is.
+     */
+    bool shareDie = false;
 
     // -- Not CLI knobs; set programmatically by embedders (kserved).
 
@@ -105,6 +119,22 @@ struct SweepOptions
      *  cancelled, sweep points that have not started are skipped and
      *  the campaign report records them as such. */
     const CancelToken *cancel = nullptr;
+    /**
+     * Warm fault-population source (the kserved warm store). When
+     * set, each sweep point offers its (model, geometry) here before
+     * sampling; a non-null return is adopted through
+     * FaultModel::buildMapFrom() — bit-identical to cold sampling by
+     * construction — and a null return falls back to sampling.
+     * Called from worker threads, possibly concurrently, so it must
+     * be thread-safe. Record/replay sessions must never set this:
+     * adopting a population skips the sampler's RNG draws, which a
+     * recording captures (kserved installs it for plain jobs only).
+     */
+    std::function<std::shared_ptr<
+        const std::vector<std::vector<FaultCell>>>(
+        const FaultModel &model, std::size_t numLines,
+        std::size_t lineBits)>
+        warmFaultSource;
 };
 
 /**

@@ -128,6 +128,33 @@ class FaultMap
         monotoneDeclared = monotone;
     }
 
+    /**
+     * Opt into incremental voltage stepping: subsequent monotone
+     * setVoltage() lowerings derive the active sets as a delta from
+     * the previous operating point — only the cells whose threshold
+     * crosses between pCell(V1) and pCell(V2) are touched — instead
+     * of re-filtering every line, turning a multi-point sweep from
+     * O(points x lines) into O(lines + faults-delta). The stepped
+     * active sets are bit-identical to cold filtering at every point
+     * (asserted under KILLI_CHECK_INVARIANTS, pinned in fault_test).
+     *
+     * Returns true when enabled. Maps without a declared monotone
+     * regime (droop schedules may raise V) refuse and return false;
+     * the caller must keep cold-activating per point.
+     */
+    bool enableIncrementalVoltage();
+
+    /** Is incremental voltage stepping enabled? */
+    bool incrementalVoltage() const { return incremental; }
+
+    /** The potential-fault population (per line, sorted by bit).
+     *  Exposed so embedders can clone a map without resampling —
+     *  see FaultModel::buildMapFrom() and the kserved warm store. */
+    const std::vector<std::vector<FaultCell>> &population() const
+    {
+        return lines;
+    }
+
     /** Active faulty cells of @p line at the current voltage. */
     const std::vector<FaultCell> &lineFaults(std::size_t line) const
     {
@@ -215,10 +242,54 @@ class FaultMap
      *  over the sorted active set. */
     bool isStuck(std::size_t line, std::uint16_t bit) const;
 
+    /** One potential-fault cell in threshold order — the incremental
+     *  stepping index. `cell` indexes into lines[line], which is
+     *  stable except across plantFault() (which invalidates the
+     *  index for a lazy rebuild). */
+    struct ThresholdRef
+    {
+        float threshold;
+        std::uint32_t line;
+        std::uint32_t cell;
+    };
+
+    /** Re-filter every line's active set against @p p (the
+     *  original, always-correct activation path). */
+    void coldActivate(double p);
+    /** Rebuild thresholdIndex from lines (sorted by threshold with a
+     *  deterministic (line, cell) tie-break; counting sort on the
+     *  float bit pattern, near-linear in population size). */
+    void rebuildIndex();
+    /** Position cursor at the first index entry with threshold >= p,
+     *  i.e.\ the first cell NOT active at the current point. */
+    void resetCursor(double p);
+    /** Advance cursor over every cell crossing at @p p, merging each
+     *  touched line's crossings into its active set in one backward
+     *  by-bit merge (the slice is regrouped by line first). */
+    void activateDelta(double p);
+#ifdef KILLI_CHECK_INVARIANTS
+    /** fatal() unless the delta-derived active sets are bit-identical
+     *  to a cold re-filter at @p p. */
+    void checkDeltaMatchesCold(double p) const;
+#endif
+
     std::size_t bitsPerLine;
     double freqGHz;
     double currentV = 1.0;
     bool monotoneDeclared = false;
+    /** setVoltage() has run at least once (the constructors apply
+     *  1.0 x VDD with currentV pre-initialized to 1.0, so equality
+     *  against currentV alone cannot detect the first activation). */
+    bool voltageApplied = false;
+    bool incremental = false;
+    /** thresholdIndex/cursor agree with lines (plantFault clears). */
+    bool indexValid = false;
+    std::size_t cursor = 0;
+    std::vector<ThresholdRef> thresholdIndex;
+    /** Reused per-step staging buffers for activateDelta()'s
+     *  regroup-by-line pass (avoid allocations per sweep point). */
+    std::vector<ThresholdRef> deltaScratch;
+    std::vector<std::uint32_t> deltaOffsets;
     const VoltageModel *vModel;
 
     /** Potential faults per line, sorted ascending by bit (the

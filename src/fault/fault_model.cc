@@ -43,8 +43,28 @@ sortAndDedupe(std::vector<FaultCell> &cells)
 std::unique_ptr<FaultMap>
 FaultModel::buildMap(std::size_t num_lines, std::size_t line_bits) const
 {
+    return buildMapAt(num_lines, line_bits,
+                      voltageSchedule().front());
+}
+
+std::unique_ptr<FaultMap>
+FaultModel::buildMapAt(std::size_t num_lines, std::size_t line_bits,
+                       double vNorm) const
+{
     std::unique_ptr<FaultMap> map =
         samplePopulation(num_lines, line_bits);
+    map->declareMonotoneVoltage(monotoneVoltage());
+    map->setVoltage(vNorm);
+    return map;
+}
+
+std::unique_ptr<FaultMap>
+FaultModel::buildMapFrom(
+    std::vector<std::vector<FaultCell>> population,
+    std::size_t line_bits) const
+{
+    auto map = std::make_unique<FaultMap>(std::move(population),
+                                          line_bits, vm, sp.freqGHz);
     map->declareMonotoneVoltage(monotoneVoltage());
     map->setVoltage(voltageSchedule().front());
     return map;

@@ -58,6 +58,29 @@ class FaultModel
     buildMap(std::size_t num_lines, std::size_t line_bits) const;
 
     /**
+     * buildMap(), but activate @p vNorm instead of the schedule's
+     * first operating point. The voltage-sweep engine uses this to
+     * start a monotone map at the sweep's highest point (buildMap()
+     * would already have stepped to spec().voltage, below which a
+     * monotone map cannot be raised).
+     */
+    std::unique_ptr<FaultMap>
+    buildMapAt(std::size_t num_lines, std::size_t line_bits,
+               double vNorm) const;
+
+    /**
+     * Build a map from an already-sampled potential-fault
+     * population (FaultMap::population() of a map this same model
+     * built) instead of resampling — the kserved warm store shares
+     * one sampled population across jobs keyed by (scenario,
+     * geometry, seed, build). Voltage handling matches buildMap();
+     * the resulting map is bit-identical to a cold buildMap().
+     */
+    std::unique_ptr<FaultMap>
+    buildMapFrom(std::vector<std::vector<FaultCell>> population,
+                 std::size_t line_bits) const;
+
+    /**
      * Does this model promise never to raise voltage after
      * construction? Monotone maps enforce the DAC'17 superset
      * invariant in FaultMap::setVoltage(); DroopSchedule returns

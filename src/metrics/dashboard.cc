@@ -295,7 +295,11 @@ std::string
 KtopModel::render(const Json &snapshot, double dtSeconds)
 {
     const Json &cur = snapshot;
-    const double dt = dtSeconds > 0 ? dtSeconds : 1.0;
+    // Rates need a prior snapshot and a real interval. On the first
+    // sample (no prev: deltas degenerate to the cumulative totals)
+    // or a dt<=0 refresh they are reported as 0, never as a
+    // counters-since-boot spike.
+    const bool haveInterval = hasPrev && dtSeconds > 0;
 
     auto delta = [&](std::initializer_list<const char *> path) {
         double curV = 0, prevV = 0;
@@ -311,9 +315,12 @@ KtopModel::render(const Json &snapshot, double dtSeconds)
         return std::max(0.0, curV - prevV);
     };
 
-    const double jobRate = delta({"jobs", "total"}) / dt;
-    const double hitDelta = delta({"cache", "hits"});
-    const double missDelta = delta({"cache", "misses"});
+    const double jobRate =
+        haveInterval ? delta({"jobs", "total"}) / dtSeconds : 0.0;
+    const double hitDelta =
+        haveInterval ? delta({"cache", "hits"}) : 0.0;
+    const double missDelta =
+        haveInterval ? delta({"cache", "misses"}) : 0.0;
     const double tickHitRate =
         hitDelta + missDelta ? hitDelta / (hitDelta + missDelta)
                              : std::numeric_limits<double>::quiet_NaN();

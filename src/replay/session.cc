@@ -431,6 +431,12 @@ recordSweep(const SweepOptions &optIn, const RunMode &mode)
     s.opt.jsonPath.clear();
     s.opt.timeseriesPath.clear();
     s.opt.onProgress = nullptr;
+    // Recordings must capture the sampler's RNG draws, so the run
+    // always samples its die cold — a warm population source, had
+    // the embedder set one, is stripped here (and share-die, which
+    // would install one inside runEvaluationSweep).
+    s.opt.warmFaultSource = nullptr;
+    s.opt.shareDie = false;
     if (s.opt.trace.empty()) {
         // Record every category's digests without writing per-point
         // trace files: the recording carries the checkpoints, not
@@ -548,6 +554,10 @@ replaySweep(const Recording &rec, const SweepOptions *embedder)
     SweepSession s;
     s.opt = sweepOptionsFromMeta(rec);
     if (embedder) {
+        // Only the observation hooks merge. Deliberately NOT
+        // warmFaultSource: adopting a warm population skips the
+        // sampler's RNG draws, which the recording captured — a
+        // warm-backed replay would diverge on its first rng record.
         s.opt.onProgress = embedder->onProgress;
         s.opt.cancel = embedder->cancel;
     }

@@ -129,6 +129,16 @@ ResultCache::insert(const std::string &canonicalKey,
     return hash;
 }
 
+void
+ResultCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    evictCount += lru.size();
+    lru.clear();
+    index.clear();
+    bytesStored = 0;
+}
+
 ResultCache::Stats
 ResultCache::stats() const
 {

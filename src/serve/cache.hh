@@ -64,6 +64,17 @@ class ResultCache
     std::string insert(const std::string &canonicalKey,
                        std::string resultText);
 
+    /**
+     * Drop every entry, counting them as evictions. Everything —
+     * list, index, and the byte tally — goes under the one cache
+     * mutex, so a clear racing a concurrent insert's eviction can
+     * never double-subtract an entry's size: whichever side wins the
+     * lock accounts the entry exactly once and the bytes gauge ends
+     * at 0 (the daemon clears at drain time; pinned in
+     * tests/serve_test.cc).
+     */
+    void clear();
+
     struct Stats
     {
         std::uint64_t hits = 0;

@@ -64,6 +64,12 @@ main(int argc, char **argv)
         opts.add<unsigned>("cache-entries", 1024u,
                            "result-cache capacity (LRU evicted)")
             .range(1u, 1u << 20);
+    auto &warmStoreMb =
+        opts.add<unsigned>("warm-store-mb", 256u,
+                           "warm-state store bound in MiB (sampled "
+                           "fault populations shared across jobs of "
+                           "the same die; 0 disables warm sharing)")
+            .range(0u, 65536u);
     auto &metricsPort = opts.add<unsigned>(
         "metrics-port", 0u,
         "serve plain-HTTP GET /metrics (Prometheus text) on "
@@ -84,6 +90,7 @@ main(int argc, char **argv)
     sopt.threads = threads;
     sopt.maxQueue = maxQueue;
     sopt.cacheEntries = cacheEntries;
+    sopt.warmStoreMb = warmStoreMb.value();
     sopt.metricsHttp = opts.has("metrics-port");
     sopt.metricsPort = std::uint16_t(metricsPort.value());
     sopt.slowJobSeconds = double(slowJobMs.value()) / 1000.0;

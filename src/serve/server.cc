@@ -468,6 +468,7 @@ Server::Server(ServerOptions options)
     : opt(std::move(options)),
       scheduler(opt.threads, opt.maxQueue, &registry),
       cache(opt.cacheEntries, &registry),
+      warm(opt.warmStoreMb << 20, &registry),
       bootTime(std::chrono::steady_clock::now())
 {
     registerServerMetrics();
@@ -913,6 +914,12 @@ Server::ioLoop()
     }
     if (!opt.socketPath.empty())
         ::unlink(opt.socketPath.c_str());
+    // Drained for good: release cached results and warm state in one
+    // sweep each, so the byte/entry gauges read 0 afterwards instead
+    // of drifting (evictions racing a per-entry teardown used to
+    // leave the bytes gauge stuck at the raced entries' sizes).
+    cache.clear();
+    warm.clear();
 }
 
 void
@@ -1157,6 +1164,28 @@ Server::handleSubmit(const std::shared_ptr<Connection> &conn,
                        spans->decode;
         SweepOptions ropt = sopt;
         ropt.cancel = &cancel;
+        // Plain jobs share sampled fault populations through the
+        // warm store: jobs that differ only in workload/scheme
+        // subsets miss the result cache but describe the same die,
+        // so it is synthesized once (single-flight) and adopted
+        // bit-identically everywhere else. Record/replay jobs must
+        // sample cold — adopting a population skips the sampler's
+        // RNG draws, which recordings capture.
+        if (!record && !replayRec && opt.warmStoreMb > 0) {
+            ropt.warmFaultSource =
+                [this, scenario = sopt.scenario](
+                    const FaultModel &model, std::size_t numLines,
+                    std::size_t lineBits) {
+                    return warm.faultPopulation(
+                        WarmStore::faultMapKey(scenario, numLines,
+                                               lineBits),
+                        [&model, numLines, lineBits] {
+                            return model
+                                .buildMap(numLines, lineBits)
+                                ->population();
+                        });
+                };
+        }
         if (stream) {
             // Periodic snapshots throttled to ~10/s per job; point
             // completions always go out.
@@ -1335,14 +1364,24 @@ Server::statsJson()
             Json::boolean(drainFlag.load(std::memory_order_relaxed)));
     doc.set("scheduler", scheduler.stats().toJson());
     doc.set("cache", cache.stats().toJson());
+    doc.set("warm_store", warm.stats().toJson());
     // Same members as ever, now read from the bounded histogram
     // (O(1) memory however long the daemon lives) and the registry
-    // counters.
+    // counters. Before the first job finishes the quantiles are
+    // undefined: the members stay present (clients key on them) but
+    // carry an explicit null, never NaN.
     Json lat = Json::object();
-    lat.set("count", Json::number(mJobSeconds->count()));
-    lat.set("mean_s", Json::number(mJobSeconds->mean()));
-    lat.set("p50_s", Json::number(mJobSeconds->quantile(0.5)));
-    lat.set("p99_s", Json::number(mJobSeconds->quantile(0.99)));
+    const std::uint64_t latCount = mJobSeconds->count();
+    lat.set("count", Json::number(latCount));
+    if (latCount == 0) {
+        lat.set("mean_s", Json::null());
+        lat.set("p50_s", Json::null());
+        lat.set("p99_s", Json::null());
+    } else {
+        lat.set("mean_s", Json::number(mJobSeconds->mean()));
+        lat.set("p50_s", Json::number(mJobSeconds->quantile(0.5)));
+        lat.set("p99_s", Json::number(mJobSeconds->quantile(0.99)));
+    }
     doc.set("latency", lat);
     Json out = Json::object();
     out.set("cache_hits", Json::number(cache.stats().hits));

@@ -39,6 +39,7 @@
 #include "serve/cache.hh"
 #include "serve/protocol.hh"
 #include "serve/scheduler.hh"
+#include "serve/warm_store.hh"
 
 namespace killi::serve
 {
@@ -57,6 +58,10 @@ struct ServerOptions
     std::size_t maxQueue = 64;
     /** Result-cache capacity (entries). */
     std::size_t cacheEntries = 1024;
+    /** Warm-state store bound (MiB of resident payload; fault
+     *  populations shared across jobs of the same die). 0 disables
+     *  warm sharing — every sweep point samples cold. */
+    std::size_t warmStoreMb = 256;
     /** Serve plain-HTTP GET /metrics (Prometheus text) on
      *  127.0.0.1:metricsPort (0 binds an ephemeral port — read it
      *  back with metricsBoundPort()). */
@@ -219,11 +224,12 @@ class Server
     void registerServerMetrics();
 
     ServerOptions opt;
-    /** Declared before scheduler/cache: both register callback
-     *  instruments into it at construction. */
+    /** Declared before scheduler/cache/warm: all three register
+     *  callback instruments into it at construction. */
     metrics::MetricsRegistry registry;
     JobScheduler scheduler;
     ResultCache cache;
+    WarmStore warm;
 
     std::thread ioThread;
     int listenFd = -1;

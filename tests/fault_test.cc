@@ -8,9 +8,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <map>
+
 #include "common/bitvec.hh"
 #include "common/rng.hh"
 #include "fault/fault_map.hh"
+#include "fault/fault_model.hh"
+#include "fault/scenario_spec.hh"
+#include "fault/sweep_engine.hh"
 #include "fault/voltage_model.hh"
 
 using namespace killi;
@@ -346,4 +352,299 @@ TEST(FaultMapTest, PlantFaultKeepsSortInvariant)
     // at 300/650 match; the transient on stuck 300 is suppressed.
     EXPECT_EQ(errs.size(), 2u);
     EXPECT_TRUE(map.countFaults(0, 201) == 2u);
+}
+
+// --- Incremental voltage stepping --------------------------------------
+
+namespace
+{
+
+/** Bit-identity between two maps' active sets: same cells, same
+ *  order, same payloads, at every line. */
+void
+expectActiveIdentical(const FaultMap &a, const FaultMap &b,
+                      const std::string &ctx)
+{
+    ASSERT_EQ(a.numLines(), b.numLines()) << ctx;
+    for (std::size_t l = 0; l < a.numLines(); ++l) {
+        const auto &ca = a.lineFaults(l);
+        const auto &cb = b.lineFaults(l);
+        ASSERT_EQ(ca.size(), cb.size()) << ctx << " line " << l;
+        for (std::size_t i = 0; i < ca.size(); ++i) {
+            ASSERT_EQ(ca[i].bit, cb[i].bit)
+                << ctx << " line " << l << " cell " << i;
+            ASSERT_EQ(ca[i].threshold, cb[i].threshold)
+                << ctx << " line " << l << " cell " << i;
+            ASSERT_EQ(ca[i].stuckValue, cb[i].stuckValue)
+                << ctx << " line " << l << " cell " << i;
+            ASSERT_EQ(ca[i].kind, cb[i].kind)
+                << ctx << " line " << l << " cell " << i;
+        }
+    }
+}
+
+/** Deep copy of a map's active sets (the callback's map is stepped
+ *  in place, so order-comparison tests must snapshot). */
+std::vector<std::vector<FaultCell>>
+snapshotActive(const FaultMap &map)
+{
+    std::vector<std::vector<FaultCell>> out(map.numLines());
+    for (std::size_t l = 0; l < map.numLines(); ++l)
+        out[l] = map.lineFaults(l);
+    return out;
+}
+
+} // namespace
+
+TEST(FaultMapTest, EqualVoltageResetIsIdempotentNoOp)
+{
+    // Warm-store hits and replayed jobs legitimately re-apply the
+    // point voltage: a bit-exact re-set must be accepted as a no-op
+    // under the declared monotone regime, not treated as a raise.
+    static const VoltageModel vm;
+    FaultMap fm(512, 720, vm, 21);
+    fm.declareMonotoneVoltage(true);
+    fm.setVoltage(0.6);
+    const auto before = snapshotActive(fm);
+    fm.setVoltage(0.6);
+    EXPECT_EQ(fm.voltage(), 0.6);
+    const auto after = snapshotActive(fm);
+    ASSERT_EQ(before.size(), after.size());
+    for (std::size_t l = 0; l < before.size(); ++l) {
+        ASSERT_EQ(before[l].size(), after[l].size()) << "line " << l;
+        for (std::size_t i = 0; i < before[l].size(); ++i)
+            EXPECT_EQ(before[l][i].bit, after[l][i].bit);
+    }
+}
+
+TEST(FaultMapTest, IncrementalSteppingMatchesColdFiltering)
+{
+    // Same seed, same population; one map steps by threshold deltas,
+    // the other cold-filters. Every point must be bit-identical.
+    static const VoltageModel vm;
+    FaultMap inc(1024, 720, vm, 17);
+    FaultMap cold(1024, 720, vm, 17);
+    inc.declareMonotoneVoltage(true);
+    cold.declareMonotoneVoltage(true);
+    ASSERT_TRUE(inc.enableIncrementalVoltage());
+    EXPECT_TRUE(inc.incrementalVoltage());
+    for (const double v :
+         {0.70, 0.675, 0.65, 0.625, 0.60, 0.59, 0.575, 0.55, 0.50}) {
+        inc.setVoltage(v);
+        cold.setVoltage(v);
+        expectActiveIdentical(inc, cold,
+                              "v=" + std::to_string(v));
+    }
+}
+
+TEST(FaultMapTest, IncrementalTieAtThresholdMatchesCold)
+{
+    // A cell whose threshold sits exactly at a sweep point's pCell:
+    // cold filtering's strict `threshold < p` leaves it inactive at
+    // equality, and the incremental walk must land the tie on the
+    // same side (both compare the float threshold promoted to
+    // double against the same p).
+    static const VoltageModel vm;
+    const float tie = static_cast<float>(vm.pCell(0.600, 1.0));
+    std::vector<std::vector<FaultCell>> pop(4);
+    pop[1].push_back({100, tie, true, FaultKind::Writeability});
+    pop[1].push_back({200, tie / 2, false, FaultKind::ReadDisturb});
+    pop[2].push_back({50, tie * 4, true, FaultKind::Writeability});
+    FaultMap inc(pop, 720, vm);
+    FaultMap cold(pop, 720, vm);
+    inc.declareMonotoneVoltage(true);
+    cold.declareMonotoneVoltage(true);
+    ASSERT_TRUE(inc.enableIncrementalVoltage());
+
+    // Bisect for a voltage whose pCell equals the float-rounded
+    // threshold exactly (pCell is continuous and monotone, so the
+    // boundary is reachable to the last ulp if representable).
+    const double target = double(tie);
+    double lo = 0.55, hi = 0.65; // pCell(lo) > target > pCell(hi)
+    double vStar = 0.600;
+    bool exact = false;
+    for (int it = 0; it < 200 && !exact; ++it) {
+        const double mid = lo + (hi - lo) / 2;
+        if (mid == lo || mid == hi)
+            break;
+        const double p = vm.pCell(mid, 1.0);
+        if (p == target) {
+            vStar = mid;
+            exact = true;
+        } else if (p > target) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+
+    std::vector<double> ladder = {0.650, 0.625, 0.610};
+    ladder.push_back(exact ? vStar : 0.600);
+    ladder.push_back(0.590);
+    ladder.push_back(0.575);
+    for (const double v : ladder) {
+        inc.setVoltage(v);
+        cold.setVoltage(v);
+        expectActiveIdentical(inc, cold, "v=" + std::to_string(v));
+        if (exact && v == vStar) {
+            // Exactly at the threshold: strict < excludes the cell
+            // in both derivations.
+            EXPECT_EQ(inc.lineFaults(1).size(), 1u);
+            EXPECT_EQ(inc.lineFaults(1)[0].bit, 200);
+        }
+    }
+    // Below the boundary the tied cell is active in both.
+    EXPECT_EQ(inc.lineFaults(1).size(), 2u);
+    EXPECT_EQ(cold.lineFaults(1).size(), 2u);
+}
+
+TEST(FaultMapTest, PlantFaultInvalidatesIncrementalIndex)
+{
+    static const VoltageModel vm;
+    FaultMap inc(1024, 720, vm, 23);
+    FaultMap cold(1024, 720, vm, 23);
+    inc.declareMonotoneVoltage(true);
+    cold.declareMonotoneVoltage(true);
+    inc.setVoltage(0.65);
+    cold.setVoltage(0.65);
+    ASSERT_TRUE(inc.enableIncrementalVoltage());
+    inc.setVoltage(0.625);
+    cold.setVoltage(0.625);
+    // Mutating the population must not leave the delta path reading
+    // stale (line, cell) references.
+    inc.plantFault(3, 17, true);
+    cold.plantFault(3, 17, true);
+    for (const double v : {0.60, 0.575}) {
+        inc.setVoltage(v);
+        cold.setVoltage(v);
+        expectActiveIdentical(inc, cold, "v=" + std::to_string(v));
+    }
+}
+
+// --- Voltage-sweep engine ----------------------------------------------
+
+TEST(SweepEngineTest, IncrementalMatchesColdAtEveryPoint)
+{
+    const std::vector<double> points = {0.70, 0.675, 0.65, 0.625,
+                                        0.60, 0.575, 0.55};
+    for (const char *name : {"iid", "clustered", "burst"}) {
+        ScenarioSpec spec;
+        spec.model = name;
+        spec.seed = 13;
+        const auto model = FaultModel::fromScenario(spec);
+        std::size_t visited = 0;
+        const VoltageSweepStats st = runVoltageSweep(
+            *model, 256, 720, points,
+            [&](std::size_t idx, double v, FaultMap &map) {
+                ++visited;
+                EXPECT_EQ(v, points[idx]);
+                const auto cold = model->buildMapAt(256, 720, v);
+                expectActiveIdentical(
+                    map, *cold,
+                    std::string(name) + " v=" + std::to_string(v));
+            });
+        EXPECT_TRUE(st.incremental) << name;
+        EXPECT_EQ(st.points, points.size());
+        EXPECT_EQ(st.coldActivations, 1u) << name;
+        EXPECT_EQ(visited, points.size());
+    }
+}
+
+TEST(SweepEngineTest, SinglePointSweep)
+{
+    ScenarioSpec spec;
+    spec.seed = 3;
+    const auto model = FaultModel::fromScenario(spec);
+    std::size_t visited = 0;
+    const VoltageSweepStats st = runVoltageSweep(
+        *model, 128, 720, {0.6},
+        [&](std::size_t idx, double v, FaultMap &map) {
+            ++visited;
+            EXPECT_EQ(idx, 0u);
+            EXPECT_EQ(v, 0.6);
+            const auto cold = model->buildMapAt(128, 720, 0.6);
+            expectActiveIdentical(map, *cold, "single point");
+        });
+    EXPECT_EQ(st.points, 1u);
+    EXPECT_TRUE(st.incremental);
+    EXPECT_EQ(st.coldActivations, 1u);
+    EXPECT_EQ(visited, 1u);
+}
+
+TEST(SweepEngineTest, AscendingAndDescendingOrdersAgree)
+{
+    // The engine internally visits monotone sweeps from the highest
+    // voltage down; the caller's point order must not change any
+    // per-point result, only the callback labeling.
+    ScenarioSpec spec;
+    spec.seed = 5;
+    const auto model = FaultModel::fromScenario(spec);
+    const std::vector<double> desc = {0.65, 0.625, 0.60, 0.575};
+    const std::vector<double> asc(desc.rbegin(), desc.rend());
+
+    std::map<double, std::vector<std::vector<FaultCell>>> byV[2];
+    const std::vector<double> *orders[2] = {&desc, &asc};
+    for (int o = 0; o < 2; ++o) {
+        runVoltageSweep(*model, 256, 720, *orders[o],
+                        [&](std::size_t idx, double v, FaultMap &map) {
+                            EXPECT_EQ(v, (*orders[o])[idx]);
+                            byV[o][v] = snapshotActive(map);
+                        });
+    }
+    ASSERT_EQ(byV[0].size(), desc.size());
+    ASSERT_EQ(byV[1].size(), desc.size());
+    for (const double v : desc) {
+        const auto &a = byV[0][v];
+        const auto &b = byV[1][v];
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t l = 0; l < a.size(); ++l) {
+            ASSERT_EQ(a[l].size(), b[l].size())
+                << "v=" << v << " line " << l;
+            for (std::size_t i = 0; i < a[l].size(); ++i) {
+                EXPECT_EQ(a[l][i].bit, b[l][i].bit);
+                EXPECT_EQ(a[l][i].threshold, b[l][i].threshold);
+            }
+        }
+    }
+}
+
+TEST(SweepEngineTest, DroopScheduleRefusesIncrementalPath)
+{
+    ScenarioSpec spec;
+    spec.model = "droop";
+    spec.droop.schedule = {0.625, 0.600, 0.575, 0.625}; // raises V
+    const auto model = FaultModel::fromScenario(spec);
+    std::vector<double> visitedV;
+    const VoltageSweepStats st = runVoltageSweep(
+        *model, 64, 720, spec.droop.schedule,
+        [&](std::size_t idx, double v, FaultMap &map) {
+            EXPECT_EQ(idx, visitedV.size());
+            visitedV.push_back(v);
+            EXPECT_FALSE(map.incrementalVoltage());
+        });
+    EXPECT_FALSE(st.incremental);
+    EXPECT_EQ(st.coldActivations, 4u);
+    EXPECT_EQ(visitedV, spec.droop.schedule); // caller order kept
+    // And a droop-built (non-monotone) map refuses the opt-in
+    // directly: its schedule may legally raise V.
+    const auto map = model->buildMap(64, 720);
+    EXPECT_FALSE(map->enableIncrementalVoltage());
+    EXPECT_FALSE(map->incrementalVoltage());
+}
+
+TEST(SweepEngineTest, BuildMapFromPopulationIsBitIdentical)
+{
+    // The kserved warm store rebuilds maps from a shared sampled
+    // population; the result must match a cold buildMap() exactly.
+    for (const char *name : {"iid", "clustered", "burst", "droop"}) {
+        ScenarioSpec spec;
+        spec.model = name;
+        spec.seed = 29;
+        const auto model = FaultModel::fromScenario(spec);
+        const auto cold = model->buildMap(256, 720);
+        const auto warm =
+            model->buildMapFrom(cold->population(), 720);
+        EXPECT_EQ(warm->voltage(), cold->voltage()) << name;
+        expectActiveIdentical(*warm, *cold, name);
+    }
 }

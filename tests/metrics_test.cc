@@ -398,3 +398,31 @@ TEST(Ktop, RenderProducesADashboard)
     EXPECT_NE(frame2.find("jobs 2.0/s"), std::string::npos)
         << frame2;
 }
+
+TEST(Ktop, FirstSampleAndZeroDtRatesAreZero)
+{
+    MetricsRegistry reg;
+    populateServedFamilies(reg);
+    KtopModel model;
+    // First sample: no prior snapshot to delta against, so the jobs
+    // done since boot must not be reported as a rate spike.
+    const std::string first =
+        model.render(ktopSnapshot(reg.toJson()), 5.0);
+    EXPECT_NE(first.find("jobs 0.0/s"), std::string::npos) << first;
+    // dt <= 0 refresh (an immediate redraw): still no rate, even
+    // with a prior snapshot and counters that moved.
+    reg.counter("kserved_jobs_total", "jobs",
+                {{"outcome", "done"}})
+        .inc(3);
+    const std::string redraw =
+        model.render(ktopSnapshot(reg.toJson()), 0.0);
+    EXPECT_NE(redraw.find("jobs 0.0/s"), std::string::npos)
+        << redraw;
+    // Only a real interval after a real snapshot yields a rate.
+    reg.counter("kserved_jobs_total", "jobs",
+                {{"outcome", "done"}})
+        .inc(4);
+    const std::string frame =
+        model.render(ktopSnapshot(reg.toJson()), 2.0);
+    EXPECT_NE(frame.find("jobs 2.0/s"), std::string::npos) << frame;
+}

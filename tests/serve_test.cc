@@ -27,11 +27,14 @@
 #include "bench/sweep.hh"
 #include "common/hash.hh"
 #include "common/log.hh"
+#include "fault/fault_model.hh"
 #include "metrics/dashboard.hh"
+#include "replay/session.hh"
 #include "serve/cache.hh"
 #include "serve/client/client.hh"
 #include "serve/scheduler.hh"
 #include "serve/server.hh"
+#include "serve/warm_store.hh"
 
 using namespace killi;
 using namespace killi::serve;
@@ -936,10 +939,11 @@ TEST(ServeMetrics, StatsReplyKeepsBackwardCompatibleMembers)
     ASSERT_TRUE(lo.client.recvWithin(reply, 10000));
     const Json &stats = reply.at("stats");
     // The pre-kmetrics member surface, now sourced from the
-    // registry: scripts depending on these keys keep working.
+    // registry: scripts depending on these keys keep working
+    // (warm_store is the one additive member).
     for (const char *key :
-         {"build", "draining", "scheduler", "cache", "latency",
-          "outcomes"})
+         {"build", "draining", "scheduler", "cache", "warm_store",
+          "latency", "outcomes"})
         EXPECT_TRUE(stats.contains(key)) << key;
     const Json &lat = stats.at("latency");
     for (const char *key : {"count", "mean_s", "p50_s", "p99_s"})
@@ -951,4 +955,284 @@ TEST(ServeMetrics, StatsReplyKeepsBackwardCompatibleMembers)
         EXPECT_TRUE(out.contains(key)) << key;
     EXPECT_EQ(out.at("done").asInt(), 1);
     lo.server.stop();
+}
+
+TEST(ServeMetrics, StatsLatencyQuantilesNullBeforeFirstJob)
+{
+    // Regression: a fresh daemon has an empty latency histogram;
+    // its quantiles used to leak NaN into the stats_reply. The keys
+    // must stay present (clients key on them) but carry an explicit
+    // null until the first job finishes.
+    Loopback lo;
+    ScopedLogCapture quiet;
+    Json req = Json::object();
+    req.set("type", Json::string("stats"));
+    ASSERT_TRUE(lo.client.send(req));
+    Json reply;
+    ASSERT_TRUE(lo.client.recvWithin(reply, 10000));
+    const Json &lat = reply.at("stats").at("latency");
+    EXPECT_EQ(lat.at("count").asInt(), 0);
+    for (const char *key : {"mean_s", "p50_s", "p99_s"}) {
+        ASSERT_TRUE(lat.contains(key)) << key;
+        EXPECT_TRUE(lat.at(key).isNull()) << key;
+    }
+    lo.server.stop();
+}
+
+// ---------------------------------------------------------------
+// Warm-state store
+// ---------------------------------------------------------------
+
+namespace
+{
+
+/** A smoke submit with an overridable workload subset and seed, so
+ *  tests can force distinct result-cache keys that still share (or
+ *  not) a die. */
+Json
+warmSubmit(const std::string &workloads, std::uint64_t seed)
+{
+    Json options = Json::object();
+    options.set("scale", Json::number(0.02));
+    options.set("warmup", Json::number(std::uint64_t{0}));
+    options.set("seed", Json::number(seed));
+    options.set("workloads", Json::string(workloads));
+    options.set("schemes", Json::string("DECTED"));
+    Json req = Json::object();
+    req.set("type", Json::string("submit"));
+    req.set("options", std::move(options));
+    req.set("stream", Json::boolean(false));
+    return req;
+}
+
+} // namespace
+
+TEST(WarmStore, SingleFlightSynthesizesOnceAcrossConcurrentCallers)
+{
+    WarmStore store(64 << 20);
+    std::atomic<int> syntheses{0};
+    Gate gate;
+    const auto synth = [&] {
+        ++syntheses;
+        gate.future.wait();
+        return FaultPopulation{{FaultCell{7, 0.5f, true,
+                                          FaultKind::Writeability}}};
+    };
+    const std::string key = "warm-test-key";
+    std::shared_ptr<const FaultPopulation> a, b;
+    std::thread first([&] { a = store.faultPopulation(key, synth); });
+    // The second caller must block on the first's in-flight
+    // synthesis, not run its own.
+    ASSERT_TRUE(waitUntil([&] { return syntheses.load() == 1; },
+                          "first synthesis to start"));
+    std::thread second([&] { b = store.faultPopulation(key, synth); });
+    gate.open();
+    first.join();
+    second.join();
+    EXPECT_EQ(syntheses.load(), 1);
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(a.get(), b.get()); // the one stored population, shared
+    const WarmStore::Stats s = store.stats();
+    EXPECT_EQ(s.misses, 1u); // misses == syntheses, exactly
+    EXPECT_EQ(s.hits, 1u);   // the waiter counts a hit
+    EXPECT_EQ(s.insertions, 1u);
+    EXPECT_EQ(s.entries, 1u);
+    EXPECT_GT(s.bytes, 0u);
+}
+
+TEST(WarmStore, ByteBoundEvictsLruAndClearZeroesTheGauges)
+{
+    // 100 cells per population (reserved exactly, so the accounted
+    // size is deterministic); bound the store to two payloads so the
+    // third insert must evict the least recently used entry.
+    const auto bigPopulation = [] {
+        FaultPopulation pop(1);
+        pop[0].reserve(100);
+        for (std::uint16_t bit = 0; bit < 100; ++bit)
+            pop[0].push_back(
+                FaultCell{bit, 0.5f, false, FaultKind::Writeability});
+        return pop;
+    };
+    const std::size_t payloadBytes = sizeof(FaultPopulation) +
+                                     sizeof(std::vector<FaultCell>) +
+                                     100 * sizeof(FaultCell);
+    WarmStore store(2 * payloadBytes);
+    store.faultPopulation("a", bigPopulation);
+    store.faultPopulation("b", bigPopulation);
+    // Touch "a" so "b" is the LRU victim.
+    store.faultPopulation("a", bigPopulation);
+    store.faultPopulation("c", bigPopulation);
+    WarmStore::Stats s = store.stats();
+    EXPECT_EQ(s.misses, 3u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.evictions, 1u);
+    // "b" was evicted; "a" survived the touch.
+    store.faultPopulation("a", bigPopulation);
+    store.faultPopulation("b", bigPopulation);
+    s = store.stats();
+    EXPECT_EQ(s.misses, 4u);
+    EXPECT_EQ(s.hits, 2u);
+
+    const std::uint64_t inserted = s.insertions;
+    const std::uint64_t evictedByBound = s.evictions;
+    const std::size_t resident = s.entries;
+    store.clear();
+    s = store.stats();
+    EXPECT_EQ(s.entries, 0u);
+    EXPECT_EQ(s.bytes, 0u);
+    EXPECT_EQ(s.insertions, inserted);
+    // Cleared entries count as evictions on top of the bound's.
+    EXPECT_EQ(s.evictions, evictedByBound + resident);
+}
+
+TEST(WarmStore, FaultMapKeySeparatesScenarioGeometryAndSeed)
+{
+    ScenarioSpec spec;
+    const std::string base = WarmStore::faultMapKey(spec, 1024, 720);
+    EXPECT_EQ(base, WarmStore::faultMapKey(spec, 1024, 720));
+    EXPECT_NE(base, WarmStore::faultMapKey(spec, 2048, 720));
+    EXPECT_NE(base, WarmStore::faultMapKey(spec, 1024, 523));
+    ScenarioSpec reseeded = spec;
+    reseeded.seed = 43;
+    EXPECT_NE(base, WarmStore::faultMapKey(reseeded, 1024, 720));
+    ScenarioSpec clustered = spec;
+    clustered.model = "clustered";
+    EXPECT_NE(base, WarmStore::faultMapKey(clustered, 1024, 720));
+}
+
+TEST(ServeIntegration, WarmStoreSharesOneDieAcrossDistinctJobs)
+{
+    // Two jobs that differ only in their workload subset miss the
+    // result cache (different canonical keys) but describe the same
+    // die — the population must be synthesized exactly once and
+    // adopted by every other sweep point of either job.
+    Loopback lo;
+    ScopedLogCapture quiet;
+    Json first, second;
+    std::string err;
+    ASSERT_TRUE(
+        lo.client.submit(warmSubmit("xsbench", 42), first, {}, &err))
+        << err;
+    ASSERT_EQ(first.at("outcome").asString(), "done");
+    EXPECT_FALSE(first.at("cached").asBool());
+    ASSERT_TRUE(
+        lo.client.submit(warmSubmit("spmv", 42), second, {}, &err))
+        << err;
+    ASSERT_EQ(second.at("outcome").asString(), "done");
+    EXPECT_FALSE(second.at("cached").asBool());
+
+    Json req = Json::object();
+    req.set("type", Json::string("stats"));
+    ASSERT_TRUE(lo.client.send(req));
+    Json reply;
+    ASSERT_TRUE(lo.client.recvWithin(reply, 10000));
+    const Json &warm = reply.at("stats").at("warm_store");
+    // Four sweep points ran (baseline + DECTED, twice); one
+    // synthesis, three warm adoptions.
+    EXPECT_EQ(warm.at("misses").asInt(), 1);
+    EXPECT_EQ(warm.at("hits").asInt(), 3);
+    EXPECT_EQ(warm.at("insertions").asInt(), 1);
+    EXPECT_EQ(warm.at("entries").asInt(), 1);
+    EXPECT_GT(warm.at("bytes").asInt(), 0);
+    lo.server.stop();
+}
+
+TEST(ServeIntegration, WarmBackedSweepMatchesColdRecordingAndReplays)
+{
+    // The bit-identity contract, end to end through krr: a cold
+    // recorded run, a warm-store-backed run of the same options, and
+    // a replay of the recording must all agree bit-for-bit.
+    ScopedLogCapture quiet;
+    SweepOptions opt;
+    opt.scale = 0.02;
+    opt.warmupPasses = 0;
+    opt.workloads = {"xsbench"};
+    opt.schemes = {"DECTED"};
+    opt.jobs = 1;
+
+    const replay::SweepSession cold = replay::recordSweep(opt);
+    const std::string coldWorkloads =
+        sweepToJson(opt, cold.result).at("workloads").toString(0);
+
+    WarmStore store(64 << 20);
+    SweepOptions wopt = opt;
+    wopt.warmFaultSource = [&store, &wopt](const FaultModel &model,
+                                           std::size_t numLines,
+                                           std::size_t lineBits) {
+        return store.faultPopulation(
+            WarmStore::faultMapKey(wopt.scenario, numLines,
+                                   lineBits),
+            [&model, numLines, lineBits] {
+                return model.buildMap(numLines, lineBits)
+                    ->population();
+            });
+    };
+    const SweepResult warmRes = runEvaluationSweep(wopt);
+    EXPECT_EQ(
+        sweepToJson(opt, warmRes).at("workloads").toString(0),
+        coldWorkloads);
+    // Both points (baseline + DECTED) consulted the store; one
+    // synthesis.
+    EXPECT_EQ(store.stats().misses, 1u);
+    EXPECT_EQ(store.stats().hits, 1u);
+
+    // The cold recording replays bit-identically — and the replay
+    // path samples cold by construction (replaySweep never merges a
+    // warm source), so the recording's RNG draws all verify.
+    const replay::SweepSession rep = replay::replaySweep(cold.recording);
+    EXPECT_TRUE(rep.verified)
+        << rep.divergence.toJson().toString(2);
+    EXPECT_EQ(sweepToJson(rep.opt, rep.result)
+                  .at("workloads")
+                  .toString(0),
+              coldWorkloads);
+}
+
+TEST(ServeIntegration, DrainClearsCacheAndWarmStateBytes)
+{
+    // Regression: drain-time teardown racing LRU eviction used to
+    // leave the kserved_cache_bytes gauge non-zero. Force eviction
+    // pressure (capacity 1) and assert both stores' gauges read 0
+    // after a full drain.
+    ServerOptions so;
+    so.port = 0;
+    so.threads = 1;
+    so.cacheEntries = 1;
+    Server server(so);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+    Client client;
+    ASSERT_TRUE(client.connectTcp(server.boundPort(), &err)) << err;
+    ScopedLogCapture quiet;
+
+    Json first, second;
+    ASSERT_TRUE(
+        client.submit(warmSubmit("xsbench", 42), first, {}, &err))
+        << err;
+    ASSERT_EQ(first.at("outcome").asString(), "done");
+    // A different seed: a different cache key AND a different die,
+    // so both stores hold real state and the cache must evict.
+    ASSERT_TRUE(
+        client.submit(warmSubmit("xsbench", 7), second, {}, &err))
+        << err;
+    ASSERT_EQ(second.at("outcome").asString(), "done");
+
+    Json before = server.statsJson();
+    EXPECT_EQ(before.at("cache").at("insertions").asInt(), 2);
+    EXPECT_EQ(before.at("cache").at("evictions").asInt(), 1);
+    EXPECT_EQ(before.at("cache").at("entries").asInt(), 1);
+    EXPECT_GT(before.at("cache").at("bytes").asInt(), 0);
+    EXPECT_EQ(before.at("warm_store").at("entries").asInt(), 2);
+    EXPECT_GT(before.at("warm_store").at("bytes").asInt(), 0);
+
+    server.stop();
+
+    Json after = server.statsJson();
+    EXPECT_EQ(after.at("cache").at("entries").asInt(), 0);
+    EXPECT_EQ(after.at("cache").at("bytes").asInt(), 0);
+    // The cleared entry counts as an eviction: 1 by capacity + 1 by
+    // the drain-time clear.
+    EXPECT_EQ(after.at("cache").at("evictions").asInt(), 2);
+    EXPECT_EQ(after.at("warm_store").at("entries").asInt(), 0);
+    EXPECT_EQ(after.at("warm_store").at("bytes").asInt(), 0);
 }

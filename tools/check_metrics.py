@@ -40,6 +40,12 @@ REQUIRED_FAMILIES = [
     "kserved_cache_evictions_total",
     "kserved_cache_bytes",
     "kserved_cache_hit_seconds",
+    "kserved_warm_store_hits_total",
+    "kserved_warm_store_misses_total",
+    "kserved_warm_store_insertions_total",
+    "kserved_warm_store_evictions_total",
+    "kserved_warm_store_entries",
+    "kserved_warm_store_bytes",
     "kserved_connections_total",
     "kserved_frames_received_total",
     "kserved_frames_sent_total",

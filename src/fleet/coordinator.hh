@@ -1,0 +1,241 @@
+/**
+ * @file
+ * kfleet: sharded campaign fabric. A Coordinator owns a set of
+ * kserved workers — endpoints handed in, or local processes it
+ * spawns itself — and implements serve::FleetRunner: a submitted
+ * campaign is split into one shard per workload (the shard's cache
+ * key is exactly what a direct submit of that workload subset would
+ * canonicalize to, so worker result caches and the peer-fetch path
+ * compose with normal traffic), the shards are dealt round-robin
+ * across the workers' dispatch queues, and dispatcher threads drive
+ * them over the ordinary kserve frame protocol.
+ *
+ * Three mechanisms keep a heterogeneous fleet busy and the tail
+ * latency bounded:
+ *
+ *  - Work stealing: a dispatcher whose own queue is empty pops from
+ *    the back of the longest other queue (kfleet_steals_total).
+ *  - Hedged retries: a shard with no terminal reply after
+ *    hedgeSeconds is re-dispatched once to another worker; the
+ *    first terminal result wins the shard and the loser is
+ *    abandoned — its connection closes, and the worker's own
+ *    orphan-cancel sweep reaps the job (kfleet_hedges_total /
+ *    kfleet_hedge_wins_total).
+ *  - Peer fetch: the coordinator remembers which worker computed
+ *    each shard hash; when a later campaign lands the same shard on
+ *    a different worker, the bytes are pulled from the computing
+ *    worker's content-addressed cache with a "fetch" frame instead
+ *    of being recomputed (kfleet_peer_fetches_total).
+ *
+ * Shard results merge by concatenating the per-workload "workloads"
+ * arrays in campaign order. runEvaluationSweep() pre-sizes its
+ * result slots, so a workload's entry is independent of what else
+ * ran in the same process — the merged document is bit-identical to
+ * a single-process run of the full campaign by construction (CI
+ * diffs the two and the committed fig4 golden).
+ *
+ * Accounting invariant, checked by tools/check_metrics.py at drain:
+ * kfleet_shards_dispatched_total == kfleet_shards_completed_total +
+ * kfleet_shards_cancelled_total. Every dispatch that reached the
+ * "submitted" frame ends in exactly one of the two buckets
+ * (hedge losers, worker failures, and transport deaths all count as
+ * cancelled). Peer fetches and pre-submit rejections are separate
+ * families and never enter the invariant.
+ */
+
+#ifndef KILLI_FLEET_COORDINATOR_HH
+#define KILLI_FLEET_COORDINATOR_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "common/json.hh"
+#include "metrics/metrics.hh"
+#include "serve/server.hh"
+
+namespace killi::serve
+{
+class Client;
+}
+
+namespace killi::fleet
+{
+
+/** One worker endpoint: a Unix socket path, or (when empty) a TCP
+ *  port on 127.0.0.1. */
+struct WorkerEndpoint
+{
+    std::string socketPath;
+    std::uint16_t port = 0;
+};
+
+struct FleetOptions
+{
+    /** Explicit worker endpoints (already-running kserved). */
+    std::vector<WorkerEndpoint> workers;
+    /** Local kserved processes to spawn (appended after the
+     *  explicit endpoints). */
+    unsigned spawnWorkers = 0;
+    /** kserved binary for spawnWorkers. */
+    std::string workerBin;
+    /** Directory receiving spawned workers' w<i>.sock sockets. */
+    std::string spawnDir = ".";
+    /** threads= for spawned workers. */
+    unsigned workerThreads = 1;
+    /** Extra flags appended to each spawned worker's command line
+     *  (e.g. "debug-job-delay-ms=500" for straggler injection). */
+    std::vector<std::string> workerExtraArgs;
+    /** Concurrent dispatches per worker (its effective slot
+     *  count). */
+    unsigned slotsPerWorker = 2;
+    /** Re-dispatch a shard to a second worker when its primary has
+     *  produced no terminal reply after this long; 0 disables
+     *  hedging. */
+    double hedgeSeconds = 30.0;
+    /** Per-worker connect budget (retries with backoff inside). */
+    double connectTimeoutSeconds = 10.0;
+    /** Attempts per shard before the campaign fails. */
+    unsigned maxShardAttempts = 3;
+    /** Registry receiving the kfleet_* families; may be null. */
+    metrics::MetricsRegistry *registry = nullptr;
+};
+
+class Coordinator
+{
+  public:
+    explicit Coordinator(FleetOptions options);
+
+    /** Shuts down spawned workers (drain, then SIGTERM). */
+    ~Coordinator();
+
+    Coordinator(const Coordinator &) = delete;
+    Coordinator &operator=(const Coordinator &) = delete;
+
+    /** Spawn local workers (if requested) and ping every endpoint.
+     *  False + err when any worker is unreachable. */
+    bool start(std::string *err);
+
+    std::size_t workerCount() const { return endpoints.size(); }
+
+    /**
+     * The serve::FleetRunner entry point: run @p req as a sharded
+     * campaign and return the merged result document. Throws
+     * std::runtime_error when a shard exhausts its attempts;
+     * returns early (partial doc, discarded by the server) once
+     * @p cancel trips. Fills @p attribution with the per-shard
+     * worker/origin table that rides the result frame's "fleet"
+     * sibling.
+     */
+    Json runCampaign(std::uint64_t jobId,
+                     const serve::SubmitRequest &req,
+                     const CancelToken &cancel,
+                     const serve::FleetProgressFn &progress,
+                     Json *attribution);
+
+    /** In-flight per-job dispatch state for status_reply (null when
+     *  @p jobId has no active campaign). */
+    Json statusJson(std::uint64_t jobId);
+
+    /** The stats_reply "fleet" member: worker count plus the
+     *  lifetime kfleet_* counter values. */
+    Json statsJson();
+
+    /** Drain and reap the spawned workers. Idempotent. */
+    void shutdownWorkers();
+
+  private:
+    struct Shard;
+    struct Campaign;
+
+    void registerFleetMetrics();
+    bool spawnWorker(std::size_t idx, std::string *err);
+    /** Connect to endpoint @p w with the configured retry budget. */
+    bool connectWorker(std::size_t w, serve::Client &client,
+                       std::string *err);
+    /** One dispatcher slot: pop/steal shards until the campaign
+     *  settles. */
+    void dispatchLoop(Campaign &camp, std::size_t w,
+                      const CancelToken &cancel,
+                      const serve::FleetProgressFn &progress);
+    /** Drive one dispatch of @p shard on worker @p w to a terminal
+     *  state. */
+    void runDispatch(Campaign &camp, Shard &shard, std::size_t w,
+                     bool isHedge, const CancelToken &cancel,
+                     const serve::FleetProgressFn &progress);
+    /** Try to serve @p shard from the worker that computed its hash
+     *  in an earlier campaign; true when the shard was settled. */
+    bool tryPeerFetch(Campaign &camp, Shard &shard, std::size_t w,
+                      const serve::FleetProgressFn &progress);
+    /** Accept @p result for @p shard; false when another dispatch
+     *  settled it first (the caller accounts itself cancelled). */
+    bool settleShard(Campaign &camp, Shard &shard, std::size_t w,
+                     const char *origin, bool hedged, Json result,
+                     const serve::FleetProgressFn &progress);
+
+    FleetOptions opt;
+    std::vector<WorkerEndpoint> endpoints;
+    /** Names aligned with endpoints ("w0", "w1", ...). */
+    std::vector<std::string> workerNames;
+    std::vector<pid_t> spawnedPids;
+    std::atomic<bool> workersDown{false};
+
+    /** Rotates the round-robin origin so consecutive campaigns land
+     *  the same shard on different workers (exercising peer fetch
+     *  deterministically). */
+    std::atomic<std::uint64_t> campaignCounter{0};
+
+    /** Dispatches currently in flight per worker, across ALL
+     *  campaigns — shard placement prefers the globally least-busy
+     *  worker (rotation order breaks ties, so placement under no
+     *  load is plain round-robin). */
+    std::mutex loadMtx;
+    std::vector<unsigned> activeOn;
+
+    /** Content hash -> worker index that computed it. */
+    std::mutex peerMtx;
+    std::map<std::string, std::size_t> completedBy;
+
+    /** Active campaigns by front-end job id (statusJson). */
+    std::mutex activeMtx;
+    std::map<std::uint64_t, Campaign *> active;
+
+    // kfleet_* instruments; null without a registry — every bump
+    // goes through inc() helpers that tolerate that, and the same
+    // tallies are mirrored into plain counters for statsJson().
+    metrics::Counter *mCampaigns = nullptr;
+    metrics::Counter *mDispatched = nullptr;
+    metrics::Counter *mCompleted = nullptr;
+    metrics::Counter *mCancelled = nullptr;
+    metrics::Counter *mSteals = nullptr;
+    metrics::Counter *mHedges = nullptr;
+    metrics::Counter *mHedgeWins = nullptr;
+    metrics::Counter *mPeerFetches = nullptr;
+    metrics::Counter *mPeerFetchMisses = nullptr;
+    metrics::Counter *mRejections = nullptr;
+    metrics::Histogram *mShardSeconds = nullptr;
+
+    struct Tally
+    {
+        std::atomic<std::uint64_t> campaigns{0};
+        std::atomic<std::uint64_t> dispatched{0};
+        std::atomic<std::uint64_t> completed{0};
+        std::atomic<std::uint64_t> cancelled{0};
+        std::atomic<std::uint64_t> steals{0};
+        std::atomic<std::uint64_t> hedges{0};
+        std::atomic<std::uint64_t> hedgeWins{0};
+        std::atomic<std::uint64_t> peerFetches{0};
+        std::atomic<std::uint64_t> peerFetchMisses{0};
+        std::atomic<std::uint64_t> rejections{0};
+    } tally;
+};
+
+} // namespace killi::fleet
+
+#endif // KILLI_FLEET_COORDINATOR_HH

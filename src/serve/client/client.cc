@@ -1,10 +1,13 @@
 #include "serve/client/client.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <thread>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -24,6 +27,17 @@ fillErr(std::string *err, const std::string &what)
         *err = what;
 }
 
+bool
+setBlocking(int fd, bool blocking)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0)
+        return false;
+    const int want =
+        blocking ? (flags & ~O_NONBLOCK) : (flags | O_NONBLOCK);
+    return ::fcntl(fd, F_SETFL, want) == 0;
+}
+
 } // namespace
 
 Client::~Client()
@@ -41,9 +55,86 @@ Client::close()
 }
 
 bool
-Client::connectUnix(const std::string &path, std::string *err)
+Client::connectOnce(int family, const void *addr,
+                    std::size_t addrLen, const std::string &what,
+                    int timeoutMs, std::string *err)
 {
     close();
+    sock = ::socket(family, SOCK_STREAM, 0);
+    if (sock < 0) {
+        fillErr(err, std::string("socket: ") + std::strerror(errno));
+        return false;
+    }
+    if (timeoutMs <= 0) {
+        if (::connect(sock,
+                      reinterpret_cast<const sockaddr *>(addr),
+                      socklen_t(addrLen)) != 0) {
+            fillErr(err, "connect " + what + ": " +
+                             std::strerror(errno));
+            close();
+            return false;
+        }
+        return true;
+    }
+    // Deadline-bounded connect: non-blocking connect, poll for
+    // writability, then read the verdict out of SO_ERROR. The
+    // socket goes back to blocking afterwards — the rest of the
+    // Client is blocking I/O.
+    if (!setBlocking(sock, false)) {
+        fillErr(err, std::string("fcntl: ") + std::strerror(errno));
+        close();
+        return false;
+    }
+    const int rc = ::connect(
+        sock, reinterpret_cast<const sockaddr *>(addr),
+        socklen_t(addrLen));
+    if (rc != 0 && errno != EINPROGRESS && errno != EAGAIN) {
+        fillErr(err,
+                "connect " + what + ": " + std::strerror(errno));
+        close();
+        return false;
+    }
+    if (rc != 0) {
+        struct pollfd pfd{sock, POLLOUT, 0};
+        int ready;
+        do {
+            ready = ::poll(&pfd, 1, timeoutMs);
+        } while (ready < 0 && errno == EINTR);
+        if (ready <= 0) {
+            fillErr(err, "connect " + what + ": timeout after " +
+                             std::to_string(timeoutMs) + "ms");
+            close();
+            return false;
+        }
+        int soErr = 0;
+        socklen_t len = sizeof(soErr);
+        if (::getsockopt(sock, SOL_SOCKET, SO_ERROR, &soErr,
+                         &len) != 0 ||
+            soErr != 0) {
+            fillErr(err, "connect " + what + ": " +
+                             std::strerror(soErr ? soErr : errno));
+            close();
+            return false;
+        }
+    }
+    if (!setBlocking(sock, true)) {
+        fillErr(err, std::string("fcntl: ") + std::strerror(errno));
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::connectUnix(const std::string &path, std::string *err)
+{
+    return connectUnix(path, ConnectOptions{}, err);
+}
+
+bool
+Client::connectUnix(const std::string &path,
+                    const ConnectOptions &copt, std::string *err)
+{
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
     if (path.size() >= sizeof(addr.sun_path)) {
@@ -52,42 +143,47 @@ Client::connectUnix(const std::string &path, std::string *err)
     }
     std::strncpy(addr.sun_path, path.c_str(),
                  sizeof(addr.sun_path) - 1);
-    sock = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (sock < 0) {
-        fillErr(err, std::string("socket: ") + std::strerror(errno));
-        return false;
+    int backoff = std::max(1, copt.backoffMs);
+    const unsigned attempts = std::max(1u, copt.attempts);
+    for (unsigned tryNo = 1;; ++tryNo) {
+        if (connectOnce(AF_UNIX, &addr, sizeof(addr), path,
+                        copt.timeoutMs, err))
+            return true;
+        if (tryNo >= attempts)
+            return false;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(backoff));
+        backoff = std::min(backoff * 2, copt.maxBackoffMs);
     }
-    if (::connect(sock, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof(addr)) != 0) {
-        fillErr(err,
-                "connect " + path + ": " + std::strerror(errno));
-        close();
-        return false;
-    }
-    return true;
 }
 
 bool
 Client::connectTcp(std::uint16_t port, std::string *err)
 {
-    close();
-    sock = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (sock < 0) {
-        fillErr(err, std::string("socket: ") + std::strerror(errno));
-        return false;
-    }
+    return connectTcp(port, ConnectOptions{}, err);
+}
+
+bool
+Client::connectTcp(std::uint16_t port, const ConnectOptions &copt,
+                   std::string *err)
+{
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     addr.sin_port = htons(port);
-    if (::connect(sock, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof(addr)) != 0) {
-        fillErr(err, "connect 127.0.0.1:" + std::to_string(port) +
-                         ": " + std::strerror(errno));
-        close();
-        return false;
+    int backoff = std::max(1, copt.backoffMs);
+    const unsigned attempts = std::max(1u, copt.attempts);
+    for (unsigned tryNo = 1;; ++tryNo) {
+        if (connectOnce(AF_INET, &addr, sizeof(addr),
+                        "127.0.0.1:" + std::to_string(port),
+                        copt.timeoutMs, err))
+            return true;
+        if (tryNo >= attempts)
+            return false;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(backoff));
+        backoff = std::min(backoff * 2, copt.maxBackoffMs);
     }
-    return true;
 }
 
 bool

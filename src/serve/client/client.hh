@@ -24,6 +24,28 @@
 namespace killi::serve
 {
 
+/**
+ * Connection-establishment policy. The default is the historical
+ * behaviour: one blocking attempt, no deadline. Tools that race a
+ * daemon's startup (kfleetd spawning workers, scripts that launch
+ * kserved in the background) raise attempts so ECONNREFUSED /
+ * ENOENT during the boot window becomes a bounded exponential-
+ * backoff retry loop instead of an instant failure, and set
+ * timeoutMs so a SYN black hole is a diagnosed error, not a hang.
+ */
+struct ConnectOptions
+{
+    /** Total connect attempts (>= 1). */
+    unsigned attempts = 1;
+    /** Per-attempt connect deadline in ms; 0 = blocking connect
+     *  with the OS default timeout. */
+    int timeoutMs = 0;
+    /** Delay before the second attempt; doubles each retry (capped
+     *  at maxBackoffMs). */
+    int backoffMs = 50;
+    int maxBackoffMs = 2000;
+};
+
 class Client
 {
   public:
@@ -39,8 +61,17 @@ class Client
     bool connectUnix(const std::string &path,
                      std::string *err = nullptr);
 
+    /** Connect to a Unix-domain socket under a retry policy. */
+    bool connectUnix(const std::string &path,
+                     const ConnectOptions &copt,
+                     std::string *err = nullptr);
+
     /** Connect to 127.0.0.1:@p port . */
     bool connectTcp(std::uint16_t port, std::string *err = nullptr);
+
+    /** Connect to 127.0.0.1:@p port under a retry policy. */
+    bool connectTcp(std::uint16_t port, const ConnectOptions &copt,
+                    std::string *err = nullptr);
 
     bool connected() const { return sock >= 0; }
 
@@ -82,6 +113,12 @@ class Client
     void close();
 
   private:
+    /** One connect attempt, optionally under a deadline (non-
+     *  blocking connect + poll when timeoutMs > 0). */
+    bool connectOnce(int family, const void *addr,
+                     std::size_t addrLen, const std::string &what,
+                     int timeoutMs, std::string *err);
+
     int sock = -1;
     FrameDecoder decoder;
 };

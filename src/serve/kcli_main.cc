@@ -50,6 +50,19 @@ declareEndpoint(Options &opts)
                        "kserved TCP port on 127.0.0.1 when socket= "
                        "is empty")
         .range(0u, 65535u);
+    opts.add<unsigned>("connect-retries", 5u,
+                       "connect attempts before giving up "
+                       "(exponential backoff between attempts; "
+                       "rides out a daemon still booting)")
+        .range(1u, 100u);
+    opts.add<unsigned>("connect-timeout-ms", 3000u,
+                       "per-attempt connect deadline (0 = blocking "
+                       "OS default)")
+        .range(0u, 600000u);
+    opts.add<unsigned>("connect-backoff-ms", 50u,
+                       "delay before the second connect attempt; "
+                       "doubles per retry, capped at 2000ms")
+        .range(1u, 10000u);
 }
 
 /** Render one JSON scalar the way the table output wants it. */
@@ -97,19 +110,49 @@ printTimings(const Json &terminal)
     table.print(std::cerr);
 }
 
+/**
+ * The per-shard worker-attribution table a fleet coordinator ships
+ * on the terminal frame's "fleet" sibling (stderr, like timings=,
+ * so json=/stdout result documents stay clean).
+ */
+void
+printFleetAttribution(const Json &fleet)
+{
+    if (!fleet.contains("shards") ||
+        fleet.at("shards").kind() != Json::Kind::Array)
+        return;
+    const Json &shards = fleet.at("shards");
+    TextTable table;
+    table.header({"shard", "worker", "origin", "hedged"});
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+        const Json &s = shards.at(i);
+        table.row({s.at("workload").asString(),
+                   s.at("worker").asString(),
+                   s.at("origin").asString(),
+                   s.contains("hedged") && s.at("hedged").asBool()
+                       ? "yes"
+                       : "no"});
+    }
+    table.print(std::cerr);
+}
+
 void
 connectTo(const Options &opts, Client &client)
 {
     const std::string sock = opts.get<std::string>("socket");
+    ConnectOptions copt;
+    copt.attempts = opts.get<unsigned>("connect-retries");
+    copt.timeoutMs = int(opts.get<unsigned>("connect-timeout-ms"));
+    copt.backoffMs = int(opts.get<unsigned>("connect-backoff-ms"));
     std::string err;
     bool ok;
     if (!sock.empty()) {
-        ok = client.connectUnix(sock, &err);
+        ok = client.connectUnix(sock, copt, &err);
     } else {
         const unsigned port = opts.get<unsigned>("port");
         if (port == 0)
             fatal("kcli: socket= is empty and no port= given");
-        ok = client.connectTcp(std::uint16_t(port), &err);
+        ok = client.connectTcp(std::uint16_t(port), copt, &err);
     }
     if (!ok)
         fatal("kcli: %s", err.c_str());
@@ -223,6 +266,8 @@ runSubmit(Options &opts)
     const Json &result = terminal.at("result");
     if (opts.get<bool>("timings"))
         printTimings(terminal);
+    if (terminal.contains("fleet"))
+        printFleetAttribution(terminal.at("fleet"));
 
     int exitCode = 0;
     Json output = result;
@@ -301,6 +346,16 @@ runIdCommand(Options &opts, const std::string &cmd)
         table.row(
             {"state",
              known ? reply.at("state").asString() : "unknown"});
+        // A fleet coordinator annotates status with the per-shard
+        // dispatch state (worker, origin, hedges) while the
+        // campaign is in flight.
+        if (reply.contains("fleet")) {
+            for (const auto &[key, value] :
+                 reply.at("fleet").members())
+                if (value.kind() != Json::Kind::Array &&
+                    value.kind() != Json::Kind::Object)
+                    table.row({"fleet." + key, scalarCell(value)});
+        }
         table.print(std::cout);
         return known ? 0 : 1;
     } else {

@@ -55,6 +55,27 @@ main(int argc, char **argv)
                            "scheduler worker threads (0 = all "
                            "hardware threads)")
             .range(0u, 1024u);
+    auto &ioThreads =
+        opts.add<unsigned>("io-threads", 1u,
+                           "reactor (epoll I/O) threads; "
+                           "connections shard across them at "
+                           "accept time")
+            .range(1u, 64u);
+    auto &maxConns =
+        opts.add<unsigned>("max-conns", 0u,
+                           "concurrent-connection bound; accepts "
+                           "beyond it get an \"overloaded\" error "
+                           "frame and are closed (0 = unbounded)")
+            .range(0u, 65536u);
+    auto &debugJobDelayMs =
+        opts.add<std::uint64_t>(
+                "debug-job-delay-ms", std::uint64_t{0},
+                "testing/benchmark hook: sleep this long "
+                "(cancellably) before running each admitted job — "
+                "injects deterministic stragglers for fleet hedging "
+                "tests and emulates a fixed service time for load "
+                "runs")
+            .range(std::uint64_t{0}, std::uint64_t{600000});
     auto &maxQueue =
         opts.add<unsigned>("max-queue", 64u,
                            "ready-queue bound; submits beyond it "
@@ -88,7 +109,11 @@ main(int argc, char **argv)
     sopt.socketPath = sockPath.value();
     sopt.port = std::uint16_t(port.value());
     sopt.threads = threads;
+    sopt.ioThreads = ioThreads;
     sopt.maxQueue = maxQueue;
+    sopt.maxConns = maxConns.value();
+    sopt.debugJobDelaySeconds =
+        double(debugJobDelayMs.value()) / 1000.0;
     sopt.cacheEntries = cacheEntries;
     sopt.warmStoreMb = warmStoreMb.value();
     sopt.metricsHttp = opts.has("metrics-port");

@@ -4,15 +4,15 @@
 #include <cerrno>
 #include <cmath>
 #include <cstring>
-#include <optional>
 #include <sstream>
 #include <vector>
 
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
-#include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -20,7 +20,6 @@
 #include "common/build_info.hh"
 #include "common/log.hh"
 #include "fault/fault_model.hh"
-#include "gpu/workload.hh"
 #include "replay/recording.hh"
 #include "replay/session.hh"
 #include "trace/trace.hh"
@@ -30,18 +29,6 @@ namespace killi::serve
 
 namespace
 {
-
-std::vector<std::string>
-splitList(const std::string &list)
-{
-    std::vector<std::string> out;
-    std::stringstream ss(list);
-    std::string token;
-    while (std::getline(ss, token, ','))
-        if (!token.empty())
-            out.push_back(token);
-    return out;
-}
 
 long long
 steadyMs()
@@ -59,350 +46,18 @@ setNonBlocking(int fd)
            ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
-/** Extract a numeric member constrained to [lo, hi]. */
+/** A plausible content hash: 64 lowercase hex digits. Checked before
+ *  splicing a client-supplied fetch key into a reply, so the key can
+ *  never break out of its JSON string. */
 bool
-numberIn(const Json &value, const char *key, double lo, double hi,
-         double &out, std::string &err)
+isContentHash(const std::string &key)
 {
-    if (!value.isNumber()) {
-        err = std::string("\"") + key + "\" must be a number";
+    if (key.size() != 64)
         return false;
-    }
-    const double d = value.asDouble();
-    if (!(d >= lo && d <= hi)) {
-        std::ostringstream os;
-        os << "\"" << key << "\" must be in [" << lo << ", " << hi
-           << "]";
-        err = os.str();
-        return false;
-    }
-    out = d;
-    return true;
-}
-
-/** Extract a non-negative integral member bounded by @p hi. */
-bool
-uintIn(const Json &value, const char *key, std::uint64_t hi,
-       std::uint64_t &out, std::string &err)
-{
-    if (!value.isNumber()) {
-        err = std::string("\"") + key + "\" must be a number";
-        return false;
-    }
-    const double d = value.asDouble();
-    if (!(d >= 0) || d != std::floor(d) || d > double(hi)) {
-        std::ostringstream os;
-        os << "\"" << key << "\" must be an integer in [0, " << hi
-           << "]";
-        err = os.str();
-        return false;
-    }
-    out = std::uint64_t(d);
-    return true;
-}
-
-/** Accept either a comma-separated string or an array of strings. */
-bool
-nameList(const Json &value, const char *key,
-         std::vector<std::string> &out, std::string &err)
-{
-    if (value.kind() == Json::Kind::String) {
-        out = splitList(value.asString());
-        return true;
-    }
-    if (value.kind() == Json::Kind::Array) {
-        out.clear();
-        for (std::size_t i = 0; i < value.size(); ++i) {
-            if (value.at(i).kind() != Json::Kind::String) {
-                err = std::string("\"") + key +
-                      "\" array members must be strings";
-                return false;
-            }
-            out.push_back(value.at(i).asString());
-        }
-        return true;
-    }
-    err = std::string("\"") + key +
-          "\" must be a comma-separated string or an array of "
-          "strings";
-    return false;
-}
-
-bool
-validateNames(const std::vector<std::string> &got,
-              const std::vector<std::string> &known, const char *what,
-              std::string &err)
-{
-    for (const std::string &name : got) {
-        if (std::find(known.begin(), known.end(), name) ==
-            known.end()) {
-            std::string all;
-            for (const std::string &k : known)
-                all += (all.empty() ? "" : ", ") + k;
-            err = std::string("unknown ") + what + " '" + name +
-                  "' (known: " + all + ")";
+    for (const char c : key)
+        if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
             return false;
-        }
-    }
     return true;
-}
-
-/** A validated submit request. */
-struct SubmitRequest
-{
-    SweepOptions sopt;
-    int priority = 0;
-    bool stream = true;
-    /** Capture the run into a recording returned with the result. */
-    bool record = false;
-    /** Replay job: the inline killi-recording-v1 to verify against.
-     *  Shared so the job's work lambda holds the (large) streams
-     *  without copying them. */
-    std::shared_ptr<replay::Recording> replayRec;
-};
-
-/**
- * Validate and resolve a submit frame. Strict like the Options CLI
- * layer — unknown keys, bad types, and out-of-range values are all
- * rejected — but via error returns, never fatal(): the daemon must
- * answer a bad request with an error frame and keep serving. Ranges
- * mirror declareSweepOptions(). Workload/scheme subsets are resolved
- * to explicit full lists so that "all by default" and "all by name"
- * canonicalize (and cache) identically.
- */
-bool
-parseSubmit(const Json &req, SubmitRequest &out, std::string &err)
-{
-    out.sopt = SweepOptions{};
-    out.sopt.warmupPasses = 2;
-    // Collected first, resolved after the loop: the scenario and the
-    // voltage/seed overrides may arrive in any member order, but
-    // resolution must be deterministic (scenario first, overrides on
-    // top — the same rule as sweepOptions()).
-    bool haveScenario = false;
-    bool haveOptions = false;
-    ScenarioSpec scenario;
-    std::optional<double> voltageOverride;
-    std::optional<std::uint64_t> seedOverride;
-    for (const auto &[key, value] : req.members()) {
-        if (key == "type")
-            continue;
-        if (key == "record") {
-            if (value.kind() != Json::Kind::Bool) {
-                err = "\"record\" must be a boolean";
-                return false;
-            }
-            out.record = value.asBool();
-        } else if (key == "replay") {
-            if (value.kind() != Json::Kind::Object) {
-                err = "\"replay\" must be an inline "
-                      "killi-recording-v1 object";
-                return false;
-            }
-            auto rec = std::make_shared<replay::Recording>();
-            std::string rerr;
-            if (!replay::Recording::tryFromJson(value, *rec, &rerr)) {
-                err = "\"replay\": " + rerr;
-                return false;
-            }
-            if (!replay::trySweepOptionsFromMeta(*rec, out.sopt,
-                                                 &rerr)) {
-                err = "\"replay\": " + rerr;
-                return false;
-            }
-            out.replayRec = std::move(rec);
-        } else if (key == "priority") {
-            double d = 0;
-            if (!numberIn(value, "priority", -1000, 1000, d, err))
-                return false;
-            out.priority = int(d);
-        } else if (key == "stream") {
-            if (value.kind() != Json::Kind::Bool) {
-                err = "\"stream\" must be a boolean";
-                return false;
-            }
-            out.stream = value.asBool();
-        } else if (key == "options") {
-            if (value.kind() != Json::Kind::Object) {
-                err = "\"options\" must be an object";
-                return false;
-            }
-            haveOptions = true;
-            for (const auto &[opt, v] : value.members()) {
-                std::uint64_t u = 0;
-                if (opt == "scale") {
-                    if (!numberIn(v, "scale", 0.001, 1000.0,
-                                  out.sopt.scale, err))
-                        return false;
-                } else if (opt == "warmup") {
-                    if (!uintIn(v, "warmup", 16, u, err))
-                        return false;
-                    out.sopt.warmupPasses = unsigned(u);
-                } else if (opt == "voltage") {
-                    double d = 0.625;
-                    if (!numberIn(v, "voltage", 0.5, 1.0, d, err))
-                        return false;
-                    voltageOverride = d;
-                } else if (opt == "seed") {
-                    if (!uintIn(v, "seed",
-                                std::uint64_t(1) << 53, u, err))
-                        return false;
-                    seedOverride = u;
-                } else if (opt == "scenario") {
-                    // Object or inline-JSON string; file paths are a
-                    // client-side concern (kcli resolves them before
-                    // submitting).
-                    std::string specErr;
-                    if (v.kind() == Json::Kind::Object) {
-                        if (!ScenarioSpec::tryFromJson(v, scenario,
-                                                       &specErr)) {
-                            err = specErr;
-                            return false;
-                        }
-                    } else if (v.kind() == Json::Kind::String &&
-                               !v.asString().empty() &&
-                               v.asString().front() == '{') {
-                        if (!ScenarioSpec::tryFromString(
-                                v.asString(), scenario, &specErr)) {
-                            err = specErr;
-                            return false;
-                        }
-                    } else {
-                        err = "\"scenario\" must be a scenario object "
-                              "or an inline-JSON string (resolve file "
-                              "paths client-side)";
-                        return false;
-                    }
-                    haveScenario = true;
-                } else if (opt == "stats_interval") {
-                    if (!uintIn(v, "stats_interval",
-                                std::uint64_t(1) << 53, u, err))
-                        return false;
-                    out.sopt.statsInterval = Cycle(u);
-                } else if (opt == "retries") {
-                    if (!uintIn(v, "retries", 10, u, err))
-                        return false;
-                    out.sopt.retries = unsigned(u);
-                } else if (opt == "workloads") {
-                    if (!nameList(v, "workloads",
-                                  out.sopt.workloads, err))
-                        return false;
-                } else if (opt == "schemes") {
-                    if (!nameList(v, "schemes", out.sopt.schemes,
-                                  err))
-                        return false;
-                } else {
-                    err = "unknown option \"" + opt + "\"";
-                    return false;
-                }
-            }
-        } else {
-            err = "unknown submit member \"" + key + "\"";
-            return false;
-        }
-    }
-
-    // A replay job re-derives everything from the recording's meta;
-    // options given alongside would be silently ignored, so they are
-    // rejected instead (priority/stream/record stay meaningful).
-    if (out.replayRec) {
-        if (out.record) {
-            err = "\"record\" and \"replay\" are mutually exclusive";
-            return false;
-        }
-        if (haveOptions) {
-            err = "\"replay\" jobs take their options from the "
-                  "recording; drop \"options\"";
-            return false;
-        }
-        return true;
-    }
-
-    // Scenario-first resolution, with the mirror fields kept in sync
-    // for reporting and the cache key (droop scenarios start at
-    // their schedule's first operating point).
-    if (haveScenario)
-        out.sopt.scenario = scenario;
-    if (voltageOverride)
-        out.sopt.scenario.voltage = *voltageOverride;
-    if (seedOverride)
-        out.sopt.scenario.seed = *seedOverride;
-    out.sopt.voltage = FaultModel::fromScenario(out.sopt.scenario)
-                           ->voltageSchedule()
-                           .front();
-    out.sopt.seed = out.sopt.scenario.seed;
-
-    // runEvaluationSweep() fatal()s on unknown names — validate
-    // up-front so a typo comes back as an error frame instead of
-    // taking the daemon down.
-    if (!validateNames(out.sopt.workloads, workloadNames(),
-                       "workload", err))
-        return false;
-    if (!validateNames(out.sopt.schemes, sweepSchemeNames(), "scheme",
-                       err))
-        return false;
-    if (out.sopt.workloads.empty())
-        out.sopt.workloads = workloadNames();
-    if (out.sopt.schemes.empty())
-        out.sopt.schemes = sweepSchemeNames();
-
-    // Fixed server-side execution policy: one worker per job, no
-    // file side effects (results travel on the wire, not to disk).
-    out.sopt.jobs = 1;
-    out.sopt.jsonPath.clear();
-    out.sopt.trace.clear();
-    out.sopt.timeseriesPath.clear();
-    return true;
-}
-
-Json
-stringArray(const std::vector<std::string> &names)
-{
-    Json arr = Json::array();
-    for (const std::string &name : names)
-        arr.push(Json::string(name));
-    return arr;
-}
-
-/**
- * The canonical cache key: compact JSON of every result-affecting
- * knob (the bit-identity contract says jobs/priority/streaming do
- * not belong here) plus the build id, so results never survive a
- * rebuild. See SERVING.md, "Cache key".
- */
-std::string
-canonicalKeyFor(const SweepOptions &sopt)
-{
-    Json key = Json::object();
-    key.set("experiment", Json::string("sweep"));
-    key.set("scale", Json::number(sopt.scale));
-    key.set("warmup", Json::number(std::uint64_t(sopt.warmupPasses)));
-    key.set("voltage", Json::number(sopt.voltage));
-    key.set("seed", Json::number(sopt.seed));
-    key.set("stats_interval",
-            Json::number(std::uint64_t(sopt.statsInterval)));
-    key.set("scenario", sopt.scenario.toJson());
-    key.set("workloads", stringArray(sopt.workloads));
-    key.set("schemes", stringArray(sopt.schemes));
-    key.set("build", Json::string(buildId()));
-    return key.toString(0);
-}
-
-Json
-resolvedOptionsJson(const SweepOptions &sopt)
-{
-    Json doc = Json::object();
-    doc.set("scale", Json::number(sopt.scale));
-    doc.set("warmup", Json::number(std::uint64_t(sopt.warmupPasses)));
-    doc.set("voltage", Json::number(sopt.voltage));
-    doc.set("seed", Json::number(sopt.seed));
-    doc.set("stats_interval",
-            Json::number(std::uint64_t(sopt.statsInterval)));
-    doc.set("scenario", sopt.scenario.toJson());
-    doc.set("workloads", stringArray(sopt.workloads));
-    doc.set("schemes", stringArray(sopt.schemes));
-    doc.set("build", Json::string(buildId()));
-    return doc;
 }
 
 /**
@@ -414,7 +69,8 @@ resolvedOptionsJson(const SweepOptions &sopt)
 std::string
 resultFrameText(std::uint64_t id, bool cached, const std::string &hash,
                 const std::string &resultText,
-                const std::string &spansText = "")
+                const std::string &spansText = "",
+                const std::string &fleetText = "")
 {
     std::string out = "{\"type\":\"result\",\"id\":";
     out += std::to_string(id);
@@ -424,12 +80,17 @@ resultFrameText(std::uint64_t id, bool cached, const std::string &hash,
     out += hash;
     out += "\",\"outcome\":\"done\",\"result\":";
     out += resultText;
-    // Spans ride as a frame-level sibling, never inside "result":
-    // the "result" member is the cached bytes and must stay
-    // byte-identical between the cold run and every later hit.
+    // Spans and fleet attribution ride as frame-level siblings,
+    // never inside "result": the "result" member is the cached bytes
+    // and must stay byte-identical between the cold run and every
+    // later hit.
     if (!spansText.empty()) {
         out += ",\"spans\":";
         out += spansText;
+    }
+    if (!fleetText.empty()) {
+        out += ",\"fleet\":";
+        out += fleetText;
     }
     out += "}";
     return out;
@@ -493,6 +154,9 @@ Server::registerServerMetrics()
 {
     mConnections = &registry.counter("kserved_connections_total",
                                      "Client connections accepted");
+    mConnsRejected = &registry.counter(
+        "kserved_connections_rejected_total",
+        "Connections refused by the max-conns admission bound");
     mFramesIn = &registry.counter("kserved_frames_received_total",
                                   "Protocol frames decoded from clients");
     mFramesOut = &registry.counter("kserved_frames_sent_total",
@@ -506,6 +170,12 @@ Server::registerServerMetrics()
     mHttpRequests =
         &registry.counter("kserved_http_requests_total",
                           "Requests served by the /metrics listener");
+    mFetchHits = &registry.counter(
+        "kserved_fetch_hits_total",
+        "Fetch frames answered from the result cache by hash");
+    mFetchMisses = &registry.counter(
+        "kserved_fetch_misses_total",
+        "Fetch frames that found no entry for the hash");
     mSlowJobs = &registry.counter(
         "kserved_slow_jobs_total",
         "Jobs that exceeded the slow-job threshold");
@@ -532,6 +202,9 @@ Server::registerServerMetrics()
             "Per-stage job lifecycle latency",
             {{"stage", kStageNames[k]}});
     }
+    registry.gauge("kserved_io_reactors",
+                   "Reactor (epoll I/O) threads serving connections")
+        .set(double(std::max(1u, opt.ioThreads)));
     registry.gaugeFn("kserved_connections_active",
                      "Client connections currently open", {}, [this] {
                          return double(activeConns.load(
@@ -552,9 +225,6 @@ Server::registerServerMetrics()
 Server::~Server()
 {
     stop();
-    for (int fd : {wakeFds[0], wakeFds[1]})
-        if (fd >= 0)
-            ::close(fd);
 }
 
 bool
@@ -571,13 +241,16 @@ Server::start(std::string *err)
             ::close(metricsFd);
             metricsFd = -1;
         }
+        for (const auto &r : reactors) {
+            if (r->epollFd >= 0)
+                ::close(r->epollFd);
+            for (int fd : r->wakeFd)
+                if (fd >= 0)
+                    ::close(fd);
+        }
+        reactors.clear();
         return false;
     };
-
-    if (::pipe(wakeFds) != 0)
-        return fail("pipe");
-    setNonBlocking(wakeFds[0]);
-    setNonBlocking(wakeFds[1]);
 
     if (!opt.socketPath.empty()) {
         sockaddr_un addr{};
@@ -618,7 +291,7 @@ Server::start(std::string *err)
             return fail("getsockname");
         portBound = ntohs(bound.sin_port);
     }
-    if (::listen(listenFd, 128) != 0)
+    if (::listen(listenFd, 1024) != 0)
         return fail("listen");
     setNonBlocking(listenFd);
 
@@ -649,33 +322,113 @@ Server::start(std::string *err)
         setNonBlocking(metricsFd);
     }
 
+    const unsigned nReactors = std::max(1u, opt.ioThreads);
+    for (unsigned i = 0; i < nReactors; ++i) {
+        auto r = std::make_unique<Reactor>();
+        r->idx = i;
+        r->epollFd = ::epoll_create1(EPOLL_CLOEXEC);
+        if (r->epollFd < 0) {
+            reactors.push_back(std::move(r));
+            return fail("epoll_create1");
+        }
+        if (::pipe(r->wakeFd) != 0) {
+            reactors.push_back(std::move(r));
+            return fail("pipe");
+        }
+        setNonBlocking(r->wakeFd[0]);
+        setNonBlocking(r->wakeFd[1]);
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = r->wakeFd[0];
+        if (::epoll_ctl(r->epollFd, EPOLL_CTL_ADD, r->wakeFd[0],
+                        &ev) != 0) {
+            reactors.push_back(std::move(r));
+            return fail("epoll_ctl wake");
+        }
+        // Sharded accept: every reactor polls the one listening
+        // socket, EPOLLEXCLUSIVE keeps the kernel from waking the
+        // whole pool per pending connection (no thundering herd).
+        ev.events = EPOLLIN | EPOLLEXCLUSIVE;
+        ev.data.fd = listenFd;
+        if (::epoll_ctl(r->epollFd, EPOLL_CTL_ADD, listenFd, &ev) !=
+            0) {
+            reactors.push_back(std::move(r));
+            return fail("epoll_ctl listen");
+        }
+        r->acceptArmed = true;
+        if (i == 0 && metricsFd >= 0) {
+            ev.events = EPOLLIN;
+            ev.data.fd = metricsFd;
+            if (::epoll_ctl(r->epollFd, EPOLL_CTL_ADD, metricsFd,
+                            &ev) != 0) {
+                reactors.push_back(std::move(r));
+                return fail("epoll_ctl metrics");
+            }
+            r->metricsArmed = true;
+        }
+        const std::string label = std::to_string(i);
+        r->mAccepted = &registry.counter(
+            "kserved_reactor_connections_total",
+            "Connections accepted, by owning reactor",
+            {{"reactor", label}});
+        r->mWakeups = &registry.counter(
+            "kserved_reactor_wakeups_total",
+            "Reactor wakeups via the wake pipe (worker-enqueued "
+            "frames and drain signals)",
+            {{"reactor", label}});
+        reactors.push_back(std::move(r));
+    }
+
     started.store(true);
-    ioThread = std::thread(&Server::ioLoop, this);
+    for (auto &r : reactors)
+        r->thread =
+            std::thread(&Server::reactorLoop, this, std::ref(*r));
     return true;
 }
 
 void
-Server::wake()
+Server::wakeReactor(const Reactor &r)
 {
-    if (wakeFds[1] >= 0) {
+    if (r.wakeFd[1] >= 0) {
         const char c = 0;
         // Non-blocking; a full pipe already guarantees a wakeup.
-        [[maybe_unused]] ssize_t r = ::write(wakeFds[1], &c, 1);
+        [[maybe_unused]] ssize_t n = ::write(r.wakeFd[1], &c, 1);
     }
+}
+
+void
+Server::notifyConn(const std::shared_ptr<Connection> &conn)
+{
+    const int idx = conn->reactorIdx.load(std::memory_order_acquire);
+    if (idx < 0 || std::size_t(idx) >= reactors.size())
+        return;
+    if (conn->notified.exchange(true, std::memory_order_acq_rel))
+        return; // owning reactor already has a pending entry
+    Reactor &r = *reactors[std::size_t(idx)];
+    {
+        std::lock_guard<std::mutex> lock(r.pendingMtx);
+        r.pending.push_back(conn);
+    }
+    wakeReactor(r);
 }
 
 void
 Server::requestDrain()
 {
     drainFlag.store(true, std::memory_order_relaxed);
-    wake();
+    for (const auto &r : reactors)
+        wakeReactor(*r);
 }
 
 void
 Server::waitDone()
 {
-    if (ioThread.joinable())
-        ioThread.join();
+    if (!started.load(std::memory_order_acquire))
+        return;
+    for (auto &r : reactors)
+        if (r->thread.joinable())
+            r->thread.join();
+    cleanupAfterJoin();
 }
 
 void
@@ -686,7 +439,37 @@ Server::stop()
 }
 
 void
-Server::acceptClients(std::vector<std::shared_ptr<Connection>> &conns)
+Server::cleanupAfterJoin()
+{
+    if (cleanedUp.exchange(true))
+        return;
+    for (const auto &r : reactors) {
+        if (r->epollFd >= 0)
+            ::close(r->epollFd);
+        for (int fd : r->wakeFd)
+            if (fd >= 0)
+                ::close(fd);
+    }
+    if (listenFd >= 0) {
+        ::close(listenFd);
+        listenFd = -1;
+    }
+    if (metricsFd >= 0) {
+        ::close(metricsFd);
+        metricsFd = -1;
+    }
+    if (!opt.socketPath.empty())
+        ::unlink(opt.socketPath.c_str());
+    // Drained for good: release cached results and warm state in one
+    // sweep each, so the byte/entry gauges read 0 afterwards instead
+    // of drifting (evictions racing a per-entry teardown used to
+    // leave the bytes gauge stuck at the raced entries' sizes).
+    cache.clear();
+    warm.clear();
+}
+
+void
+Server::acceptClients(Reactor &r)
 {
     while (true) {
         const int fd = ::accept(listenFd, nullptr, nullptr);
@@ -695,14 +478,39 @@ Server::acceptClients(std::vector<std::shared_ptr<Connection>> &conns)
         setNonBlocking(fd);
         auto conn = std::make_shared<Connection>();
         conn->fd = fd;
-        conns.push_back(std::move(conn));
+        conn->reactorIdx.store(int(r.idx),
+                               std::memory_order_release);
+        r.connByFd.emplace(fd, conn);
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = fd;
+        ::epoll_ctl(r.epollFd, EPOLL_CTL_ADD, fd, &ev);
         mConnections->inc();
-        activeConns.fetch_add(1, std::memory_order_relaxed);
+        r.mAccepted->inc();
+        const std::int64_t active =
+            activeConns.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (opt.maxConns > 0 &&
+            std::uint64_t(active) > opt.maxConns) {
+            // Admission control: answer with explicit backpressure
+            // and close once the error frame flushes; the barrage
+            // sees a clean protocol-level rejection, not a hang or
+            // an accept-queue overflow.
+            mConnsRejected->inc();
+            enqueueFrame(conn,
+                         encodeFrame(errorReply(
+                             "overloaded",
+                             "connection limit reached (" +
+                                 std::to_string(opt.maxConns) +
+                                 "); retry later")));
+            std::lock_guard<std::mutex> lock(conn->mtx);
+            conn->closeAfterFlush = true;
+        }
     }
 }
 
 void
-Server::closeConnection(const std::shared_ptr<Connection> &conn)
+Server::closeConnection(Reactor &r,
+                        const std::shared_ptr<Connection> &conn)
 {
     if (conn->fd < 0)
         return;
@@ -719,6 +527,8 @@ Server::closeConnection(const std::shared_ptr<Connection> &conn)
     }
     for (const std::uint64_t id : orphans)
         scheduler.cancel(id);
+    ::epoll_ctl(r.epollFd, EPOLL_CTL_DEL, conn->fd, nullptr);
+    r.connByFd.erase(conn->fd);
     ::close(conn->fd);
     conn->fd = -1;
     activeConns.fetch_sub(1, std::memory_order_relaxed);
@@ -726,15 +536,17 @@ Server::closeConnection(const std::shared_ptr<Connection> &conn)
 
 void
 Server::enqueueFrame(const std::shared_ptr<Connection> &conn,
-                     const std::string &bytes)
+                     std::string bytes)
 {
     mFramesOut->inc();
     mOutboxBytes->inc(bytes.size());
-    conn->enqueue(bytes);
+    conn->enqueue(std::move(bytes));
+    notifyConn(conn);
 }
 
 void
-Server::readFromClient(const std::shared_ptr<Connection> &conn)
+Server::readFromClient(Reactor &r,
+                       const std::shared_ptr<Connection> &conn)
 {
     char buf[65536];
     while (true) {
@@ -748,7 +560,7 @@ Server::readFromClient(const std::shared_ptr<Connection> &conn)
         if (n < 0 && errno == EINTR)
             continue;
         // EOF or hard error: drop the connection.
-        closeConnection(conn);
+        closeConnection(r, conn);
         return;
     }
 
@@ -769,17 +581,48 @@ Server::readFromClient(const std::shared_ptr<Connection> &conn)
 }
 
 void
-Server::flushToClient(const std::shared_ptr<Connection> &conn)
+Server::flushToClient(Reactor &r,
+                      const std::shared_ptr<Connection> &conn)
 {
     bool close = false;
     {
         std::lock_guard<std::mutex> lock(conn->mtx);
-        while (!conn->outbuf.empty()) {
+        while (!conn->outq.empty()) {
+            // Gather the queued frames straight out of the deque —
+            // no flattening copy — and hand them to the kernel in
+            // one sendmsg (MSG_NOSIGNAL: a vanished peer is an
+            // errno, not a SIGPIPE).
+            iovec iov[16];
+            int iovCnt = 0;
+            std::size_t skip = conn->outOff;
+            for (const std::string &chunk : conn->outq) {
+                if (iovCnt == 16)
+                    break;
+                iov[iovCnt].iov_base =
+                    const_cast<char *>(chunk.data() + skip);
+                iov[iovCnt].iov_len = chunk.size() - skip;
+                ++iovCnt;
+                skip = 0;
+            }
+            msghdr msg{};
+            msg.msg_iov = iov;
+            msg.msg_iovlen = std::size_t(iovCnt);
             const ssize_t n =
-                ::send(conn->fd, conn->outbuf.data(),
-                       conn->outbuf.size(), MSG_NOSIGNAL);
+                ::sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
             if (n > 0) {
-                conn->outbuf.erase(0, std::size_t(n));
+                std::size_t left = std::size_t(n);
+                while (left > 0 && !conn->outq.empty()) {
+                    const std::size_t avail =
+                        conn->outq.front().size() - conn->outOff;
+                    if (left >= avail) {
+                        left -= avail;
+                        conn->outq.pop_front();
+                        conn->outOff = 0;
+                    } else {
+                        conn->outOff += left;
+                        left = 0;
+                    }
+                }
                 continue;
             }
             if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
@@ -789,112 +632,140 @@ Server::flushToClient(const std::shared_ptr<Connection> &conn)
             close = true; // peer vanished mid-write
             break;
         }
-        if (conn->outbuf.empty() && conn->closeAfterFlush)
+        if (conn->outq.empty() && conn->closeAfterFlush)
             close = true;
     }
     if (close)
-        closeConnection(conn);
+        closeConnection(r, conn);
 }
 
 void
-Server::ioLoop()
+Server::flushAndArm(Reactor &r,
+                    const std::shared_ptr<Connection> &conn)
 {
-    std::vector<std::shared_ptr<Connection>> conns;
-    std::vector<HttpConn> httpConns;
-    bool draining = false;
+    flushToClient(r, conn);
+    if (conn->fd < 0)
+        return;
+    const bool want = conn->pendingOut();
+    if (want != conn->outArmed) {
+        conn->outArmed = want;
+        epoll_event ev{};
+        ev.events = EPOLLIN | (want ? std::uint32_t(EPOLLOUT) : 0u);
+        ev.data.fd = conn->fd;
+        ::epoll_ctl(r.epollFd, EPOLL_CTL_MOD, conn->fd, &ev);
+    }
+}
 
+void
+Server::reactorLoop(Reactor &r)
+{
+    epoll_event evs[128];
     while (true) {
-        if (!draining && drainFlag.load(std::memory_order_relaxed)) {
-            draining = true;
-            inform("kserved: draining (in-flight jobs finish, queued "
-                   "jobs cancelled)");
-            scheduler.beginDrain();
+        if (!r.draining && drainFlag.load(std::memory_order_relaxed)) {
+            r.draining = true;
+            if (!drainAnnounced.exchange(true))
+                inform("kserved: draining (in-flight jobs finish, "
+                       "queued jobs cancelled)");
+            if (!drainBegun.exchange(true))
+                scheduler.beginDrain();
+            if (r.acceptArmed) {
+                ::epoll_ctl(r.epollFd, EPOLL_CTL_DEL, listenFd,
+                            nullptr);
+                r.acceptArmed = false;
+            }
             // The metrics plane shuts with the intake: a scrape of a
             // half-drained daemon is not a state worth serving.
-            for (HttpConn &hc : httpConns)
-                ::close(hc.fd);
-            httpConns.clear();
+            if (r.metricsArmed) {
+                ::epoll_ctl(r.epollFd, EPOLL_CTL_DEL, metricsFd,
+                            nullptr);
+                r.metricsArmed = false;
+            }
+            for (const auto &[fd, hc] : r.httpByFd) {
+                ::epoll_ctl(r.epollFd, EPOLL_CTL_DEL, fd, nullptr);
+                ::close(fd);
+            }
+            r.httpByFd.clear();
         }
 
-        std::vector<pollfd> fds;
-        fds.push_back({wakeFds[0], POLLIN, 0});
-        if (!draining)
-            fds.push_back({listenFd, POLLIN, 0});
-        const std::size_t connBase = fds.size();
-        for (const auto &conn : conns) {
-            short events = POLLIN;
-            if (conn->pendingOut())
-                events |= POLLOUT;
-            fds.push_back({conn->fd, events, 0});
-        }
-        const std::size_t httpBase = fds.size();
-        const bool pollMetrics = !draining && metricsFd >= 0;
-        if (pollMetrics)
-            fds.push_back({metricsFd, POLLIN, 0});
-        for (const HttpConn &hc : httpConns) {
-            short events = POLLIN;
-            if (!hc.out.empty())
-                events |= POLLOUT;
-            fds.push_back({hc.fd, events, 0});
-        }
-
-        // While draining poll with a timeout so in-flight completion
+        // While draining wait with a timeout so in-flight completion
         // (signalled via the wake pipe, but belt and braces) is
         // always noticed.
-        const int rv =
-            ::poll(fds.data(), nfds_t(fds.size()), draining ? 50 : -1);
-        if (rv < 0 && errno != EINTR) {
-            warn("kserved: poll: %s", std::strerror(errno));
+        const int n = ::epoll_wait(r.epollFd, evs, 128,
+                                   r.draining ? 50 : -1);
+        if (n < 0 && errno != EINTR) {
+            warn("kserved: epoll_wait: %s", std::strerror(errno));
             break;
         }
-
-        if (fds[0].revents & POLLIN) {
-            char sink[256];
-            while (::read(wakeFds[0], sink, sizeof(sink)) > 0) {
+        for (int i = 0; i < std::max(n, 0); ++i) {
+            const int fd = evs[i].data.fd;
+            const std::uint32_t events = evs[i].events;
+            if (fd == r.wakeFd[0]) {
+                char sink[256];
+                while (::read(r.wakeFd[0], sink, sizeof(sink)) > 0) {
+                }
+                r.mWakeups->inc();
+                continue;
+            }
+            if (fd == listenFd) {
+                if (!r.draining)
+                    acceptClients(r);
+                continue;
+            }
+            if (metricsFd >= 0 && fd == metricsFd) {
+                if (!r.draining)
+                    acceptMetricsClients(r);
+                continue;
+            }
+            const auto cit = r.connByFd.find(fd);
+            if (cit != r.connByFd.end()) {
+                const std::shared_ptr<Connection> conn = cit->second;
+                if (events & (EPOLLIN | EPOLLERR | EPOLLHUP))
+                    readFromClient(r, conn);
+                if (conn->fd >= 0)
+                    flushAndArm(r, conn);
+                continue;
+            }
+            const auto hit = r.httpByFd.find(fd);
+            if (hit != r.httpByFd.end()) {
+                HttpConn &hc = hit->second;
+                const bool readable = (events & EPOLLIN) != 0;
+                const bool bad =
+                    (events & (EPOLLERR | EPOLLHUP)) != 0;
+                if (!serviceMetricsConn(hc, readable, bad)) {
+                    ::epoll_ctl(r.epollFd, EPOLL_CTL_DEL, fd,
+                                nullptr);
+                    ::close(fd);
+                    r.httpByFd.erase(hit);
+                } else if ((!hc.out.empty()) != hc.outArmed) {
+                    hc.outArmed = !hc.out.empty();
+                    epoll_event ev{};
+                    ev.events =
+                        EPOLLIN |
+                        (hc.outArmed ? std::uint32_t(EPOLLOUT) : 0u);
+                    ev.data.fd = fd;
+                    ::epoll_ctl(r.epollFd, EPOLL_CTL_MOD, fd, &ev);
+                }
+                continue;
             }
         }
-        if (!draining && (fds[connBase - 1].revents & POLLIN))
-            acceptClients(conns);
 
-        for (std::size_t i = 0; i < conns.size(); ++i) {
-            const auto &conn = conns[i];
-            const short revents = fds[connBase + i].revents;
-            if (conn->fd >= 0 &&
-                (revents & (POLLIN | POLLERR | POLLHUP)))
-                readFromClient(conn);
-            if (conn->fd >= 0 &&
-                ((revents & POLLOUT) || conn->pendingOut()))
-                flushToClient(conn);
+        // Outboxes freshly filled by scheduler workers: cleared
+        // before flushing, so an enqueue racing the swap re-notifies
+        // and is picked up next round at the latest.
+        std::vector<std::shared_ptr<Connection>> pend;
+        {
+            std::lock_guard<std::mutex> lock(r.pendingMtx);
+            pend.swap(r.pending);
         }
-        conns.erase(std::remove_if(conns.begin(), conns.end(),
-                                   [](const auto &c) {
-                                       return c->fd < 0;
-                                   }),
-                    conns.end());
-
-        if (pollMetrics) {
-            if (fds[httpBase].revents & POLLIN)
-                acceptMetricsClients(httpConns);
-            const std::size_t hcBase = httpBase + 1;
-            std::size_t live = 0;
-            for (std::size_t i = 0; i < httpConns.size(); ++i) {
-                // acceptMetricsClients may have grown the list past
-                // what this poll round covered; new conns get 0
-                // revents and are serviced next round.
-                const short revents = hcBase + i < fds.size()
-                                          ? fds[hcBase + i].revents
-                                          : 0;
-                if (serviceMetricsConn(httpConns[i], revents))
-                    httpConns[live++] = std::move(httpConns[i]);
-                else
-                    ::close(httpConns[i].fd);
-            }
-            httpConns.resize(live);
+        for (const auto &conn : pend) {
+            conn->notified.store(false, std::memory_order_release);
+            if (conn->fd >= 0)
+                flushAndArm(r, conn);
         }
 
-        if (draining && scheduler.idle()) {
+        if (r.draining && scheduler.idle()) {
             bool flushed = true;
-            for (const auto &conn : conns)
+            for (const auto &[fd, conn] : r.connByFd)
                 if (conn->pendingOut())
                     flushed = false;
             if (flushed)
@@ -902,28 +773,19 @@ Server::ioLoop()
         }
     }
 
-    for (const auto &conn : conns)
-        closeConnection(conn);
-    for (const HttpConn &hc : httpConns)
-        ::close(hc.fd);
-    ::close(listenFd);
-    listenFd = -1;
-    if (metricsFd >= 0) {
-        ::close(metricsFd);
-        metricsFd = -1;
-    }
-    if (!opt.socketPath.empty())
-        ::unlink(opt.socketPath.c_str());
-    // Drained for good: release cached results and warm state in one
-    // sweep each, so the byte/entry gauges read 0 afterwards instead
-    // of drifting (evictions racing a per-entry teardown used to
-    // leave the bytes gauge stuck at the raced entries' sizes).
-    cache.clear();
-    warm.clear();
+    std::vector<std::shared_ptr<Connection>> remaining;
+    remaining.reserve(r.connByFd.size());
+    for (const auto &[fd, conn] : r.connByFd)
+        remaining.push_back(conn);
+    for (const auto &conn : remaining)
+        closeConnection(r, conn);
+    for (const auto &[fd, hc] : r.httpByFd)
+        ::close(fd);
+    r.httpByFd.clear();
 }
 
 void
-Server::acceptMetricsClients(std::vector<HttpConn> &conns)
+Server::acceptMetricsClients(Reactor &r)
 {
     while (true) {
         const int fd = ::accept(metricsFd, nullptr, nullptr);
@@ -932,17 +794,21 @@ Server::acceptMetricsClients(std::vector<HttpConn> &conns)
         setNonBlocking(fd);
         HttpConn hc;
         hc.fd = fd;
-        conns.push_back(std::move(hc));
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = fd;
+        ::epoll_ctl(r.epollFd, EPOLL_CTL_ADD, fd, &ev);
+        r.httpByFd.emplace(fd, std::move(hc));
     }
 }
 
 bool
-Server::serviceMetricsConn(HttpConn &conn, short revents)
+Server::serviceMetricsConn(HttpConn &conn, bool readable, bool error)
 {
-    if (revents & (POLLERR | POLLHUP | POLLNVAL))
+    if (error)
         return false;
 
-    if (revents & POLLIN) {
+    if (readable) {
         char buf[4096];
         while (true) {
             const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
@@ -1037,6 +903,45 @@ Server::handleFrame(const std::shared_ptr<Connection> &conn,
         return;
     }
 
+    if (type == "fetch") {
+        // Peer transfer: address the result cache by content hash.
+        // The hash format is validated before it is spliced into the
+        // reply text, and the hit path reuses the stored bytes so a
+        // fetched result is byte-identical to the original reply's
+        // "result" member.
+        if (!req.contains("key") ||
+            req.at("key").kind() != Json::Kind::String ||
+            !isContentHash(req.at("key").asString())) {
+            enqueueFrame(
+                conn, encodeFrame(errorReply(
+                          "bad_request",
+                          "\"fetch\" needs a 64-hex-digit string "
+                          "\"key\"")));
+            return;
+        }
+        const std::string &key = req.at("key").asString();
+        std::string text;
+        if (cache.lookupByHash(key, text)) {
+            mFetchHits->inc();
+            std::string out =
+                "{\"type\":\"fetch_reply\",\"found\":true,"
+                "\"key\":\"";
+            out += key;
+            out += "\",\"result\":";
+            out += text;
+            out += "}";
+            enqueueFrame(conn, encodeFramePayload(out));
+        } else {
+            mFetchMisses->inc();
+            Json doc = Json::object();
+            doc.set("type", Json::string("fetch_reply"));
+            doc.set("found", Json::boolean(false));
+            doc.set("key", Json::string(key));
+            enqueueFrame(conn, encodeFrame(doc));
+        }
+        return;
+    }
+
     if (type == "drain") {
         requestDrain();
         Json doc = Json::object();
@@ -1068,6 +973,11 @@ Server::handleFrame(const std::shared_ptr<Connection> &conn,
             doc.set("known", Json::boolean(known));
             if (known)
                 doc.set("state", Json::string(jobStateName(st)));
+            if (opt.statusAnnotator) {
+                const Json extra = opt.statusAnnotator(id);
+                if (!extra.isNull())
+                    doc.set("fleet", extra);
+            }
         } else {
             doc.set("type", Json::string("cancel_reply"));
             doc.set("id", Json::number(id));
@@ -1145,54 +1055,51 @@ Server::handleSubmit(const std::shared_ptr<Connection> &conn,
         return;
     }
 
+    auto fleetInfo = std::make_shared<Json>();
     {
         std::lock_guard<std::mutex> lock(jobsMtx);
         jobs.emplace(id, JobRecord{conn, canonical, hash,
                                    spans->submit, bypassCache,
-                                   spans});
+                                   spans, fleetInfo});
     }
 
-    const SweepOptions sopt = sub.sopt;
+    // Plain sweeps go through the fleet backend when one is
+    // configured; record/replay jobs always run locally (their
+    // verdicts and recordings are tied to this process's run).
+    const bool viaFleet = opt.fleetRunner != nullptr &&
+                          !sub.record && sub.replayRec == nullptr;
     const bool stream = sub.stream;
-    auto work = [this, sopt, id, conn, stream, spans,
-                 record = sub.record,
-                 replayRec =
-                     sub.replayRec](const CancelToken &cancel)
+    auto work = [this, sub, id, conn, stream, spans, fleetInfo,
+                 viaFleet](const CancelToken &cancel)
         -> std::string {
         const auto workStart = std::chrono::steady_clock::now();
         spans->queue = sinceSeconds(spans->submit, workStart) -
                        spans->decode;
-        SweepOptions ropt = sopt;
-        ropt.cancel = &cancel;
-        // Plain jobs share sampled fault populations through the
-        // warm store: jobs that differ only in workload/scheme
-        // subsets miss the result cache but describe the same die,
-        // so it is synthesized once (single-flight) and adopted
-        // bit-identically everywhere else. Record/replay jobs must
-        // sample cold — adopting a population skips the sampler's
-        // RNG draws, which recordings capture.
-        if (!record && !replayRec && opt.warmStoreMb > 0) {
-            ropt.warmFaultSource =
-                [this, scenario = sopt.scenario](
-                    const FaultModel &model, std::size_t numLines,
-                    std::size_t lineBits) {
-                    return warm.faultPopulation(
-                        WarmStore::faultMapKey(scenario, numLines,
-                                               lineBits),
-                        [&model, numLines, lineBits] {
-                            return model
-                                .buildMap(numLines, lineBits)
-                                ->population();
-                        });
-                };
+        if (opt.debugJobDelaySeconds > 0) {
+            // Cancellable fixed service-time injection (straggler
+            // and emulation hook; see ServerOptions).
+            const auto until =
+                workStart +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(
+                        opt.debugJobDelaySeconds));
+            while (!cancel.cancelled() &&
+                   std::chrono::steady_clock::now() < until)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(5));
+            if (cancel.cancelled())
+                return "";
         }
+        const SweepOptions &sopt = sub.sopt;
+        FleetProgressFn progressFn;
         if (stream) {
             // Periodic snapshots throttled to ~10/s per job; point
             // completions always go out.
             auto lastMs = std::make_shared<std::atomic<long long>>(
                 -1000000);
-            ropt.onProgress = [this, id, conn,
-                               lastMs](const SweepProgress &p) {
+            progressFn = [this, id, conn,
+                          lastMs](const SweepProgress &p) {
                 if (conn->closed.load(std::memory_order_relaxed))
                     return;
                 if (!p.pointDone) {
@@ -1214,49 +1121,86 @@ Server::handleSubmit(const std::shared_ptr<Connection> &conn,
                 doc.set("total",
                         Json::number(std::uint64_t(p.pointsTotal)));
                 enqueueFrame(conn, encodeFrame(doc));
-                wake();
             };
         }
         Json doc = Json::object();
-        doc.set("bench", Json::string("kserved"));
-        doc.set("options", resolvedOptionsJson(sopt));
         const auto preRun = std::chrono::steady_clock::now();
         spans->setup = sinceSeconds(workStart, preRun);
         std::chrono::steady_clock::time_point postRun;
-        if (replayRec) {
-            // Re-run from the recording and attach the verification
-            // verdict; the sweep body itself is the replayed run's.
-            const replay::SweepSession s =
-                replay::replaySweep(*replayRec, &ropt);
+        if (viaFleet) {
+            doc = opt.fleetRunner(id, sub, cancel, progressFn,
+                                  fleetInfo.get());
             postRun = std::chrono::steady_clock::now();
             if (cancel.cancelled())
                 return "";
-            const Json body = sweepToJson(sopt, s.result);
-            for (const auto &[key, value] : body.members())
-                doc.set(key, value);
-            Json rj = Json::object();
-            rj.set("verified", Json::boolean(s.verified));
-            rj.set("divergence", s.divergence.toJson());
-            doc.set("replay", std::move(rj));
-        } else if (record) {
-            // Capture the run; the recording travels inline in the
-            // result document (the daemon writes no files).
-            const replay::SweepSession s = replay::recordSweep(ropt);
-            postRun = std::chrono::steady_clock::now();
-            if (cancel.cancelled())
-                return "";
-            const Json body = sweepToJson(sopt, s.result);
-            for (const auto &[key, value] : body.members())
-                doc.set(key, value);
-            doc.set("recording", s.recording.toJson());
         } else {
-            const SweepResult res = runEvaluationSweep(ropt);
-            postRun = std::chrono::steady_clock::now();
-            if (cancel.cancelled())
-                return "";
-            const Json body = sweepToJson(sopt, res);
-            for (const auto &[key, value] : body.members())
-                doc.set(key, value);
+            doc.set("bench", Json::string("kserved"));
+            doc.set("options", resolvedOptionsJson(sopt));
+            SweepOptions ropt = sopt;
+            ropt.cancel = &cancel;
+            ropt.onProgress = progressFn;
+            // Plain jobs share sampled fault populations through the
+            // warm store: jobs that differ only in workload/scheme
+            // subsets miss the result cache but describe the same
+            // die, so it is synthesized once (single-flight) and
+            // adopted bit-identically everywhere else. Record/replay
+            // jobs must sample cold — adopting a population skips
+            // the sampler's RNG draws, which recordings capture.
+            if (!sub.record && !sub.replayRec &&
+                opt.warmStoreMb > 0) {
+                ropt.warmFaultSource =
+                    [this, scenario = sopt.scenario](
+                        const FaultModel &model,
+                        std::size_t numLines,
+                        std::size_t lineBits) {
+                        return warm.faultPopulation(
+                            WarmStore::faultMapKey(scenario,
+                                                   numLines,
+                                                   lineBits),
+                            [&model, numLines, lineBits] {
+                                return model
+                                    .buildMap(numLines, lineBits)
+                                    ->population();
+                            });
+                    };
+            }
+            if (sub.replayRec) {
+                // Re-run from the recording and attach the
+                // verification verdict; the sweep body itself is the
+                // replayed run's.
+                const replay::SweepSession s =
+                    replay::replaySweep(*sub.replayRec, &ropt);
+                postRun = std::chrono::steady_clock::now();
+                if (cancel.cancelled())
+                    return "";
+                const Json body = sweepToJson(sopt, s.result);
+                for (const auto &[key, value] : body.members())
+                    doc.set(key, value);
+                Json rj = Json::object();
+                rj.set("verified", Json::boolean(s.verified));
+                rj.set("divergence", s.divergence.toJson());
+                doc.set("replay", std::move(rj));
+            } else if (sub.record) {
+                // Capture the run; the recording travels inline in
+                // the result document (the daemon writes no files).
+                const replay::SweepSession s =
+                    replay::recordSweep(ropt);
+                postRun = std::chrono::steady_clock::now();
+                if (cancel.cancelled())
+                    return "";
+                const Json body = sweepToJson(sopt, s.result);
+                for (const auto &[key, value] : body.members())
+                    doc.set(key, value);
+                doc.set("recording", s.recording.toJson());
+            } else {
+                const SweepResult res = runEvaluationSweep(ropt);
+                postRun = std::chrono::steady_clock::now();
+                if (cancel.cancelled())
+                    return "";
+                const Json body = sweepToJson(sopt, res);
+                for (const auto &[key, value] : body.members())
+                    doc.set(key, value);
+            }
         }
         spans->run = sinceSeconds(preRun, postRun);
         std::string text = doc.toString(0);
@@ -1338,21 +1282,27 @@ Server::finishJob(std::uint64_t id, JobState state,
              sp.serialize, sp.reply, rec.hash.c_str());
     }
 
+    std::string fleetText;
+    if (rec.fleetInfo && !rec.fleetInfo->isNull())
+        fleetText = rec.fleetInfo->toString(0);
+
     if (state == JobState::Done) {
         if (!rec.noCache)
             cache.insert(rec.canonicalKey, resultText);
         enqueueFrame(rec.conn,
                      encodeFramePayload(resultFrameText(
-                         id, false, rec.hash, resultText, spansText)));
+                         id, false, rec.hash, resultText, spansText,
+                         fleetText)));
     } else {
-        enqueueFrame(rec.conn,
-                     encodeFrame(terminalFrame(
-                         id, rec.hash,
-                         state == JobState::Failed ? "failed"
-                                                   : "cancelled",
-                         error)));
+        Json doc = terminalFrame(id, rec.hash,
+                                 state == JobState::Failed
+                                     ? "failed"
+                                     : "cancelled",
+                                 error);
+        if (!fleetText.empty())
+            doc.set("fleet", *rec.fleetInfo);
+        enqueueFrame(rec.conn, encodeFrame(doc));
     }
-    wake();
 }
 
 Json
@@ -1393,6 +1343,8 @@ Server::statsJson()
             Json::number(mProtocolErrors->value()));
     out.set("connections", Json::number(mConnections->value()));
     doc.set("outcomes", out);
+    if (opt.statsExtra)
+        doc.set("fleet", opt.statsExtra());
     return doc;
 }
 

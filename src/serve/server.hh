@@ -1,10 +1,15 @@
 /**
  * @file
- * kserved: the experiment-serving daemon. A single poll()-driven I/O
- * thread owns the listening socket and every client connection;
- * experiment sweeps run on the JobScheduler's worker threads and
- * communicate back to the I/O thread only by appending encoded
- * frames to a connection's outbox and tickling the wake pipe.
+ * kserved: the experiment-serving daemon. A small pool of epoll
+ * reactor threads (ServerOptions::ioThreads) owns the listening
+ * socket — shared via EPOLLEXCLUSIVE so the kernel wakes exactly one
+ * reactor per pending accept — and every client connection is pinned
+ * to the reactor that accepted it. Experiment sweeps run on the
+ * JobScheduler's worker threads and communicate back to the owning
+ * reactor only by appending encoded frames to a connection's chunked
+ * outbox and tickling that reactor's wake pipe; outboxes drain with
+ * writev() so queued frames leave in one syscall without being
+ * recopied into a flat buffer.
  *
  * Request lifecycle (see SERVING.md for the full protocol grammar):
  * a "submit" frame is validated, canonicalized into a cache key, and
@@ -13,12 +18,20 @@
  * reply) or by scheduling a sweep job (submitted, then streamed
  * "progress" frames while it runs, then exactly one terminal
  * "result" frame with outcome done/failed/cancelled/rejected).
+ * A "fetch" frame addresses the cache directly by content hash —
+ * the peer-transfer path of the fleet fabric (src/fleet).
+ *
+ * Admission control: beyond the scheduler's bounded queue
+ * (queue_full), maxConns bounds concurrent connections — excess
+ * accepts are answered with an "overloaded" error frame and closed,
+ * so a barrage degrades into explicit backpressure instead of fd
+ * exhaustion.
  *
  * Graceful drain — SIGINT/SIGTERM via requestDrain(), or a client
  * "drain" frame — stops accepting connections and submits, cancels
  * everything still queued (outcome "cancelled", error "draining"),
  * lets in-flight sweeps finish, flushes every outbox, and only then
- * exits the I/O loop (unlinking the Unix socket).
+ * exits the reactor loops (unlinking the Unix socket).
  */
 
 #ifndef KILLI_SERVE_SERVER_HH
@@ -27,11 +40,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/json.hh"
@@ -39,10 +55,29 @@
 #include "serve/cache.hh"
 #include "serve/protocol.hh"
 #include "serve/scheduler.hh"
+#include "serve/submit.hh"
 #include "serve/warm_store.hh"
 
 namespace killi::serve
 {
+
+/** Progress sink a fleet runner forwards worker progress into. */
+using FleetProgressFn = std::function<void(const SweepProgress &)>;
+
+/**
+ * Pluggable campaign backend: when set, plain (non-record/replay)
+ * submits run through this instead of a local runEvaluationSweep().
+ * Must return the complete result document (bench/options/sweep/
+ * workloads/campaign) and may fill @p attribution with a per-shard
+ * worker/origin breakdown that rides the terminal result frame as
+ * the "fleet" sibling. Throw std::runtime_error on unrecoverable
+ * failure (becomes outcome "failed"); return promptly once
+ * @p cancel trips (becomes outcome "cancelled").
+ */
+using FleetRunner = std::function<Json(
+    std::uint64_t id, const SubmitRequest &req,
+    const CancelToken &cancel, const FleetProgressFn &progress,
+    Json *attribution)>;
 
 struct ServerOptions
 {
@@ -54,8 +89,14 @@ struct ServerOptions
     std::uint16_t port = 0;
     /** Scheduler worker threads (0 = all hardware threads). */
     unsigned threads = 0;
+    /** Reactor (epoll I/O) threads; connections shard across them
+     *  at accept time. Clamped to at least 1. */
+    unsigned ioThreads = 1;
     /** Ready-queue bound; submits beyond it are rejected. */
     std::size_t maxQueue = 64;
+    /** Concurrent-connection bound; accepts beyond it are answered
+     *  with an "overloaded" error frame and closed. 0 = unbounded. */
+    std::size_t maxConns = 0;
     /** Result-cache capacity (entries). */
     std::size_t cacheEntries = 1024;
     /** Warm-state store bound (MiB of resident payload; fault
@@ -70,6 +111,21 @@ struct ServerOptions
     /** Jobs slower than this get a structured warn() line with their
      *  stage breakdown and cache key; 0 disables. */
     double slowJobSeconds = 0.0;
+    /**
+     * Testing/benchmark hook: every admitted job sleeps this long
+     * (cancellably) before running. Injects deterministic straggler
+     * behaviour for the fleet hedging tests and emulates a fixed
+     * service time for kload scaling runs on core-starved hosts.
+     */
+    double debugJobDelaySeconds = 0.0;
+    /** Fleet backend; see FleetRunner. Unset = run sweeps locally. */
+    FleetRunner fleetRunner;
+    /** Optional per-job annotation attached to status_reply as the
+     *  "fleet" member (null return = omit). */
+    std::function<Json(std::uint64_t id)> statusAnnotator;
+    /** Optional extra stats block attached to stats_reply as the
+     *  "fleet" member. */
+    std::function<Json()> statsExtra;
 };
 
 class Server
@@ -83,18 +139,18 @@ class Server
     Server(const Server &) = delete;
     Server &operator=(const Server &) = delete;
 
-    /** Bind, listen, and launch the I/O thread. Returns false and
-     *  fills @p err on socket errors. Call at most once. */
+    /** Bind, listen, and launch the reactor threads. Returns false
+     *  and fills @p err on socket errors. Call at most once. */
     bool start(std::string *err);
 
     /**
      * Begin a graceful drain. Async-signal-safe (an atomic store
-     * plus a write() to the wake pipe), so kserved calls this
-     * straight from its SIGINT/SIGTERM handler. Idempotent.
+     * plus a write() to each reactor's wake pipe), so kserved calls
+     * this straight from its SIGINT/SIGTERM handler. Idempotent.
      */
     void requestDrain();
 
-    /** Block until the I/O loop has fully drained and exited. */
+    /** Block until every reactor has fully drained and exited. */
     void waitDone();
 
     /** requestDrain() + waitDone(), for tests and embedders. */
@@ -117,36 +173,66 @@ class Server
      *  frame and GET /metrics). */
     metrics::MetricsRegistry &metrics() { return registry; }
 
+    /**
+     * Install the fleet backend after construction but before
+     * start(). Exists because the coordinator registers its
+     * kfleet_* families in this server's registry — which only
+     * exists once the Server does — so kfleetd builds the Server
+     * first, the Coordinator second, and wires the two here.
+     */
+    void
+    setFleetBackend(FleetRunner runner,
+                    std::function<Json(std::uint64_t)> status,
+                    std::function<Json()> stats)
+    {
+        opt.fleetRunner = std::move(runner);
+        opt.statusAnnotator = std::move(status);
+        opt.statsExtra = std::move(stats);
+    }
+
   private:
     /**
-     * One client connection. The I/O thread owns fd, decoder, and
-     * all socket reads/writes; scheduler workers only append to the
-     * outbox (under mtx) and never touch the socket, so a closed
-     * connection simply drops late frames instead of racing on fd
-     * reuse.
+     * One client connection, pinned to the reactor that accepted it.
+     * That reactor owns fd, decoder, and all socket reads/writes;
+     * scheduler workers only append to the outbox (under mtx) and
+     * never touch the socket, so a closed connection simply drops
+     * late frames instead of racing on fd reuse. The outbox is a
+     * deque of encoded frames drained with writev() — frames are
+     * moved in and gathered out, never concatenated.
      */
     struct Connection
     {
         int fd = -1;
         FrameDecoder decoder;
         std::mutex mtx;
-        std::string outbuf;
+        /** Encoded frames awaiting the socket; front is partially
+         *  written up to outOff. */
+        std::deque<std::string> outq;
+        std::size_t outOff = 0;
         bool closeAfterFlush = false;
         std::atomic<bool> closed{false};
+        /** Reactor that owns this connection (set at accept). */
+        std::atomic<int> reactorIdx{-1};
+        /** Collapses redundant worker wakeups: set by the first
+         *  enqueuer, cleared by the reactor when it services the
+         *  pending list. */
+        std::atomic<bool> notified{false};
+        /** EPOLLOUT currently armed (owning reactor only). */
+        bool outArmed = false;
 
         void
-        enqueue(const std::string &bytes)
+        enqueue(std::string bytes)
         {
             std::lock_guard<std::mutex> lock(mtx);
             if (!closed.load(std::memory_order_relaxed))
-                outbuf += bytes;
+                outq.push_back(std::move(bytes));
         }
 
         bool
         pendingOut()
         {
             std::lock_guard<std::mutex> lock(mtx);
-            return !outbuf.empty();
+            return !outq.empty();
         }
     };
 
@@ -158,7 +244,7 @@ class Server
      * sweep), serialize (result document to text), reply (result
      * delivery, computed as the remainder at finish time) — so the
      * stage sum equals the end-to-end latency by construction.
-     * Written by the I/O thread (decode) before admission and by the
+     * Written by the reactor (decode) before admission and by the
      * one worker thread that runs the job after; never concurrently.
      */
     struct JobSpans
@@ -190,26 +276,65 @@ class Server
          *  plain submit of the same point should ever be served. */
         bool noCache = false;
         std::shared_ptr<JobSpans> spans;
+        /** Fleet attribution filled by the runner; rides the
+         *  terminal frame as the "fleet" sibling when non-null. */
+        std::shared_ptr<Json> fleetInfo;
     };
 
-    /** One /metrics HTTP client (I/O-thread-only; no locking). */
+    /** One /metrics HTTP client (owning-reactor-only; no locking). */
     struct HttpConn
     {
         int fd = -1;
         std::string in;
         std::string out;
+        bool outArmed = false;
     };
 
-    void ioLoop();
-    void wake();
-    void acceptClients(std::vector<std::shared_ptr<Connection>> &conns);
-    void readFromClient(const std::shared_ptr<Connection> &conn);
-    void flushToClient(const std::shared_ptr<Connection> &conn);
-    void closeConnection(const std::shared_ptr<Connection> &conn);
+    /**
+     * One epoll loop. Owns its wake pipe, its share of the client
+     * connections (keyed by fd), and — reactor 0 only — the /metrics
+     * HTTP plane. All reactors register the shared listen fd with
+     * EPOLLEXCLUSIVE.
+     */
+    struct Reactor
+    {
+        std::size_t idx = 0;
+        int epollFd = -1;
+        int wakeFd[2] = {-1, -1};
+        std::thread thread;
+        std::unordered_map<int, std::shared_ptr<Connection>> connByFd;
+        std::unordered_map<int, HttpConn> httpByFd;
+        /** Connections with freshly enqueued frames, handed over by
+         *  scheduler workers (under pendingMtx). */
+        std::mutex pendingMtx;
+        std::vector<std::shared_ptr<Connection>> pending;
+        bool acceptArmed = false;
+        bool metricsArmed = false;
+        bool draining = false;
+        metrics::Counter *mAccepted = nullptr;
+        metrics::Counter *mWakeups = nullptr;
+    };
+
+    void reactorLoop(Reactor &r);
+    /** Write one byte into @p r's wake pipe. */
+    static void wakeReactor(const Reactor &r);
+    /** Hand @p conn to its owning reactor for flushing (worker
+     *  side of the outbox). Deduplicated via Connection::notified. */
+    void notifyConn(const std::shared_ptr<Connection> &conn);
+    void acceptClients(Reactor &r);
+    void readFromClient(Reactor &r,
+                        const std::shared_ptr<Connection> &conn);
+    void flushToClient(Reactor &r,
+                       const std::shared_ptr<Connection> &conn);
+    /** flushToClient + (dis)arm EPOLLOUT to match what is left. */
+    void flushAndArm(Reactor &r,
+                     const std::shared_ptr<Connection> &conn);
+    void closeConnection(Reactor &r,
+                         const std::shared_ptr<Connection> &conn);
     /** Counted outbox append: every protocol frame leaves through
      *  here so frames-sent/outbox-bytes stay exact. */
     void enqueueFrame(const std::shared_ptr<Connection> &conn,
-                      const std::string &bytes);
+                      std::string bytes);
     void handleFrame(const std::shared_ptr<Connection> &conn,
                      const Json &req);
     void handleSubmit(const std::shared_ptr<Connection> &conn,
@@ -217,11 +342,14 @@ class Server
     void finishJob(std::uint64_t id, JobState state,
                    const std::string &resultText,
                    const std::string &error);
-    void acceptMetricsClients(std::vector<HttpConn> &conns);
+    void acceptMetricsClients(Reactor &r);
     /** Read/answer one /metrics client; returns false once the
      *  connection should be dropped. */
-    bool serviceMetricsConn(HttpConn &conn, short revents);
+    bool serviceMetricsConn(HttpConn &conn, bool readable, bool error);
     void registerServerMetrics();
+    /** Post-join teardown: listen/metrics/reactor fds, socket file,
+     *  cache + warm store. Runs exactly once. */
+    void cleanupAfterJoin();
 
     ServerOptions opt;
     /** Declared before scheduler/cache/warm: all three register
@@ -231,14 +359,16 @@ class Server
     ResultCache cache;
     WarmStore warm;
 
-    std::thread ioThread;
+    std::vector<std::unique_ptr<Reactor>> reactors;
     int listenFd = -1;
     int metricsFd = -1;
-    int wakeFds[2] = {-1, -1};
     std::uint16_t portBound = 0;
     std::uint16_t metricsPortBound = 0;
     std::atomic<bool> started{false};
     std::atomic<bool> drainFlag{false};
+    std::atomic<bool> drainAnnounced{false};
+    std::atomic<bool> drainBegun{false};
+    std::atomic<bool> cleanedUp{false};
 
     std::mutex jobsMtx;
     std::map<std::uint64_t, JobRecord> jobs;
@@ -250,11 +380,14 @@ class Server
     // Server-plane instruments (registered in registerServerMetrics;
     // never null after construction).
     metrics::Counter *mConnections = nullptr;
+    metrics::Counter *mConnsRejected = nullptr;
     metrics::Counter *mFramesIn = nullptr;
     metrics::Counter *mFramesOut = nullptr;
     metrics::Counter *mProtocolErrors = nullptr;
     metrics::Counter *mOutboxBytes = nullptr;
     metrics::Counter *mHttpRequests = nullptr;
+    metrics::Counter *mFetchHits = nullptr;
+    metrics::Counter *mFetchMisses = nullptr;
     metrics::Counter *mSlowJobs = nullptr;
     metrics::Counter *mJobsDone = nullptr;
     metrics::Counter *mJobsFailed = nullptr;

@@ -17,6 +17,7 @@
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <unistd.h>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -85,6 +86,44 @@ TEST(FrameDecoder, ReassemblesOneByteAtATime)
     dec.feed(wire.data() + wire.size() - 1, 1);
     ASSERT_EQ(dec.next(out), FrameDecoder::Status::Frame);
     EXPECT_EQ(out.at("type").asString(), "ping");
+}
+
+TEST(FrameDecoder, ReassemblesAcrossEverySplitOffset)
+{
+    // A TCP read can end at any byte: every offset of the length
+    // prefix and payload — including the seam between two frames —
+    // must reassemble to the same two documents. The second frame
+    // is larger than the first so prefix and payload offsets of
+    // both frames land on distinct split points.
+    Json first = pingFrame();
+    first.set("n", Json::number(std::int64_t(1)));
+    Json second = pingFrame();
+    second.set("n", Json::number(std::int64_t(2)));
+    second.set("pad", Json::string(std::string(64, 'x')));
+    const std::string wire =
+        encodeFrame(first) + encodeFrame(second);
+
+    for (std::size_t split = 0; split <= wire.size(); ++split) {
+        FrameDecoder dec;
+        dec.feed(wire.data(), split);
+        std::vector<Json> got;
+        Json out;
+        while (dec.next(out) == FrameDecoder::Status::Frame)
+            got.push_back(out);
+        ASSERT_FALSE(dec.failed())
+            << "split at " << split << ": " << dec.error();
+        dec.feed(wire.data() + split, wire.size() - split);
+        while (dec.next(out) == FrameDecoder::Status::Frame)
+            got.push_back(out);
+        ASSERT_FALSE(dec.failed())
+            << "split at " << split << ": " << dec.error();
+        ASSERT_EQ(got.size(), 2u) << "split at " << split;
+        EXPECT_EQ(got[0].at("n").asInt(), 1) << "split at " << split;
+        EXPECT_EQ(got[1].at("n").asInt(), 2) << "split at " << split;
+        EXPECT_EQ(got[1].toString(0), second.toString(0))
+            << "split at " << split;
+        EXPECT_EQ(dec.pendingBytes(), 0u) << "split at " << split;
+    }
 }
 
 TEST(FrameDecoder, PayloadMatchesEncodeFramePayloadSplice)

@@ -592,6 +592,137 @@ TEST(ServeIntegration, DrainRequestAcksFlushesAndCloses)
         << "socket not unlinked after drain";
 }
 
+TEST(ServeIntegration, FetchAddressesTheCacheByContentHash)
+{
+    Loopback lo;
+    ScopedLogCapture quiet;
+
+    // Compute once; the submitted frame carries the content hash a
+    // fleet peer would hold.
+    ASSERT_TRUE(lo.client.send(smokeSubmit(false)));
+    Json frame;
+    ASSERT_TRUE(lo.client.recv(frame));
+    ASSERT_EQ(frame.at("type").asString(), "submitted");
+    const std::string key = frame.at("key").asString();
+    ASSERT_TRUE(lo.client.recv(frame));
+    ASSERT_EQ(frame.at("type").asString(), "result");
+    const std::string resultText = frame.at("result").toString(0);
+
+    // A fetch of that hash returns the stored bytes verbatim.
+    Json fetch = Json::object();
+    fetch.set("type", Json::string("fetch"));
+    fetch.set("key", Json::string(key));
+    ASSERT_TRUE(lo.client.send(fetch));
+    ASSERT_TRUE(lo.client.recv(frame));
+    EXPECT_EQ(frame.at("type").asString(), "fetch_reply");
+    EXPECT_TRUE(frame.at("found").asBool());
+    EXPECT_EQ(frame.at("key").asString(), key);
+    EXPECT_EQ(frame.at("result").toString(0), resultText);
+
+    // An unknown (but well-formed) hash is a clean not-found, not
+    // an error: the peer falls back to recomputing.
+    fetch.set("key", Json::string(std::string(64, '0')));
+    ASSERT_TRUE(lo.client.send(fetch));
+    ASSERT_TRUE(lo.client.recv(frame));
+    EXPECT_EQ(frame.at("type").asString(), "fetch_reply");
+    EXPECT_FALSE(frame.at("found").asBool());
+
+    // A malformed key is a bad request; the connection survives.
+    fetch.set("key", Json::string("not-a-hash"));
+    ASSERT_TRUE(lo.client.send(fetch));
+    ASSERT_TRUE(lo.client.recv(frame));
+    EXPECT_EQ(frame.at("type").asString(), "error");
+    EXPECT_EQ(frame.at("code").asString(), "bad_request");
+    Json ping = Json::object();
+    ping.set("type", Json::string("ping"));
+    ASSERT_TRUE(lo.client.send(ping));
+    ASSERT_TRUE(lo.client.recv(frame));
+    EXPECT_EQ(frame.at("type").asString(), "pong");
+    lo.server.stop();
+}
+
+TEST(ServeIntegration, MultiReactorServesClientsOnEveryReactor)
+{
+    ServerOptions so;
+    so.port = 0;
+    so.threads = 2;
+    so.ioThreads = 3;
+    so.maxQueue = 16;
+    Server server(so);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+    ScopedLogCapture quiet;
+
+    // Seed the cache once, then more clients than reactors submit
+    // the same job: every connection — wherever accept landed it —
+    // must get the identical cached bytes.
+    Client seed;
+    ASSERT_TRUE(seed.connectTcp(server.boundPort(), &err)) << err;
+    Json cold;
+    ASSERT_TRUE(seed.submit(smokeSubmit(false), cold, {}, &err))
+        << err;
+    const std::string want = cold.at("result").toString(0);
+
+    constexpr unsigned kClients = 8;
+    std::vector<std::thread> threads;
+    std::atomic<unsigned> identical{0};
+    for (unsigned i = 0; i < kClients; ++i)
+        threads.emplace_back([&] {
+            Client c;
+            std::string cerr;
+            Json reply;
+            if (c.connectTcp(server.boundPort(), &cerr) &&
+                c.submit(smokeSubmit(false), reply, {}, &cerr) &&
+                reply.at("result").toString(0) == want)
+                identical.fetch_add(1);
+        });
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(identical.load(), kClients);
+
+    // The reactor pool is visible on the metrics plane.
+    const std::string prom = server.metrics().prometheusText();
+    EXPECT_NE(prom.find("kserved_io_reactors"), std::string::npos);
+    EXPECT_NE(prom.find("kserved_reactor_connections_total"),
+              std::string::npos);
+    server.stop();
+}
+
+TEST(ServeIntegration, MaxConnsAnswersExcessAcceptsWithOverloaded)
+{
+    ServerOptions so;
+    so.port = 0;
+    so.threads = 1;
+    so.maxConns = 1;
+    Server server(so);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    Client first;
+    ASSERT_TRUE(first.connectTcp(server.boundPort(), &err)) << err;
+    Json ping = Json::object();
+    ping.set("type", Json::string("ping"));
+    Json frame;
+    ASSERT_TRUE(first.send(ping));
+    ASSERT_TRUE(first.recv(frame));
+    EXPECT_EQ(frame.at("type").asString(), "pong");
+
+    // The second connection is accepted only to be told why it is
+    // being turned away, then closed.
+    Client second;
+    ASSERT_TRUE(second.connectTcp(server.boundPort(), &err)) << err;
+    ASSERT_TRUE(second.recv(frame));
+    EXPECT_EQ(frame.at("type").asString(), "error");
+    EXPECT_EQ(frame.at("code").asString(), "overloaded");
+    EXPECT_FALSE(second.recv(frame)); // closed after the flush
+
+    // The admitted connection keeps serving.
+    ASSERT_TRUE(first.send(ping));
+    ASSERT_TRUE(first.recv(frame));
+    EXPECT_EQ(frame.at("type").asString(), "pong");
+    server.stop();
+}
+
 TEST(ServeIntegration, Barrage200RequestsBoundedQueueCleanDrain)
 {
     constexpr unsigned kClients = 8;
@@ -776,7 +907,7 @@ stripScrapePerturbed(const std::string &text)
     static const char *kVolatile[] = {
         "kserved_uptime_seconds",      "kserved_frames_received_total",
         "kserved_frames_sent_total",   "kserved_outbox_bytes_total",
-        "kserved_http_requests_total",
+        "kserved_http_requests_total", "kserved_reactor_wakeups_total",
     };
     std::string out;
     std::istringstream in(text);

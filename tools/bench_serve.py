@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Serving-stack scaling benchmark: single kserved vs kfleetd fleet.
+
+Boots (a) one kserved worker and (b) a kfleetd front end spawning
+N kserved workers, fires the same kload barrage at each, and writes a
+combined BENCH_serve.json with the two throughput/latency reports and
+their ratio.
+
+Because CI runners (and the committed baseline's host) can be
+core-starved, the default mode emulates a fixed per-job service time
+with the daemons' debug-job-delay-ms hook: sleeps overlap across
+worker processes even on one core, so the fleet's scaling is visible
+and stable, while the real compute component stays small. The report
+labels the mode explicitly ("service_time_emulation_ms") so nobody
+mistakes the numbers for real sweep throughput; run with
+--delay-ms 0 --scale 0.05 on a many-core host for real numbers.
+
+Usage:
+    bench_serve.py --build BUILD_DIR [--out BENCH_serve.json]
+                   [--workers 3] [--jobs 12] [--clients 6]
+                   [--delay-ms 500] [--scale 0.005]
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def wait_socket(cli, sock, tries=100):
+    for _ in range(tries):
+        rc = subprocess.run(
+            [cli, "ping", f"socket={sock}"],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        ).returncode
+        if rc == 0:
+            return
+        time.sleep(0.2)
+    raise RuntimeError(f"endpoint {sock} never came up")
+
+
+def drain(proc):
+    proc.send_signal(signal.SIGTERM)
+    try:
+        proc.wait(timeout=60)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait()
+
+
+def run_kload(kload, sock, args, report_path):
+    cmd = [
+        kload,
+        f"socket={sock}",
+        f"clients={args.clients}",
+        f"jobs={args.jobs}",
+        "mix-cached=0",  # scaling is about real service, not hits
+        f"scale={args.scale}",
+        "warmup=0",
+        f"workloads={args.workloads}",
+        f"json={report_path}",
+    ]
+    subprocess.run(cmd, check=True)
+    with open(report_path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build", required=True,
+                    help="CMake build directory")
+    ap.add_argument("--out", default="BENCH_serve.json")
+    ap.add_argument("--workers", type=int, default=3)
+    ap.add_argument("--jobs", type=int, default=12)
+    ap.add_argument("--clients", type=int, default=6)
+    ap.add_argument("--delay-ms", type=int, default=800,
+                    help="emulated per-job service time (0 = real "
+                         "compute only)")
+    ap.add_argument("--scale", type=float, default=0.003)
+    ap.add_argument("--workloads", default="xsbench")
+    ap.add_argument("--min-speedup", type=float, default=None,
+                    help="fail unless fleet jobs/sec >= this multiple "
+                         "of single-worker jobs/sec")
+    args = ap.parse_args()
+
+    build = os.path.abspath(args.build)
+    kserved = os.path.join(build, "src/serve/kserved")
+    kfleetd = os.path.join(build, "src/fleet/kfleetd")
+    kcli = os.path.join(build, "src/serve/kcli")
+    kload = os.path.join(build, "bench/kload")
+    for exe in (kserved, kfleetd, kcli, kload):
+        if not os.access(exe, os.X_OK):
+            sys.exit(f"bench_serve: missing binary {exe}")
+
+    with tempfile.TemporaryDirectory(prefix="bench_serve.") as tmp:
+        delay = [f"debug-job-delay-ms={args.delay_ms}"] \
+            if args.delay_ms else []
+
+        # -- Single kserved worker.
+        single_sock = os.path.join(tmp, "single.sock")
+        single = subprocess.Popen(
+            [kserved, f"socket={single_sock}", "threads=1"] + delay,
+            cwd=tmp)
+        try:
+            wait_socket(kcli, single_sock)
+            single_report = run_kload(
+                kload, single_sock, args,
+                os.path.join(tmp, "kload_single.json"))
+        finally:
+            drain(single)
+
+        # -- kfleetd spawning N workers (threads=1 each, same delay).
+        fleet_sock = os.path.join(tmp, "fleet.sock")
+        fleet_cmd = [
+            kfleetd,
+            f"socket={fleet_sock}",
+            f"spawn-workers={args.workers}",
+            f"spawn-dir={tmp}",
+            f"worker-bin={kserved}",
+            "worker-threads=1",
+        ]
+        if delay:
+            fleet_cmd.append(f"worker-args={delay[0]}")
+        fleet = subprocess.Popen(fleet_cmd, cwd=tmp)
+        try:
+            wait_socket(kcli, fleet_sock)
+            fleet_report = run_kload(
+                kload, fleet_sock, args,
+                os.path.join(tmp, "kload_fleet.json"))
+        finally:
+            drain(fleet)
+
+    single_rate = single_report["results"]["jobs_per_sec"]
+    fleet_rate = fleet_report["results"]["jobs_per_sec"]
+    speedup = fleet_rate / single_rate if single_rate else 0.0
+
+    doc = {
+        "bench": "serve_scaling",
+        "mode": {
+            "service_time_emulation_ms": args.delay_ms,
+            "note": (
+                "per-job service time emulated with "
+                "debug-job-delay-ms so multi-process scaling is "
+                "measurable on core-starved hosts; not real sweep "
+                "throughput" if args.delay_ms else
+                "real compute, no emulated service time"),
+            "host_cpus": os.cpu_count(),
+        },
+        "config": {
+            "workers": args.workers,
+            "worker_threads": 1,
+            "jobs": args.jobs,
+            "clients": args.clients,
+            "scale": args.scale,
+            "workloads": args.workloads,
+        },
+        "single": single_report["results"],
+        "fleet": fleet_report["results"],
+        "speedup_jobs_per_sec": speedup,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    print(f"bench_serve: single {single_rate:.2f} jobs/s, "
+          f"fleet({args.workers}) {fleet_rate:.2f} jobs/s, "
+          f"speedup {speedup:.2f}x -> {args.out}")
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        sys.exit(f"bench_serve: FAIL: speedup {speedup:.2f}x < "
+                 f"required {args.min_speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

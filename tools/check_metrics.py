@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
-"""Sanity-check kserved Prometheus scrapes (CI serve-smoke).
+"""Sanity-check kserved/kfleetd Prometheus scrapes (CI smoke jobs).
 
 Usage:
-    check_metrics.py BEFORE.prom AFTER.prom [KTOP.json]
+    check_metrics.py [--fleet] BEFORE.prom AFTER.prom [KTOP.json]
 
 Parses two /metrics scrapes taken around a kcli workload, and
 asserts:
@@ -10,10 +10,18 @@ asserts:
   * both scrapes parse cleanly (every sample line belongs to a
     family declared with # TYPE, values are finite numbers, and
     histogram bucket counts are cumulative with le="+Inf" == _count);
-  * every required family is present;
+  * every required family is present — including the multi-reactor
+    front-end families (kserved_io_reactors, per-reactor accept and
+    wakeup counters) every daemon now exposes;
   * counters are monotonic from BEFORE to AFTER;
   * the workload left a visible trace (admissions and job latency
     count increased);
+  * with --fleet (scrapes taken from kfleetd): every kfleet_* family
+    is present, at least one worker is attached, and the dispatch
+    ledger balances at the drained AFTER scrape —
+    kfleet_shards_dispatched_total == kfleet_shards_completed_total
+    + kfleet_shards_cancelled_total (every dispatch that reached a
+    worker's "submitted" frame ends in exactly one terminal bucket);
   * optionally, a `ktop --once --json` snapshot taken at the same
     time as AFTER agrees with it on stable (quiescent-daemon)
     families.
@@ -47,12 +55,33 @@ REQUIRED_FAMILIES = [
     "kserved_warm_store_entries",
     "kserved_warm_store_bytes",
     "kserved_connections_total",
+    "kserved_connections_rejected_total",
     "kserved_frames_received_total",
     "kserved_frames_sent_total",
     "kserved_protocol_errors_total",
     "kserved_outbox_bytes_total",
+    "kserved_fetch_hits_total",
+    "kserved_fetch_misses_total",
+    "kserved_io_reactors",
+    "kserved_reactor_connections_total",
+    "kserved_reactor_wakeups_total",
     "kserved_uptime_seconds",
     "ktrace_dropped_records_total",
+]
+
+FLEET_FAMILIES = [
+    "kfleet_workers",
+    "kfleet_campaigns_total",
+    "kfleet_shards_dispatched_total",
+    "kfleet_shards_completed_total",
+    "kfleet_shards_cancelled_total",
+    "kfleet_steals_total",
+    "kfleet_hedges_total",
+    "kfleet_hedge_wins_total",
+    "kfleet_peer_fetches_total",
+    "kfleet_peer_fetch_misses_total",
+    "kfleet_worker_rejections_total",
+    "kfleet_shard_seconds",
 ]
 
 SAMPLE_RE = re.compile(
@@ -161,17 +190,24 @@ def family_total(families, samples, fam, suffix=""):
 
 
 def main():
-    if len(sys.argv) not in (3, 4):
+    argv = sys.argv[1:]
+    fleet = "--fleet" in argv
+    argv = [a for a in argv if a != "--fleet"]
+    if len(argv) not in (2, 3):
         print(__doc__, file=sys.stderr)
         sys.exit(2)
-    before_path, after_path = sys.argv[1], sys.argv[2]
+    before_path, after_path = argv[0], argv[1]
     fam_b, s_b = parse(before_path)
     fam_a, s_a = parse(after_path)
 
-    for fam in REQUIRED_FAMILIES:
+    required = REQUIRED_FAMILIES + (FLEET_FAMILIES if fleet else [])
+    for fam in required:
         for path, fams in ((before_path, fam_b), (after_path, fam_a)):
             if fam not in fams:
                 fail(f"{path}: required family {fam} missing")
+
+    if fleet:
+        check_fleet(after_path, s_a)
 
     # Counter monotonicity, per labeled series.
     for (name, labels), v in s_b.items():
@@ -197,8 +233,8 @@ def main():
         fail("kserved_job_seconds_count did not increase across the "
              "kcli workload")
 
-    if len(sys.argv) == 4:
-        with open(sys.argv[3], encoding="utf-8") as fh:
+    if len(argv) == 3:
+        with open(argv[2], encoding="utf-8") as fh:
             snap = json.load(fh)
         # ktop ran against a quiescent daemon right after AFTER was
         # scraped: cumulative job/cache counters must agree exactly.
@@ -223,6 +259,35 @@ def main():
                 )
 
     print("check_metrics: OK")
+
+
+def check_fleet(path, samples):
+    """Fleet-specific assertions on a drained kfleetd scrape."""
+    workers = family_total({}, samples, "kfleet_workers")
+    if workers < 1:
+        fail(f"{path}: kfleet_workers is {workers}; no fleet attached")
+    dispatched = family_total(
+        {}, samples, "kfleet_shards_dispatched_total")
+    completed = family_total(
+        {}, samples, "kfleet_shards_completed_total")
+    cancelled = family_total(
+        {}, samples, "kfleet_shards_cancelled_total")
+    # The dispatch ledger: at a drained scrape nothing is in flight,
+    # so every dispatch that produced a "submitted" frame must have
+    # landed in exactly one terminal bucket.
+    if dispatched != completed + cancelled:
+        fail(
+            f"{path}: kfleet dispatch ledger unbalanced: "
+            f"dispatched {dispatched} != completed {completed} + "
+            f"cancelled {cancelled}"
+        )
+    wins = family_total({}, samples, "kfleet_hedge_wins_total")
+    hedges = family_total({}, samples, "kfleet_hedges_total")
+    if wins > hedges:
+        fail(
+            f"{path}: kfleet_hedge_wins_total {wins} exceeds "
+            f"kfleet_hedges_total {hedges}"
+        )
 
 
 def labeled(samples, fam, outcome):
